@@ -1,0 +1,1 @@
+bin/catt_cli.ml: Arg Catt Cmd Cmdliner Gpusim List Minicuda Printf String Term

@@ -1,0 +1,1 @@
+bin/catt_cli.mli:

@@ -1,0 +1,1 @@
+bin/simulate.ml: Arg Cmd Cmdliner Experiments Format Gpusim List Printf String Term Workloads

@@ -1,0 +1,92 @@
+(** [catt] — the compiler CLI: analyze a mini-CUDA kernel and emit the
+    throttled source, mirroring how the paper's tool wraps its ANTLR pass.
+
+    Usage:
+      catt_cli analyze  FILE --grid GX[,GY] --block BX[,BY] [--onchip KB]
+      catt_cli transform FILE --grid … --block …   (prints transformed source)
+      catt_cli disasm   FILE                       (SASS-lite dump)
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+let parse_pair s =
+  match String.split_on_char ',' s with
+  | [ x ] -> (int_of_string x, 1)
+  | [ x; y ] -> (int_of_string x, int_of_string y)
+  | _ -> invalid_arg "expected N or N,M"
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-CUDA source file")
+
+let grid_arg =
+  Arg.(value & opt string "4,1" & info [ "grid" ] ~docv:"GX[,GY]" ~doc:"grid dimensions")
+
+let block_arg =
+  Arg.(value & opt string "256,1" & info [ "block" ] ~docv:"BX[,BY]" ~doc:"thread-block dimensions")
+
+let onchip_arg =
+  Arg.(value & opt int 32 & info [ "onchip" ] ~docv:"KB" ~doc:"on-chip memory (L1D+shared) per SM, KB")
+
+let sms_arg =
+  Arg.(value & opt int 4 & info [ "sms" ] ~docv:"N" ~doc:"number of SMs")
+
+let config ~onchip_kb ~sms =
+  Gpusim.Config.scaled ~num_sms:sms ~onchip_bytes:(onchip_kb * 1024) ()
+
+let with_kernels path f =
+  let program = Minicuda.Parser.parse_program (read_file path) in
+  List.iter f program.Minicuda.Ast.kernels
+
+let analyses path grid block onchip sms =
+  let gx, gy = parse_pair grid and bx, by = parse_pair block in
+  let geo = { Catt.Analysis.grid_x = gx; grid_y = gy; block_x = bx; block_y = by } in
+  let cfg = config ~onchip_kb:onchip ~sms in
+  let results = ref [] in
+  with_kernels path (fun kernel ->
+      match Catt.Driver.analyze cfg kernel geo with
+      | Ok t -> results := (kernel, t) :: !results
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" kernel.Minicuda.Ast.kernel_name msg);
+  (cfg, List.rev !results)
+
+let analyze_cmd =
+  let run path grid block onchip sms =
+    let cfg, results = analyses path grid block onchip sms in
+    List.iter (fun (_, t) -> Catt.Report.print cfg t) results
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"print the per-loop contention analysis")
+    Term.(const run $ file_arg $ grid_arg $ block_arg $ onchip_arg $ sms_arg)
+
+let transform_cmd =
+  let run path grid block onchip sms =
+    let _, results = analyses path grid block onchip sms in
+    List.iter
+      (fun (_, (t : Catt.Driver.t)) ->
+        print_endline (Minicuda.Pretty.kernel t.Catt.Driver.transformed);
+        print_newline ())
+      results
+  in
+  Cmd.v (Cmd.info "transform" ~doc:"print the throttled source")
+    Term.(const run $ file_arg $ grid_arg $ block_arg $ onchip_arg $ sms_arg)
+
+let disasm_cmd =
+  let file0 =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"source file")
+  in
+  let run path =
+    with_kernels path (fun kernel ->
+        print_string (Gpusim.Bytecode.disassemble (Gpusim.Codegen.compile_kernel kernel)))
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"dump SASS-lite bytecode") Term.(const run $ file0)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "catt_cli" ~doc:"compiler-assisted GPU thread throttling" in
+  exit (Cmd.eval (Cmd.group ~default info [ analyze_cmd; transform_cmd; disasm_cmd ]))

@@ -1,0 +1,25 @@
+(** [experiments] — regenerate any of the paper's tables and figures.
+
+    Usage: experiments [ARTIFACT…]   (default: all)
+    Artifacts: table3 fig2 fig3 fig6 fig7 fig8 fig9 fig10 overhead *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let targets =
+    match args with
+    | [] | [ "all" ] -> Experiments.Report.artifacts
+    | ids ->
+      List.map
+        (fun id ->
+          match Experiments.Report.find id with
+          | Some a -> a
+          | None ->
+            Printf.eprintf "unknown artifact %s (known: %s)\n" id
+              (String.concat " " Experiments.Report.ids);
+            exit 2)
+        ids
+  in
+  List.iter
+    (fun (a : Experiments.Report.artifact) ->
+      Printf.printf "==== %s ====\n\n%s\n\n%!" a.title (a.render ()))
+    targets

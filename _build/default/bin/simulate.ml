@@ -1,0 +1,87 @@
+(** [simulate] — run one benchmark application on the simulator under a
+    chosen scheme and print per-kernel counters.
+
+    Usage: simulate WORKLOAD [--scheme baseline|catt|NxM] [--onchip KB] [--list] *)
+
+open Cmdliner
+
+let parse_scheme s =
+  match String.lowercase_ascii s with
+  | "baseline" -> Experiments.Runner.Baseline
+  | "catt" -> Experiments.Runner.Catt
+  | other -> (
+    match String.split_on_char 'x' other with
+    | [ n; m ] -> Experiments.Runner.Fixed (int_of_string n, int_of_string m)
+    | _ -> invalid_arg "scheme must be baseline, catt, or NxM (e.g. 4x1)")
+
+let print_sweep cfg w =
+  Printf.printf "throttling-factor sweep for %s (N = warp split, M = TB cut):\n"
+    w.Workloads.Workload.name;
+  let sweep = Experiments.Runner.sweep cfg w in
+  let base =
+    match sweep with ((1, 0), r) :: _ -> r.Experiments.Runner.total_cycles | _ -> 1
+  in
+  List.iter
+    (fun ((n, m), (r : Experiments.Runner.app_run)) ->
+      Printf.printf "  N=%2d M=%2d  %10d cycles  %.2fx\n" n m
+        r.Experiments.Runner.total_cycles
+        (float_of_int r.Experiments.Runner.total_cycles /. float_of_int base))
+    sweep;
+  let k, swl = Experiments.Runner.best_swl cfg w in
+  Printf.printf "  best-SWL (k=%d warps): %d cycles\n" k
+    swl.Experiments.Runner.total_cycles;
+  let catt = Experiments.Runner.run cfg w Experiments.Runner.Catt in
+  Printf.printf "  CATT:                  %d cycles\n" catt.Experiments.Runner.total_cycles
+
+let run name scheme onchip list_only sweep =
+  if list_only then
+    List.iter print_endline (Workloads.Registry.names `All)
+  else if sweep then
+    let cfg =
+      Gpusim.Config.scaled ~num_sms:Experiments.Configs.num_sms
+        ~onchip_bytes:(onchip * 1024) ()
+    in
+    print_sweep cfg (Workloads.Registry.find name)
+  else begin
+    let cfg =
+      Gpusim.Config.scaled ~num_sms:Experiments.Configs.num_sms
+        ~onchip_bytes:(onchip * 1024) ()
+    in
+    let w = Workloads.Registry.find name in
+    let scheme = parse_scheme scheme in
+    let r = Experiments.Runner.run cfg w scheme in
+    Printf.printf "%s under %s: %d cycles total\n" w.Workloads.Workload.name
+      (Experiments.Runner.scheme_label scheme)
+      r.Experiments.Runner.total_cycles;
+    List.iter
+      (fun (ks : Experiments.Runner.kernel_stats) ->
+        Printf.printf "  %-20s TLP (%2d,%2d)  %s\n" ks.kernel_name
+          (fst ks.Experiments.Runner.tlp) (snd ks.Experiments.Runner.tlp)
+          (Format.asprintf "%a" Gpusim.Stats.pp ks.Experiments.Runner.stats))
+      r.Experiments.Runner.kernels;
+    match r.Experiments.Runner.verified with
+    | Ok () -> print_endline "verification: OK"
+    | Error msg ->
+      Printf.printf "verification: FAILED (%s)\n" msg;
+      exit 1
+  end
+
+let () =
+  let name_arg =
+    Arg.(value & pos 0 string "ATAX" & info [] ~docv:"WORKLOAD" ~doc:"benchmark name")
+  in
+  let scheme =
+    Arg.(value & opt string "baseline" & info [ "scheme" ] ~docv:"S" ~doc:"baseline, catt, or NxM")
+  in
+  let onchip =
+    Arg.(value & opt int 32 & info [ "onchip" ] ~docv:"KB" ~doc:"on-chip memory per SM, KB")
+  in
+  let list_only = Arg.(value & flag & info [ "list" ] ~doc:"list workloads and exit") in
+  let sweep =
+    Arg.(value & flag & info [ "sweep" ] ~doc:"print the full throttling-factor sweep (Fig. 9 axis) plus best-SWL and CATT")
+  in
+  let cmd =
+    Cmd.v (Cmd.info "simulate" ~doc:"run a workload on the GPU simulator")
+      Term.(const run $ name_arg $ scheme $ onchip $ list_only $ sweep)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/contention_lab.ml: Array Catt Gpu_util Gpusim List Minicuda Printf

@@ -1,0 +1,1 @@
+examples/occupancy_explorer.ml: Catt Format Gpu_util Gpusim List Printf

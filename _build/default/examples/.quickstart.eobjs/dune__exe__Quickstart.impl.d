@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Catt Gpu_util Gpusim Minicuda Printf

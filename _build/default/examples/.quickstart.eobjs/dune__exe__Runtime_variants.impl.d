@@ -1,0 +1,1 @@
+examples/runtime_variants.ml: Catt Gpusim List Minicuda Printf String

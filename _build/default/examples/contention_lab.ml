@@ -1,0 +1,93 @@
+(** Contention lab: build kernels with a configurable inter-thread stride
+    (the paper's C_tid of Eq. 5) and watch coalescing, the footprint
+    estimate, CATT's decision, and the measured effect all change together.
+
+    Run with: dune exec examples/contention_lab.exe *)
+
+let kernel_with_stride stride =
+  Printf.sprintf
+    {|
+#define N 2048
+#define SPAN 256
+__global__ void stride_kernel(float *data, float *out) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < N) {
+    float acc = 0.0;
+    for (int j = 0; j < SPAN; j++) {
+      acc += data[i * %d + j];
+    }
+    out[i] = acc;
+  }
+}
+|}
+    stride
+
+let measure cfg (kernel : Minicuda.Ast.kernel) stride =
+  let prog = Gpusim.Codegen.compile_kernel kernel in
+  let dev = Gpusim.Gpu.create cfg in
+  let n = 2048 and span = 256 in
+  let len = ((n - 1) * stride) + span in
+  Gpusim.Gpu.upload dev "data" (Array.init len (fun i -> float_of_int (i land 7)));
+  Gpusim.Gpu.alloc dev "out" n;
+  let launch =
+    Gpusim.Gpu.default_launch ~prog ~grid:(n / 256, 1) ~block:(256, 1)
+      [ Gpusim.Gpu.Arr "data"; Gpusim.Gpu.Arr "out" ]
+  in
+  let stats, _ = Gpusim.Gpu.launch dev launch in
+  stats
+
+let () =
+  let cfg = Gpusim.Config.scaled ~num_sms:4 ~onchip_bytes:(32 * 1024) () in
+  let geo = { Catt.Analysis.grid_x = 8; grid_y = 1; block_x = 256; block_y = 1 } in
+  print_endline
+    "Sweeping the inter-thread stride (Eq. 5's C_tid) of data[i*stride + j]:\n";
+  let table =
+    Gpu_util.Table.create
+      [
+        "C_tid"; "REQ/warp (Eq.7)"; "CATT decision"; "base cycles"; "CATT cycles";
+        "speedup"; "base hit"; "CATT hit";
+      ]
+  in
+  List.iter
+    (fun stride ->
+      let kernel = Minicuda.Parser.parse_kernel (kernel_with_stride stride) in
+      let t =
+        match Catt.Driver.analyze cfg kernel geo with
+        | Ok t -> t
+        | Error msg -> failwith msg
+      in
+      let loop = List.hd t.Catt.Driver.loops in
+      let req =
+        (List.hd loop.Catt.Driver.footprint.Catt.Footprint.summaries)
+          .Catt.Footprint.req_warp
+      in
+      let d = loop.Catt.Driver.decision in
+      let decision =
+        if not d.Catt.Throttle.resolved then "unresolvable"
+        else if not d.Catt.Throttle.throttled then "keep TLP"
+        else
+          Printf.sprintf "N=%d,M=%d -> (%d,%d)" d.Catt.Throttle.n
+            d.Catt.Throttle.m d.Catt.Throttle.active_warps_per_tb
+            d.Catt.Throttle.active_tbs
+      in
+      let base = measure cfg kernel stride in
+      let catt = measure cfg t.Catt.Driver.transformed stride in
+      Gpu_util.Table.add_row table
+        [
+          string_of_int stride;
+          string_of_int req;
+          decision;
+          string_of_int base.Gpusim.Stats.cycles;
+          string_of_int catt.Gpusim.Stats.cycles;
+          Printf.sprintf "%.2fx"
+            (float_of_int base.Gpusim.Stats.cycles
+            /. float_of_int catt.Gpusim.Stats.cycles);
+          Gpu_util.Table.cell_pct (Gpusim.Stats.l1_hit_rate base);
+          Gpu_util.Table.cell_pct (Gpusim.Stats.l1_hit_rate catt);
+        ])
+    [ 1; 4; 8; 16; 32; 64; 256 ];
+  Gpu_util.Table.print table;
+  print_endline
+    "\nC_tid <= 1: perfectly coalesced, CATT keeps full TLP.\n\
+     C_tid >= 32: one line per lane per instruction; the footprint blows\n\
+     past the L1D and CATT throttles, recovering the intra-thread reuse."

@@ -1,0 +1,80 @@
+(** Occupancy explorer: how shared-memory and register usage bound
+    concurrency (the paper's Eqs. 1-4), and which L1D/shared carveout CATT
+    picks for each point.
+
+    Run with: dune exec examples/occupancy_explorer.exe *)
+
+let () =
+  let cfg = Gpusim.Config.volta ~num_sms:4 () in
+  Format.printf "%a@\n@\n" Gpusim.Config.pp cfg;
+
+  print_endline "Eq. 1-3 limits for a 256-thread TB as shared usage grows:";
+  let table =
+    Gpu_util.Table.create
+      [ "shared/TB"; "#TB_shm"; "#TB_reg"; "#TB_HW"; "#TB_SM (Eq.3)"; "carveout"; "L1D" ]
+  in
+  List.iter
+    (fun shared_kb ->
+      let shared_bytes = shared_kb * 1024 in
+      match
+        Catt.Occupancy.configure cfg ~tb_threads:256 ~num_regs:32 ~shared_bytes ()
+      with
+      | Error msg ->
+        Gpu_util.Table.add_row table
+          [ Printf.sprintf "%dKB" shared_kb; "-"; "-"; "-"; msg; "-"; "-" ]
+      | Ok occ ->
+        let limits =
+          Gpusim.Cta_scheduler.limits cfg ~tb_threads:256 ~num_regs:32
+            ~shared_bytes ~smem_carveout:occ.Catt.Occupancy.smem_carveout
+        in
+        let show n = if n > 1000 then "inf" else string_of_int n in
+        Gpu_util.Table.add_row table
+          [
+            Printf.sprintf "%dKB" shared_kb;
+            show limits.Gpusim.Cta_scheduler.by_shared;
+            show limits.Gpusim.Cta_scheduler.by_registers;
+            show limits.Gpusim.Cta_scheduler.by_warp_slots;
+            string_of_int occ.Catt.Occupancy.tbs_per_sm;
+            Printf.sprintf "%dKB" (occ.Catt.Occupancy.smem_carveout / 1024);
+            Printf.sprintf "%dKB" (occ.Catt.Occupancy.l1d_bytes / 1024);
+          ])
+    [ 0; 2; 4; 8; 16; 24; 48; 96 ];
+  Gpu_util.Table.print table;
+
+  print_endline "\nregister pressure at 0 shared (Eq. 2 becomes binding):";
+  let table2 = Gpu_util.Table.create [ "regs/thread"; "#TB_SM"; "warps/SM" ] in
+  List.iter
+    (fun regs ->
+      match Catt.Occupancy.configure cfg ~tb_threads:256 ~num_regs:regs ~shared_bytes:0 () with
+      | Error msg -> Gpu_util.Table.add_row table2 [ string_of_int regs; msg; "-" ]
+      | Ok occ ->
+        Gpu_util.Table.add_row table2
+          [
+            string_of_int regs;
+            string_of_int occ.Catt.Occupancy.tbs_per_sm;
+            string_of_int occ.Catt.Occupancy.concurrent_warps;
+          ])
+    [ 16; 32; 64; 128; 256 ];
+  Gpu_util.Table.print table2;
+
+  print_endline
+    "\nTB-level throttling plans (paper Fig. 5): dummy shared bytes that cap\n\
+     residency at a target, for a 256-thread TB with no static shared:";
+  let table3 = Gpu_util.Table.create [ "target TBs"; "carveout"; "dummy bytes"; "L1D left" ] in
+  List.iter
+    (fun target ->
+      match
+        Catt.Transform.plan_tb_throttle cfg ~tb_threads:256 ~num_regs:32
+          ~shared_bytes:0 ~target_tbs:target
+      with
+      | None -> Gpu_util.Table.add_row table3 [ string_of_int target; "-"; "infeasible"; "-" ]
+      | Some (carveout, dummy) ->
+        Gpu_util.Table.add_row table3
+          [
+            string_of_int target;
+            Printf.sprintf "%dKB" (carveout / 1024);
+            string_of_int dummy;
+            Printf.sprintf "%dKB" ((cfg.Gpusim.Config.onchip_bytes - carveout) / 1024);
+          ])
+    [ 7; 6; 4; 3; 2; 1 ];
+  Gpu_util.Table.print table3

@@ -1,0 +1,1 @@
+lib/catt/affine.ml: Format List Minicuda Printf String

@@ -1,0 +1,1 @@
+lib/catt/affine.mli: Format Minicuda

@@ -1,0 +1,1 @@
+lib/catt/analysis.ml: Affine Hashtbl List Minicuda

@@ -1,0 +1,1 @@
+lib/catt/analysis.mli: Affine Minicuda

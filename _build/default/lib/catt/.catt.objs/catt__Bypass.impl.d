@@ -1,0 +1,1 @@
+lib/catt/bypass.ml: Analysis Footprint Gpusim List

@@ -1,0 +1,1 @@
+lib/catt/bypass.mli: Analysis Gpusim Minicuda

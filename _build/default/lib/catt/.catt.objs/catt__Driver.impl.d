@@ -1,0 +1,1 @@
+lib/catt/driver.ml: Analysis Footprint Gpusim List Minicuda Occupancy Throttle Transform Unix

@@ -1,0 +1,1 @@
+lib/catt/driver.mli: Analysis Footprint Gpusim Minicuda Occupancy Throttle

@@ -1,0 +1,1 @@
+lib/catt/footprint.ml: Affine Analysis List

@@ -1,0 +1,1 @@
+lib/catt/footprint.mli: Affine Analysis

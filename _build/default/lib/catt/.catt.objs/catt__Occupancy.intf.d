@@ -1,0 +1,1 @@
+lib/catt/occupancy.mli: Gpusim

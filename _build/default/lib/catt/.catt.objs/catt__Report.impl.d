@@ -1,0 +1,1 @@
+lib/catt/report.ml: Affine Analysis Buffer Driver Footprint Gpusim List Minicuda Occupancy Printf Throttle

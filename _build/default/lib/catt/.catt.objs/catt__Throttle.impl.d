@@ -1,0 +1,1 @@
+lib/catt/throttle.ml: Footprint List

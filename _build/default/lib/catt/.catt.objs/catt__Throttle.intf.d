@@ -1,0 +1,1 @@
+lib/catt/throttle.mli: Footprint

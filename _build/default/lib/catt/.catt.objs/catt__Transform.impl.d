@@ -1,0 +1,1 @@
+lib/catt/transform.ml: Gpusim List Minicuda Printf

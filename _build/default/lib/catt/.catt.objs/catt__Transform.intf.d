@@ -1,0 +1,1 @@
+lib/catt/transform.mli: Gpusim Minicuda

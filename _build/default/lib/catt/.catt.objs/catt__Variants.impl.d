@@ -1,0 +1,1 @@
+lib/catt/variants.ml: Analysis Driver List Minicuda Printf Result

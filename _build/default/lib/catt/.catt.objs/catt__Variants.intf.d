@@ -1,0 +1,1 @@
+lib/catt/variants.mli: Analysis Driver Gpusim Minicuda

@@ -1,0 +1,35 @@
+(** Selective L1D bypassing — the alternative contention cure the paper's
+    Section 2.2 surveys (Xie et al., MRPB, …) and argues is weaker than
+    throttling: routing the divergent accesses around the L1D stops them
+    polluting it, but "cannot prevent loss of locality for threads or
+    instructions with cache locality that bypass the L1D".
+
+    This module picks the bypass set the way those schemes do: any global
+    array whose per-warp request count (Eq. 7) exceeds a divergence
+    threshold.  The ablation benches run workloads with this policy in
+    place of throttling to reproduce the paper's argument. *)
+
+let default_threshold = 8  (* lines per warp; >= threshold means divergent *)
+
+(** Arrays of [kernel] whose loop accesses are memory-divergent under
+    [geometry] — the set a bypassing compiler would route around the L1D. *)
+let divergent_arrays ?(threshold = default_threshold) (cfg : Gpusim.Config.t)
+    kernel geometry =
+  let reports = Analysis.analyze_kernel kernel geometry in
+  let line_bytes = cfg.Gpusim.Config.line_bytes in
+  let warp_size = cfg.Gpusim.Config.warp_size in
+  let block_x = geometry.Analysis.block_x in
+  List.sort_uniq compare
+    (List.concat_map
+       (fun (loop : Analysis.loop_report) ->
+         List.filter_map
+           (fun (a : Analysis.access) ->
+             let req =
+               Footprint.req_warp ~line_bytes ~warp_size ~block_x
+                 a.Analysis.index
+             in
+             if a.Analysis.is_load && req >= threshold then
+               Some a.Analysis.array
+             else None)
+           loop.Analysis.accesses)
+       reports)

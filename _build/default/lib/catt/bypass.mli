@@ -1,0 +1,16 @@
+(** Selective L1D bypassing — the alternative contention cure the paper's
+    Section 2.2 surveys and argues is weaker than throttling for accesses
+    that have their own reuse.  Used by the ablation harness. *)
+
+val default_threshold : int
+(** Lines per warp at or above which an access counts as divergent (8). *)
+
+val divergent_arrays :
+  ?threshold:int ->
+  Gpusim.Config.t ->
+  Minicuda.Ast.kernel ->
+  Analysis.geometry ->
+  string list
+(** The global arrays a bypassing compiler would route around the L1D:
+    those with a loop load whose Eq. 7 request count meets the threshold.
+    Sorted, duplicate-free. *)

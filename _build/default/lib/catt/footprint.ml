@@ -1,0 +1,69 @@
+type access_summary = {
+  access : Analysis.access;
+  req_warp : int;
+  has_reuse : bool;
+  irregular : bool;
+}
+
+type loop_footprint = {
+  loop : Analysis.loop_report;
+  summaries : access_summary list;
+  req_per_warp : int;
+  has_locality : bool;
+  any_irregular : bool;
+}
+
+let elem_bytes = 4
+
+let req_warp ~line_bytes ~warp_size ~block_x index =
+  match index with
+  | Affine.Unknown -> 1  (* Section 4.2: conservative for irregular *)
+  | Affine.Affine a ->
+    (* enumerate the addresses of warp 0 of block 0 at iteration 0; only
+       lane-to-lane distances matter, so this is representative of every
+       aligned warp *)
+    let lines = ref [] in
+    for lane = 0 to warp_size - 1 do
+      let idx = Affine.eval_lane a ~bdim_x:block_x ~lane ~base_linear_tid:0 in
+      let byte = idx * elem_bytes in
+      (* floor toward -inf so negative offsets don't merge spuriously *)
+      let line = if byte >= 0 then byte / line_bytes else ((byte + 1) / line_bytes) - 1 in
+      if not (List.mem line !lines) then lines := line :: !lines
+    done;
+    List.length !lines
+
+let has_reuse ~line_bytes (access : Analysis.access) =
+  match access.Analysis.index with
+  | Affine.Unknown -> false
+  | Affine.Affine a ->
+    let coeff =
+      match access.Analysis.innermost_iter with
+      | None -> 0  (* no enclosing iterator: address invariant in the loop *)
+      | Some it -> Affine.coeff_of_iter a it
+    in
+    abs coeff * elem_bytes <= line_bytes
+
+let of_loop ~line_bytes ~warp_size ~block_x (loop : Analysis.loop_report) =
+  let summaries =
+    List.map
+      (fun (access : Analysis.access) ->
+        {
+          access;
+          req_warp = req_warp ~line_bytes ~warp_size ~block_x access.Analysis.index;
+          has_reuse = has_reuse ~line_bytes access;
+          irregular = access.Analysis.index = Affine.Unknown;
+        })
+      loop.Analysis.accesses
+  in
+  {
+    loop;
+    summaries;
+    req_per_warp = List.fold_left (fun acc s -> acc + s.req_warp) 0 summaries;
+    has_locality = List.exists (fun s -> s.has_reuse) summaries;
+    any_irregular = List.exists (fun s -> s.irregular) summaries;
+  }
+
+let size_req_lines fp ~concurrent_warps = fp.req_per_warp * concurrent_warps
+
+let size_req_bytes ~line_bytes fp ~concurrent_warps =
+  size_req_lines fp ~concurrent_warps * line_bytes

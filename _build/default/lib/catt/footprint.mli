@@ -1,0 +1,43 @@
+(** L1D footprint estimation — the paper's Eqs. 6, 7 and 8.
+
+    For every access collected by {!Analysis}, [req_warp] counts the cache
+    lines one warp's execution of the instruction touches.  Regular
+    accesses are counted exactly by enumerating the 32 lane addresses
+    (which reduces to Eq. 7's [min(C_tid, warp_size)] for 1-D thread
+    blocks and handles multidimensional TBs the way the paper's Section 4.2
+    fallback does); irregular accesses use the conservative [C_tid = 1]. *)
+
+type access_summary = {
+  access : Analysis.access;
+  req_warp : int;  (** Eq. 7: lines requested by one warp *)
+  has_reuse : bool;  (** Eq. 6: the fetched line is re-accessed next iteration *)
+  irregular : bool;
+}
+
+type loop_footprint = {
+  loop : Analysis.loop_report;
+  summaries : access_summary list;
+  req_per_warp : int;  (** Σ over off-chip instructions of [req_warp] *)
+  has_locality : bool;  (** some access has cross-iteration reuse *)
+  any_irregular : bool;
+}
+
+val req_warp :
+  line_bytes:int -> warp_size:int -> block_x:int -> Affine.value -> int
+(** Lines per warp for one access (Eq. 7; exact lane enumeration). *)
+
+val has_reuse : line_bytes:int -> Analysis.access -> bool
+(** Eq. 6 on the access's innermost enclosing iterator. *)
+
+val of_loop :
+  line_bytes:int ->
+  warp_size:int ->
+  block_x:int ->
+  Analysis.loop_report ->
+  loop_footprint
+
+val size_req_lines : loop_footprint -> concurrent_warps:int -> int
+(** Eq. 8: lines touched by all concurrently active warps on an SM. *)
+
+val size_req_bytes :
+  line_bytes:int -> loop_footprint -> concurrent_warps:int -> int

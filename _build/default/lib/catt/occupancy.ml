@@ -1,0 +1,53 @@
+type t = {
+  smem_carveout : int;
+  l1d_bytes : int;
+  tbs_per_sm : int;
+  warps_per_tb : int;
+  concurrent_warps : int;
+}
+
+let configure (cfg : Gpusim.Config.t) ?grid_tbs ~tb_threads ~num_regs
+    ~shared_bytes () =
+  let options = List.sort compare cfg.Gpusim.Config.smem_carveout_options in
+  let largest = List.fold_left max 0 options in
+  if shared_bytes > largest then
+    Error
+      (Printf.sprintf "static shared usage %dB exceeds the largest carveout %dB"
+         shared_bytes largest)
+  else begin
+    let grid_cap =
+      match grid_tbs with
+      | None -> max_int / 2
+      | Some total ->
+        (total + cfg.Gpusim.Config.num_sms - 1) / cfg.Gpusim.Config.num_sms
+    in
+    let tbs_at carveout =
+      min grid_cap
+        (Gpusim.Cta_scheduler.max_tbs_per_sm cfg ~tb_threads ~num_regs
+           ~shared_bytes ~smem_carveout:carveout)
+    in
+    (* Eq. 3 at the most generous carveout gives the kernel's concurrency
+       ceiling; Eq. 4 then sizes the carveout to just sustain it. *)
+    let best_tbs = tbs_at largest in
+    if best_tbs <= 0 then Error "zero occupancy: a single TB exceeds SM resources"
+    else begin
+      let need = shared_bytes * best_tbs in
+      (* smallest configurable option ≥ need that indeed sustains best_tbs
+         (always true by monotonicity, but recompute for safety) *)
+      let carveout =
+        match List.find_opt (fun o -> o >= need && tbs_at o >= best_tbs) options with
+        | Some c -> c
+        | None -> largest
+      in
+      let tbs = tbs_at carveout in
+      let warps_per_tb = Gpusim.Cta_scheduler.warps_per_tb cfg ~tb_threads in
+      Ok
+        {
+          smem_carveout = carveout;
+          l1d_bytes = Gpusim.Config.l1d_bytes cfg ~smem_carveout:carveout;
+          tbs_per_sm = tbs;
+          warps_per_tb;
+          concurrent_warps = tbs * warps_per_tb;
+        }
+    end
+  end

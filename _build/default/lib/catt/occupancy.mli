@@ -1,0 +1,27 @@
+(** L1D / shared-memory configuration — the paper's Section 4.1.
+
+    Given a kernel's resource demands, choose the smallest shared-memory
+    carveout that sustains the maximum concurrency (Eqs. 1–4), leaving as
+    much on-chip memory as possible to the L1D. *)
+
+type t = {
+  smem_carveout : int;  (** bytes given to shared memory *)
+  l1d_bytes : int;  (** remainder, the capacity Eq. 9 targets *)
+  tbs_per_sm : int;  (** Eq. 3 under the chosen carveout *)
+  warps_per_tb : int;
+  concurrent_warps : int;  (** [tbs_per_sm * warps_per_tb], Eq. 8's factor *)
+}
+
+val configure :
+  Gpusim.Config.t ->
+  ?grid_tbs:int ->
+  tb_threads:int ->
+  num_regs:int ->
+  shared_bytes:int ->
+  unit ->
+  (t, string) result
+(** [Error] when the kernel's static shared usage exceeds every carveout
+    option or occupancy is zero.  [grid_tbs], when given, additionally caps
+    residency at [ceil (grid_tbs / num_sms)] — a launch too small to fill
+    the device cannot put more TBs on an SM than the grid provides, which
+    is what determines the paper's per-kernel baselines in Table 3. *)

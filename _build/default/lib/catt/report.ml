@@ -1,0 +1,79 @@
+(** Human-readable dumps of a CATT analysis — what the [catt] CLI prints. *)
+
+let access_line (s : Footprint.access_summary) =
+  let a = s.Footprint.access in
+  let index =
+    match a.Analysis.index with
+    | Affine.Affine aff -> Affine.to_string aff
+    | Affine.Unknown -> "<irregular>"
+  in
+  let kind =
+    match (a.Analysis.is_load, a.Analysis.is_store) with
+    | true, true -> "ld/st"
+    | true, false -> "ld"
+    | false, true -> "st"
+    | false, false -> "?"
+  in
+  Printf.sprintf "    %-5s %s[%s]  req/warp=%d  reuse=%b" kind
+    a.Analysis.array index s.Footprint.req_warp s.Footprint.has_reuse
+
+let loop_block (cfg : Gpusim.Config.t) (occ : Occupancy.t)
+    (l : Driver.loop_decision) =
+  let fp = l.Driver.footprint in
+  let d = l.Driver.decision in
+  let loop = fp.Footprint.loop in
+  let full_warps = occ.Occupancy.concurrent_warps in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "  loop %d (iterator %s):\n" loop.Analysis.loop_id
+       loop.Analysis.loop_var);
+  List.iter
+    (fun s -> Buffer.add_string buf (access_line s ^ "\n"))
+    fp.Footprint.summaries;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    footprint: %d lines/warp x %d warps = %d KB (L1D %d KB)\n"
+       fp.Footprint.req_per_warp full_warps
+       (Footprint.size_req_bytes ~line_bytes:cfg.Gpusim.Config.line_bytes fp
+          ~concurrent_warps:full_warps
+       / 1024)
+       (occ.Occupancy.l1d_bytes / 1024));
+  let verdict =
+    if not d.Throttle.resolved then
+      "unresolvable: thrashes even at minimum TLP; left untouched"
+    else if not d.Throttle.throttled then "fits: no throttling"
+    else
+      Printf.sprintf "throttle to N=%d, M=%d -> TLP (%d, %d)" d.Throttle.n
+        d.Throttle.m d.Throttle.active_warps_per_tb d.Throttle.active_tbs
+  in
+  Buffer.add_string buf ("    decision: " ^ verdict ^ "\n");
+  Buffer.contents buf
+
+let to_string (cfg : Gpusim.Config.t) (t : Driver.t) =
+  let occ = t.Driver.occupancy in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "kernel %s  grid (%d,%d) block (%d,%d)\n"
+       t.Driver.kernel.Minicuda.Ast.kernel_name t.Driver.geometry.Analysis.grid_x
+       t.Driver.geometry.Analysis.grid_y t.Driver.geometry.Analysis.block_x
+       t.Driver.geometry.Analysis.block_y);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  occupancy: %d warps/TB x %d TBs/SM, carveout %d KB -> L1D %d KB\n"
+       occ.Occupancy.warps_per_tb occ.Occupancy.tbs_per_sm
+       (occ.Occupancy.smem_carveout / 1024)
+       (occ.Occupancy.l1d_bytes / 1024));
+  List.iter (fun l -> Buffer.add_string buf (loop_block cfg occ l)) t.Driver.loops;
+  (match t.Driver.tb_throttle_plan with
+  | Some (carveout, dummy) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  TB throttle: +%d B dummy shared, carveout %d KB (L1D %d KB)\n"
+         dummy (carveout / 1024)
+         ((cfg.Gpusim.Config.onchip_bytes - carveout) / 1024))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "  analysis time: %.1f ms\n" (t.Driver.analysis_seconds *. 1000.));
+  Buffer.contents buf
+
+let print cfg t = print_string (to_string cfg t)

@@ -1,0 +1,71 @@
+type decision = {
+  n : int;
+  m : int;
+  resolved : bool;
+  throttled : bool;
+  active_warps_per_tb : int;
+  active_tbs : int;
+}
+
+let no_throttle ~warps_per_tb ~tbs =
+  {
+    n = 1;
+    m = 0;
+    resolved = true;
+    throttled = false;
+    active_warps_per_tb = warps_per_tb;
+    active_tbs = tbs;
+  }
+
+let divisors n =
+  let rec collect d acc =
+    if d > n then List.rev acc
+    else collect (d + 1) (if n mod d = 0 then d :: acc else acc)
+  in
+  collect 1 []
+
+let decide ~line_bytes ~l1d_bytes ~warps_per_tb ~tbs fp =
+  let fits ~warps =
+    Footprint.size_req_bytes ~line_bytes fp ~concurrent_warps:warps <= l1d_bytes
+  in
+  if (not fp.Footprint.has_locality) || fits ~warps:(warps_per_tb * tbs) then
+    no_throttle ~warps_per_tb ~tbs
+  else begin
+    (* phase 1: warp-level (Fig. 4) — n over divisors, smallest first *)
+    let candidate_n =
+      List.find_opt
+        (fun n -> n > 1 && fits ~warps:(warps_per_tb / n * tbs))
+        (divisors warps_per_tb)
+    in
+    match candidate_n with
+    | Some n ->
+      {
+        n;
+        m = 0;
+        resolved = true;
+        throttled = true;
+        active_warps_per_tb = warps_per_tb / n;
+        active_tbs = tbs;
+      }
+    | None ->
+      (* phase 2: TB-level (Fig. 5) on top of maximal warp splitting *)
+      let n = warps_per_tb in
+      let rec search m =
+        if m > tbs - 1 then None
+        else if fits ~warps:(tbs - m) then Some m
+        else search (m + 1)
+      in
+      (match search 1 with
+      | Some m ->
+        {
+          n;
+          m;
+          resolved = true;
+          throttled = true;
+          active_warps_per_tb = 1;
+          active_tbs = tbs - m;
+        }
+      | None ->
+        (* even one warp thrashes: leave the kernel alone (CORR) *)
+        { (no_throttle ~warps_per_tb ~tbs) with resolved = false })
+  end

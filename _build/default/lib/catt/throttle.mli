@@ -1,0 +1,33 @@
+(** Thread-throttling factor search — the paper's Eq. 9.
+
+    Starting from the kernel's natural concurrency [(warps_per_tb, tbs)],
+    first split the warps of a TB into [n] sequential groups (n ranges over
+    the divisors of [warps_per_tb], smallest first, so groups stay even);
+    if even one warp per TB still overflows the L1D, additionally reduce
+    the number of concurrent TBs by [m].  A loop whose footprint cannot fit
+    even at one warp total is left untouched ([resolved = false]) — the
+    paper's CORR case. *)
+
+type decision = {
+  n : int;  (** warp split factor; 1 = no warp-level throttling *)
+  m : int;  (** concurrent-TB reduction; 0 = no TB-level throttling *)
+  resolved : bool;
+  throttled : bool;
+  active_warps_per_tb : int;
+  active_tbs : int;
+}
+
+val no_throttle : warps_per_tb:int -> tbs:int -> decision
+
+val decide :
+  line_bytes:int ->
+  l1d_bytes:int ->
+  warps_per_tb:int ->
+  tbs:int ->
+  Footprint.loop_footprint ->
+  decision
+(** Loops without cross-iteration locality, or whose footprint already
+    fits, get {!no_throttle}. *)
+
+val divisors : int -> int list
+(** Ascending proper+trivial divisors, e.g. [divisors 8 = \[1;2;4;8\]]. *)

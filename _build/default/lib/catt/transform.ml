@@ -1,0 +1,160 @@
+module Ast = Minicuda.Ast
+
+let dummy_array_name = "catt_throttle_pad"
+
+(* (threadIdx.y * blockDim.x + threadIdx.x) / warp_size, or the paper's
+   simpler threadIdx.x / WS when the block is one-dimensional *)
+let warp_id_expr ~warp_size ~one_dim_block =
+  let lin =
+    if one_dim_block then Ast.Builtin Ast.Thread_idx_x
+    else
+      Ast.Binop
+        ( Ast.Add,
+          Ast.Binop
+            ( Ast.Mul,
+              Ast.Builtin Ast.Thread_idx_y,
+              Ast.Builtin Ast.Block_dim_x ),
+          Ast.Builtin Ast.Thread_idx_x )
+  in
+  Ast.Binop (Ast.Div, lin, Ast.Int_lit warp_size)
+
+let guarded_copy ~warp_size ~one_dim_block ~group_size ~group stmt =
+  let wid = warp_id_expr ~warp_size ~one_dim_block in
+  let lo = group * group_size and hi = (group + 1) * group_size in
+  let cond =
+    Ast.Binop
+      ( Ast.And,
+        Ast.Binop (Ast.Ge, wid, Ast.Int_lit lo),
+        Ast.Binop (Ast.Lt, wid, Ast.Int_lit hi) )
+  in
+  [ Ast.If (cond, [ stmt ], []); Ast.Syncthreads ]
+
+(* A loop whose body reaches a barrier cannot be split into warp-group
+   phases: the groups would rendezvous at different barrier sites, which is
+   undefined on real hardware and wrong in any model. *)
+let contains_barrier stmt =
+  Ast.fold_stmt (fun acc s -> acc || s = Ast.Syncthreads) false stmt
+
+let split_loop ~n ~warps_per_tb ~warp_size ~one_dim_block stmt =
+  if warps_per_tb mod n <> 0 then
+    invalid_arg "Transform.warp_throttle: n must divide warps_per_tb";
+  if contains_barrier stmt then [ stmt ]
+  else
+    let group_size = warps_per_tb / n in
+    List.concat
+      (List.init n (fun group ->
+           guarded_copy ~warp_size ~one_dim_block ~group_size ~group stmt))
+
+(* Walk the kernel body, numbering top-level loops in pre-order exactly as
+   Analysis does, and replace each loop listed in [plan] by its split
+   copies.  All loops are rewritten in one pass: splitting loop 0 inserts
+   new top-level loops, so per-loop ids are only meaningful against the
+   ORIGINAL kernel. *)
+let warp_throttle_plan (k : Ast.kernel) ~plan ~warps_per_tb ~warp_size
+    ~one_dim_block =
+  let counter = ref 0 in
+  let seen = ref [] in
+  let rec rewrite_block (b : Ast.block) : Ast.block =
+    List.concat_map rewrite_stmt b
+  and rewrite_stmt (s : Ast.stmt) : Ast.stmt list =
+    match s with
+    | Ast.For _ | Ast.While _ -> (
+      let id = !counter in
+      incr counter;
+      seen := id :: !seen;
+      match List.assoc_opt id plan with
+      | Some n when n > 1 ->
+        split_loop ~n ~warps_per_tb ~warp_size ~one_dim_block s
+      | _ -> [ s ])
+    | Ast.If (cond, then_b, else_b) ->
+      [ Ast.If (cond, rewrite_block then_b, rewrite_block else_b) ]
+    | Ast.Block body -> [ Ast.Block (rewrite_block body) ]
+    | other -> [ other ]
+  in
+  let body = rewrite_block k.Ast.body in
+  List.iter
+    (fun (loop_id, _) ->
+      if not (List.mem loop_id !seen) then
+        invalid_arg
+          (Printf.sprintf "Transform.warp_throttle: kernel %s has no loop %d"
+             k.Ast.kernel_name loop_id))
+    plan;
+  { k with Ast.body }
+
+let warp_throttle k ~loop_id ~n ~warps_per_tb ~warp_size ~one_dim_block =
+  warp_throttle_plan k ~plan:[ (loop_id, n) ] ~warps_per_tb ~warp_size
+    ~one_dim_block
+
+let count_top_loops (k : Ast.kernel) =
+  let rec count_block acc (b : Ast.block) = List.fold_left count_stmt acc b
+  and count_stmt acc (s : Ast.stmt) =
+    match s with
+    | Ast.For _ | Ast.While _ -> acc + 1
+    | Ast.If (_, then_b, else_b) -> count_block (count_block acc then_b) else_b
+    | Ast.Block body -> count_block acc body
+    | _ -> acc
+  in
+  count_block 0 k.Ast.body
+
+(* One pass splitting every top-level loop — the uniform whole-kernel
+   throttling that the BFTT baseline applies. *)
+let warp_throttle_all (k : Ast.kernel) ~n ~warps_per_tb ~warp_size
+    ~one_dim_block =
+  let rec rewrite_block (b : Ast.block) : Ast.block =
+    List.concat_map rewrite_stmt b
+  and rewrite_stmt (s : Ast.stmt) : Ast.stmt list =
+    match s with
+    | Ast.For _ | Ast.While _ ->
+      split_loop ~n ~warps_per_tb ~warp_size ~one_dim_block s
+    | Ast.If (cond, then_b, else_b) ->
+      [ Ast.If (cond, rewrite_block then_b, rewrite_block else_b) ]
+    | Ast.Block body -> [ Ast.Block (rewrite_block body) ]
+    | other -> [ other ]
+  in
+  { k with Ast.body = rewrite_block k.Ast.body }
+
+let tb_throttle (k : Ast.kernel) ~dummy_elems =
+  if dummy_elems <= 0 then
+    invalid_arg "Transform.tb_throttle: dummy_elems must be positive";
+  let decl = Ast.Shared_decl (Ast.Float, dummy_array_name, dummy_elems) in
+  (* one store keeps the allocation observable; all threads hit the same
+     address, a single broadcastable shared transaction *)
+  let keep_alive =
+    Ast.Assign (Ast.Larr (dummy_array_name, Ast.Int_lit 0), Ast.Assign_eq, Ast.Float_lit 0.)
+  in
+  { k with Ast.body = decl :: keep_alive :: k.Ast.body }
+
+let plan_tb_throttle (cfg : Gpusim.Config.t) ~tb_threads ~num_regs
+    ~shared_bytes ~target_tbs =
+  if target_tbs <= 0 then None
+  else begin
+    let options = List.sort compare cfg.Gpusim.Config.smem_carveout_options in
+    let tbs_with ~carveout ~per_tb =
+      Gpusim.Cta_scheduler.max_tbs_per_sm cfg ~tb_threads ~num_regs
+        ~shared_bytes:per_tb ~smem_carveout:carveout
+    in
+    let try_carveout carveout =
+      if carveout < shared_bytes + 4 then None
+      else begin
+        (* per-TB usage that yields exactly target_tbs under this carveout *)
+        let rec adjust per_tb =
+          if per_tb > carveout then None
+          else begin
+            let tbs = tbs_with ~carveout ~per_tb in
+            if tbs = target_tbs then Some per_tb
+            else if tbs > target_tbs then adjust (per_tb + 4)
+            else None  (* overshot: another resource caps below the target *)
+          end
+        in
+        match adjust (max (carveout / target_tbs) (shared_bytes + 4)) with
+        | Some per_tb when per_tb > shared_bytes ->
+          Some (carveout, per_tb - shared_bytes)
+        | _ -> None
+      end
+    in
+    (* smallest carveout wins: it leaves the most L1D *)
+    List.fold_left
+      (fun acc carveout ->
+        match acc with Some _ -> acc | None -> try_carveout carveout)
+      None options
+  end

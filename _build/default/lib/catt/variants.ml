@@ -1,0 +1,94 @@
+module Ast = Minicuda.Ast
+
+type variant = {
+  geometries : Analysis.geometry list;
+  analysis : Driver.t;
+  kernel : Ast.kernel;
+}
+
+type t = {
+  original : Ast.kernel;
+  variants : variant list;
+}
+
+let specialize cfg (kernel : Ast.kernel) ~geometries =
+  if geometries = [] then Error "Variants.specialize: no candidate geometries"
+  else begin
+    let analyses =
+      List.map (fun g -> (g, Driver.analyze cfg kernel g)) geometries
+    in
+    match
+      List.find_opt (fun (_, r) -> Result.is_error r) analyses
+    with
+    | Some (_, Error msg) -> Error msg
+    | Some (_, Ok _) -> assert false
+    | None ->
+      let analyses =
+        List.map
+          (fun (g, r) -> match r with Ok t -> (g, t) | Error _ -> assert false)
+          analyses
+      in
+      (* merge geometries that lead to the same transformed code *)
+      let groups : (Ast.kernel * (Analysis.geometry * Driver.t) list ref) list ref =
+        ref []
+      in
+      List.iter
+        (fun (g, t) ->
+          let key = t.Driver.transformed in
+          match
+            List.find_opt (fun (k, _) -> Ast.equal_kernel k key) !groups
+          with
+          | Some (_, members) -> members := (g, t) :: !members
+          | None -> groups := !groups @ [ (key, ref [ (g, t) ]) ])
+        analyses;
+      let variants =
+        List.mapi
+          (fun i (transformed, members) ->
+            let members = List.rev !members in
+            let _, representative = List.hd members in
+            {
+              geometries = List.map fst members;
+              analysis = representative;
+              kernel =
+                {
+                  transformed with
+                  Ast.kernel_name =
+                    Printf.sprintf "%s__catt_v%d" kernel.Ast.kernel_name i;
+                };
+            })
+          !groups
+      in
+      Ok { original = kernel; variants }
+  end
+
+let select t (geometry : Analysis.geometry) =
+  match
+    List.find_opt
+      (fun v -> List.mem geometry v.geometries)
+      t.variants
+  with
+  | Some v -> v
+  | None ->
+    (* nearest-concurrency fallback for an unanticipated launch *)
+    let wanted =
+      let tb = geometry.Analysis.block_x * geometry.Analysis.block_y in
+      let grid = geometry.Analysis.grid_x * geometry.Analysis.grid_y in
+      tb * grid
+    in
+    let distance v =
+      let g = List.hd v.geometries in
+      let have =
+        g.Analysis.block_x * g.Analysis.block_y * g.Analysis.grid_x
+        * g.Analysis.grid_y
+      in
+      abs (have - wanted)
+    in
+    (match t.variants with
+    | [] -> invalid_arg "Variants.select: empty variant table"
+    | first :: rest ->
+      List.fold_left
+        (fun best v -> if distance v < distance best then v else best)
+        first rest)
+
+let program_of t =
+  { Ast.defines = []; kernels = List.map (fun v -> v.kernel) t.variants }

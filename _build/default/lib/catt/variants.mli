@@ -1,0 +1,41 @@
+(** Kernel specialization for launch parameters unknown at compile time.
+
+    The paper's Section 4.3 (last paragraph): when grid/block sizes are
+    only known at run time, "the modified kernel function is duplicated
+    with different thread throttling factors [and] selectively invoked
+    according to the dynamically determined values."  This module builds
+    that duplication: one {!Driver.t} per candidate geometry, deduplicated
+    by the decision they lead to, plus the run-time selector. *)
+
+type variant = {
+  geometries : Analysis.geometry list;
+      (** every candidate geometry this variant serves *)
+  analysis : Driver.t;
+  kernel : Minicuda.Ast.kernel;
+      (** the transformed kernel, renamed with a [__catt_vN] suffix so the
+          duplicates can coexist in one translation unit *)
+}
+
+type t = {
+  original : Minicuda.Ast.kernel;
+  variants : variant list;  (** at least one; in first-geometry order *)
+}
+
+val specialize :
+  Gpusim.Config.t ->
+  Minicuda.Ast.kernel ->
+  geometries:Analysis.geometry list ->
+  (t, string) result
+(** Analyzes the kernel under every candidate geometry; geometries whose
+    decisions produce identical transformed code share one variant.
+    [Error] if the list is empty or some geometry cannot be configured. *)
+
+val select : t -> Analysis.geometry -> variant
+(** Run-time dispatch: the variant whose geometry class contains the
+    launch's actual geometry.  Falls back to a fresh analysis-free match on
+    the nearest concurrency if the exact geometry was not anticipated —
+    i.e. the variant whose baseline concurrent-warp count is closest. *)
+
+val program_of : t -> Minicuda.Ast.program
+(** All variants as one translation unit — what the source-to-source
+    compiler would emit next to the host-side dispatch table. *)

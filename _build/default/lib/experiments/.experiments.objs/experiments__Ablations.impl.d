@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Catt Configs Gpu_util Gpusim List Printf Runner Workloads

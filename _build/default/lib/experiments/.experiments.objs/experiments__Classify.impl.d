@@ -1,0 +1,1 @@
+lib/experiments/classify.ml: Configs Gpu_util Gpusim List Printf Runner Workloads

@@ -1,0 +1,1 @@
+lib/experiments/configs.ml: Gpusim Printf

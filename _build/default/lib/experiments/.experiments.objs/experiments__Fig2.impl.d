@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Buffer Configs Gpu_util Gpusim List Printf Runner Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Buffer Configs Gpu_util Gpusim List Printf Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Buffer Catt Configs Gpu_util Gpusim List Printf Runner Workloads

@@ -1,0 +1,1 @@
+lib/experiments/overhead.ml: Catt Configs Gpu_util List Minicuda Printf Unix Workloads

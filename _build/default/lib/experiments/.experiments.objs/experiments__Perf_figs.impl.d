@@ -1,0 +1,1 @@
+lib/experiments/perf_figs.ml: Array Configs Gpu_util Gpusim List Printf Runner Workloads

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Ablations Classify Fig2 Fig3 Fig9 List Overhead Perf_figs Printf String Table3

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Catt Gpu_util Gpusim Hashtbl List Printf Workloads

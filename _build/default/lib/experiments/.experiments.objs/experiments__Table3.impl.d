@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Catt Configs Gpu_util List Printf Runner Workloads

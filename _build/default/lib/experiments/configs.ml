@@ -1,0 +1,18 @@
+(** Device configurations for the two evaluation settings.
+
+    The paper evaluates on a Titan V with the L1D at its maximum (up to
+    128 KB) and at 32 KB (Fig. 10, "previous-generation" setting).  Our
+    scaled device keeps the same line size and associativity with a
+    quarter-size on-chip memory, so "max L1D" is 32 KB here; the reduced
+    setting halves it to 16 KB — half rather than a quarter because a
+    4 KB-per-warp divergent loop (32 lines) must still be resolvable by
+    throttling to one warp, as it is in the paper's 32 KB setting. *)
+
+let num_sms = 4
+
+let max_l1d () = Gpusim.Config.scaled ~num_sms ~onchip_bytes:(32 * 1024) ()
+
+let small_l1d () = Gpusim.Config.scaled ~num_sms ~onchip_bytes:(16 * 1024) ()
+
+let label cfg =
+  Printf.sprintf "%dKB-L1D" (cfg.Gpusim.Config.onchip_bytes / 1024)

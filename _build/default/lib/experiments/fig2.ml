@@ -1,0 +1,50 @@
+(** Paper Fig. 2: post-coalescing off-chip requests per memory instruction
+    over time, for the CS applications at baseline TLP.  High plateaus are
+    memory-divergent phases (up to 32 requests per instruction), low ones
+    are coalesced — the phase changes are what per-loop throttling exploits. *)
+
+let series cfg (w : Workloads.Workload.t) =
+  let run = Runner.run ~trace:true cfg w Runner.Baseline in
+  List.filter_map
+    (fun (ks : Runner.kernel_stats) ->
+      match ks.Runner.trace with
+      | Some t when Gpusim.Trace.length t > 0 ->
+        Some (ks.Runner.kernel_name, Gpusim.Trace.request_series t)
+      | _ -> None)
+    run.Runner.kernels
+
+let render () =
+  let cfg = Configs.max_l1d () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Figure 2: off-chip memory requests per instruction over time (SM 0, \
+     baseline)\n";
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let all = series cfg w in
+      (* concatenate kernels in launch order, as the paper's time axis does *)
+      let combined = Array.concat (List.map snd all) in
+      if Array.length combined > 0 then begin
+        let mean = Gpu_util.Stats.mean combined in
+        let peak = Gpu_util.Stats.maximum combined in
+        Buffer.add_string buf
+          (Printf.sprintf "\n%s (%d off-chip instructions, mean %.1f, peak %.0f \
+                           req/inst)\n"
+             w.Workloads.Workload.name (Array.length combined) mean peak);
+        Buffer.add_string buf (Gpu_util.Ascii_plot.series ~height:8 combined);
+        Buffer.add_char buf '\n';
+        let downsample s width =
+          let n = Array.length s in
+          let width = min width n in
+          Array.init width (fun i -> s.(i * n / width))
+        in
+        List.iter
+          (fun (kernel, s) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-18s mean %5.1f  %s\n" kernel
+                 (Gpu_util.Stats.mean s)
+                 (Gpu_util.Ascii_plot.sparkline (downsample s 60))))
+          all
+      end)
+    Workloads.Registry.cs;
+  Buffer.contents buf

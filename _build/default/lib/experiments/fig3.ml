@@ -1,0 +1,64 @@
+(** Paper Fig. 3: execution time of the L1D-full-with-{4,8,16}-warps
+    microbenchmarks across TLP levels.  Each curve should be U-shaped with
+    its minimum where the resident warps' footprints exactly fill the L1D:
+    fewer warps under-utilize the machine, more warps thrash the cache. *)
+
+type point = { warps : int; cycles : int }
+
+type curve = { label : string; fill_warps : int; points : point list }
+
+let tlp_levels = [ 1; 2; 4; 8; 16; 32 ]
+
+let measure cfg ~fill_warps ~reps =
+  let variant =
+    Workloads.Microbench.variant
+      ~l1d_bytes:(Gpusim.Config.l1d_bytes cfg ~smem_carveout:0)
+      ~line_bytes:cfg.Gpusim.Config.line_bytes
+      ~warp_size:cfg.Gpusim.Config.warp_size ~fill_warps ~reps
+  in
+  let points =
+    List.map
+      (fun warps ->
+        let stats = Workloads.Microbench.run cfg variant ~warps in
+        { warps; cycles = stats.Gpusim.Stats.cycles })
+      tlp_levels
+  in
+  { label = variant.Workloads.Microbench.label; fill_warps; points }
+
+let curves ?(reps = 16) cfg =
+  List.map (fun fw -> measure cfg ~fill_warps:fw ~reps) [ 4; 8; 16 ]
+
+let best_point c =
+  List.fold_left
+    (fun acc p -> match acc with
+      | Some b when b.cycles <= p.cycles -> acc
+      | _ -> Some p)
+    None c.points
+
+let render () =
+  let cfg = Configs.max_l1d () in
+  let cs = curves cfg in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 3: TLP vs execution time, L1D-filling microbenchmarks\n";
+  Buffer.add_string buf
+    "(normalized to each curve's best point; minimum should sit at the \
+     curve's fill warp count)\n\n";
+  List.iter
+    (fun c ->
+      let best =
+        match best_point c with Some p -> float_of_int p.cycles | None -> 1.
+      in
+      Buffer.add_string buf (c.label ^ "\n");
+      Buffer.add_string buf
+        (Gpu_util.Ascii_plot.bar_chart ~unit_label:"x"
+           (List.map
+              (fun p ->
+                ( Printf.sprintf "%2d warps%s" p.warps
+                    (if p.warps = c.fill_warps then " *" else ""),
+                  float_of_int p.cycles /. best ))
+              c.points));
+      Buffer.add_char buf '\n';
+      Buffer.add_char buf '\n')
+    cs;
+  Buffer.contents buf

@@ -1,0 +1,101 @@
+(** Paper Fig. 9: normalized execution time of every CS kernel across the
+    full range of throttling factors (max TLP → min TLP), with the factor
+    CATT selected marked by a star.  Checks the accuracy of the static
+    analysis: for regular kernels the star should sit at (or next to) the
+    minimum. *)
+
+type kernel_curve = {
+  app : string;
+  kernel : string;
+  factors : ((int * int) * float) list;  (** (n, m) → normalized time *)
+  catt_pick : int * int;  (** the (n, m) CATT's decision corresponds to *)
+  star_is_best : bool;
+  star_within : float;  (** star time / best time *)
+}
+
+(* map CATT's per-kernel decision back onto the sweep's (n, m) axis *)
+let catt_factor cfg (w : Workloads.Workload.t) kernel_name =
+  let run = Runner.run cfg w Runner.Catt in
+  match List.assoc_opt kernel_name run.Runner.catt_analyses with
+  | None -> (1, 0)
+  | Some t ->
+    List.fold_left
+      (fun (n_acc, m_acc) (l : Catt.Driver.loop_decision) ->
+        let d = l.Catt.Driver.decision in
+        if d.Catt.Throttle.throttled then (max n_acc d.Catt.Throttle.n, max m_acc d.Catt.Throttle.m)
+        else (n_acc, m_acc))
+      (1, 0) t.Catt.Driver.loops
+
+let kernel_cycles (r : Runner.app_run) kernel_name =
+  match
+    List.find_opt
+      (fun (ks : Runner.kernel_stats) -> ks.Runner.kernel_name = kernel_name)
+      r.Runner.kernels
+  with
+  | Some ks -> float_of_int ks.Runner.stats.Gpusim.Stats.cycles
+  | None -> nan
+
+let curves cfg (w : Workloads.Workload.t) =
+  let sweep = Runner.sweep cfg w in
+  let base =
+    match sweep with
+    | ((1, 0), r) :: _ -> r
+    | _ -> Runner.run cfg w Runner.Baseline
+  in
+  List.map
+    (fun (kernel_name, _) ->
+      let base_cycles = kernel_cycles base kernel_name in
+      let factors =
+        List.map
+          (fun (f, r) -> (f, kernel_cycles r kernel_name /. base_cycles))
+          sweep
+      in
+      let pick = catt_factor cfg w kernel_name in
+      (* the star: the sweep point matching CATT's factor (clamped like the
+         runner clamps) — fall back to baseline when CATT didn't throttle *)
+      let star_time =
+        match List.assoc_opt pick factors with
+        | Some t -> t
+        | None -> 1.
+      in
+      let best = List.fold_left (fun acc (_, t) -> min acc t) infinity factors in
+      {
+        app = w.Workloads.Workload.name;
+        kernel = kernel_name;
+        factors;
+        catt_pick = pick;
+        star_is_best = star_time <= best +. 1e-9;
+        star_within = star_time /. best;
+      })
+    (Workloads.Workload.kernels w)
+
+let render () =
+  let cfg = Configs.max_l1d () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Figure 9: normalized execution time across throttling factors (CS \
+     kernels)\n(star * = the factor CATT selected; 1.00 = baseline)\n";
+  let total = ref 0 and hits = ref 0 in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      List.iter
+        (fun c ->
+          incr total;
+          if c.star_within <= 1.05 then incr hits;
+          Buffer.add_string buf (Printf.sprintf "\n%s / %s\n" c.app c.kernel);
+          Buffer.add_string buf
+            (Gpu_util.Ascii_plot.bar_chart ~unit_label:"x"
+               (List.map
+                  (fun ((n, m), t) ->
+                    ( Printf.sprintf "N=%2d M=%d%s" n m
+                        (if (n, m) = c.catt_pick then " *" else ""),
+                      t ))
+                  c.factors));
+          Buffer.add_char buf '\n')
+        (curves cfg w))
+    Workloads.Registry.cs;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nCATT's pick within 5%% of the sweep optimum for %d/%d kernels\n"
+       !hits !total);
+  Buffer.contents buf

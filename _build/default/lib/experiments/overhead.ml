@@ -1,0 +1,44 @@
+(** Paper Section 5.1.4: static-analysis overhead.  The paper reports 1–2
+    seconds per application with an ANTLR front end; our whole pass
+    (parse → typecheck → affine analysis → Eq. 9 search → transform) is
+    linear in the source and completes in milliseconds. *)
+
+type entry = { app : string; kernels : int; seconds : float }
+
+let measure cfg (w : Workloads.Workload.t) =
+  let started = Unix.gettimeofday () in
+  let program = Workloads.Workload.parse w in
+  let count = ref 0 in
+  List.iter
+    (fun (kernel : Minicuda.Ast.kernel) ->
+      match
+        List.find_opt
+          (fun (l : Workloads.Workload.kernel_launch) ->
+            l.Workloads.Workload.kernel_name = kernel.Minicuda.Ast.kernel_name)
+          w.Workloads.Workload.launches
+      with
+      | None -> ()
+      | Some l ->
+        incr count;
+        ignore (Catt.Driver.analyze cfg kernel (Workloads.Workload.geometry_of l)))
+    program.Minicuda.Ast.kernels;
+  {
+    app = w.Workloads.Workload.name;
+    kernels = !count;
+    seconds = Unix.gettimeofday () -. started;
+  }
+
+let render () =
+  let cfg = Configs.max_l1d () in
+  let entries = List.map (measure cfg) Workloads.Registry.all in
+  let table = Gpu_util.Table.create [ "App"; "kernels"; "analysis time (ms)" ] in
+  List.iter
+    (fun e ->
+      Gpu_util.Table.add_row table
+        [ e.app; string_of_int e.kernels; Gpu_util.Table.cell_float (e.seconds *. 1000.) ])
+    entries;
+  let total = List.fold_left (fun acc e -> acc +. e.seconds) 0. entries in
+  Printf.sprintf
+    "Analysis overhead (paper Sec 5.1.4: 1-2 s per application with ANTLR)\n%s\n\
+     total for all %d applications: %.1f ms\n"
+    (Gpu_util.Table.render table) (List.length entries) (total *. 1000.)

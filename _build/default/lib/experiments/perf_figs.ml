@@ -1,0 +1,133 @@
+(** The performance comparisons:
+
+    - Fig. 6 — L1D hit rate per CS kernel (baseline / BFTT / CATT, max L1D)
+    - Fig. 7 — normalized execution time, CS group, max L1D
+    - Fig. 8 — normalized execution time, CI group, max L1D
+    - Fig. 10 — normalized execution time, CS group, reduced L1D
+
+    The paper's headline numbers these must qualitatively reproduce:
+    CATT ≈ 1.43x over baseline and ≈ 9 points over BFTT on CS at max L1D;
+    larger gains (≈ 1.89x / 1.68x) at the reduced L1D; no change on CI. *)
+
+type row = {
+  app : string;
+  base_cycles : int;
+  bftt_cycles : int;
+  bftt_pick : int * int;
+  catt_cycles : int;
+  verified : bool;
+}
+
+let row cfg (w : Workloads.Workload.t) =
+  let base = Runner.run cfg w Runner.Baseline in
+  let pick, bftt = Runner.bftt cfg w in
+  let catt = Runner.run cfg w Runner.Catt in
+  let ok r = r.Runner.verified = Ok () in
+  {
+    app = w.Workloads.Workload.name;
+    base_cycles = base.Runner.total_cycles;
+    bftt_cycles = bftt.Runner.total_cycles;
+    bftt_pick = pick;
+    catt_cycles = catt.Runner.total_cycles;
+    verified = ok base && ok bftt && ok catt;
+  }
+
+let rows cfg group = List.map (row cfg) group
+
+let speedups rows pick =
+  Gpu_util.Stats.geomean
+    (Array.of_list
+       (List.map
+          (fun r -> float_of_int r.base_cycles /. float_of_int (pick r))
+          rows))
+
+let render_perf ~title ~note cfg group =
+  let rows = rows cfg group in
+  let table =
+    Gpu_util.Table.create
+      [ "App"; "baseline"; "BFTT"; "CATT"; "BFTT pick"; "norm BFTT"; "norm CATT"; "ok" ]
+  in
+  List.iter
+    (fun r ->
+      Gpu_util.Table.add_row table
+        [
+          r.app;
+          string_of_int r.base_cycles;
+          string_of_int r.bftt_cycles;
+          string_of_int r.catt_cycles;
+          (let n, m = r.bftt_pick in Printf.sprintf "N=%d M=%d" n m);
+          Gpu_util.Table.cell_float
+            (float_of_int r.bftt_cycles /. float_of_int r.base_cycles);
+          Gpu_util.Table.cell_float
+            (float_of_int r.catt_cycles /. float_of_int r.base_cycles);
+          (if r.verified then "yes" else "NO");
+        ])
+    rows;
+  let bftt_speedup = speedups rows (fun r -> r.bftt_cycles) in
+  let catt_speedup = speedups rows (fun r -> r.catt_cycles) in
+  let chart =
+    Gpu_util.Ascii_plot.grouped_bar_chart ~series:[ "BFTT"; "CATT" ]
+      (List.map
+         (fun r ->
+           ( r.app,
+             [
+               float_of_int r.bftt_cycles /. float_of_int r.base_cycles;
+               float_of_int r.catt_cycles /. float_of_int r.base_cycles;
+             ] ))
+         rows)
+  in
+  Printf.sprintf
+    "%s\n%s\n\n%s\n\nexecution time normalized to baseline (shorter bar = faster):\n%s\n\n\
+     geomean improvement over baseline: BFTT %.2f%%, CATT %.2f%%\n"
+    title note (Gpu_util.Table.render table) chart
+    ((bftt_speedup -. 1.) *. 100.)
+    ((catt_speedup -. 1.) *. 100.)
+
+let render_fig7 () =
+  render_perf
+    ~title:"Figure 7: performance of the CS group, maximum L1D"
+    ~note:"(paper: CATT +42.96% geomean, BFTT +31.19%)"
+    (Configs.max_l1d ()) Workloads.Registry.cs
+
+let render_fig8 () =
+  render_perf
+    ~title:"Figure 8: performance of the CI group, maximum L1D"
+    ~note:"(paper: CATT must select baseline TLP everywhere; no regression)"
+    (Configs.max_l1d ()) Workloads.Registry.ci
+
+let render_fig10 () =
+  render_perf
+    ~title:"Figure 10: performance of the CS group, reduced L1D"
+    ~note:"(paper at 32KB: CATT +89.23%, BFTT +68.17% — gains grow as the L1D shrinks)"
+    (Configs.small_l1d ()) Workloads.Registry.cs
+
+(* --------------------------- Fig. 6 ------------------------------- *)
+
+let render_fig6 () =
+  let cfg = Configs.max_l1d () in
+  let table =
+    Gpu_util.Table.create [ "Kernel"; "baseline"; "BFTT"; "CATT" ]
+  in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let base = Runner.run cfg w Runner.Baseline in
+      let _, bftt = Runner.bftt cfg w in
+      let catt = Runner.run cfg w Runner.Catt in
+      List.iteri
+        (fun i (ks : Runner.kernel_stats) ->
+          let rate r =
+            match List.nth_opt r.Runner.kernels i with
+            | Some k -> Gpu_util.Table.cell_pct (Gpusim.Stats.l1_hit_rate k.Runner.stats)
+            | None -> "-"
+          in
+          Gpu_util.Table.add_row table
+            [
+              Printf.sprintf "%s#%d" w.Workloads.Workload.name (i + 1);
+              Gpu_util.Table.cell_pct (Gpusim.Stats.l1_hit_rate ks.Runner.stats);
+              rate bftt;
+              rate catt;
+            ])
+        base.Runner.kernels)
+    Workloads.Registry.cs;
+  "Figure 6: L1D hit rates per CS kernel, maximum L1D\n"
+  ^ Gpu_util.Table.render table

@@ -1,0 +1,40 @@
+(** Dispatch table of all reproduced artifacts. *)
+
+type artifact = {
+  id : string;
+  title : string;
+  render : unit -> string;
+}
+
+let artifacts =
+  [
+    {
+      id = "table2";
+      title = "Table 2/Sec 3: cache-sensitivity classification";
+      render = Classify.render;
+    };
+    { id = "table3"; title = "Table 3: selected TLP per kernel/loop"; render = Table3.render };
+    { id = "fig2"; title = "Fig 2: off-chip requests over time"; render = Fig2.render };
+    { id = "fig3"; title = "Fig 3: TLP vs footprint microbenchmarks"; render = Fig3.render };
+    { id = "fig6"; title = "Fig 6: L1D hit rates"; render = Perf_figs.render_fig6 };
+    { id = "fig7"; title = "Fig 7: CS performance, max L1D"; render = Perf_figs.render_fig7 };
+    { id = "fig8"; title = "Fig 8: CI performance, max L1D"; render = Perf_figs.render_fig8 };
+    { id = "fig9"; title = "Fig 9: throttling-factor sensitivity"; render = Fig9.render };
+    { id = "fig10"; title = "Fig 10: CS performance, reduced L1D"; render = Perf_figs.render_fig10 };
+    { id = "overhead"; title = "Sec 5.1.4: analysis overhead"; render = Overhead.render };
+    {
+      id = "ablations";
+      title = "Ablations: dynamic / bypass / scheduler (Sec 2 arguments)";
+      render = Ablations.render;
+    };
+  ]
+
+let find id = List.find_opt (fun a -> a.id = id) artifacts
+
+let ids = List.map (fun a -> a.id) artifacts
+
+let render_all () =
+  String.concat "\n\n"
+    (List.map
+       (fun a -> Printf.sprintf "==== %s ====\n\n%s" a.title (a.render ()))
+       artifacts)

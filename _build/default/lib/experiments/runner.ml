@@ -1,0 +1,358 @@
+(** Executes a workload on the simulator under a throttling scheme.
+
+    Schemes:
+    - [Baseline] — untouched kernels at full TLP;
+    - [Catt] — each kernel goes through the full {!Catt.Driver} pass
+      (per-loop decisions, Figs. 4/5 transforms, carveout choice);
+    - [Fixed (n, m)] — the BFTT-style uniform transformation: every loop of
+      every kernel split by [n] (clamped per kernel to a divisor of its
+      warp count) and TB residency reduced by [m].
+
+    Every run re-seeds the workload's inputs identically, executes the full
+    launch sequence on a fresh device, and checks the CPU oracle — so a
+    miscompiled transformation fails loudly rather than producing a fast
+    wrong answer.  Results are memoized per (config, workload, scheme). *)
+
+module Config = Gpusim.Config
+module Gpu = Gpusim.Gpu
+
+let seed = 42
+
+type scheme =
+  | Baseline
+  | Catt
+  | Fixed of int * int
+  | Dynamic
+  | CcwsSched
+  | DawsSched
+  | Swl of int
+  | Bypass
+
+let scheme_label = function
+  | Baseline -> "baseline"
+  | Catt -> "CATT"
+  | Fixed (n, m) -> Printf.sprintf "fixed(N=%d,M=%d)" n m
+  | Dynamic -> "dynamic"
+  | CcwsSched -> "ccws"
+  | DawsSched -> "daws"
+  | Swl k -> Printf.sprintf "swl(%d)" k
+  | Bypass -> "bypass"
+
+type kernel_stats = {
+  kernel_name : string;
+  stats : Gpusim.Stats.t;  (** aggregated over repeated launches *)
+  tlp : int * int;  (** active (warps per TB, TBs per SM) *)
+  trace : Gpusim.Trace.t option;
+}
+
+type app_run = {
+  workload : string;
+  scheme : scheme;
+  kernels : kernel_stats list;  (** launch order, deduplicated by name *)
+  total_cycles : int;
+  verified : (unit, string) result;
+  catt_analyses : (string * Catt.Driver.t) list;  (** only for [Catt] *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-kernel preparation under a scheme                               *)
+(* ------------------------------------------------------------------ *)
+
+type prepared = {
+  prog : Gpusim.Bytecode.program;
+  carveout : int option;
+  prepared_tlp : int * int;
+  analysis : Catt.Driver.t option;
+}
+
+let largest_divisor_leq value cap =
+  List.fold_left
+    (fun acc d -> if d <= cap then d else acc)
+    1
+    (Catt.Throttle.divisors value)
+
+let prepare_fixed cfg kernel geo ~n ~m =
+  let prog0 = Gpusim.Codegen.compile_kernel kernel in
+  let tb_threads = geo.Catt.Analysis.block_x * geo.Catt.Analysis.block_y in
+  let grid_tbs = geo.Catt.Analysis.grid_x * geo.Catt.Analysis.grid_y in
+  match
+    Catt.Occupancy.configure cfg ~grid_tbs ~tb_threads
+      ~num_regs:prog0.Gpusim.Bytecode.num_regs
+      ~shared_bytes:prog0.Gpusim.Bytecode.shared_bytes ()
+  with
+  | Error msg -> failwith msg
+  | Ok occ ->
+    let warps_per_tb = occ.Catt.Occupancy.warps_per_tb in
+    let tbs = occ.Catt.Occupancy.tbs_per_sm in
+    let n' = largest_divisor_leq warps_per_tb n in
+    let m' = min m (tbs - 1) in
+    let one_dim_block = geo.Catt.Analysis.block_y = 1 in
+    let k =
+      if n' > 1 then
+        Catt.Transform.warp_throttle_all kernel ~n:n' ~warps_per_tb
+          ~warp_size:cfg.Config.warp_size ~one_dim_block
+      else kernel
+    in
+    let k, carveout, tbs' =
+      if m' > 0 then
+        match
+          Catt.Transform.plan_tb_throttle cfg ~tb_threads
+            ~num_regs:prog0.Gpusim.Bytecode.num_regs
+            ~shared_bytes:prog0.Gpusim.Bytecode.shared_bytes
+            ~target_tbs:(tbs - m')
+        with
+        | Some (c, dummy_bytes) ->
+          ( Catt.Transform.tb_throttle k ~dummy_elems:(max 1 (dummy_bytes / 4)),
+            Some c,
+            tbs - m' )
+        | None -> (k, None, tbs)
+      else (k, None, tbs)
+    in
+    {
+      prog = Gpusim.Codegen.compile_kernel k;
+      carveout;
+      prepared_tlp = (warps_per_tb / n', tbs');
+      analysis = None;
+    }
+
+let prepare_catt cfg kernel geo =
+  match Catt.Driver.analyze cfg kernel geo with
+  | Error msg -> failwith msg
+  | Ok t ->
+    let transformed = t.Catt.Driver.transformed in
+    (* the kernel-level TLP: the strongest of the per-loop selections *)
+    let tlp =
+      List.fold_left
+        (fun (bw, bt) (l : Catt.Driver.loop_decision) ->
+          let d = l.Catt.Driver.decision in
+          if d.Catt.Throttle.throttled then
+            ( min bw d.Catt.Throttle.active_warps_per_tb,
+              min bt d.Catt.Throttle.active_tbs )
+          else (bw, bt))
+        (fst t.Catt.Driver.baseline_tlp, t.Catt.Driver.resident_tbs)
+        t.Catt.Driver.loops
+    in
+    {
+      prog = Gpusim.Codegen.compile_kernel transformed;
+      carveout = Some t.Catt.Driver.final_carveout;
+      prepared_tlp = tlp;
+      analysis = Some t;
+    }
+
+let prepare_baseline cfg kernel geo =
+  let prog = Gpusim.Codegen.compile_kernel kernel in
+  let tb_threads = geo.Catt.Analysis.block_x * geo.Catt.Analysis.block_y in
+  let grid_tbs = geo.Catt.Analysis.grid_x * geo.Catt.Analysis.grid_y in
+  let tlp =
+    match
+      Catt.Occupancy.configure cfg ~grid_tbs ~tb_threads
+        ~num_regs:prog.Gpusim.Bytecode.num_regs
+        ~shared_bytes:prog.Gpusim.Bytecode.shared_bytes ()
+    with
+    | Ok occ -> (occ.Catt.Occupancy.warps_per_tb, occ.Catt.Occupancy.tbs_per_sm)
+    | Error _ -> (0, 0)
+  in
+  { prog; carveout = None; prepared_tlp = tlp; analysis = None }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-application execution                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_uncached ?(trace = false) cfg (w : Workloads.Workload.t) scheme =
+  let kernels = Workloads.Workload.kernels w in
+  (* geometry per kernel comes from its first launch *)
+  let geometry_of_kernel name =
+    match
+      List.find_opt
+        (fun (l : Workloads.Workload.kernel_launch) -> l.kernel_name = name)
+        w.Workloads.Workload.launches
+    with
+    | Some l -> Workloads.Workload.geometry_of l
+    | None -> invalid_arg (Printf.sprintf "kernel %s is never launched" name)
+  in
+  let prepared =
+    List.map
+      (fun (name, kernel) ->
+        let geo = geometry_of_kernel name in
+        let p =
+          match scheme with
+          | Baseline | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass ->
+            prepare_baseline cfg kernel geo
+          | Catt -> prepare_catt cfg kernel geo
+          | Fixed (n, m) -> prepare_fixed cfg kernel geo ~n ~m
+        in
+        (name, p))
+      kernels
+  in
+  let dev = Gpu.create cfg in
+  w.Workloads.Workload.setup dev (Gpu_util.Rng.create seed);
+  let acc : (string * kernel_stats) list ref = ref [] in
+  List.iter
+    (fun (l : Workloads.Workload.kernel_launch) ->
+      let p = List.assoc l.kernel_name prepared in
+      let launch =
+        {
+          Gpu.prog = p.prog;
+          grid = l.grid;
+          block = l.block;
+          args = l.args;
+          smem_carveout = p.carveout;
+          sched = Gpusim.Sm.Gto;
+          trace;
+          runtime_throttle =
+            (match scheme with
+            | Dynamic -> `Dyncta
+            | CcwsSched -> `Ccws
+            | DawsSched -> `Daws
+            | Swl k -> `Swl k
+            | Baseline | Catt | Fixed _ | Bypass -> `None);
+          bypass_arrays =
+            (if scheme = Bypass then
+               Catt.Bypass.divergent_arrays cfg
+                 (Workloads.Workload.find_kernel w l.kernel_name)
+                 (Workloads.Workload.geometry_of l)
+             else []);
+        }
+      in
+      let stats, tr = Gpu.launch dev launch in
+      match List.assoc_opt l.kernel_name !acc with
+      | Some ks ->
+        ks.stats.Gpusim.Stats.cycles <- ks.stats.Gpusim.Stats.cycles + stats.Gpusim.Stats.cycles;
+        let cycles = ks.stats.Gpusim.Stats.cycles in
+        Gpusim.Stats.accumulate ~into:ks.stats stats;
+        ks.stats.Gpusim.Stats.cycles <- cycles
+      | None ->
+        acc :=
+          !acc
+          @ [
+              ( l.kernel_name,
+                {
+                  kernel_name = l.kernel_name;
+                  stats;
+                  tlp = p.prepared_tlp;
+                  trace = (if trace then Some tr else None);
+                } );
+            ])
+    w.Workloads.Workload.launches;
+  let kernels_stats = List.map snd !acc in
+  {
+    workload = w.Workloads.Workload.name;
+    scheme;
+    kernels = kernels_stats;
+    total_cycles =
+      List.fold_left (fun t ks -> t + ks.stats.Gpusim.Stats.cycles) 0 kernels_stats;
+    verified = w.Workloads.Workload.verify dev;
+    catt_analyses =
+      List.filter_map
+        (fun (name, p) ->
+          match p.analysis with Some a -> Some (name, a) | None -> None)
+        prepared;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Memoization                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let memo : (string, app_run) Hashtbl.t = Hashtbl.create 64
+
+let memo_key cfg (w : Workloads.Workload.t) scheme =
+  Printf.sprintf "%d/%d/%s/%s" cfg.Config.onchip_bytes cfg.Config.num_sms
+    w.Workloads.Workload.name (scheme_label scheme)
+
+let run ?(trace = false) cfg w scheme =
+  if trace then run_uncached ~trace cfg w scheme
+  else begin
+    let key = memo_key cfg w scheme in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+      let r = run_uncached cfg w scheme in
+      Hashtbl.replace memo key r;
+      r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps and BFTT                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Throttling-factor candidates for one workload, ordered from maximum to
+    minimum TLP — the x-axis of Fig. 9 and BFTT's search space.  Warp
+    splitting first, then TB reduction, mirroring Eq. 9's phases. *)
+let candidates cfg (w : Workloads.Workload.t) =
+  let max_warps, max_tbs =
+    List.fold_left
+      (fun (mw, mt) (l : Workloads.Workload.kernel_launch) ->
+        let geo = Workloads.Workload.geometry_of l in
+        let kernel = Workloads.Workload.find_kernel w l.kernel_name in
+        let prog = Gpusim.Codegen.compile_kernel kernel in
+        match
+          Catt.Occupancy.configure cfg
+            ~grid_tbs:(geo.Catt.Analysis.grid_x * geo.Catt.Analysis.grid_y)
+            ~tb_threads:(geo.Catt.Analysis.block_x * geo.Catt.Analysis.block_y)
+            ~num_regs:prog.Gpusim.Bytecode.num_regs
+            ~shared_bytes:prog.Gpusim.Bytecode.shared_bytes ()
+        with
+        | Ok occ ->
+          ( max mw occ.Catt.Occupancy.warps_per_tb,
+            max mt occ.Catt.Occupancy.tbs_per_sm )
+        | Error _ -> (mw, mt))
+      (1, 1) w.Workloads.Workload.launches
+  in
+  let rec warp_factors n acc =
+    if n > max_warps then List.rev acc else warp_factors (2 * n) (n :: acc)
+  in
+  let warp_part = List.map (fun n -> (n, 0)) (warp_factors 1 []) in
+  (* TB-level factors matter most for single-warp TBs (where no warp
+     splitting is possible), so allow a deeper sweep there *)
+  let tb_range = if max_warps = 1 then 12 else 3 in
+  let tb_part =
+    List.init (min tb_range (max_tbs - 1)) (fun i -> (max_warps, i + 1))
+  in
+  warp_part @ tb_part
+
+let sweep cfg w =
+  List.map
+    (fun (n, m) ->
+      let scheme = if n = 1 && m = 0 then Baseline else Fixed (n, m) in
+      ((n, m), run cfg w scheme))
+    (candidates cfg w)
+
+(** Best-SWL (Rogers et al., MICRO-45; discussed in the paper's
+    Section 2.2): the best static scheduler-level warp limit, found by
+    exhaustive offline search over per-SM warp counts. *)
+let best_swl cfg w =
+  let max_warps =
+    List.fold_left
+      (fun acc (l : Workloads.Workload.kernel_launch) ->
+        let geo = Workloads.Workload.geometry_of l in
+        let kernel = Workloads.Workload.find_kernel w l.kernel_name in
+        let prog = Gpusim.Codegen.compile_kernel kernel in
+        match
+          Catt.Occupancy.configure cfg
+            ~grid_tbs:(geo.Catt.Analysis.grid_x * geo.Catt.Analysis.grid_y)
+            ~tb_threads:(geo.Catt.Analysis.block_x * geo.Catt.Analysis.block_y)
+            ~num_regs:prog.Gpusim.Bytecode.num_regs
+            ~shared_bytes:prog.Gpusim.Bytecode.shared_bytes ()
+        with
+        | Ok occ -> max acc occ.Catt.Occupancy.concurrent_warps
+        | Error _ -> acc)
+      1 w.Workloads.Workload.launches
+  in
+  let rec limits k acc = if k > max_warps then List.rev acc else limits (2 * k) (k :: acc) in
+  let candidates = limits 1 [] in
+  let runs = List.map (fun k -> (k, run cfg w (Swl k))) candidates in
+  List.fold_left
+    (fun ((_, best) as acc) ((_, r) as cand) ->
+      if r.total_cycles < best.total_cycles then cand else acc)
+    (List.hd runs) (List.tl runs)
+
+(** BFTT: the best-performing fixed combination, found by exhaustive
+    offline search (paper Section 5: "best-fixed thread throttling"). *)
+let bftt cfg w =
+  match sweep cfg w with
+  | [] -> invalid_arg "Runner.bftt: no candidates"
+  | first :: rest ->
+    List.fold_left
+      (fun ((_, best) as acc) ((_, r) as cand) ->
+        if r.total_cycles < best.total_cycles then cand else acc)
+      first rest

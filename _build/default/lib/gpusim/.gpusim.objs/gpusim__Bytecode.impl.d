@@ -1,0 +1,1 @@
+lib/gpusim/bytecode.ml: Array Buffer List Printf String

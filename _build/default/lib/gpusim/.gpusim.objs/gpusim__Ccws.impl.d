@@ -1,0 +1,1 @@
+lib/gpusim/ccws.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/gpusim/coalescer.ml: Array List

@@ -1,0 +1,1 @@
+lib/gpusim/codegen.ml: Array Bytecode List Minicuda Printf Seq

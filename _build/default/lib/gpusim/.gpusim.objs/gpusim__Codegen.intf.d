@@ -1,0 +1,1 @@
+lib/gpusim/codegen.mli: Bytecode Minicuda

@@ -1,0 +1,1 @@
+lib/gpusim/cta_scheduler.ml: Config

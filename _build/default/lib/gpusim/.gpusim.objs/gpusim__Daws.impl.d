@@ -1,0 +1,1 @@
+lib/gpusim/daws.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/gpusim/dynamic_throttle.mli:

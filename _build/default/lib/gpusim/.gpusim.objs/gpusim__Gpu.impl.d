@@ -1,0 +1,1 @@
+lib/gpusim/gpu.ml: Array Bytecode Cache Ccws Config Cta_scheduler Daws Dynamic_throttle Hashtbl List Printf Sm Stats Trace

@@ -1,0 +1,1 @@
+lib/gpusim/gpu.mli: Bytecode Config Sm Stats Trace

@@ -1,0 +1,1 @@
+lib/gpusim/sm.ml: Array Bytecode Cache Ccws Coalescer Config Daws Dynamic_throttle List Minicuda Printf Stats Trace

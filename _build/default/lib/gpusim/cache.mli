@@ -1,0 +1,47 @@
+(** Set-associative cache with LRU replacement, in-flight fill tracking and
+    an MSHR limit.
+
+    The same structure models the per-SM L1D and the device-wide L2.  Lines
+    are identified by their line index (byte address / line size).  Each
+    tagged line remembers when its data arrives, which gives
+    hit-under-miss/merge behaviour for free: an access to a line whose fill
+    is still in flight completes when the fill does ({!outcome} is
+    [Pending_hit]). *)
+
+type t
+
+type outcome = Hit | Pending_hit | Miss
+
+val create : bytes:int -> assoc:int -> line_bytes:int -> mshrs:int -> t
+(** [bytes] is rounded down to a whole number of sets; there is always at
+    least one set. *)
+
+val sets : t -> int
+val lines : t -> int
+(** Total line capacity, [sets * assoc]. *)
+
+val access :
+  t -> now:int -> line:int -> miss_ready:(issue:int -> int) -> int * outcome
+(** [access t ~now ~line ~miss_ready] performs a read.  On a miss the line
+    is allocated (evicting LRU) and [miss_ready ~issue] is called with the
+    actual issue time — delayed past [now] if all MSHRs are busy — and must
+    return the cycle the data arrives from the next level.  The result is
+    the cycle the requesting warp may consume the data, and the outcome for
+    stats. *)
+
+val write_update : t -> now:int -> line:int -> bool
+(** Write-through, no-allocate write handling: if the line is present, its
+    LRU position refreshes and the result is [true]; absent lines are left
+    alone ([false]). *)
+
+val contains : t -> line:int -> bool
+(** Tag probe without side effects (testing). *)
+
+val settle : t -> unit
+(** Retire all in-flight timing state (fill times, MSHR entries) while
+    keeping the cached contents.  Called at kernel-launch boundaries where
+    the cycle clock restarts at zero but the cache stays warm. *)
+
+val flush : t -> unit
+(** Invalidate everything (between-kernel cache behaviour is configurable
+    in tests; experiments keep caches warm, as hardware does). *)

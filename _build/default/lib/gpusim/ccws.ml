@@ -1,0 +1,85 @@
+(** Cache-conscious wavefront scheduling (Rogers et al., MICRO-45), the
+    dynamic warp-granular baseline the paper compares against in
+    Section 2.2 — simplified to what the comparison needs.
+
+    Each warp owns a small direct-mapped victim tag array (VTA) of line
+    tags it recently missed on.  A warp re-missing a line still present in
+    its VTA has {e lost intra-warp locality} (the line was evicted between
+    its own uses), so its lost-locality score (LLS) jumps; scores decay
+    back toward the base over time.  At schedule time, warps are stacked
+    by descending score under a fixed cutoff of
+    [base_score * max_warps]: warps whose cumulative height exceeds the
+    cutoff are de-scheduled.  High-score warps keep priority — CCWS's key
+    inversion: the thrashing warp is allowed to finish its reuse while the
+    TLP around it shrinks. *)
+
+type warp_state = {
+  mutable score : float;
+  vta : int array;  (* direct-mapped, -1 = empty *)
+}
+
+type t = {
+  vta_entries : int;
+  base_score : float;
+  gain : float;  (** score added on a detected locality loss *)
+  decay : float;  (** multiplicative per-update pull toward base *)
+  cutoff : float;
+  warps : (int, warp_state) Hashtbl.t;  (* keyed by warp age *)
+}
+
+let create ?(vta_entries = 16) ?(gain = 32.) ?(decay = 0.999) ~max_warps () =
+  if max_warps <= 0 then invalid_arg "Ccws.create: max_warps must be positive";
+  let base_score = 1. in
+  {
+    vta_entries;
+    base_score;
+    gain;
+    decay;
+    cutoff = base_score *. float_of_int max_warps;
+    warps = Hashtbl.create 64;
+  }
+
+let state t warp_id =
+  match Hashtbl.find_opt t.warps warp_id with
+  | Some s -> s
+  | None ->
+    let s = { score = t.base_score; vta = Array.make t.vta_entries (-1) } in
+    Hashtbl.replace t.warps warp_id s;
+    s
+
+(** Report an L1D miss by [warp_id] on [line].  Returns [true] when the
+    miss was a detected locality loss (useful for stats/tests). *)
+let on_miss t ~warp_id ~line =
+  let s = state t warp_id in
+  let slot = (line mod t.vta_entries + t.vta_entries) mod t.vta_entries in
+  let lost = s.vta.(slot) = line in
+  if lost then s.score <- s.score +. t.gain;
+  s.vta.(slot) <- line;
+  lost
+
+(** Decay every score toward the base; call once per scheduling step. *)
+let tick t =
+  Hashtbl.iter
+    (fun _ s ->
+      if s.score > t.base_score then
+        s.score <- max t.base_score (s.score *. t.decay))
+    t.warps
+
+let score t ~warp_id = (state t warp_id).score
+
+(** The subset of [warp_ids] the scheduler may consider: stack warps by
+    descending score and admit while the cumulative score fits the cutoff.
+    The highest-score warp is always admitted. *)
+let allowed t warp_ids =
+  let scored = List.map (fun id -> (id, (state t id).score)) warp_ids in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) scored in
+  let rec admit acc height = function
+    | [] -> acc
+    | (id, s) :: rest ->
+      if acc = [] || height +. s <= t.cutoff then
+        admit (id :: acc) (height +. s) rest
+      else acc
+  in
+  admit [] 0. sorted
+
+let retire t ~warp_id = Hashtbl.remove t.warps warp_id

@@ -1,0 +1,31 @@
+(** Cache-conscious wavefront scheduling (Rogers et al., MICRO-45) — the
+    warp-granular dynamic baseline of the paper's Section 2.2, simplified.
+
+    Per-warp victim tag arrays detect lost intra-warp locality (a warp
+    re-missing a line it recently missed on); warps accumulate a
+    lost-locality score that decays over time; at schedule time warps are
+    stacked by descending score under a cutoff of [base * max_warps], and
+    the ones that do not fit are de-scheduled.  The thrashing warp keeps
+    priority — CCWS's key inversion: it gets to finish its reuse while the
+    TLP around it shrinks. *)
+
+type t
+
+val create :
+  ?vta_entries:int -> ?gain:float -> ?decay:float -> max_warps:int -> unit -> t
+(** Defaults: 16 VTA entries per warp, gain 32, decay 0.999/step. *)
+
+val on_miss : t -> warp_id:int -> line:int -> bool
+(** Report an L1D miss.  [true] when it was a detected locality loss. *)
+
+val tick : t -> unit
+(** Decay all scores one step toward the base; call once per SM cycle. *)
+
+val score : t -> warp_id:int -> float
+
+val allowed : t -> int list -> int list
+(** The subset of the given warp ids the scheduler may consider.  Never
+    empty when the input is non-empty. *)
+
+val retire : t -> warp_id:int -> unit
+(** Forget a warp's state (its TB completed). *)

@@ -1,0 +1,15 @@
+(* Warps are at most 32 lanes, so a small association list beats hashing. *)
+
+let lines ~line_bytes ~addrs ~mask =
+  let acc = ref [] in
+  let n = Array.length addrs in
+  for lane = 0 to n - 1 do
+    if mask land (1 lsl lane) <> 0 then begin
+      let line = addrs.(lane) / line_bytes in
+      if not (List.mem line !acc) then acc := line :: !acc
+    end
+  done;
+  List.rev !acc
+
+let count ~line_bytes ~addrs ~mask =
+  List.length (lines ~line_bytes ~addrs ~mask)

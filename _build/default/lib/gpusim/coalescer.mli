@@ -1,0 +1,16 @@
+(** Memory-request coalescing.
+
+    A warp's memory instruction produces one byte address per active lane;
+    the coalescer reduces them to the set of distinct cache lines, which is
+    the unit of L1D traffic.  The per-warp request count it produces is
+    exactly the quantity the paper's Eq. 7 estimates statically — perfectly
+    coalesced accesses give 1 line, fully divergent ones give up to
+    [warp_size] lines. *)
+
+val lines : line_bytes:int -> addrs:int array -> mask:int -> int list
+(** [lines ~line_bytes ~addrs ~mask] returns the distinct line indices
+    touched by lanes whose bit is set in [mask], in first-touch order.
+    [addrs.(lane)] is a byte address and is ignored for inactive lanes. *)
+
+val count : line_bytes:int -> addrs:int array -> mask:int -> int
+(** [List.length (lines …)] without building the list. *)

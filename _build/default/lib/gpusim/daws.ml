@@ -1,0 +1,100 @@
+(** Divergence-aware warp scheduling (Rogers et al., MICRO-46) — the
+    {e proactive} dynamic baseline of the paper's Section 2.2, simplified.
+
+    Where CCWS reacts to lost locality, DAWS predicts: each loop's memory
+    divergence is profiled from the warps running it (EWMA of cache lines
+    per off-chip instruction), giving a per-warp footprint prediction
+    [ewma * mem_instrs].  The loop then admits at most
+    [target = max 1 (l1_lines / prediction)] warps: newcomers wait at the
+    loop entry, and — because the profile is only learned {e after} the
+    first iterations — warps already inside are re-checked at every back
+    edge and stall there when their age-rank exceeds the target
+    (the descheduling side of DAWS).  The oldest warp inside always runs,
+    so progress is guaranteed and the simulation stays deterministic. *)
+
+type loop_state = {
+  mem_instrs : int;
+  mutable total_requests : int;
+  mutable samples : int;
+  mutable inside : int list;  (* warp ages, ascending = admission rank *)
+}
+
+type t = {
+  l1_lines : int;
+  loops : (int, loop_state) Hashtbl.t;  (* loop begin_pc -> state *)
+  mutable blocks : int;  (* stat: denied entries / back-edge stalls *)
+}
+
+let create ~l1_lines ~extents =
+  let loops = Hashtbl.create 16 in
+  List.iter
+    (fun (begin_pc, _end_pc, mem_instrs) ->
+      Hashtbl.replace loops begin_pc
+        { mem_instrs; total_requests = 0; samples = 0; inside = [] })
+    extents;
+  { l1_lines; loops; blocks = 0 }
+
+let state t loop_pc = Hashtbl.find_opt t.loops loop_pc
+
+(* cumulative mean rather than an EWMA: under GTO the warps phase-lock at
+   the long-latency divergent load, so an instantaneous average is always
+   sampled in the coalesced phase at back edges and never sees the
+   divergence *)
+let lines_per_instr s =
+  if s.samples = 0 then 1.
+  else float_of_int s.total_requests /. float_of_int s.samples
+
+let prediction_per_warp s =
+  max 1. (lines_per_instr s *. float_of_int (max 1 s.mem_instrs))
+
+let prediction_per_warp_lines t ~loop_pc =
+  match state t loop_pc with None -> 0. | Some s -> prediction_per_warp s
+
+let target t s = max 1 (int_of_float (float_of_int t.l1_lines /. prediction_per_warp s))
+
+(** Admission at the loop entry.  [true] registers the warp inside. *)
+let try_enter t ~loop_pc ~age =
+  match state t loop_pc with
+  | None -> true  (* not a profiled loop (no off-chip accesses) *)
+  | Some s ->
+    if List.mem age s.inside then true  (* re-entry of an outer iteration *)
+    else if List.length s.inside < target t s then begin
+      s.inside <- List.sort compare (age :: s.inside);
+      true
+    end
+    else begin
+      t.blocks <- t.blocks + 1;
+      false
+    end
+
+(** Back-edge check: may the registered warp start another iteration?
+    The oldest warp inside always may. *)
+let may_continue t ~loop_pc ~age =
+  match state t loop_pc with
+  | None -> true
+  | Some s ->
+    let rec rank i = function
+      | [] -> 0  (* unregistered (shouldn't happen): allow *)
+      | a :: rest -> if a = age then i else rank (i + 1) rest
+    in
+    let ok = rank 0 s.inside < target t s in
+    if not ok then t.blocks <- t.blocks + 1;
+    ok
+
+let on_loop_exit t ~loop_pc ~age =
+  match state t loop_pc with
+  | None -> ()
+  | Some s -> s.inside <- List.filter (fun a -> a <> age) s.inside
+
+(** Sample an executed off-chip instruction inside the loop at [loop_pc]:
+    it produced [requests] lines after coalescing. *)
+let on_mem_instr t ~loop_pc ~requests =
+  match state t loop_pc with
+  | None -> ()
+  | Some s ->
+    s.samples <- s.samples + 1;
+    s.total_requests <- s.total_requests + requests
+
+let blocks t = t.blocks
+
+

@@ -1,0 +1,35 @@
+(** Divergence-aware warp scheduling (Rogers et al., MICRO-46) — the
+    proactive dynamic baseline of the paper's Section 2.2, simplified.
+
+    Per static loop, the observed cache lines per off-chip instruction
+    (cumulative mean over all warps) predicts a per-warp footprint
+    [mean * mem_instrs]; the loop admits at most
+    [max 1 (l1_lines / prediction)] warps.  Newcomers wait at the loop
+    entry; warps already inside are re-checked at every back edge and the
+    youngest stall when the learned divergence shrinks the target — the
+    descheduling side of DAWS.  The oldest warp inside always proceeds, so
+    progress is guaranteed. *)
+
+type t
+
+val create : l1_lines:int -> extents:(int * int * int) list -> t
+(** [extents] is {!Bytecode.loop_extents}: (begin pc, end pc, off-chip
+    instruction count) per loop. *)
+
+val try_enter : t -> loop_pc:int -> age:int -> bool
+(** Admission at the loop entry; [true] registers the warp inside (idempotent
+    for re-entries).  Always true for unprofiled loops. *)
+
+val may_continue : t -> loop_pc:int -> age:int -> bool
+(** Back-edge check for a registered warp; the oldest inside always may. *)
+
+val on_loop_exit : t -> loop_pc:int -> age:int -> unit
+
+val on_mem_instr : t -> loop_pc:int -> requests:int -> unit
+(** Sample an executed off-chip instruction's post-coalescing line count. *)
+
+val prediction_per_warp_lines : t -> loop_pc:int -> float
+(** Current per-warp footprint prediction for a loop (testing). *)
+
+val blocks : t -> int
+(** Denied entries plus back-edge stalls so far (testing/stats). *)

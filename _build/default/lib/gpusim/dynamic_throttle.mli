@@ -1,0 +1,24 @@
+(** DYNCTA-style run-time thread-block throttling (Kayiran et al.,
+    PACT 2013) — the coarse dynamic baseline the paper's Section 2.2
+    compares against.
+
+    An epoch-based hill climber on per-SM IPC: each epoch the TB cap moves
+    one step in the current direction and reverses when IPC drops.  The
+    monitoring lag and coarse granularity are exactly the weaknesses the
+    paper's compile-time scheme avoids; the ablation benches measure the
+    difference. *)
+
+type t
+
+val create : ?epoch_cycles:int -> init_cap:int -> unit -> t
+(** [epoch_cycles] defaults to 2000.  The cap never drops below 1. *)
+
+val cap : t -> int
+(** Current number of TBs the scheduler may draw warps from. *)
+
+val on_issue : t -> unit
+(** Count one issued instruction toward the epoch's IPC. *)
+
+val on_cycle : t -> now:int -> max_cap:int -> unit
+(** Advance the controller's clock; on epoch edges, compare IPC with the
+    previous epoch and move/reverse the cap within [1, max_cap]. *)

@@ -1,0 +1,276 @@
+exception Launch_error of string
+
+let launch_error fmt = Printf.ksprintf (fun msg -> raise (Launch_error msg)) fmt
+
+type device = {
+  cfg : Config.t;
+  memory : (string, float array) Hashtbl.t;
+  l2 : Cache.t;
+}
+
+let create cfg =
+  {
+    cfg;
+    memory = Hashtbl.create 16;
+    l2 =
+      Cache.create ~bytes:cfg.Config.l2_bytes ~assoc:cfg.Config.l2_assoc
+        ~line_bytes:cfg.Config.line_bytes ~mshrs:(cfg.Config.l1d_mshrs * cfg.Config.num_sms);
+  }
+
+let config dev = dev.cfg
+
+let alloc dev name len =
+  if Hashtbl.mem dev.memory name then launch_error "array %s already allocated" name;
+  if len <= 0 then launch_error "array %s: non-positive length %d" name len;
+  Hashtbl.replace dev.memory name (Array.make len 0.)
+
+let upload dev name data = Hashtbl.replace dev.memory name (Array.copy data)
+
+let get dev name =
+  match Hashtbl.find_opt dev.memory name with
+  | Some arr -> arr
+  | None -> launch_error "no device array named %s" name
+
+let free_all dev = Hashtbl.reset dev.memory
+
+let flush_caches dev = Cache.flush dev.l2
+
+type arg = Arr of string | Scalar of float
+
+type launch = {
+  prog : Bytecode.program;
+  grid : int * int;
+  block : int * int;
+  args : arg list;
+  smem_carveout : int option;
+  sched : Sm.sched;
+  trace : bool;
+  runtime_throttle : [ `None | `Dyncta | `Ccws | `Daws | `Swl of int ];
+      (** run-time throttling baselines (Section 2.2 ablations): the
+          DYNCTA-style TB-cap hill climber or the CCWS-style lost-locality
+          warp scheduler *)
+  bypass_arrays : string list;
+      (** arrays whose loads skip the L1D — the cache-bypassing alternative
+          (Section 2.2) used by the ablation benches *)
+}
+
+let default_launch ~prog ~grid ~block args =
+  {
+    prog;
+    grid;
+    block;
+    args;
+    smem_carveout = None;
+    sched = Sm.Gto;
+    trace = false;
+    runtime_throttle = `None;
+    bypass_arrays = [];
+  }
+
+let geometry l =
+  let gx, gy = l.grid and bx, by = l.block in
+  if gx <= 0 || gy <= 0 || bx <= 0 || by <= 0 then
+    launch_error "kernel %s: degenerate launch geometry" l.prog.Bytecode.name;
+  (gx, gy, bx, by)
+
+(* Without an explicit carveout, pick the one the CUDA runtime would: the
+   smallest option that still sustains the kernel's maximum occupancy
+   (larger options would only shrink the L1D for nothing). *)
+let auto_carveout dev l ~tb_threads =
+  let static = l.prog.Bytecode.shared_bytes in
+  let options = List.sort compare dev.cfg.Config.smem_carveout_options in
+  let feasible = List.filter (fun o -> o >= static) options in
+  match feasible with
+  | [] ->
+    launch_error "kernel %s: shared usage %dB exceeds the largest carveout"
+      l.prog.Bytecode.name static
+  | _ ->
+    let tbs_at carveout =
+      Cta_scheduler.max_tbs_per_sm dev.cfg ~tb_threads
+        ~num_regs:l.prog.Bytecode.num_regs ~shared_bytes:static
+        ~smem_carveout:carveout
+    in
+    let best_tbs = List.fold_left (fun acc o -> max acc (tbs_at o)) 0 feasible in
+    List.find (fun o -> tbs_at o >= best_tbs) feasible
+
+let resolve_carveout dev l =
+  let static = l.prog.Bytecode.shared_bytes in
+  match l.smem_carveout with
+  | Some bytes ->
+    if not (List.mem bytes dev.cfg.Config.smem_carveout_options) then
+      launch_error "smem carveout %d is not a configurable option" bytes;
+    if bytes < static then
+      launch_error "smem carveout %d < static shared usage %d" bytes static;
+    bytes
+  | None ->
+    let _, _, bx, by = geometry l in
+    auto_carveout dev l ~tb_threads:(bx * by)
+
+let occupancy dev l =
+  let _, _, bx, by = geometry l in
+  let carveout = resolve_carveout dev l in
+  let tb_threads = bx * by in
+  let tbs =
+    Cta_scheduler.max_tbs_per_sm dev.cfg ~tb_threads
+      ~num_regs:l.prog.Bytecode.num_regs
+      ~shared_bytes:l.prog.Bytecode.shared_bytes ~smem_carveout:carveout
+  in
+  if tbs <= 0 then
+    launch_error "kernel %s: zero occupancy (TB needs more resources than an SM has)"
+      l.prog.Bytecode.name;
+  tbs
+
+(* Bind launch arguments: build the id-indexed global array table with
+   line-aligned, non-overlapping base addresses, and the scalar register
+   preload list. *)
+let bind_args dev l =
+  let prog = l.prog in
+  let expected = List.length prog.Bytecode.args in
+  let got = List.length l.args in
+  if expected <> got then
+    launch_error "kernel %s expects %d arguments, got %d" prog.Bytecode.name
+      expected got;
+  let num_ids = List.length prog.Bytecode.array_ids in
+  let arrays = Array.make num_ids None in
+  let scalars = ref [] in
+  let next_base = ref dev.cfg.Config.line_bytes in
+  let align n =
+    let line = dev.cfg.Config.line_bytes in
+    (n + line - 1) / line * line
+  in
+  List.iter2
+    (fun binding arg ->
+      match (binding, arg) with
+      | Bytecode.Array_arg param, Arr name ->
+        let data = get dev name in
+        let id = List.assoc param prog.Bytecode.array_ids in
+        let base = !next_base in
+        next_base := align (base + (Array.length data * 4)) + dev.cfg.Config.line_bytes;
+        arrays.(id) <- Some { Sm.data; base }
+      | Bytecode.Scalar_arg param, Scalar value ->
+        let reg = List.assoc param prog.Bytecode.scalar_param_regs in
+        scalars := (reg, value) :: !scalars
+      | Bytecode.Array_arg param, Scalar _ ->
+        launch_error "argument %s: expected an array, got a scalar" param
+      | Bytecode.Scalar_arg param, Arr _ ->
+        launch_error "argument %s: expected a scalar, got an array" param)
+    prog.Bytecode.args l.args;
+  (arrays, !scalars)
+
+let launch dev l =
+  (* the cycle clock restarts per launch; the warm L2 must not carry
+     in-flight fill times from the previous kernel *)
+  Cache.settle dev.l2;
+  let gx, gy, bx, by = geometry l in
+  let carveout = resolve_carveout dev l in
+  let max_tbs = occupancy dev l in
+  let arrays, scalar_values = bind_args dev l in
+  let tb_threads = bx * by in
+  let warps_per_tb = Cta_scheduler.warps_per_tb dev.cfg ~tb_threads in
+  let stats = Stats.create () in
+  let trace = if l.trace then Trace.create ~sm:0 () else Trace.disabled in
+  let job =
+    {
+      Sm.cfg = dev.cfg;
+      prog = l.prog;
+      arrays;
+      shared_specs =
+        List.map (fun (_, id, size) -> (id, size)) l.prog.Bytecode.shared_arrays;
+      scalar_values;
+      grid_x = gx;
+      grid_y = gy;
+      block_x = bx;
+      block_y = by;
+      tb_threads;
+      warps_per_tb;
+      sched = l.sched;
+      stats;
+      trace;
+      l2 = dev.l2;
+      dram_free = ref 0;
+      bypass =
+        (let num_ids = List.length l.prog.Bytecode.array_ids in
+         let flags = Array.make num_ids false in
+         List.iter
+           (fun name ->
+             match List.assoc_opt name l.prog.Bytecode.array_ids with
+             | Some id -> flags.(id) <- true
+             | None ->
+               launch_error "bypass_arrays: kernel %s has no array %s"
+                 l.prog.Bytecode.name name)
+           l.bypass_arrays;
+         flags);
+    }
+  in
+  let l1_bytes = Config.l1d_bytes dev.cfg ~smem_carveout:carveout in
+  let sms =
+    Array.init dev.cfg.Config.num_sms (fun i ->
+        match l.runtime_throttle with
+        | `None -> Sm.create job i ~l1_bytes
+        | `Dyncta ->
+          Sm.create ~dyn:(Dynamic_throttle.create ~init_cap:max_tbs ()) job i
+            ~l1_bytes
+        | `Ccws ->
+          Sm.create
+            ~ccws:(Ccws.create ~max_warps:(max_tbs * warps_per_tb) ())
+            job i ~l1_bytes
+        | `Daws ->
+          Sm.create
+            ~daws:
+              (Daws.create
+                 ~l1_lines:(l1_bytes / dev.cfg.Config.line_bytes)
+                 ~extents:(Bytecode.loop_extents l.prog))
+            job i ~l1_bytes
+        | `Swl limit ->
+          if limit < 1 then launch_error "static warp limit must be >= 1";
+          Sm.create ~swl:limit job i ~l1_bytes)
+  in
+  let total_tbs = gx * gy in
+  let next_tb = ref 0 in
+  let refill sm =
+    while sm.Sm.resident_tbs < max_tbs && !next_tb < total_tbs do
+      Sm.launch_tb sm !next_tb;
+      incr next_tb
+    done
+  in
+  (* initial distribution: one TB per SM round-robin until capacity *)
+  let continue_rr = ref true in
+  while !continue_rr && !next_tb < total_tbs do
+    continue_rr := false;
+    Array.iter
+      (fun sm ->
+        if sm.Sm.resident_tbs < max_tbs && !next_tb < total_tbs then begin
+          Sm.launch_tb sm !next_tb;
+          incr next_tb;
+          continue_rr := true
+        end)
+      sms
+  done;
+  (* event loop: always step the SM whose next issue is earliest *)
+  let rec run () =
+    let best = ref None in
+    Array.iter
+      (fun sm ->
+        if Sm.has_warps sm then
+          match Sm.next_event sm with
+          | Some t ->
+            let at = max t sm.Sm.now in
+            (match !best with
+            | Some (_, best_at) when best_at <= at -> ()
+            | _ -> best := Some (sm, at))
+          | None ->
+            Sm.sim_error "kernel %s: barrier deadlock on SM %d"
+              l.prog.Bytecode.name sm.Sm.id)
+      sms;
+    match !best with
+    | None -> ()  (* all SMs drained *)
+    | Some (sm, _) ->
+      ignore (Sm.step sm);
+      refill sm;
+      run ()
+  in
+  run ();
+  assert (!next_tb = total_tbs);
+  stats.Stats.cycles <-
+    Array.fold_left (fun acc sm -> max acc sm.Sm.now) 0 sms;
+  (stats, trace)

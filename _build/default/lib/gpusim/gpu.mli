@@ -1,0 +1,70 @@
+(** Device state and kernel launching.
+
+    A {!device} owns global-memory arrays and the shared L2.  {!launch}
+    compiles nothing — it takes SASS-lite from {!Codegen} — and runs the
+    kernel to completion on the configured number of SMs, returning the
+    performance counters and (when requested) the off-chip access trace.
+
+    The launch path mirrors the paper's setup: the shared-memory carveout
+    defaults to the smallest configurable option that fits the kernel's
+    static [__shared__] usage (Section 4.1), and the residency limit per SM
+    is Eq. 3 via {!Cta_scheduler}. *)
+
+exception Launch_error of string
+
+type device
+
+val create : Config.t -> device
+val config : device -> Config.t
+
+val alloc : device -> string -> int -> unit
+(** [alloc dev name len] creates a zero-filled device array.  Raises
+    {!Launch_error} if the name is taken. *)
+
+val upload : device -> string -> float array -> unit
+(** Allocate-and-copy.  Replaces any existing array of that name. *)
+
+val get : device -> string -> float array
+(** The live device array (no copy) — read results directly, mutate to
+    re-initialize between runs. *)
+
+val free_all : device -> unit
+
+val flush_caches : device -> unit
+(** Invalidate L2 (per-launch L1s are always cold).  Used between repeats
+    so that timing runs are independent. *)
+
+type arg = Arr of string | Scalar of float
+
+type launch = {
+  prog : Bytecode.program;
+  grid : int * int;
+  block : int * int;
+  args : arg list;  (** one per kernel parameter, in declaration order *)
+  smem_carveout : int option;
+      (** bytes of on-chip memory given to shared memory; [None] picks the
+          smallest configurable option fitting the kernel's static usage *)
+  sched : Sm.sched;
+  trace : bool;  (** record the Fig. 2 off-chip access trace on SM 0 *)
+  runtime_throttle : [ `None | `Dyncta | `Ccws | `Daws | `Swl of int ];
+      (** scheduler-level throttling baselines the paper's Section 2.2
+          surveys: {!Dynamic_throttle} (DYNCTA-like TB capping), {!Ccws}
+          (lost-locality warp scheduling), {!Daws} (proactive footprint
+          prediction), or [`Swl k] — static warp limiting, whose best
+          offline choice is the CCWS paper's Best-SWL *)
+  bypass_arrays : string list;
+      (** arrays whose loads skip the L1D entirely — models the selective
+          cache-bypassing alternative of Section 2.2 for ablations *)
+}
+
+val default_launch :
+  prog:Bytecode.program -> grid:int * int -> block:int * int -> arg list -> launch
+
+val occupancy : device -> launch -> int
+(** Resident TBs per SM (Eq. 3) for this launch.  Raises {!Launch_error}
+    on an unlaunchable configuration. *)
+
+val launch : device -> launch -> Stats.t * Trace.t
+(** Runs to completion.  Raises {!Launch_error} for bad argument lists and
+    {!Sm.Sim_error} for runtime faults (out-of-bounds, division by zero,
+    barrier deadlock). *)

@@ -1,0 +1,807 @@
+(** One streaming multiprocessor: warp contexts, the mask-stack SIMT
+    execution engine, the warp scheduler (GTO or loose round-robin), the
+    load/store unit with its coalescer, and barrier handling.
+
+    Timing model: one instruction issues per SM per cycle.  ALU
+    instructions make the warp ready again after [alu_latency]; memory
+    instructions block the issuing warp until the slowest of its coalesced
+    transactions returns; the LSU accepts [lsu_throughput] transactions per
+    cycle, so divergent warps occupy it for many cycles — the bandwidth
+    pressure that makes cache thrashing expensive. *)
+
+exception Sim_error of string
+
+let sim_error fmt = Printf.ksprintf (fun msg -> raise (Sim_error msg)) fmt
+
+type global_array = { data : float array; base : int }
+
+type sched = Gto | Lrr
+
+(** Everything shared by the SMs executing one kernel launch. *)
+type job = {
+  cfg : Config.t;
+  prog : Bytecode.program;
+  arrays : global_array option array;  (* indexed by array id; None = shared *)
+  shared_specs : (int * int) list;  (* shared array id, element count *)
+  scalar_values : (int * float) list;  (* preloaded (register, value) *)
+  grid_x : int;
+  grid_y : int;
+  block_x : int;
+  block_y : int;
+  tb_threads : int;
+  warps_per_tb : int;
+  sched : sched;
+  stats : Stats.t;
+  trace : Trace.t;
+  l2 : Cache.t;
+  dram_free : int ref;  (** shared DRAM-port availability (bandwidth model) *)
+  bypass : bool array;  (** per array id: loads skip the L1D (ablation) *)
+}
+
+type frame_kind = F_if | F_loop
+
+type frame = {
+  kind : frame_kind;
+  mutable outer : int;
+  mutable pending_else : int;
+  mutable pending_cont : int;  (* lanes parked by Cont until Rejoin *)
+}
+
+type warp = {
+  age : int;  (* per-SM monotonic creation stamp, GTO tie-break *)
+  tb : tb;
+  init_mask : int;
+  regs : float array;  (* num_regs * warp_size, register-major *)
+  tid_x : int array;
+  tid_y : int array;
+  mutable pc : int;
+  mutable active : int;
+  mutable exited : int;
+  mutable stack : frame list;
+  mutable ready_at : int;
+  mutable at_barrier : bool;
+  mutable finished : bool;
+  mutable daws_hold : int list;
+      (* begin pcs of loops this warp is inside under DAWS, innermost first *)
+}
+
+and tb = {
+  tb_id : int;
+  bid_x : int;
+  bid_y : int;
+  shared : float array array;  (* indexed by array id; [||] for globals *)
+  mutable unfinished : int;
+  mutable arrived : int;  (* warps waiting at the current barrier *)
+  mutable tb_warps : warp list;
+}
+
+type t = {
+  id : int;
+  job : job;
+  l1 : Cache.t;
+  mutable now : int;
+  mutable lsu_free : int;
+  mutable warps : warp list;  (* every resident warp, oldest first *)
+  mutable resident_tbs : int;
+  mutable last_issued : warp option;
+  mutable rr_cursor : int;  (* LRR position *)
+  mutable next_age : int;
+  mutable tbs_completed : int;
+  dyn : Dynamic_throttle.t option;  (* DYNCTA-like run-time TB-cap controller *)
+  ccws : Ccws.t option;  (* CCWS-like lost-locality warp scheduler *)
+  daws : Daws.t option;  (* DAWS-like proactive footprint predictor *)
+  swl : int option;  (* static warp limit (Best-SWL baseline): schedulable
+                        warps per SM, fixed for the whole launch *)
+}
+
+let create ?dyn ?ccws ?daws ?swl job id ~l1_bytes =
+  {
+    id;
+    job;
+    l1 =
+      Cache.create ~bytes:l1_bytes ~assoc:job.cfg.Config.l1d_assoc
+        ~line_bytes:job.cfg.Config.line_bytes ~mshrs:job.cfg.Config.l1d_mshrs;
+    now = 0;
+    lsu_free = 0;
+    warps = [];
+    resident_tbs = 0;
+    last_issued = None;
+    rr_cursor = 0;
+    next_age = 0;
+    tbs_completed = 0;
+    dyn;
+    ccws;
+    daws;
+    swl;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* TB launch                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let launch_tb sm tb_id =
+  let job = sm.job in
+  let ws = job.cfg.Config.warp_size in
+  let bid_x = tb_id mod job.grid_x in
+  let bid_y = tb_id / job.grid_x in
+  let num_ids = List.length job.prog.Bytecode.array_ids in
+  let shared = Array.make num_ids [||] in
+  List.iter
+    (fun (arr_id, elements) -> shared.(arr_id) <- Array.make elements 0.)
+    job.shared_specs;
+  let tb =
+    { tb_id; bid_x; bid_y; shared; unfinished = job.warps_per_tb; arrived = 0; tb_warps = [] }
+  in
+  let num_regs = max 1 job.prog.Bytecode.num_regs in
+  let make_warp warp_idx =
+    let base_tid = warp_idx * ws in
+    let lanes = min ws (job.tb_threads - base_tid) in
+    let init_mask = (1 lsl lanes) - 1 in
+    let tid_x = Array.make ws 0 in
+    let tid_y = Array.make ws 0 in
+    for lane = 0 to lanes - 1 do
+      let lin = base_tid + lane in
+      tid_x.(lane) <- lin mod job.block_x;
+      tid_y.(lane) <- lin / job.block_x
+    done;
+    let regs = Array.make (num_regs * ws) 0. in
+    List.iter
+      (fun (reg, value) ->
+        for lane = 0 to ws - 1 do
+          regs.((reg * ws) + lane) <- value
+        done)
+      job.scalar_values;
+    let warp =
+      {
+        age = sm.next_age;
+        tb;
+        init_mask;
+        regs;
+        tid_x;
+        tid_y;
+        pc = 0;
+        active = init_mask;
+        exited = 0;
+        stack = [];
+        ready_at = sm.now;
+        at_barrier = false;
+        finished = false;
+        daws_hold = [];
+      }
+    in
+    sm.next_age <- sm.next_age + 1;
+    warp
+  in
+  let new_warps = List.init job.warps_per_tb make_warp in
+  tb.tb_warps <- new_warps;
+  sm.warps <- sm.warps @ new_warps;
+  sm.resident_tbs <- sm.resident_tbs + 1;
+  job.stats.Stats.tbs_launched <- job.stats.Stats.tbs_launched + 1;
+  let resident_warps = List.length sm.warps in
+  if resident_warps > job.stats.Stats.max_resident_warps then
+    job.stats.Stats.max_resident_warps <- resident_warps
+
+(* ---------------------------------------------------------------- *)
+(* Operand access                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let ws_of sm = sm.job.cfg.Config.warp_size
+
+let special_value sm warp lane = function
+  | Bytecode.Sp_tid_x -> warp.tid_x.(lane)
+  | Bytecode.Sp_tid_y -> warp.tid_y.(lane)
+  | Bytecode.Sp_bid_x -> warp.tb.bid_x
+  | Bytecode.Sp_bid_y -> warp.tb.bid_y
+  | Bytecode.Sp_bdim_x -> sm.job.block_x
+  | Bytecode.Sp_bdim_y -> sm.job.block_y
+  | Bytecode.Sp_gdim_x -> sm.job.grid_x
+  | Bytecode.Sp_gdim_y -> sm.job.grid_y
+
+let read sm warp lane = function
+  | Bytecode.Reg r -> warp.regs.((r * ws_of sm) + lane)
+  | Bytecode.Imm f -> f
+  | Bytecode.Special s -> float_of_int (special_value sm warp lane s)
+
+let write warp ~ws ~reg ~lane value = warp.regs.((reg * ws) + lane) <- value
+
+(* ---------------------------------------------------------------- *)
+(* ALU                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let apply_alu op a b =
+  match op with
+  | Bytecode.Fadd -> a +. b
+  | Bytecode.Fsub -> a -. b
+  | Bytecode.Fmul -> a *. b
+  | Bytecode.Fdiv -> a /. b
+  (* integer add/sub/mul are exact in doubles for the 32-bit range *)
+  | Bytecode.Iadd -> a +. b
+  | Bytecode.Isub -> a -. b
+  | Bytecode.Imul -> a *. b
+  | Bytecode.Idiv ->
+    let divisor = int_of_float b in
+    if divisor = 0 then sim_error "integer division by zero"
+    else float_of_int (int_of_float a / divisor)
+  | Bytecode.Imod ->
+    let divisor = int_of_float b in
+    if divisor = 0 then sim_error "integer modulo by zero"
+    else float_of_int (int_of_float a mod divisor)
+  | Bytecode.Cmp_lt -> if a < b then 1. else 0.
+  | Bytecode.Cmp_le -> if a <= b then 1. else 0.
+  | Bytecode.Cmp_gt -> if a > b then 1. else 0.
+  | Bytecode.Cmp_ge -> if a >= b then 1. else 0.
+  | Bytecode.Cmp_eq -> if a = b then 1. else 0.
+  | Bytecode.Cmp_ne -> if a <> b then 1. else 0.
+  | Bytecode.Band -> if a <> 0. && b <> 0. then 1. else 0.
+  | Bytecode.Bor -> if a <> 0. || b <> 0. then 1. else 0.
+
+(* ---------------------------------------------------------------- *)
+(* Memory                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let elem_bytes = 4
+
+let global_of sm arr_id =
+  match sm.job.arrays.(arr_id) with
+  | Some ga -> ga
+  | None -> sim_error "array id %d is not a global array" arr_id
+
+let lane_index sm warp lane idx_reg =
+  int_of_float warp.regs.((idx_reg * ws_of sm) + lane)
+
+let check_bounds sm arr_id idx len =
+  if idx < 0 || idx >= len then
+    let name =
+      match
+        List.find_opt (fun (_, id) -> id = arr_id) sm.job.prog.Bytecode.array_ids
+      with
+      | Some (n, _) -> n
+      | None -> "?"
+    in
+    sim_error "kernel %s: array %s index %d out of bounds [0, %d)"
+      sm.job.prog.Bytecode.name name idx len
+
+(* Issue one line-granular transaction through the LSU and the cache
+   hierarchy; returns the cycle its data is available.  [bypass] loads go
+   straight to the L2, leaving the L1D untouched — the cache-bypassing
+   alternative of the paper's Section 2.2. *)
+let issue_load_transaction ?(bypass = false) sm warp line =
+  let cfg = sm.job.cfg in
+  let stats = sm.job.stats in
+  let issue = max sm.now sm.lsu_free in
+  (* one transaction per LSU slot; throughput > 1 shortens the slot to 0
+     every lsu_throughput-th transaction, approximating wider LSUs *)
+  sm.lsu_free <- issue + 1;
+  let dram_ready ~issue =
+    (* one line at a time through the shared DRAM port *)
+    let slot = max issue !(sm.job.dram_free) in
+    sm.job.dram_free := slot + cfg.Config.dram_slot_cycles;
+    slot + cfg.Config.l2_hit_latency + cfg.Config.dram_latency
+  in
+  let l2_ready ~issue:l2_now =
+    stats.Stats.l2_accesses <- stats.Stats.l2_accesses + 1;
+    let arrival, outcome =
+      Cache.access sm.job.l2 ~now:l2_now ~line ~miss_ready:dram_ready
+    in
+    (match outcome with
+    | Cache.Hit | Cache.Pending_hit ->
+      stats.Stats.l2_hits <- stats.Stats.l2_hits + 1
+    | Cache.Miss -> stats.Stats.l2_misses <- stats.Stats.l2_misses + 1);
+    max arrival (l2_now + cfg.Config.l2_hit_latency)
+  in
+  if bypass then begin
+    stats.Stats.bypass_transactions <- stats.Stats.bypass_transactions + 1;
+    l2_ready ~issue
+  end
+  else begin
+    stats.Stats.l1_accesses <- stats.Stats.l1_accesses + 1;
+    let arrival, outcome =
+      Cache.access sm.l1 ~now:issue ~line ~miss_ready:l2_ready
+    in
+    (match outcome with
+    | Cache.Hit -> stats.Stats.l1_hits <- stats.Stats.l1_hits + 1
+    | Cache.Pending_hit ->
+      stats.Stats.l1_pending_hits <- stats.Stats.l1_pending_hits + 1
+    | Cache.Miss ->
+      stats.Stats.l1_misses <- stats.Stats.l1_misses + 1;
+      (match sm.ccws with
+      | Some c -> ignore (Ccws.on_miss c ~warp_id:warp.age ~line)
+      | None -> ()));
+    max arrival (issue + cfg.Config.l1d_hit_latency)
+  end
+
+let issue_store_transaction sm line =
+  let cfg = sm.job.cfg in
+  let stats = sm.job.stats in
+  let issue = max sm.now sm.lsu_free in
+  sm.lsu_free <- issue + 1;
+  stats.Stats.store_transactions <- stats.Stats.store_transactions + 1;
+  (* write-through: update L1 if present (no allocate), allocate in L2 *)
+  ignore (Cache.write_update sm.l1 ~now:issue ~line);
+  stats.Stats.l2_accesses <- stats.Stats.l2_accesses + 1;
+  let _, outcome =
+    Cache.access sm.job.l2 ~now:issue ~line ~miss_ready:(fun ~issue ->
+        let slot = max issue !(sm.job.dram_free) in
+        sm.job.dram_free := slot + cfg.Config.dram_slot_cycles;
+        slot + cfg.Config.l2_hit_latency + cfg.Config.dram_latency)
+  in
+  (match outcome with
+  | Cache.Hit | Cache.Pending_hit -> stats.Stats.l2_hits <- stats.Stats.l2_hits + 1
+  | Cache.Miss -> stats.Stats.l2_misses <- stats.Stats.l2_misses + 1)
+
+let exec_global_load sm warp ~dst ~arr_id ~idx_reg =
+  let ws = ws_of sm in
+  let ga = global_of sm arr_id in
+  let len = Array.length ga.data in
+  let addrs = Array.make ws 0 in
+  for lane = 0 to ws - 1 do
+    if warp.active land (1 lsl lane) <> 0 then begin
+      let idx = lane_index sm warp lane idx_reg in
+      check_bounds sm arr_id idx len;
+      addrs.(lane) <- ga.base + (idx * elem_bytes);
+      write warp ~ws ~reg:dst ~lane ga.data.(idx)
+    end
+  done;
+  let lines =
+    Coalescer.lines ~line_bytes:sm.job.cfg.Config.line_bytes ~addrs
+      ~mask:warp.active
+  in
+  Trace.record sm.job.trace ~sm:sm.id ~pc:warp.pc
+    ~requests:(List.length lines) ~cycle:sm.now;
+  (match (sm.daws, warp.daws_hold) with
+  | Some d, loop_pc :: _ ->
+    Daws.on_mem_instr d ~loop_pc ~requests:(List.length lines)
+  | _ -> ());
+  sm.job.stats.Stats.global_load_instrs <-
+    sm.job.stats.Stats.global_load_instrs + 1;
+  let bypass = sm.job.bypass.(arr_id) in
+  List.fold_left
+    (fun acc line -> max acc (issue_load_transaction ~bypass sm warp line))
+    sm.now lines
+
+let exec_global_store sm warp ~arr_id ~idx_reg ~src =
+  let ws = ws_of sm in
+  let ga = global_of sm arr_id in
+  let len = Array.length ga.data in
+  let addrs = Array.make ws 0 in
+  for lane = 0 to ws - 1 do
+    if warp.active land (1 lsl lane) <> 0 then begin
+      let idx = lane_index sm warp lane idx_reg in
+      check_bounds sm arr_id idx len;
+      addrs.(lane) <- ga.base + (idx * elem_bytes);
+      ga.data.(idx) <- read sm warp lane src
+    end
+  done;
+  let lines =
+    Coalescer.lines ~line_bytes:sm.job.cfg.Config.line_bytes ~addrs
+      ~mask:warp.active
+  in
+  Trace.record sm.job.trace ~sm:sm.id ~pc:warp.pc
+    ~requests:(List.length lines) ~cycle:sm.now;
+  (match (sm.daws, warp.daws_hold) with
+  | Some d, loop_pc :: _ ->
+    Daws.on_mem_instr d ~loop_pc ~requests:(List.length lines)
+  | _ -> ());
+  sm.job.stats.Stats.global_store_instrs <-
+    sm.job.stats.Stats.global_store_instrs + 1;
+  List.iter (issue_store_transaction sm) lines
+
+let shared_of warp arr_id =
+  let arr = warp.tb.shared.(arr_id) in
+  if Array.length arr = 0 then sim_error "array id %d is not a shared array" arr_id
+  else arr
+
+let exec_shared_access sm warp ~arr_id ~idx_reg ~action =
+  let ws = ws_of sm in
+  let arr = shared_of warp arr_id in
+  let len = Array.length arr in
+  for lane = 0 to ws - 1 do
+    if warp.active land (1 lsl lane) <> 0 then begin
+      let idx = lane_index sm warp lane idx_reg in
+      check_bounds sm arr_id idx len;
+      action arr idx lane
+    end
+  done;
+  sm.job.stats.Stats.shared_instrs <- sm.job.stats.Stats.shared_instrs + 1;
+  (* shared memory: fixed latency, one LSU slot, no bank-conflict model *)
+  let issue = max sm.now sm.lsu_free in
+  sm.lsu_free <- issue + 1;
+  issue + sm.job.cfg.Config.l1d_hit_latency
+
+(* ---------------------------------------------------------------- *)
+(* Barriers and retirement                                           *)
+(* ---------------------------------------------------------------- *)
+
+let release_barrier sm tb =
+  List.iter
+    (fun w ->
+      if w.at_barrier then begin
+        w.at_barrier <- false;
+        w.ready_at <- sm.now + 1
+      end)
+    tb.tb_warps;
+  tb.arrived <- 0
+
+let check_barrier_release sm tb =
+  if tb.unfinished > 0 && tb.arrived >= tb.unfinished then release_barrier sm tb
+
+let retire_tb sm tb =
+  (match sm.ccws with
+  | Some c ->
+    List.iter (fun w -> if w.tb == tb then Ccws.retire c ~warp_id:w.age) sm.warps
+  | None -> ());
+  sm.warps <- List.filter (fun w -> w.tb != tb) sm.warps;
+  (match sm.last_issued with
+  | Some w when w.tb == tb -> sm.last_issued <- None
+  | _ -> ());
+  sm.resident_tbs <- sm.resident_tbs - 1;
+  sm.tbs_completed <- sm.tbs_completed + 1
+
+let exec_exit sm warp =
+  warp.finished <- true;
+  let tb = warp.tb in
+  tb.unfinished <- tb.unfinished - 1;
+  if tb.unfinished = 0 then retire_tb sm tb else check_barrier_release sm tb
+
+(* ---------------------------------------------------------------- *)
+(* Instruction dispatch                                              *)
+(* ---------------------------------------------------------------- *)
+
+let for_active_lanes sm warp f =
+  let ws = ws_of sm in
+  for lane = 0 to ws - 1 do
+    if warp.active land (1 lsl lane) <> 0 then f lane
+  done
+
+let exec_instr sm warp =
+  let cfg = sm.job.cfg in
+  let ws = ws_of sm in
+  let code = sm.job.prog.Bytecode.code in
+  if warp.pc < 0 || warp.pc >= Array.length code then
+    sim_error "kernel %s: pc %d out of range" sm.job.prog.Bytecode.name warp.pc;
+  let instr = code.(warp.pc) in
+  sm.job.stats.Stats.instructions <- sm.job.stats.Stats.instructions + 1;
+  let next_pc = ref (warp.pc + 1) in
+  let ready = ref (sm.now + cfg.Config.alu_latency) in
+  (match instr with
+  | Bytecode.Mov (dst, src) ->
+    for_active_lanes sm warp (fun lane ->
+        write warp ~ws ~reg:dst ~lane (read sm warp lane src))
+  | Bytecode.Alu (op, dst, a, b) ->
+    for_active_lanes sm warp (fun lane ->
+        write warp ~ws ~reg:dst ~lane
+          (apply_alu op (read sm warp lane a) (read sm warp lane b)))
+  | Bytecode.Neg (dst, a) ->
+    for_active_lanes sm warp (fun lane ->
+        write warp ~ws ~reg:dst ~lane (-.read sm warp lane a))
+  | Bytecode.Not (dst, a) ->
+    for_active_lanes sm warp (fun lane ->
+        write warp ~ws ~reg:dst ~lane
+          (if read sm warp lane a = 0. then 1. else 0.))
+  | Bytecode.Trunc (dst, a) ->
+    for_active_lanes sm warp (fun lane ->
+        write warp ~ws ~reg:dst ~lane
+          (float_of_int (int_of_float (read sm warp lane a))))
+  | Bytecode.Sel (dst, cond, a, b) ->
+    for_active_lanes sm warp (fun lane ->
+        let value =
+          if warp.regs.((cond * ws) + lane) <> 0. then read sm warp lane a
+          else read sm warp lane b
+        in
+        write warp ~ws ~reg:dst ~lane value)
+  | Bytecode.Call (name, dst, arg_regs) -> (
+    match Minicuda.Builtins.find name with
+    | None -> sim_error "call to unknown builtin %s" name
+    | Some { Minicuda.Builtins.apply; _ } ->
+      let arity = List.length arg_regs in
+      let args = Array.make arity 0. in
+      for_active_lanes sm warp (fun lane ->
+          List.iteri
+            (fun i reg -> args.(i) <- warp.regs.((reg * ws) + lane))
+            arg_regs;
+          write warp ~ws ~reg:dst ~lane (apply args));
+      ready := sm.now + (2 * cfg.Config.alu_latency))
+  | Bytecode.Ld (Bytecode.Global, dst, arr_id, idx_reg) ->
+    if warp.active <> 0 then
+      ready := exec_global_load sm warp ~dst ~arr_id ~idx_reg
+  | Bytecode.St (Bytecode.Global, arr_id, idx_reg, src) ->
+    if warp.active <> 0 then begin
+      exec_global_store sm warp ~arr_id ~idx_reg ~src;
+      ready := sm.now + 1
+    end
+  | Bytecode.Ld (Bytecode.Shared, dst, arr_id, idx_reg) ->
+    if warp.active <> 0 then
+      ready :=
+        exec_shared_access sm warp ~arr_id ~idx_reg ~action:(fun arr idx lane ->
+            write warp ~ws ~reg:dst ~lane arr.(idx))
+  | Bytecode.St (Bytecode.Shared, arr_id, idx_reg, src) ->
+    if warp.active <> 0 then
+      ready :=
+        exec_shared_access sm warp ~arr_id ~idx_reg ~action:(fun arr idx lane ->
+            arr.(idx) <- read sm warp lane src)
+  | Bytecode.Push_if (cond_reg, skip) ->
+    let then_mask = ref 0 in
+    for_active_lanes sm warp (fun lane ->
+        if warp.regs.((cond_reg * ws) + lane) <> 0. then
+          then_mask := !then_mask lor (1 lsl lane));
+    let else_mask = warp.active land lnot !then_mask in
+    warp.stack <-
+      { kind = F_if; outer = warp.active; pending_else = else_mask; pending_cont = 0 }
+      :: warp.stack;
+    warp.active <- !then_mask;
+    if !then_mask = 0 then next_pc := skip;
+    ready := sm.now + 1
+  | Bytecode.Else_mask skip -> (
+    match warp.stack with
+    | [] -> sim_error "else without matching push_if"
+    | frame :: _ ->
+      warp.active <- frame.pending_else;
+      frame.pending_else <- 0;
+      if warp.active = 0 then next_pc := skip;
+      ready := sm.now + 1)
+  | Bytecode.Pop_mask -> (
+    match warp.stack with
+    | [] -> sim_error "pop on empty mask stack"
+    | frame :: rest ->
+      warp.active <- frame.outer land lnot warp.exited;
+      warp.stack <- rest;
+      ready := sm.now + 1)
+  | Bytecode.Loop_begin -> (
+    match sm.daws with
+    | None ->
+      warp.stack <-
+        { kind = F_loop; outer = warp.active; pending_else = 0; pending_cont = 0 }
+        :: warp.stack;
+      ready := sm.now + 1
+    | Some d ->
+      if Daws.try_enter d ~loop_pc:warp.pc ~age:warp.age then begin
+        warp.daws_hold <- warp.pc :: warp.daws_hold;
+        warp.stack <-
+          { kind = F_loop; outer = warp.active; pending_else = 0; pending_cont = 0 }
+          :: warp.stack;
+        ready := sm.now + 1
+      end
+      else begin
+        (* the loop is at its predicted capacity: hold the warp at the
+           entry and retry later (DAWS "stops the new warp") *)
+        next_pc := warp.pc;
+        ready := sm.now + 16
+      end)
+  | Bytecode.Break_if_false (cond_reg, exit_pc) ->
+    let still = ref 0 in
+    for_active_lanes sm warp (fun lane ->
+        if warp.regs.((cond_reg * ws) + lane) <> 0. then
+          still := !still lor (1 lsl lane));
+    warp.active <- !still;
+    if !still = 0 then next_pc := exit_pc;
+    ready := sm.now + 1
+  | Bytecode.Jump target -> (
+    match (sm.daws, warp.daws_hold) with
+    | Some d, loop_pc :: _ when not (Daws.may_continue d ~loop_pc ~age:warp.age)
+      ->
+      (* descheduled at the back edge: the loop's learned divergence says
+         too many warps are inside; retry when older warps have left *)
+      next_pc := warp.pc;
+      ready := sm.now + 16
+    | _ ->
+      next_pc := target;
+      ready := sm.now + 1)
+  | Bytecode.Loop_end -> (
+    (match (sm.daws, warp.daws_hold) with
+    | Some d, loop_pc :: rest ->
+      Daws.on_loop_exit d ~loop_pc ~age:warp.age;
+      warp.daws_hold <- rest
+    | _ -> ());
+    match warp.stack with
+    | [] -> sim_error "loop_end on empty mask stack"
+    | frame :: rest ->
+      warp.active <- frame.outer land lnot warp.exited;
+      warp.stack <- rest;
+      ready := sm.now + 1)
+  | Bytecode.Bar ->
+    warp.at_barrier <- true;
+    warp.tb.arrived <- warp.tb.arrived + 1;
+    sm.job.stats.Stats.barriers <- sm.job.stats.Stats.barriers + 1;
+    check_barrier_release sm warp.tb
+  | Bytecode.Ret ->
+    let retiring = warp.active in
+    warp.exited <- warp.exited lor retiring;
+    warp.active <- 0;
+    List.iter
+      (fun frame ->
+        frame.pending_else <- frame.pending_else land lnot retiring;
+        frame.pending_cont <- frame.pending_cont land lnot retiring)
+      warp.stack;
+    ready := sm.now + 1
+  | Bytecode.Brk ->
+    (* remove the active lanes from every frame above (and excluding) the
+       innermost loop frame; the loop frame's [outer] keeps them, so they
+       resume after Loop_end *)
+    let breaking = warp.active in
+    let rec clear = function
+      | [] -> sim_error "break outside a loop"
+      | frame :: rest ->
+        if frame.kind = F_loop then ()
+        else begin
+          frame.outer <- frame.outer land lnot breaking;
+          frame.pending_else <- frame.pending_else land lnot breaking;
+          clear rest
+        end
+    in
+    clear warp.stack;
+    warp.active <- 0;
+    ready := sm.now + 1
+  | Bytecode.Cont ->
+    (* park the active lanes in the innermost loop frame until Rejoin *)
+    let continuing = warp.active in
+    let rec park = function
+      | [] -> sim_error "continue outside a loop"
+      | frame :: rest ->
+        if frame.kind = F_loop then
+          frame.pending_cont <- frame.pending_cont lor continuing
+        else begin
+          frame.outer <- frame.outer land lnot continuing;
+          frame.pending_else <- frame.pending_else land lnot continuing;
+          park rest
+        end
+    in
+    park warp.stack;
+    warp.active <- 0;
+    ready := sm.now + 1
+  | Bytecode.Rejoin -> (
+    match warp.stack with
+    | frame :: _ when frame.kind = F_loop ->
+      warp.active <-
+        (warp.active lor frame.pending_cont) land lnot warp.exited;
+      frame.pending_cont <- 0;
+      ready := sm.now + 1
+    | _ -> sim_error "rejoin without an innermost loop frame")
+  | Bytecode.Exit -> exec_exit sm warp);
+  if not warp.finished then begin
+    warp.pc <- !next_pc;
+    warp.ready_at <- max !ready (sm.now + 1)
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Scheduling                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let issuable warp sm = (not warp.finished) && (not warp.at_barrier) && warp.ready_at <= sm.now
+
+(* Warps the scheduler may consider: all of them, or — under a dynamic
+   run-time throttle — the warps of the first [cap] distinct TBs in age
+   order.  TB granularity keeps barriers inside a scheduled TB drainable
+   (capping individual warps could park a TB at a barrier forever). *)
+(* barrier-drain rule shared by every scheduler-level throttle: a TB with a
+   warp parked at a barrier keeps all its warps schedulable, or the barrier
+   could never complete *)
+let draining tb = List.exists (fun w -> w.at_barrier) tb.tb_warps
+
+let schedulable sm =
+  match (sm.ccws, sm.dyn, sm.swl) with
+  | Some ccws, _, _ ->
+    let live = List.filter (fun w -> not w.finished) sm.warps in
+    let ids = Ccws.allowed ccws (List.map (fun w -> w.age) live) in
+    List.filter (fun w -> List.mem w.age ids || draining w.tb) sm.warps
+  | None, Some dyn, _ ->
+    let cap = Dynamic_throttle.cap dyn in
+    let seen = ref [] in
+    List.filter
+      (fun w ->
+        if List.memq w.tb !seen then true
+        else if List.length !seen < cap then begin
+          seen := w.tb :: !seen;
+          true
+        end
+        else false)
+      sm.warps
+  | None, None, Some limit ->
+    (* static warp limiting: the oldest [limit] live warps, in age order *)
+    let admitted = ref 0 in
+    List.filter
+      (fun w ->
+        if w.finished then false
+        else if !admitted < limit then begin
+          incr admitted;
+          true
+        end
+        else draining w.tb)
+      sm.warps
+  | None, None, None -> sm.warps
+
+let pick_gto sm =
+  let pool = schedulable sm in
+  match sm.last_issued with
+  | Some w when issuable w sm && List.memq w pool -> Some w
+  | _ ->
+    List.fold_left
+      (fun best w ->
+        if issuable w sm then
+          match best with
+          | Some b when b.age <= w.age -> best
+          | _ -> Some w
+        else best)
+      None pool
+
+let pick_lrr sm =
+  let arr = Array.of_list (schedulable sm) in
+  let n = Array.length arr in
+  if n = 0 then None
+  else begin
+    let rec scan i tries =
+      if tries = n then None
+      else
+        let w = arr.((sm.rr_cursor + i) mod n) in
+        if issuable w sm then begin
+          sm.rr_cursor <- (sm.rr_cursor + i + 1) mod n;
+          Some w
+        end
+        else scan (i + 1) (tries + 1)
+    in
+    scan 0 0
+  end
+
+let pick_warp sm =
+  match sm.job.sched with Gto -> pick_gto sm | Lrr -> pick_lrr sm
+
+(** Earliest cycle at which some warp could issue; [None] when every
+    resident warp is finished or parked at a barrier. *)
+let next_event sm =
+  (* a dynamic cap must not hide the only runnable warps forever: capped
+     warps still count as events (the controller raises the cap on epoch
+     edges, which only happen when the SM makes progress, so the pool is
+     taken from the cap but events consider everyone) *)
+  List.fold_left
+    (fun acc w ->
+      if w.finished || w.at_barrier then acc
+      else
+        match acc with
+        | Some t when t <= w.ready_at -> acc
+        | _ -> Some w.ready_at)
+    None (schedulable sm)
+
+let has_warps sm = sm.warps <> []
+
+(** Advance this SM by one cycle, issuing up to [issue_width] instructions
+    from distinct ready warps (each issue makes the warp unready for at
+    least a cycle, so distinctness is automatic).  Returns [false] when
+    nothing could run (idle or deadlocked — the caller distinguishes via
+    {!has_warps}). *)
+let step sm =
+  match next_event sm with
+  | None -> false
+  | Some t ->
+    if t > sm.now then begin
+      (* attribute the forwarded idle gap: barrier wait if any resident
+         warp is parked at a barrier, memory-latency exposure otherwise *)
+      let gap = t - sm.now in
+      if List.exists (fun w -> w.at_barrier) sm.warps then
+        sm.job.stats.Stats.barrier_idle_cycles <-
+          sm.job.stats.Stats.barrier_idle_cycles + gap
+      else
+        sm.job.stats.Stats.mem_idle_cycles <-
+          sm.job.stats.Stats.mem_idle_cycles + gap;
+      sm.now <- t
+    end;
+    let width = sm.job.cfg.Config.issue_width in
+    let issued = ref 0 in
+    let continue = ref true in
+    while !continue && !issued < width do
+      match pick_warp sm with
+      | None -> continue := false
+      | Some warp ->
+        exec_instr sm warp;
+        sm.last_issued <- Some warp;
+        sm.job.stats.Stats.issued_instructions <-
+          sm.job.stats.Stats.issued_instructions + 1;
+        (match sm.dyn with Some d -> Dynamic_throttle.on_issue d | None -> ());
+        incr issued
+    done;
+    (match sm.dyn with
+    | Some d -> Dynamic_throttle.on_cycle d ~now:sm.now ~max_cap:sm.resident_tbs
+    | None -> ());
+    (match sm.ccws with Some c -> Ccws.tick c | None -> ());
+    if !issued = 0 then
+      sim_error "scheduler found no warp despite pending event";
+    sm.now <- sm.now + 1;
+    true

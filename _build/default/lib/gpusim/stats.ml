@@ -1,0 +1,104 @@
+(** Per-launch performance counters.
+
+    These are the simulator's equivalent of the paper's [nvprof] metrics:
+    execution cycles, L1D hit rate (Fig. 6), and post-coalescing request
+    counts (via {!Trace}). *)
+
+type t = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable global_load_instrs : int;
+  mutable global_store_instrs : int;
+  mutable shared_instrs : int;
+  mutable l1_accesses : int;  (** line-granular transactions after coalescing *)
+  mutable l1_hits : int;
+  mutable l1_pending_hits : int;  (** hits on in-flight lines (MSHR merges) *)
+  mutable l1_misses : int;
+  mutable l2_accesses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable store_transactions : int;
+  mutable bypass_transactions : int;  (** L1-bypassed load lines (ablation) *)
+  mutable barriers : int;
+  mutable tbs_launched : int;
+  mutable max_resident_warps : int;
+  mutable issued_instructions : int;
+      (** instructions actually issued; [instructions] counts executions,
+          this one feeds issue-slot utilization *)
+  mutable mem_idle_cycles : int;
+      (** cycles an SM had no issuable warp while none waited at a barrier:
+          pure memory-latency exposure *)
+  mutable barrier_idle_cycles : int;
+      (** cycles an SM had no issuable warp while some warp was parked at a
+          barrier — the cost the warp-level throttling transform pays *)
+}
+
+let create () =
+  {
+    cycles = 0;
+    instructions = 0;
+    global_load_instrs = 0;
+    global_store_instrs = 0;
+    shared_instrs = 0;
+    l1_accesses = 0;
+    l1_hits = 0;
+    l1_pending_hits = 0;
+    l1_misses = 0;
+    l2_accesses = 0;
+    l2_hits = 0;
+    l2_misses = 0;
+    store_transactions = 0;
+    bypass_transactions = 0;
+    barriers = 0;
+    tbs_launched = 0;
+    max_resident_warps = 0;
+    issued_instructions = 0;
+    mem_idle_cycles = 0;
+    barrier_idle_cycles = 0;
+  }
+
+(** L1D hit rate over load transactions.  Pending hits count as hits: the
+    data was found on chip, which is what the paper's hit-rate metric
+    reflects. *)
+let l1_hit_rate t =
+  if t.l1_accesses = 0 then 0.
+  else
+    float_of_int (t.l1_hits + t.l1_pending_hits) /. float_of_int t.l1_accesses
+
+let l2_hit_rate t =
+  if t.l2_accesses = 0 then 0.
+  else float_of_int t.l2_hits /. float_of_int t.l2_accesses
+
+let accumulate ~into src =
+  into.cycles <- max into.cycles src.cycles;
+  into.instructions <- into.instructions + src.instructions;
+  into.global_load_instrs <- into.global_load_instrs + src.global_load_instrs;
+  into.global_store_instrs <- into.global_store_instrs + src.global_store_instrs;
+  into.shared_instrs <- into.shared_instrs + src.shared_instrs;
+  into.l1_accesses <- into.l1_accesses + src.l1_accesses;
+  into.l1_hits <- into.l1_hits + src.l1_hits;
+  into.l1_pending_hits <- into.l1_pending_hits + src.l1_pending_hits;
+  into.l1_misses <- into.l1_misses + src.l1_misses;
+  into.l2_accesses <- into.l2_accesses + src.l2_accesses;
+  into.l2_hits <- into.l2_hits + src.l2_hits;
+  into.l2_misses <- into.l2_misses + src.l2_misses;
+  into.store_transactions <- into.store_transactions + src.store_transactions;
+  into.bypass_transactions <- into.bypass_transactions + src.bypass_transactions;
+  into.barriers <- into.barriers + src.barriers;
+  into.tbs_launched <- into.tbs_launched + src.tbs_launched;
+  into.max_resident_warps <- max into.max_resident_warps src.max_resident_warps;
+  into.issued_instructions <- into.issued_instructions + src.issued_instructions;
+  into.mem_idle_cycles <- into.mem_idle_cycles + src.mem_idle_cycles;
+  into.barrier_idle_cycles <- into.barrier_idle_cycles + src.barrier_idle_cycles
+
+let pp fmt t =
+  Format.fprintf fmt
+    "cycles=%d instrs=%d gld=%d gst=%d l1=%d/%d (%.1f%% hit) l2=%d/%d \
+     (%.1f%% hit) tbs=%d mem-idle=%d bar-idle=%d"
+    t.cycles t.instructions t.global_load_instrs t.global_store_instrs
+    (t.l1_hits + t.l1_pending_hits)
+    t.l1_accesses
+    (l1_hit_rate t *. 100.)
+    t.l2_hits t.l2_accesses
+    (l2_hit_rate t *. 100.)
+    t.tbs_launched t.mem_idle_cycles t.barrier_idle_cycles

@@ -1,0 +1,46 @@
+(** Per-launch performance counters — the simulator's [nvprof].
+
+    One record is filled per kernel launch; the experiment harness reads
+    cycles (execution time), the L1D hit rate (paper Fig. 6) and the
+    coalescing counters.  All fields are mutable and updated by the SMs
+    during simulation. *)
+
+type t = {
+  mutable cycles : int;  (** makespan over all SMs *)
+  mutable instructions : int;
+  mutable global_load_instrs : int;  (** off-chip load instructions (warp-level) *)
+  mutable global_store_instrs : int;
+  mutable shared_instrs : int;
+  mutable l1_accesses : int;  (** line transactions after coalescing *)
+  mutable l1_hits : int;
+  mutable l1_pending_hits : int;  (** hits on in-flight lines (MSHR merges) *)
+  mutable l1_misses : int;
+  mutable l2_accesses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable store_transactions : int;
+  mutable bypass_transactions : int;  (** L1-bypassed load lines (ablation) *)
+  mutable barriers : int;
+  mutable tbs_launched : int;
+  mutable max_resident_warps : int;
+  mutable issued_instructions : int;
+  mutable mem_idle_cycles : int;
+      (** cycles an SM had no issuable warp and none at a barrier: pure
+          memory-latency exposure *)
+  mutable barrier_idle_cycles : int;
+      (** cycles an SM idled with a warp parked at a barrier — the price
+          the warp-level throttling transform pays *)
+}
+
+val create : unit -> t
+
+val l1_hit_rate : t -> float
+(** Over load transactions; pending hits count as hits (the data was found
+    on chip, which is what the paper's hit-rate metric reflects). *)
+
+val l2_hit_rate : t -> float
+
+val accumulate : into:t -> t -> unit
+(** Sums counters; [cycles] takes the max (it is a makespan). *)
+
+val pp : Format.formatter -> t -> unit

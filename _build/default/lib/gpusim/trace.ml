@@ -1,0 +1,40 @@
+(** Dynamic off-chip access trace.
+
+    Records, in dynamic program order, the post-coalescing request count of
+    every global-memory instruction executed on a chosen SM — the data
+    series plotted in the paper's Fig. 2 (memory requests per off-chip
+    instruction over time). *)
+
+type entry = { pc : int; requests : int; cycle : int }
+
+type t = {
+  mutable entries : entry array;
+  mutable len : int;
+  enabled : bool;
+  sm_filter : int;  (** only record events from this SM *)
+}
+
+let disabled = { entries = [||]; len = 0; enabled = false; sm_filter = -1 }
+
+let create ?(sm = 0) () =
+  { entries = Array.make 1024 { pc = 0; requests = 0; cycle = 0 }; len = 0; enabled = true; sm_filter = sm }
+
+let record t ~sm ~pc ~requests ~cycle =
+  if t.enabled && sm = t.sm_filter then begin
+    if t.len = Array.length t.entries then begin
+      let bigger =
+        Array.make (2 * Array.length t.entries) { pc = 0; requests = 0; cycle = 0 }
+      in
+      Array.blit t.entries 0 bigger 0 t.len;
+      t.entries <- bigger
+    end;
+    t.entries.(t.len) <- { pc; requests; cycle };
+    t.len <- t.len + 1
+  end
+
+let length t = t.len
+
+let to_array t = Array.sub t.entries 0 t.len
+
+let request_series t =
+  Array.map (fun e -> float_of_int e.requests) (to_array t)

@@ -1,0 +1,23 @@
+(** Dynamic off-chip access trace — the data series of the paper's Fig. 2.
+
+    When enabled, every global-memory instruction executed on one chosen SM
+    records its post-coalescing request count, in dynamic program order. *)
+
+type entry = { pc : int; requests : int; cycle : int }
+
+type t
+
+val disabled : t
+(** Records nothing; zero-cost. *)
+
+val create : ?sm:int -> unit -> t
+(** [create ~sm ()] records events from SM [sm] (default 0). *)
+
+val record : t -> sm:int -> pc:int -> requests:int -> cycle:int -> unit
+
+val length : t -> int
+
+val to_array : t -> entry array
+
+val request_series : t -> float array
+(** Just the request counts, as floats, ready for plotting. *)

@@ -1,0 +1,1 @@
+lib/minicuda/ast.pp.ml: List Ppx_deriving_runtime

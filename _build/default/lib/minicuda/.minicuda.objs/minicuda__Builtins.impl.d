@@ -1,0 +1,1 @@
+lib/minicuda/builtins.pp.ml: Array Ast List

@@ -1,0 +1,1 @@
+lib/minicuda/parser.pp.ml: Ast Builtins Lexer List Printf

@@ -1,0 +1,1 @@
+lib/minicuda/parser.pp.mli: Ast

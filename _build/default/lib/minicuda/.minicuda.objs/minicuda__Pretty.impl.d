@@ -1,0 +1,1 @@
+lib/minicuda/pretty.pp.ml: Ast List Printf String

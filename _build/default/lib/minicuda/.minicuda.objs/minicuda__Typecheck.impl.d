@@ -1,0 +1,1 @@
+lib/minicuda/typecheck.pp.ml: Ast Builtins List Printf

@@ -1,0 +1,41 @@
+(** Math builtins callable from mini-CUDA kernels.
+
+    GPU kernels in the evaluated suites only call a handful of intrinsics;
+    each entry records the arity, the result type and the float
+    implementation used by the simulator's functional model. *)
+
+type signature = {
+  arity : int;
+  returns : Ast.ty;
+  (* float semantics; integer callers are converted at the call site *)
+  apply : float array -> float;
+}
+
+let clamp01 x = if x < 0. then 0. else if x > 1. then 1. else x
+
+let all : (string * signature) list =
+  [
+    ("sqrtf", { arity = 1; returns = Ast.Float; apply = (fun a -> sqrt a.(0)) });
+    ("expf", { arity = 1; returns = Ast.Float; apply = (fun a -> exp a.(0)) });
+    ("logf", { arity = 1; returns = Ast.Float; apply = (fun a -> log a.(0)) });
+    ("fabsf", { arity = 1; returns = Ast.Float; apply = (fun a -> abs_float a.(0)) });
+    ("sinf", { arity = 1; returns = Ast.Float; apply = (fun a -> sin a.(0)) });
+    ("cosf", { arity = 1; returns = Ast.Float; apply = (fun a -> cos a.(0)) });
+    ( "powf",
+      { arity = 2; returns = Ast.Float; apply = (fun a -> a.(0) ** a.(1)) } );
+    ( "fminf",
+      { arity = 2; returns = Ast.Float; apply = (fun a -> min a.(0) a.(1)) } );
+    ( "fmaxf",
+      { arity = 2; returns = Ast.Float; apply = (fun a -> max a.(0) a.(1)) } );
+    ( "min",
+      { arity = 2; returns = Ast.Int; apply = (fun a -> min a.(0) a.(1)) } );
+    ( "max",
+      { arity = 2; returns = Ast.Int; apply = (fun a -> max a.(0) a.(1)) } );
+    ("abs", { arity = 1; returns = Ast.Int; apply = (fun a -> abs_float a.(0)) });
+    ( "saturatef",
+      { arity = 1; returns = Ast.Float; apply = (fun a -> clamp01 a.(0)) } );
+  ]
+
+let find name = List.assoc_opt name all
+
+let is_builtin name = find name <> None

@@ -1,0 +1,302 @@
+type token =
+  | Int_lit of int
+  | Float_lit of float
+  | Ident of string
+  | Kw_global
+  | Kw_shared
+  | Kw_void
+  | Kw_int
+  | Kw_float
+  | Kw_bool
+  | Kw_if
+  | Kw_else
+  | Kw_for
+  | Kw_while
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_true
+  | Kw_false
+  | Kw_define
+  | Kw_syncthreads
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Question
+  | Colon
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Amp_amp
+  | Bar_bar
+  | Bang
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq_eq
+  | Bang_eq
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Plus_plus
+  | Minus_minus
+  | Dot
+  | Eof
+
+exception Error of string * int
+
+let show_token = function
+  | Int_lit n -> string_of_int n
+  | Float_lit f -> string_of_float f
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Kw_global -> "__global__"
+  | Kw_shared -> "__shared__"
+  | Kw_void -> "void"
+  | Kw_int -> "int"
+  | Kw_float -> "float"
+  | Kw_bool -> "bool"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_for -> "for"
+  | Kw_while -> "while"
+  | Kw_return -> "return"
+  | Kw_break -> "break"
+  | Kw_continue -> "continue"
+  | Kw_true -> "true"
+  | Kw_false -> "false"
+  | Kw_define -> "#define"
+  | Kw_syncthreads -> "__syncthreads"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Question -> "?"
+  | Colon -> ":"
+  | Star -> "*"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp_amp -> "&&"
+  | Bar_bar -> "||"
+  | Bang -> "!"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Assign -> "="
+  | Plus_assign -> "+="
+  | Minus_assign -> "-="
+  | Star_assign -> "*="
+  | Slash_assign -> "/="
+  | Plus_plus -> "++"
+  | Minus_minus -> "--"
+  | Dot -> "."
+  | Eof -> "<eof>"
+
+let keyword_of_string = function
+  | "__global__" -> Some Kw_global
+  | "__shared__" -> Some Kw_shared
+  | "void" -> Some Kw_void
+  | "int" -> Some Kw_int
+  | "float" -> Some Kw_float
+  | "bool" -> Some Kw_bool
+  | "if" -> Some Kw_if
+  | "else" -> Some Kw_else
+  | "for" -> Some Kw_for
+  | "while" -> Some Kw_while
+  | "return" -> Some Kw_return
+  | "break" -> Some Kw_break
+  | "continue" -> Some Kw_continue
+  | "true" -> Some Kw_true
+  | "false" -> Some Kw_false
+  | "__syncthreads" -> Some Kw_syncthreads
+  | _ -> None
+
+type cursor = { src : string; mutable pos : int; mutable line : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let peek2 c =
+  if c.pos + 1 < String.length c.src then Some c.src.[c.pos + 1] else None
+
+let advance c =
+  (match peek c with Some '\n' -> c.line <- c.line + 1 | _ -> ());
+  c.pos <- c.pos + 1
+
+let is_ident_start ch = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+let is_digit ch = ch >= '0' && ch <= '9'
+let is_ident_char ch = is_ident_start ch || is_digit ch
+
+let rec skip_trivia c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance c;
+    skip_trivia c
+  | Some '/' when peek2 c = Some '/' ->
+    let rec to_eol () =
+      match peek c with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance c;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia c
+  | Some '/' when peek2 c = Some '*' ->
+    let start_line = c.line in
+    advance c;
+    advance c;
+    let rec to_close () =
+      match (peek c, peek2 c) with
+      | Some '*', Some '/' ->
+        advance c;
+        advance c
+      | Some _, _ ->
+        advance c;
+        to_close ()
+      | None, _ -> raise (Error ("unterminated comment", start_line))
+    in
+    to_close ();
+    skip_trivia c
+  | _ -> ()
+
+let lex_number c =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_digit ch | None -> false) do
+    advance c
+  done;
+  let is_float =
+    match (peek c, peek2 c) with
+    | Some '.', Some ch when is_digit ch -> true
+    | Some '.', (Some _ | None) -> true
+    | Some ('e' | 'E' | 'f'), _ -> true
+    | _ -> false
+  in
+  if not is_float then Int_lit (int_of_string (String.sub c.src start (c.pos - start)))
+  else begin
+    (match peek c with
+    | Some '.' ->
+      advance c;
+      while (match peek c with Some ch -> is_digit ch | None -> false) do
+        advance c
+      done
+    | _ -> ());
+    (match peek c with
+    | Some ('e' | 'E') ->
+      advance c;
+      (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+      while (match peek c with Some ch -> is_digit ch | None -> false) do
+        advance c
+      done
+    | _ -> ());
+    let text = String.sub c.src start (c.pos - start) in
+    (* trailing 'f' suffix as in 0.5f *)
+    (match peek c with Some 'f' -> advance c | _ -> ());
+    Float_lit (float_of_string text)
+  end
+
+let lex_ident c =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_ident_char ch | None -> false) do
+    advance c
+  done;
+  let text = String.sub c.src start (c.pos - start) in
+  match keyword_of_string text with Some kw -> kw | None -> Ident text
+
+let lex_hash c =
+  (* only #define is supported *)
+  let line = c.line in
+  advance c;
+  let start = c.pos in
+  while (match peek c with Some ch -> is_ident_char ch | None -> false) do
+    advance c
+  done;
+  let word = String.sub c.src start (c.pos - start) in
+  if word = "define" then Kw_define
+  else raise (Error (Printf.sprintf "unsupported preprocessor directive #%s" word, line))
+
+let two_char c first single combos =
+  advance c;
+  match peek c with
+  | Some ch -> (
+    match List.assoc_opt ch combos with
+    | Some tok ->
+      advance c;
+      tok
+    | None -> single)
+  | None ->
+    ignore first;
+    single
+
+let next_token c =
+  skip_trivia c;
+  let line = c.line in
+  let tok =
+    match peek c with
+    | None -> Eof
+    | Some ch when is_digit ch -> lex_number c
+    | Some ch when is_ident_start ch -> lex_ident c
+    | Some '#' -> lex_hash c
+    | Some '(' -> advance c; Lparen
+    | Some ')' -> advance c; Rparen
+    | Some '{' -> advance c; Lbrace
+    | Some '}' -> advance c; Rbrace
+    | Some '[' -> advance c; Lbracket
+    | Some ']' -> advance c; Rbracket
+    | Some ';' -> advance c; Semi
+    | Some ',' -> advance c; Comma
+    | Some '?' -> advance c; Question
+    | Some '.' -> advance c; Dot
+    | Some ':' -> advance c; Colon
+    | Some '%' -> advance c; Percent
+    | Some '+' -> two_char c '+' Plus [ ('=', Plus_assign); ('+', Plus_plus) ]
+    | Some '-' -> two_char c '-' Minus [ ('=', Minus_assign); ('-', Minus_minus) ]
+    | Some '*' -> two_char c '*' Star [ ('=', Star_assign) ]
+    | Some '/' -> two_char c '/' Slash [ ('=', Slash_assign) ]
+    | Some '<' -> two_char c '<' Lt [ ('=', Le) ]
+    | Some '>' -> two_char c '>' Gt [ ('=', Ge) ]
+    | Some '=' -> two_char c '=' Assign [ ('=', Eq_eq) ]
+    | Some '!' -> two_char c '!' Bang [ ('=', Bang_eq) ]
+    | Some '&' ->
+      advance c;
+      (match peek c with
+      | Some '&' ->
+        advance c;
+        Amp_amp
+      | _ -> raise (Error ("expected '&&'", line)))
+    | Some '|' ->
+      advance c;
+      (match peek c with
+      | Some '|' ->
+        advance c;
+        Bar_bar
+      | _ -> raise (Error ("expected '||'", line)))
+    | Some ch -> raise (Error (Printf.sprintf "unexpected character %C" ch, line))
+  in
+  (tok, line)
+
+let tokenize src =
+  let c = { src; pos = 0; line = 1 } in
+  let rec loop acc =
+    let ((tok, _) as entry) = next_token c in
+    let acc = entry :: acc in
+    match tok with Eof -> List.rev acc | _ -> loop acc
+  in
+  loop []

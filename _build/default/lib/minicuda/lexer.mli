@@ -1,0 +1,70 @@
+(** Hand-written lexer for the mini-CUDA surface syntax.
+
+    Tokens carry the line number they started on so the parser can report
+    readable errors.  Comments ([//…] and [/*…*/]) and whitespace are
+    skipped; the preprocessor subset ([#define NAME INT]) is tokenized as
+    ordinary tokens and interpreted by the parser. *)
+
+type token =
+  | Int_lit of int
+  | Float_lit of float
+  | Ident of string
+  | Kw_global  (** [__global__] *)
+  | Kw_shared  (** [__shared__] *)
+  | Kw_void
+  | Kw_int
+  | Kw_float
+  | Kw_bool
+  | Kw_if
+  | Kw_else
+  | Kw_for
+  | Kw_while
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_true
+  | Kw_false
+  | Kw_define  (** [#define] *)
+  | Kw_syncthreads  (** [__syncthreads] *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Question
+  | Colon
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Amp_amp
+  | Bar_bar
+  | Bang
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq_eq
+  | Bang_eq
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Plus_plus
+  | Minus_minus
+  | Dot
+  | Eof
+
+exception Error of string * int
+(** [Error (message, line)]. *)
+
+val show_token : token -> string
+
+val tokenize : string -> (token * int) list
+(** [tokenize source] lexes the whole input; the result ends with [Eof].
+    Raises {!Error} on an unrecognized character or unterminated comment. *)

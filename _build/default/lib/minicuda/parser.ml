@@ -1,0 +1,543 @@
+exception Error of string * int
+
+type state = {
+  mutable tokens : (Lexer.token * int) list;
+  mutable defines : (string * int) list;
+}
+
+let current st =
+  match st.tokens with
+  | [] -> (Lexer.Eof, 0)
+  | tok :: _ -> tok
+
+let peek st = fst (current st)
+
+let peek_snd st =
+  match st.tokens with _ :: (tok, _) :: _ -> tok | _ -> Lexer.Eof
+
+let line st = snd (current st)
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let fail st msg = raise (Error (msg, line st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Lexer.show_token tok)
+         (Lexer.show_token (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.Ident name ->
+    advance st;
+    name
+  | tok -> fail st (Printf.sprintf "expected identifier, found %s" (Lexer.show_token tok))
+
+let expect_int st =
+  match peek st with
+  | Lexer.Int_lit n ->
+    advance st;
+    n
+  | Lexer.Ident name -> (
+    match List.assoc_opt name st.defines with
+    | Some n ->
+      advance st;
+      n
+    | None -> fail st (Printf.sprintf "expected integer constant, found %s" name))
+  | tok -> fail st (Printf.sprintf "expected integer constant, found %s" (Lexer.show_token tok))
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let base_ty st =
+  match peek st with
+  | Lexer.Kw_int ->
+    advance st;
+    Ast.Int
+  | Lexer.Kw_float ->
+    advance st;
+    Ast.Float
+  | Lexer.Kw_bool ->
+    advance st;
+    Ast.Bool
+  | tok -> fail st (Printf.sprintf "expected a type, found %s" (Lexer.show_token tok))
+
+let is_type_start = function
+  | Lexer.Kw_int | Lexer.Kw_float | Lexer.Kw_bool -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing                                   *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_member st base =
+  expect st Lexer.Dot;
+  let field = expect_ident st in
+  let pick x y =
+    match field with
+    | "x" -> x
+    | "y" -> y
+    | _ -> fail st (Printf.sprintf "unsupported builtin member .%s" field)
+  in
+  match base with
+  | "threadIdx" -> Ast.Builtin (pick Ast.Thread_idx_x Ast.Thread_idx_y)
+  | "blockIdx" -> Ast.Builtin (pick Ast.Block_idx_x Ast.Block_idx_y)
+  | "blockDim" -> Ast.Builtin (pick Ast.Block_dim_x Ast.Block_dim_y)
+  | "gridDim" -> Ast.Builtin (pick Ast.Grid_dim_x Ast.Grid_dim_y)
+  | _ -> fail st (Printf.sprintf "unknown builtin struct %s" base)
+
+let is_builtin_struct = function
+  | "threadIdx" | "blockIdx" | "blockDim" | "gridDim" -> true
+  | _ -> false
+
+let rec expr st = ternary st
+
+and ternary st =
+  let cond = logical_or st in
+  if peek st = Lexer.Question then begin
+    advance st;
+    let then_e = expr st in
+    expect st Lexer.Colon;
+    let else_e = ternary st in
+    Ast.Ternary (cond, then_e, else_e)
+  end
+  else cond
+
+and logical_or st =
+  let rec loop lhs =
+    if peek st = Lexer.Bar_bar then begin
+      advance st;
+      let rhs = logical_and st in
+      loop (Ast.Binop (Ast.Or, lhs, rhs))
+    end
+    else lhs
+  in
+  loop (logical_and st)
+
+and logical_and st =
+  let rec loop lhs =
+    if peek st = Lexer.Amp_amp then begin
+      advance st;
+      let rhs = equality st in
+      loop (Ast.Binop (Ast.And, lhs, rhs))
+    end
+    else lhs
+  in
+  loop (equality st)
+
+and equality st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.Eq_eq ->
+      advance st;
+      loop (Ast.Binop (Ast.Eq, lhs, relational st))
+    | Lexer.Bang_eq ->
+      advance st;
+      loop (Ast.Binop (Ast.Ne, lhs, relational st))
+    | _ -> lhs
+  in
+  loop (relational st)
+
+and relational st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.Lt ->
+      advance st;
+      loop (Ast.Binop (Ast.Lt, lhs, additive st))
+    | Lexer.Le ->
+      advance st;
+      loop (Ast.Binop (Ast.Le, lhs, additive st))
+    | Lexer.Gt ->
+      advance st;
+      loop (Ast.Binop (Ast.Gt, lhs, additive st))
+    | Lexer.Ge ->
+      advance st;
+      loop (Ast.Binop (Ast.Ge, lhs, additive st))
+    | _ -> lhs
+  in
+  loop (additive st)
+
+and additive st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.Plus ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, lhs, multiplicative st))
+    | Lexer.Minus ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, lhs, multiplicative st))
+    | _ -> lhs
+  in
+  loop (multiplicative st)
+
+and multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.Star ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, lhs, unary st))
+    | Lexer.Slash ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, lhs, unary st))
+    | Lexer.Percent ->
+      advance st;
+      loop (Ast.Binop (Ast.Mod, lhs, unary st))
+    | _ -> lhs
+  in
+  loop (unary st)
+
+and unary st =
+  match peek st with
+  | Lexer.Minus -> (
+    advance st;
+    (* fold the sign into literals so negative constants round-trip *)
+    match unary st with
+    | Ast.Int_lit n -> Ast.Int_lit (-n)
+    | Ast.Float_lit f -> Ast.Float_lit (-.f)
+    | e -> Ast.Unop (Ast.Neg, e))
+  | Lexer.Bang ->
+    advance st;
+    Ast.Unop (Ast.Not, unary st)
+  | Lexer.Lparen when is_type_start (peek_snd st) ->
+    (* cast: (float)expr or (int)expr *)
+    advance st;
+    let ty = base_ty st in
+    expect st Lexer.Rparen;
+    Ast.Cast (ty, unary st)
+  | _ -> postfix st
+
+and postfix st =
+  match peek st with
+  | Lexer.Int_lit n ->
+    advance st;
+    Ast.Int_lit n
+  | Lexer.Float_lit f ->
+    advance st;
+    Ast.Float_lit f
+  | Lexer.Kw_true ->
+    advance st;
+    Ast.Bool_lit true
+  | Lexer.Kw_false ->
+    advance st;
+    Ast.Bool_lit false
+  | Lexer.Lparen ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.Rparen;
+    e
+  | Lexer.Ident name when is_builtin_struct name ->
+    advance st;
+    builtin_member st name
+  | Lexer.Ident name -> (
+    advance st;
+    match peek st with
+    | Lexer.Lbracket ->
+      advance st;
+      let idx = expr st in
+      expect st Lexer.Rbracket;
+      Ast.Index (name, idx)
+    | Lexer.Lparen ->
+      if not (Builtins.is_builtin name) then
+        fail st (Printf.sprintf "call to unknown function %s" name);
+      advance st;
+      let args = call_args st in
+      Ast.Call (name, args)
+    | _ -> (
+      match List.assoc_opt name st.defines with
+      | Some n -> Ast.Int_lit n
+      | None -> Ast.Var name))
+  | tok -> fail st (Printf.sprintf "unexpected token %s in expression" (Lexer.show_token tok))
+
+and call_args st =
+  if peek st = Lexer.Rparen then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = expr st in
+      match peek st with
+      | Lexer.Comma ->
+        advance st;
+        loop (e :: acc)
+      | Lexer.Rparen ->
+        advance st;
+        List.rev (e :: acc)
+      | tok ->
+        fail st (Printf.sprintf "expected ',' or ')' in call, found %s" (Lexer.show_token tok))
+    in
+    loop []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let assign_op_of_token = function
+  | Lexer.Assign -> Some Ast.Assign_eq
+  | Lexer.Plus_assign -> Some Ast.Assign_add
+  | Lexer.Minus_assign -> Some Ast.Assign_sub
+  | Lexer.Star_assign -> Some Ast.Assign_mul
+  | Lexer.Slash_assign -> Some Ast.Assign_div
+  | _ -> None
+
+let rec stmt st =
+  match peek st with
+  | Lexer.Lbrace -> Ast.Block (block st)
+  | Lexer.Kw_shared -> shared_decl st
+  | tok when is_type_start tok -> decl st
+  | Lexer.Kw_if -> if_stmt st
+  | Lexer.Kw_for -> Ast.For (for_stmt st)
+  | Lexer.Kw_while -> while_stmt st
+  | Lexer.Kw_return ->
+    advance st;
+    expect st Lexer.Semi;
+    Ast.Return
+  | Lexer.Kw_break ->
+    advance st;
+    expect st Lexer.Semi;
+    Ast.Break
+  | Lexer.Kw_continue ->
+    advance st;
+    expect st Lexer.Semi;
+    Ast.Continue
+  | Lexer.Kw_syncthreads ->
+    advance st;
+    expect st Lexer.Lparen;
+    expect st Lexer.Rparen;
+    expect st Lexer.Semi;
+    Ast.Syncthreads
+  | Lexer.Ident _ ->
+    let s = assign_stmt st in
+    expect st Lexer.Semi;
+    s
+  | tok -> fail st (Printf.sprintf "unexpected token %s at statement start" (Lexer.show_token tok))
+
+and shared_decl st =
+  expect st Lexer.Kw_shared;
+  let ty = base_ty st in
+  let name = expect_ident st in
+  expect st Lexer.Lbracket;
+  let size = expect_int st in
+  expect st Lexer.Rbracket;
+  expect st Lexer.Semi;
+  Ast.Shared_decl (ty, name, size)
+
+and decl st =
+  let ty = base_ty st in
+  let name = expect_ident st in
+  let init =
+    if peek st = Lexer.Assign then begin
+      advance st;
+      Some (expr st)
+    end
+    else None
+  in
+  expect st Lexer.Semi;
+  Ast.Decl (ty, name, init)
+
+and if_stmt st =
+  expect st Lexer.Kw_if;
+  expect st Lexer.Lparen;
+  let cond = expr st in
+  expect st Lexer.Rparen;
+  let then_b = stmt_as_block st in
+  let else_b =
+    if peek st = Lexer.Kw_else then begin
+      advance st;
+      stmt_as_block st
+    end
+    else []
+  in
+  Ast.If (cond, then_b, else_b)
+
+and stmt_as_block st =
+  match peek st with
+  | Lexer.Lbrace -> block st
+  | _ -> [ stmt st ]
+
+and while_stmt st =
+  expect st Lexer.Kw_while;
+  expect st Lexer.Lparen;
+  let cond = expr st in
+  expect st Lexer.Rparen;
+  Ast.While (cond, stmt_as_block st)
+
+(* Loop step: j++, j--, j += e, j -= e, j = j + e, j = j - e.
+   Normalized to the additive increment. *)
+and loop_step st loop_var =
+  let var = expect_ident st in
+  if var <> loop_var then
+    fail st
+      (Printf.sprintf "loop step must update loop variable %s, found %s" loop_var var);
+  match peek st with
+  | Lexer.Plus_plus ->
+    advance st;
+    Ast.Int_lit 1
+  | Lexer.Minus_minus ->
+    advance st;
+    Ast.Int_lit (-1)
+  | Lexer.Plus_assign ->
+    advance st;
+    expr st
+  | Lexer.Minus_assign ->
+    advance st;
+    Ast.Unop (Ast.Neg, expr st)
+  | Lexer.Assign -> (
+    advance st;
+    let e = expr st in
+    match e with
+    | Ast.Binop (Ast.Add, Ast.Var v, step) when v = loop_var -> step
+    | Ast.Binop (Ast.Add, step, Ast.Var v) when v = loop_var -> step
+    | Ast.Binop (Ast.Sub, Ast.Var v, step) when v = loop_var ->
+      Ast.Unop (Ast.Neg, step)
+    | _ -> fail st "unsupported loop step form")
+  | tok -> fail st (Printf.sprintf "unsupported loop step, found %s" (Lexer.show_token tok))
+
+and for_stmt st =
+  expect st Lexer.Kw_for;
+  expect st Lexer.Lparen;
+  let declares = is_type_start (peek st) in
+  if declares then ignore (base_ty st);
+  let loop_var = expect_ident st in
+  expect st Lexer.Assign;
+  let init = expr st in
+  expect st Lexer.Semi;
+  let cond = expr st in
+  expect st Lexer.Semi;
+  let step = loop_step st loop_var in
+  expect st Lexer.Rparen;
+  let body = stmt_as_block st in
+  { Ast.loop_var; declares; init; cond; step; body }
+
+and assign_stmt st =
+  let name = expect_ident st in
+  let lvalue =
+    if peek st = Lexer.Lbracket then begin
+      advance st;
+      let idx = expr st in
+      expect st Lexer.Rbracket;
+      Ast.Larr (name, idx)
+    end
+    else Ast.Lvar name
+  in
+  match peek st with
+  | Lexer.Plus_plus ->
+    advance st;
+    Ast.Assign (lvalue, Ast.Assign_add, Ast.Int_lit 1)
+  | Lexer.Minus_minus ->
+    advance st;
+    Ast.Assign (lvalue, Ast.Assign_sub, Ast.Int_lit 1)
+  | tok -> (
+    match assign_op_of_token tok with
+    | Some op ->
+      advance st;
+      Ast.Assign (lvalue, op, expr st)
+    | None ->
+      fail st (Printf.sprintf "expected assignment operator, found %s" (Lexer.show_token tok)))
+
+and block st =
+  expect st Lexer.Lbrace;
+  let rec loop acc =
+    if peek st = Lexer.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (stmt st :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let param st =
+  let ty = base_ty st in
+  let ty = if peek st = Lexer.Star then (advance st; Ast.Ptr ty) else ty in
+  let name = expect_ident st in
+  { Ast.param_ty = ty; param_name = name }
+
+let params st =
+  expect st Lexer.Lparen;
+  if peek st = Lexer.Rparen then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let p = param st in
+      match peek st with
+      | Lexer.Comma ->
+        advance st;
+        loop (p :: acc)
+      | Lexer.Rparen ->
+        advance st;
+        List.rev (p :: acc)
+      | tok ->
+        fail st
+          (Printf.sprintf "expected ',' or ')' in parameter list, found %s"
+             (Lexer.show_token tok))
+    in
+    loop []
+
+let kernel st =
+  expect st Lexer.Kw_global;
+  expect st Lexer.Kw_void;
+  let kernel_name = expect_ident st in
+  let params = params st in
+  let body = block st in
+  { Ast.kernel_name; params; body }
+
+let define st =
+  expect st Lexer.Kw_define;
+  let name = expect_ident st in
+  let value =
+    match peek st with
+    | Lexer.Int_lit n ->
+      advance st;
+      n
+    | Lexer.Minus ->
+      advance st;
+      -expect_int st
+    | Lexer.Ident other -> (
+      match List.assoc_opt other st.defines with
+      | Some n ->
+        advance st;
+        n
+      | None -> fail st (Printf.sprintf "#define references unknown constant %s" other))
+    | tok ->
+      fail st (Printf.sprintf "expected integer in #define, found %s" (Lexer.show_token tok))
+  in
+  st.defines <- (name, value) :: st.defines;
+  (name, value)
+
+let parse_program src =
+  let st = { tokens = Lexer.tokenize src; defines = [] } in
+  let rec loop defines kernels =
+    match peek st with
+    | Lexer.Eof -> { Ast.defines = List.rev defines; kernels = List.rev kernels }
+    | Lexer.Kw_define -> loop (define st :: defines) kernels
+    | Lexer.Kw_global -> loop defines (kernel st :: kernels)
+    | tok ->
+      fail st
+        (Printf.sprintf "expected #define or __global__ at top level, found %s"
+           (Lexer.show_token tok))
+  in
+  loop [] []
+
+let parse_kernel src =
+  match (parse_program src).kernels with
+  | [ k ] -> k
+  | ks ->
+    raise (Error (Printf.sprintf "expected exactly one kernel, found %d" (List.length ks), 1))
+
+let parse_expr src =
+  let st = { tokens = Lexer.tokenize src; defines = [] } in
+  let e = expr st in
+  (match peek st with
+  | Lexer.Eof -> ()
+  | tok -> fail st (Printf.sprintf "trailing tokens after expression: %s" (Lexer.show_token tok)));
+  e

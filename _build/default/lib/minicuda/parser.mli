@@ -1,0 +1,22 @@
+(** Recursive-descent parser for the mini-CUDA language.
+
+    The grammar is the C expression/statement subset described in
+    {!module:Ast}, with standard C precedence.  [#define NAME INT] constants
+    are substituted into expressions during parsing (the paper's benchmarks
+    use them only for problem sizes), and retained in
+    {!Ast.program.defines} for display. *)
+
+exception Error of string * int
+(** [Error (message, line)]. *)
+
+val parse_program : string -> Ast.program
+(** Parses a whole translation unit: any number of [#define]s followed by
+    any number of [__global__ void] kernels. *)
+
+val parse_kernel : string -> Ast.kernel
+(** Parses a source containing exactly one kernel.  Raises {!Error} if the
+    program has zero or multiple kernels. *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a standalone expression — used by tests and the REPL-style
+    examples. *)

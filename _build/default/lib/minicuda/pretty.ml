@@ -1,0 +1,160 @@
+let rec ty = function
+  | Ast.Int -> "int"
+  | Ast.Float -> "float"
+  | Ast.Bool -> "bool"
+  | Ast.Ptr t -> ty t ^ " *"
+
+let binop_text = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+(* Precedence levels matching the parser, used to parenthesize minimally. *)
+let binop_prec = function
+  | Ast.Mul | Ast.Div | Ast.Mod -> 7
+  | Ast.Add | Ast.Sub -> 6
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 5
+  | Ast.Eq | Ast.Ne -> 4
+  | Ast.And -> 3
+  | Ast.Or -> 2
+
+let builtin_text = function
+  | Ast.Thread_idx_x -> "threadIdx.x"
+  | Ast.Thread_idx_y -> "threadIdx.y"
+  | Ast.Block_idx_x -> "blockIdx.x"
+  | Ast.Block_idx_y -> "blockIdx.y"
+  | Ast.Block_dim_x -> "blockDim.x"
+  | Ast.Block_dim_y -> "blockDim.y"
+  | Ast.Grid_dim_x -> "gridDim.x"
+  | Ast.Grid_dim_y -> "gridDim.y"
+
+let float_text f =
+  (* keep a decimal point so the lexer reads it back as a float *)
+  let s = Printf.sprintf "%.17g" f in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+  then s
+  else s ^ ".0"
+
+let rec expr_prec level e =
+  let text, prec =
+    match e with
+    (* negative literals print at unary precedence; the parser folds the
+       minus sign back into the literal *)
+    | Ast.Int_lit n -> (string_of_int n, if n < 0 then 8 else 10)
+    | Ast.Float_lit f -> (float_text f, if f < 0. then 8 else 10)
+    | Ast.Bool_lit true -> ("true", 10)
+    | Ast.Bool_lit false -> ("false", 10)
+    | Ast.Var name -> (name, 10)
+    | Ast.Builtin b -> (builtin_text b, 10)
+    | Ast.Index (arr, idx) ->
+      (Printf.sprintf "%s[%s]" arr (expr_prec 0 idx), 10)
+    | Ast.Call (name, args) ->
+      ( Printf.sprintf "%s(%s)" name
+          (String.concat ", " (List.map (expr_prec 0) args)),
+        10 )
+    | Ast.Unop (Ast.Neg, a) -> ("-" ^ expr_prec 8 a, 8)
+    | Ast.Unop (Ast.Not, a) -> ("!" ^ expr_prec 8 a, 8)
+    | Ast.Cast (t, a) -> (Printf.sprintf "(%s)%s" (ty t) (expr_prec 8 a), 8)
+    | Ast.Binop (op, a, b) ->
+      let p = binop_prec op in
+      (* left associative: right child needs strictly higher precedence *)
+      ( Printf.sprintf "%s %s %s" (expr_prec p a) (binop_text op)
+          (expr_prec (p + 1) b),
+        p )
+    | Ast.Ternary (c, a, b) ->
+      ( Printf.sprintf "%s ? %s : %s" (expr_prec 2 c) (expr_prec 0 a)
+          (expr_prec 1 b),
+        1 )
+  in
+  if prec < level then "(" ^ text ^ ")" else text
+
+let expr e = expr_prec 0 e
+
+let assign_op_text = function
+  | Ast.Assign_eq -> "="
+  | Ast.Assign_add -> "+="
+  | Ast.Assign_sub -> "-="
+  | Ast.Assign_mul -> "*="
+  | Ast.Assign_div -> "/="
+
+let lvalue = function
+  | Ast.Lvar name -> name
+  | Ast.Larr (arr, idx) -> Printf.sprintf "%s[%s]" arr (expr idx)
+
+let pad indent = String.make (indent * 2) ' '
+
+let rec stmt ?(indent = 0) s =
+  let p = pad indent in
+  match s with
+  | Ast.Decl (t, name, None) -> Printf.sprintf "%s%s %s;" p (ty t) name
+  | Ast.Decl (t, name, Some e) ->
+    Printf.sprintf "%s%s %s = %s;" p (ty t) name (expr e)
+  | Ast.Shared_decl (t, name, size) ->
+    Printf.sprintf "%s__shared__ %s %s[%d];" p (ty t) name size
+  | Ast.Assign (lv, op, e) ->
+    Printf.sprintf "%s%s %s %s;" p (lvalue lv) (assign_op_text op) (expr e)
+  | Ast.If (cond, then_b, []) ->
+    Printf.sprintf "%sif (%s) {\n%s\n%s}" p (expr cond)
+      (block ~indent:(indent + 1) then_b)
+      p
+  | Ast.If (cond, then_b, else_b) ->
+    Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" p (expr cond)
+      (block ~indent:(indent + 1) then_b)
+      p
+      (block ~indent:(indent + 1) else_b)
+      p
+  | Ast.For { loop_var; declares; init; cond; step; body } ->
+    let decl = if declares then "int " else "" in
+    let step_text =
+      match step with
+      | Ast.Int_lit 1 -> loop_var ^ "++"
+      | Ast.Int_lit n when n = -1 -> loop_var ^ "--"
+      | Ast.Unop (Ast.Neg, e) -> Printf.sprintf "%s -= %s" loop_var (expr e)
+      | e -> Printf.sprintf "%s += %s" loop_var (expr e)
+    in
+    Printf.sprintf "%sfor (%s%s = %s; %s; %s) {\n%s\n%s}" p decl loop_var
+      (expr init) (expr cond) step_text
+      (block ~indent:(indent + 1) body)
+      p
+  | Ast.While (cond, body) ->
+    Printf.sprintf "%swhile (%s) {\n%s\n%s}" p (expr cond)
+      (block ~indent:(indent + 1) body)
+      p
+  | Ast.Syncthreads -> p ^ "__syncthreads();"
+  | Ast.Return -> p ^ "return;"
+  | Ast.Break -> p ^ "break;"
+  | Ast.Continue -> p ^ "continue;"
+  | Ast.Block body ->
+    Printf.sprintf "%s{\n%s\n%s}" p (block ~indent:(indent + 1) body) p
+
+and block ?(indent = 0) b =
+  String.concat "\n" (List.map (stmt ~indent) b)
+
+let param { Ast.param_ty; param_name } =
+  match param_ty with
+  | Ast.Ptr t -> Printf.sprintf "%s *%s" (ty t) param_name
+  | t -> Printf.sprintf "%s %s" (ty t) param_name
+
+let kernel k =
+  Printf.sprintf "__global__ void %s(%s) {\n%s\n}" k.Ast.kernel_name
+    (String.concat ", " (List.map param k.Ast.params))
+    (block ~indent:1 k.Ast.body)
+
+let program p =
+  let defines =
+    List.map
+      (fun (name, value) -> Printf.sprintf "#define %s %d" name value)
+      p.Ast.defines
+  in
+  let kernels = List.map kernel p.Ast.kernels in
+  String.concat "\n\n" (defines @ kernels) ^ "\n"

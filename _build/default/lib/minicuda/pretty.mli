@@ -1,0 +1,13 @@
+(** CUDA-style source emission.
+
+    The printer produces compilable mini-CUDA text; it is the back end of
+    the source-to-source transformation (the paper's Figs. 4 and 5 show the
+    kind of output CATT emits).  [Parser.parse_program (program p) = p]
+    holds for every well-formed program — tested by property tests. *)
+
+val ty : Ast.ty -> string
+val expr : Ast.expr -> string
+val stmt : ?indent:int -> Ast.stmt -> string
+val block : ?indent:int -> Ast.block -> string
+val kernel : Ast.kernel -> string
+val program : Ast.program -> string

@@ -1,0 +1,247 @@
+exception Type_error of string
+
+type space = Global | Shared
+
+type array_info = {
+  elem_ty : Ast.ty;
+  space : space;
+  shared_size : int option;
+}
+
+type info = {
+  arrays : (string * array_info) list;
+  scalar_params : (string * Ast.ty) list;
+  shared_bytes : int;
+}
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Type_error msg)) fmt
+
+let elem_bytes = function
+  | Ast.Int | Ast.Float -> 4
+  | Ast.Bool -> 1
+  | Ast.Ptr _ -> 8
+
+type env = {
+  mutable arrays_acc : (string * array_info) list;
+  mutable scalars : (string * Ast.ty) list list;  (* scope stack *)
+  mutable loop_depth : int;
+}
+
+let push_scope env = env.scalars <- [] :: env.scalars
+let pop_scope env =
+  match env.scalars with
+  | [] -> assert false
+  | _ :: rest -> env.scalars <- rest
+
+let declare env name ty =
+  match env.scalars with
+  | [] -> assert false
+  | scope :: rest ->
+    if List.mem_assoc name scope then fail "redeclaration of %s" name;
+    if List.mem_assoc name env.arrays_acc then
+      fail "%s already names an array" name;
+    env.scalars <- ((name, ty) :: scope) :: rest
+
+let lookup_scalar env name =
+  let rec search = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some ty -> Some ty
+      | None -> search rest)
+  in
+  search env.scalars
+
+let lookup_array env name = List.assoc_opt name env.arrays_acc
+
+let is_numeric = function Ast.Int | Ast.Float -> true | Ast.Bool | Ast.Ptr _ -> false
+
+let join a b =
+  match (a, b) with
+  | Ast.Float, _ | _, Ast.Float -> Ast.Float
+  | Ast.Int, Ast.Int -> Ast.Int
+  | _ -> fail "cannot join types %s and %s" (Ast.show_ty a) (Ast.show_ty b)
+
+let rec type_of env e =
+  match e with
+  | Ast.Int_lit _ -> Ast.Int
+  | Ast.Float_lit _ -> Ast.Float
+  | Ast.Bool_lit _ -> Ast.Bool
+  | Ast.Builtin _ -> Ast.Int
+  | Ast.Var name -> (
+    match lookup_scalar env name with
+    | Some ty -> ty
+    | None ->
+      if lookup_array env name <> None then
+        fail "array %s used without an index" name
+      else fail "undeclared variable %s" name)
+  | Ast.Index (arr, idx) -> (
+    (match type_of env idx with
+    | Ast.Int -> ()
+    | ty -> fail "index of %s has type %s, expected int" arr (Ast.show_ty ty));
+    match lookup_array env arr with
+    | Some { elem_ty; _ } -> elem_ty
+    | None -> fail "indexing unknown array %s" arr)
+  | Ast.Unop (Ast.Neg, a) ->
+    let ty = type_of env a in
+    if is_numeric ty then ty else fail "negation of non-numeric value"
+  | Ast.Unop (Ast.Not, a) -> (
+    match type_of env a with
+    | Ast.Bool -> Ast.Bool
+    | ty -> fail "! applied to %s, expected bool" (Ast.show_ty ty))
+  | Ast.Binop ((Ast.And | Ast.Or), a, b) ->
+    let check side e =
+      match type_of env e with
+      | Ast.Bool -> ()
+      | ty -> fail "%s operand of &&/|| has type %s" side (Ast.show_ty ty)
+    in
+    check "left" a;
+    check "right" b;
+    Ast.Bool
+  | Ast.Binop (Ast.Mod, a, b) ->
+    let ta = type_of env a and tb = type_of env b in
+    if ta = Ast.Int && tb = Ast.Int then Ast.Int
+    else fail "%% requires int operands"
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne), a, b) ->
+    let ta = type_of env a and tb = type_of env b in
+    if is_numeric ta && is_numeric tb then Ast.Bool
+    else fail "comparison of non-numeric values"
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div), a, b) ->
+    let ta = type_of env a and tb = type_of env b in
+    if is_numeric ta && is_numeric tb then join ta tb
+    else fail "arithmetic on non-numeric values"
+  | Ast.Call (name, args) -> (
+    match Builtins.find name with
+    | None -> fail "call to unknown function %s" name
+    | Some { Builtins.arity; returns; _ } ->
+      if List.length args <> arity then
+        fail "%s expects %d arguments, got %d" name arity (List.length args);
+      List.iter
+        (fun arg ->
+          if not (is_numeric (type_of env arg)) then
+            fail "non-numeric argument to %s" name)
+        args;
+      returns)
+  | Ast.Cast (ty, a) ->
+    if not (is_numeric ty) then fail "cast to non-numeric type";
+    if not (is_numeric (type_of env a)) then fail "cast of non-numeric value";
+    ty
+  | Ast.Ternary (c, a, b) ->
+    (match type_of env c with
+    | Ast.Bool -> ()
+    | ty -> fail "ternary condition has type %s" (Ast.show_ty ty));
+    join (type_of env a) (type_of env b)
+
+let check_condition env e =
+  match type_of env e with
+  | Ast.Bool -> ()
+  | Ast.Int -> () (* C-style truthiness, used by a few Rodinia kernels *)
+  | ty -> fail "condition has type %s" (Ast.show_ty ty)
+
+let check_numeric_assign env target_ty e =
+  let ty = type_of env e in
+  if not (is_numeric ty && is_numeric target_ty) then
+    fail "assignment between non-numeric types"
+
+let rec check_stmt env s =
+  match s with
+  | Ast.Decl (ty, name, init) ->
+    if not (is_numeric ty) then fail "local %s must be int or float" name;
+    (match init with Some e -> check_numeric_assign env ty e | None -> ());
+    declare env name ty
+  | Ast.Shared_decl (ty, name, size) ->
+    if not (is_numeric ty) then fail "shared array %s must be int or float" name;
+    if size <= 0 then fail "shared array %s has non-positive size" name;
+    if List.mem_assoc name env.arrays_acc then fail "redeclaration of array %s" name;
+    env.arrays_acc <-
+      (name, { elem_ty = ty; space = Shared; shared_size = Some size })
+      :: env.arrays_acc
+  | Ast.Assign (Ast.Lvar name, _, e) -> (
+    match lookup_scalar env name with
+    | Some ty -> check_numeric_assign env ty e
+    | None -> fail "assignment to undeclared variable %s" name)
+  | Ast.Assign (Ast.Larr (arr, idx), _, e) -> (
+    (match type_of env idx with
+    | Ast.Int -> ()
+    | ty -> fail "index of %s has type %s, expected int" arr (Ast.show_ty ty));
+    match lookup_array env arr with
+    | Some { elem_ty; _ } -> check_numeric_assign env elem_ty e
+    | None -> fail "assignment to unknown array %s" arr)
+  | Ast.If (cond, then_b, else_b) ->
+    check_condition env cond;
+    check_block env then_b;
+    check_block env else_b
+  | Ast.For { loop_var; declares; init; cond; step; body } ->
+    push_scope env;
+    if declares then declare env loop_var Ast.Int
+    else (
+      match lookup_scalar env loop_var with
+      | Some Ast.Int -> ()
+      | Some ty -> fail "loop variable %s has type %s" loop_var (Ast.show_ty ty)
+      | None -> fail "loop variable %s is undeclared" loop_var);
+    (match type_of env init with
+    | Ast.Int -> ()
+    | ty -> fail "loop init has type %s" (Ast.show_ty ty));
+    check_condition env cond;
+    (match type_of env step with
+    | Ast.Int -> ()
+    | ty -> fail "loop step has type %s" (Ast.show_ty ty));
+    env.loop_depth <- env.loop_depth + 1;
+    check_block env body;
+    env.loop_depth <- env.loop_depth - 1;
+    pop_scope env
+  | Ast.While (cond, body) ->
+    check_condition env cond;
+    env.loop_depth <- env.loop_depth + 1;
+    check_block env body;
+    env.loop_depth <- env.loop_depth - 1
+  | Ast.Break | Ast.Continue ->
+    if env.loop_depth = 0 then fail "break/continue outside a loop"
+  | Ast.Syncthreads | Ast.Return -> ()
+  | Ast.Block body ->
+    push_scope env;
+    List.iter (check_stmt env) body;
+    pop_scope env
+
+and check_block env b =
+  push_scope env;
+  List.iter (check_stmt env) b;
+  pop_scope env
+
+let check_kernel (k : Ast.kernel) =
+  let env = { arrays_acc = []; scalars = [ [] ]; loop_depth = 0 } in
+  let scalar_params = ref [] in
+  List.iter
+    (fun { Ast.param_ty; param_name } ->
+      match param_ty with
+      | Ast.Ptr elem_ty ->
+        if not (is_numeric elem_ty) then
+          fail "parameter %s: only int*/float* arrays are supported" param_name;
+        if List.mem_assoc param_name env.arrays_acc then
+          fail "duplicate parameter %s" param_name;
+        env.arrays_acc <-
+          (param_name, { elem_ty; space = Global; shared_size = None })
+          :: env.arrays_acc
+      | ty ->
+        if not (is_numeric ty) then
+          fail "parameter %s: unsupported scalar type" param_name;
+        declare env param_name ty;
+        scalar_params := (param_name, ty) :: !scalar_params)
+    k.Ast.params;
+  List.iter (check_stmt env) k.Ast.body;
+  let shared_bytes =
+    List.fold_left
+      (fun acc (_, { elem_ty; shared_size; _ }) ->
+        match shared_size with
+        | Some n -> acc + (n * elem_bytes elem_ty)
+        | None -> acc)
+      0 env.arrays_acc
+  in
+  {
+    arrays = List.rev env.arrays_acc;
+    scalar_params = List.rev !scalar_params;
+    shared_bytes;
+  }
+
+let check_program (p : Ast.program) =
+  List.map (fun k -> (k.Ast.kernel_name, check_kernel k)) p.Ast.kernels

@@ -1,0 +1,39 @@
+(** Static semantic checks and symbol-table construction.
+
+    Checking a kernel validates that every variable is declared before use,
+    that array indexing is integer-typed, that assignments are
+    numerically compatible, and that calls match builtin signatures.  The
+    returned {!info} is consumed by the simulator's code generator and by
+    the CATT analyzer (which needs to know which names are global arrays,
+    the paper's "off-chip" accesses, versus [__shared__] arrays). *)
+
+exception Type_error of string
+
+(** Address space of an array, as the analysis distinguishes them:
+    [Global] arrays live in off-chip memory and generate the L1D traffic the
+    paper estimates; [Shared] arrays live in on-chip shared memory. *)
+type space = Global | Shared
+
+type array_info = {
+  elem_ty : Ast.ty;
+  space : space;
+  shared_size : int option;  (** in elements; [Some] iff [space = Shared] *)
+}
+
+type info = {
+  arrays : (string * array_info) list;
+  scalar_params : (string * Ast.ty) list;
+  shared_bytes : int;
+      (** total statically declared [__shared__] footprint of the kernel,
+          the paper's [USE_shm_TB] numerator before any launch-time extras *)
+}
+
+val elem_bytes : Ast.ty -> int
+(** Size of one array element; [int] and [float] are both 4 bytes, matching
+    the benchmarks (and Eq. 7's "4 bytes per thread request"). *)
+
+val check_kernel : Ast.kernel -> info
+(** Raises {!Type_error} with a readable message on the first violation. *)
+
+val check_program : Ast.program -> (string * info) list
+(** Checks every kernel; result is keyed by kernel name. *)

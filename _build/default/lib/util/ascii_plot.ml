@@ -1,0 +1,108 @@
+let bar width value max_value =
+  if value <= 0. || max_value <= 0. then ""
+  else
+    let n = int_of_float (value /. max_value *. float_of_int width +. 0.5) in
+    String.make (min width (max 0 n)) '#'
+
+let bar_chart ?(width = 50) ?(unit_label = "") entries =
+  if entries = [] then ""
+  else
+    let label_width =
+      List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+    in
+    let max_value = List.fold_left (fun acc (_, v) -> max acc v) 0. entries in
+    let line (label, value) =
+      Printf.sprintf "%-*s | %s %.3f%s" label_width label
+        (bar width value max_value)
+        value unit_label
+    in
+    String.concat "\n" (List.map line entries)
+
+let grouped_bar_chart ?(width = 40) ~series rows =
+  let arity = List.length series in
+  List.iter
+    (fun (_, values) ->
+      if List.length values <> arity then
+        invalid_arg "Ascii_plot.grouped_bar_chart: arity mismatch")
+    rows;
+  if rows = [] then ""
+  else
+    let label_width =
+      let row_w =
+        List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+      in
+      List.fold_left (fun acc s -> max acc (String.length s + 2)) row_w series
+    in
+    let max_value =
+      List.fold_left
+        (fun acc (_, values) -> List.fold_left max acc values)
+        0. rows
+    in
+    let render_row (label, values) =
+      let lines =
+        List.map2
+          (fun name value ->
+            Printf.sprintf "%-*s | %s %.3f"
+              label_width
+              ("  " ^ name)
+              (bar width value max_value)
+              value)
+          series values
+      in
+      Printf.sprintf "%-*s |" label_width label :: lines
+    in
+    String.concat "\n" (List.concat_map render_row rows)
+
+let resample samples width =
+  let n = Array.length samples in
+  if n <= width then Array.copy samples
+  else
+    (* average each destination bucket so spikes survive down-sampling *)
+    Array.init width (fun i ->
+        let lo = i * n / width and hi = (i + 1) * n / width in
+        let hi = max (lo + 1) hi in
+        let sum = ref 0. in
+        for j = lo to hi - 1 do
+          sum := !sum +. samples.(j)
+        done;
+        !sum /. float_of_int (hi - lo))
+
+let series ?(width = 72) ?(height = 12) samples =
+  if Array.length samples = 0 then ""
+  else
+    let data = resample samples width in
+    let lo = Array.fold_left min data.(0) data in
+    let hi = Array.fold_left max data.(0) data in
+    let span = if hi -. lo <= 0. then 1. else hi -. lo in
+    let grid = Array.make_matrix height (Array.length data) ' ' in
+    Array.iteri
+      (fun x v ->
+        let y =
+          int_of_float ((v -. lo) /. span *. float_of_int (height - 1) +. 0.5)
+        in
+        grid.(height - 1 - y).(x) <- '*')
+      data;
+    let rows =
+      Array.to_list
+        (Array.mapi
+           (fun i row ->
+             let label =
+               if i = 0 then Printf.sprintf "%8.1f |" hi
+               else if i = height - 1 then Printf.sprintf "%8.1f |" lo
+               else String.make 9 ' ' ^ "|"
+             in
+             label ^ String.init (Array.length row) (Array.get row))
+           grid)
+    in
+    String.concat "\n" rows
+
+let sparkline samples =
+  let ramp = " .:-=+*#%@" in
+  if Array.length samples = 0 then ""
+  else
+    let lo = Array.fold_left min samples.(0) samples in
+    let hi = Array.fold_left max samples.(0) samples in
+    let span = if hi -. lo <= 0. then 1. else hi -. lo in
+    String.init (Array.length samples) (fun i ->
+        let v = (samples.(i) -. lo) /. span in
+        ramp.[int_of_float (v *. 9.)])

@@ -1,0 +1,24 @@
+(** Minimal terminal plotting for the figure regenerators.
+
+    The paper's figures are bar charts (Figs. 6–10) and time series
+    (Fig. 2); this module renders both as fixed-width ASCII so a figure's
+    shape can be eyeballed straight from the experiment runner's output. *)
+
+val bar_chart :
+  ?width:int -> ?unit_label:string -> (string * float) list -> string
+(** [bar_chart entries] renders one horizontal bar per [(label, value)],
+    scaled so the largest value spans [width] (default 50) characters.
+    Non-positive values render as empty bars. *)
+
+val grouped_bar_chart :
+  ?width:int -> series:string list -> (string * float list) list -> string
+(** [grouped_bar_chart ~series rows] renders grouped bars: every row is a
+    label plus one value per series (e.g. baseline / BFTT / CATT).  Raises
+    [Invalid_argument] on arity mismatch. *)
+
+val series : ?width:int -> ?height:int -> float array -> string
+(** [series samples] renders a down-sampled line plot of [samples] in a
+    [width] x [height] (default 72 x 12) character grid. *)
+
+val sparkline : float array -> string
+(** One-line unicode-free sparkline using [" .:-=+*#%@"] density ramp. *)

@@ -1,0 +1,62 @@
+let check_nonempty name samples =
+  if Array.length samples = 0 then invalid_arg (name ^ ": empty sample array")
+
+let mean samples =
+  check_nonempty "Stats.mean" samples;
+  Array.fold_left ( +. ) 0. samples /. float_of_int (Array.length samples)
+
+let geomean samples =
+  check_nonempty "Stats.geomean" samples;
+  let log_sum =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0. then invalid_arg "Stats.geomean: non-positive sample";
+        acc +. log x)
+      0. samples
+  in
+  exp (log_sum /. float_of_int (Array.length samples))
+
+let stddev samples =
+  check_nonempty "Stats.stddev" samples;
+  let m = mean samples in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. samples
+    /. float_of_int (Array.length samples)
+  in
+  sqrt var
+
+let sorted_copy samples =
+  let copy = Array.copy samples in
+  Array.sort compare copy;
+  copy
+
+let percentile samples p =
+  check_nonempty "Stats.percentile" samples;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = sorted_copy samples in
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let median samples = percentile samples 50.
+
+let minimum samples =
+  check_nonempty "Stats.minimum" samples;
+  Array.fold_left min samples.(0) samples
+
+let maximum samples =
+  check_nonempty "Stats.maximum" samples;
+  Array.fold_left max samples.(0) samples
+
+let speedup ~baseline t =
+  if t <= 0. then invalid_arg "Stats.speedup: non-positive time";
+  baseline /. t
+
+let normalize ~baseline t =
+  if baseline <= 0. then invalid_arg "Stats.normalize: non-positive baseline";
+  t /. baseline

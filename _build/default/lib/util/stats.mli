@@ -1,0 +1,32 @@
+(** Summary statistics over float samples.
+
+    Used by the experiment harness to aggregate per-application results the
+    same way the paper does (geometric-mean speedups) and by the simulator's
+    reporting layer. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean; every sample must be positive. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val median : float array -> float
+(** Median (does not mutate its argument). *)
+
+val percentile : float array -> float -> float
+(** [percentile samples p] for [p] in [\[0, 100\]], linear interpolation
+    between closest ranks.  Does not mutate its argument. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val speedup : baseline:float -> float -> float
+(** [speedup ~baseline t] is [baseline /. t]: > 1 means faster than the
+    baseline.  Raises [Invalid_argument] if [t <= 0.]. *)
+
+val normalize : baseline:float -> float -> float
+(** [normalize ~baseline t] is [t /. baseline]: execution time normalized to
+    the baseline, as plotted in the paper's Figures 7, 8 and 10. *)

@@ -1,0 +1,80 @@
+type align = Left | Right | Center
+
+type line = Row of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  arity : int;
+  mutable lines : line list; (* reversed *)
+}
+
+let default_aligns n =
+  List.init n (fun i -> if i = 0 then Left else Right)
+
+let create ?aligns headers =
+  let arity = List.length headers in
+  if arity = 0 then invalid_arg "Table.create: no columns";
+  let aligns =
+    match aligns with
+    | None -> default_aligns arity
+    | Some a ->
+      if List.length a <> arity then
+        invalid_arg "Table.create: aligns arity mismatch";
+      a
+  in
+  { headers; aligns; arity; lines = [] }
+
+let add_row t row =
+  if List.length row <> t.arity then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.lines <- Row row :: t.lines
+
+let add_separator t = t.lines <- Separator :: t.lines
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let missing = width - len in
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+    | Center ->
+      let left = missing / 2 in
+      String.make left ' ' ^ s ^ String.make (missing - left) ' '
+
+let render t =
+  let rows = List.rev t.lines in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update_widths = function
+    | Separator -> ()
+    | Row cells ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        cells
+  in
+  List.iter update_widths rows;
+  let aligns = Array.of_list t.aligns in
+  let render_cells cells =
+    let padded = List.mapi (fun i c -> pad aligns.(i) widths.(i) c) cells in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    let dashes = Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths) in
+    "|" ^ String.concat "+" dashes ^ "|"
+  in
+  let body =
+    List.map
+      (function Row cells -> render_cells cells | Separator -> rule)
+      rows
+  in
+  String.concat "\n" (render_cells t.headers :: rule :: body)
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_pct ?(decimals = 2) x = Printf.sprintf "%.*f%%" decimals (x *. 100.)

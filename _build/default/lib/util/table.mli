@@ -1,0 +1,35 @@
+(** Plain-text table rendering for experiment reports.
+
+    The experiment harness prints every reproduced table and figure as an
+    aligned ASCII table; this module owns the layout logic so that all
+    reports share one look. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table.  [aligns] defaults to [Left] for the
+    first column and [Right] for the rest, the usual layout for a label
+    column followed by numeric columns.  If provided, [aligns] must have the
+    same length as [headers]. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  Raises [Invalid_argument] when the arity differs from
+    the header's. *)
+
+val add_separator : t -> unit
+(** Appends a horizontal rule, rendered between row groups. *)
+
+val render : t -> string
+(** Renders with column padding, a header rule, and [|]-separated cells. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point cell formatting, default 2 decimals. *)
+
+val cell_pct : ?decimals:int -> float -> string
+(** [cell_pct 0.4296] is ["42.96%"] with default decimals. *)

@@ -1,0 +1,1 @@
+lib/workloads/polybench_ci.ml: Array Gpu_util Gpusim Printf Result Workload

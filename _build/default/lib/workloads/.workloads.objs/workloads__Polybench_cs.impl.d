@@ -1,0 +1,1 @@
+lib/workloads/polybench_cs.ml: Array Gpusim Printf Result Workload

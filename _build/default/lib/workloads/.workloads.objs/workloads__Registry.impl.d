@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: List Polybench_ci Polybench_cs Printf Rodinia_ci Rodinia_ci2 Rodinia_cs String Workload

@@ -1,0 +1,1 @@
+lib/workloads/rodinia_ci.ml: Array Gpu_util Gpusim Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/rodinia_cs.ml: Array Gpu_util Gpusim List Printf Result Workload

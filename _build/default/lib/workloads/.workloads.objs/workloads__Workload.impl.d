@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Catt Gpu_util Gpusim List Minicuda Printf

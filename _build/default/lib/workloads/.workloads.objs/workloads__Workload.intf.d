@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Catt Gpu_util Gpusim Minicuda

@@ -1,0 +1,116 @@
+(** "L1D-full-with-N-warps" microbenchmarks (paper Fig. 3).
+
+    Fixed total work, variable TLP.  The per-SM dataset is a fixed number
+    of {e slices}; each slice is one warp's reusable working set — [span]
+    cache lines walked coalesced (lane [l] reads element [j·32 + l], one
+    line per instruction) — sized so that [fill_warps] concurrent slices
+    exactly fill the L1D.  A run with [w] warps gives each warp
+    [slices / w] slices to re-walk [reps] times:
+
+    - [w < fill_warps]: everything fits but latency hiding is poor;
+    - [w = fill_warps]: resident footprint = L1D, maximal useful TLP;
+    - [w > fill_warps]: resident footprint exceeds the L1D and the re-walks
+      thrash — the paper's contention regime.
+
+    The result is the U-shaped execution-time curve of Fig. 3. *)
+
+type t = {
+  label : string;
+  fill_warps : int;
+  span : int;  (** elements per lane per slice *)
+  slices : int;  (** per SM; total work is [slices * reps * span * warp_size] *)
+  reps : int;
+}
+
+let variant ~l1d_bytes ~line_bytes ~warp_size ~fill_warps ~reps =
+  let lines_total = l1d_bytes / line_bytes in
+  let lines_per_slice = lines_total / fill_warps in
+  let span = lines_per_slice * line_bytes / (warp_size * 4) in
+  if span < 1 then
+    invalid_arg "Microbench.variant: L1D too small for this warp count";
+  {
+    label = Printf.sprintf "L1D-full-with-%d-warps" fill_warps;
+    fill_warps;
+    span;
+    slices = 32;
+    reps;
+  }
+
+let warp_size = 32
+
+let source t ~warps =
+  let slices_per_warp = t.slices / warps in
+  (* warp w re-walks slices w, w+WARPS, w+2·WARPS, … so the concurrently
+     active slices are consecutive in memory and spread evenly over the
+     cache sets (a strided assignment would alias them onto one half) *)
+  Printf.sprintf
+    {|
+#define SPAN %d
+#define SLICES %d
+#define SPW %d
+#define WARPS %d
+#define REPS %d
+#define WS %d
+__global__ void l1full_kernel(float *data, float *out) {
+  int lin = threadIdx.x;
+  int warp = lin / WS;
+  int lane = lin - warp * WS;
+  float acc = 0.0;
+  for (int s = 0; s < SPW; s++) {
+    int base = (blockIdx.x * SLICES + s * WARPS + warp) * (WS * SPAN) + lane;
+    for (int r = 0; r < REPS; r++) {
+      for (int j = 0; j < SPAN; j++) {
+        acc += data[base + j * WS];
+      }
+    }
+  }
+  out[blockIdx.x * blockDim.x + lin] = acc;
+}
+|}
+    t.span t.slices slices_per_warp warps t.reps warp_size
+
+(** Run [t] with [warps] warps per SM (one TB per SM, so the count is
+    exact).  [warps] must divide [t.slices]. *)
+let run (cfg : Gpusim.Config.t) t ~warps =
+  if warps < 1 || warps * cfg.Gpusim.Config.warp_size > 1024 then
+    invalid_arg "Microbench.run: warps out of range";
+  if t.slices mod warps <> 0 then
+    invalid_arg "Microbench.run: warps must divide the slice count";
+  let ws = cfg.Gpusim.Config.warp_size in
+  let block_threads = warps * ws in
+  let num_sms = cfg.Gpusim.Config.num_sms in
+  let kernel = Minicuda.Parser.parse_kernel (source t ~warps) in
+  let prog = Gpusim.Codegen.compile_kernel kernel in
+  let dev = Gpusim.Gpu.create cfg in
+  let data_len = num_sms * t.slices * ws * t.span in
+  Gpusim.Gpu.upload dev "data"
+    (Array.init data_len (fun i -> float_of_int (i land 15)));
+  Gpusim.Gpu.alloc dev "out" (num_sms * block_threads);
+  let launch =
+    Gpusim.Gpu.default_launch ~prog ~grid:(num_sms, 1) ~block:(block_threads, 1)
+      [ Gpusim.Gpu.Arr "data"; Gpusim.Gpu.Arr "out" ]
+  in
+  let stats, _ = Gpusim.Gpu.launch dev launch in
+  stats
+
+(** CPU oracle for the kernel's reduction, for tests. *)
+let expected cfg t ~warps =
+  let ws = cfg.Gpusim.Config.warp_size in
+  let num_sms = cfg.Gpusim.Config.num_sms in
+  let data_len = num_sms * t.slices * ws * t.span in
+  let data = Array.init data_len (fun i -> float_of_int (i land 15)) in
+  let spw = t.slices / warps in
+  let block_threads = warps * ws in
+  Array.init (num_sms * block_threads) (fun gid ->
+      let sm = gid / block_threads and lin = gid mod block_threads in
+      let warp = lin / ws and lane = lin mod ws in
+      let acc = ref 0. in
+      for s = 0 to spw - 1 do
+        let base = (((sm * t.slices) + (s * warps) + warp) * (ws * t.span)) + lane in
+        for _ = 1 to t.reps do
+          for j = 0 to t.span - 1 do
+            acc := !acc +. data.(base + (j * ws))
+          done
+        done
+      done;
+      !acc)

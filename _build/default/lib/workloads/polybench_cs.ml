@@ -1,0 +1,428 @@
+(** Cache-sensitive Polybench/GPU workloads (paper Table 2, CS group).
+
+    Scaling: the paper runs e.g. ATAX at 40K×40K on 80 SMs with a 128 KB
+    L1D; we run rectangular/smaller instances on 4 SMs with a 32 KB L1D,
+    chosen so each kernel's Eq. 8 footprint : L1D ratio — the contention
+    driver — stays in the paper's regime (divergent kernels ~2–4x over
+    capacity at full TLP, coalesced kernels well under it). *)
+
+let launch ~name ~grid ~block args =
+  { Workload.kernel_name = name; grid; block; args }
+
+let arr name = Gpusim.Gpu.Arr name
+
+(* ------------------------------------------------------------------ *)
+(* ATAX: tmp = A·x (divergent), y = Aᵀ·tmp (coalesced)                 *)
+(* ------------------------------------------------------------------ *)
+
+let atax_nr = 2048
+let atax_nc = 512
+
+let atax_source =
+  Printf.sprintf
+    {|
+#define NR %d
+#define NC %d
+__global__ void atax_kernel1(float *A, float *x, float *tmp) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < NR) {
+    for (int j = 0; j < NC; j++) {
+      tmp[i] += A[i * NC + j] * x[j];
+    }
+  }
+}
+__global__ void atax_kernel2(float *A, float *tmp, float *y) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (j < NC) {
+    for (int i = 0; i < NR; i++) {
+      y[j] += A[i * NC + j] * tmp[i];
+    }
+  }
+}
+|}
+    atax_nr atax_nc
+
+let atax : Workload.t =
+  let nr = atax_nr and nc = atax_nc in
+  {
+    name = "ATAX";
+    group = Workload.Cs;
+    description = "matrix transpose and vector multiplication (y = Aᵀ(Ax))";
+    source = atax_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "A" (nr * nc));
+        ignore (Workload.upload_random dev rng "x" nc);
+        Gpusim.Gpu.upload dev "tmp" (Array.make nr 0.);
+        Gpusim.Gpu.upload dev "y" (Array.make nc 0.));
+    launches =
+      [
+        launch ~name:"atax_kernel1" ~grid:(nr / 256, 1) ~block:(256, 1)
+          [ arr "A"; arr "x"; arr "tmp" ];
+        launch ~name:"atax_kernel2" ~grid:(nc / 256, 1) ~block:(256, 1)
+          [ arr "A"; arr "tmp"; arr "y" ];
+      ];
+    verify =
+      (fun dev ->
+        let a = Gpusim.Gpu.get dev "A" in
+        let x = Gpusim.Gpu.get dev "x" in
+        let tmp_ref = Array.make nr 0. in
+        for i = 0 to nr - 1 do
+          for j = 0 to nc - 1 do
+            tmp_ref.(i) <- tmp_ref.(i) +. (a.((i * nc) + j) *. x.(j))
+          done
+        done;
+        let y_ref = Array.make nc 0. in
+        for j = 0 to nc - 1 do
+          for i = 0 to nr - 1 do
+            y_ref.(j) <- y_ref.(j) +. (a.((i * nc) + j) *. tmp_ref.(i))
+          done
+        done;
+        Result.bind
+          (Workload.expect_close ~what:"tmp" tmp_ref (Gpusim.Gpu.get dev "tmp"))
+          (fun () -> Workload.expect_close ~what:"y" y_ref (Gpusim.Gpu.get dev "y")));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* BICG: s = Aᵀ·r (coalesced), q = A·p (divergent)                     *)
+(* ------------------------------------------------------------------ *)
+
+let bicg_nr = 2048
+let bicg_nc = 512
+
+let bicg_source =
+  Printf.sprintf
+    {|
+#define NR %d
+#define NC %d
+__global__ void bicg_kernel1(float *A, float *r, float *s) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (j < NC) {
+    for (int i = 0; i < NR; i++) {
+      s[j] += r[i] * A[i * NC + j];
+    }
+  }
+}
+__global__ void bicg_kernel2(float *A, float *p, float *q) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < NR) {
+    for (int j = 0; j < NC; j++) {
+      q[i] += A[i * NC + j] * p[j];
+    }
+  }
+}
+|}
+    bicg_nr bicg_nc
+
+let bicg : Workload.t =
+  let nr = bicg_nr and nc = bicg_nc in
+  {
+    name = "BICG";
+    group = Workload.Cs;
+    description = "BiCGStab kernel pair (s = Aᵀr, q = Ap)";
+    source = bicg_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "A" (nr * nc));
+        ignore (Workload.upload_random dev rng "r" nr);
+        ignore (Workload.upload_random dev rng "p" nc);
+        Gpusim.Gpu.upload dev "s" (Array.make nc 0.);
+        Gpusim.Gpu.upload dev "q" (Array.make nr 0.));
+    launches =
+      [
+        launch ~name:"bicg_kernel1" ~grid:(nc / 256, 1) ~block:(256, 1)
+          [ arr "A"; arr "r"; arr "s" ];
+        launch ~name:"bicg_kernel2" ~grid:(nr / 256, 1) ~block:(256, 1)
+          [ arr "A"; arr "p"; arr "q" ];
+      ];
+    verify =
+      (fun dev ->
+        let a = Gpusim.Gpu.get dev "A" in
+        let r = Gpusim.Gpu.get dev "r" in
+        let p = Gpusim.Gpu.get dev "p" in
+        let s_ref = Array.make nc 0. in
+        for j = 0 to nc - 1 do
+          for i = 0 to nr - 1 do
+            s_ref.(j) <- s_ref.(j) +. (r.(i) *. a.((i * nc) + j))
+          done
+        done;
+        let q_ref = Array.make nr 0. in
+        for i = 0 to nr - 1 do
+          for j = 0 to nc - 1 do
+            q_ref.(i) <- q_ref.(i) +. (a.((i * nc) + j) *. p.(j))
+          done
+        done;
+        Result.bind
+          (Workload.expect_close ~what:"s" s_ref (Gpusim.Gpu.get dev "s"))
+          (fun () -> Workload.expect_close ~what:"q" q_ref (Gpusim.Gpu.get dev "q")));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* MVT: x1 += A·y1 (divergent), x2 += Aᵀ·y2 (coalesced)               *)
+(* ------------------------------------------------------------------ *)
+
+let mvt_n = 1024
+
+let mvt_source =
+  Printf.sprintf
+    {|
+#define N %d
+__global__ void mvt_kernel1(float *A, float *y1, float *x1) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < N) {
+    for (int j = 0; j < N; j++) {
+      x1[i] += A[i * N + j] * y1[j];
+    }
+  }
+}
+__global__ void mvt_kernel2(float *A, float *y2, float *x2) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < N) {
+    for (int j = 0; j < N; j++) {
+      x2[i] += A[j * N + i] * y2[j];
+    }
+  }
+}
+|}
+    mvt_n
+
+let mvt : Workload.t =
+  let n = mvt_n in
+  {
+    name = "MVT";
+    group = Workload.Cs;
+    description = "matrix-vector product and transpose product";
+    source = mvt_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "A" (n * n));
+        ignore (Workload.upload_random dev rng "y1" n);
+        ignore (Workload.upload_random dev rng "y2" n);
+        Gpusim.Gpu.upload dev "x1" (Array.make n 0.);
+        Gpusim.Gpu.upload dev "x2" (Array.make n 0.));
+    launches =
+      [
+        launch ~name:"mvt_kernel1" ~grid:(n / 128, 1) ~block:(128, 1)
+          [ arr "A"; arr "y1"; arr "x1" ];
+        launch ~name:"mvt_kernel2" ~grid:(n / 128, 1) ~block:(128, 1)
+          [ arr "A"; arr "y2"; arr "x2" ];
+      ];
+    verify =
+      (fun dev ->
+        let a = Gpusim.Gpu.get dev "A" in
+        let y1 = Gpusim.Gpu.get dev "y1" in
+        let y2 = Gpusim.Gpu.get dev "y2" in
+        let x1_ref = Array.make n 0. in
+        let x2_ref = Array.make n 0. in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            x1_ref.(i) <- x1_ref.(i) +. (a.((i * n) + j) *. y1.(j));
+            x2_ref.(i) <- x2_ref.(i) +. (a.((j * n) + i) *. y2.(j))
+          done
+        done;
+        Result.bind
+          (Workload.expect_close ~what:"x1" x1_ref (Gpusim.Gpu.get dev "x1"))
+          (fun () ->
+            Workload.expect_close ~what:"x2" x2_ref (Gpusim.Gpu.get dev "x2")));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* GSMV (gesummv): y = α·A·x + β·B·x — two divergent matrices at once  *)
+(* ------------------------------------------------------------------ *)
+
+let gsmv_n = 512
+let gsmv_alpha = 1.5
+let gsmv_beta = 2.5
+
+let gsmv_source =
+  Printf.sprintf
+    {|
+#define N %d
+__global__ void gesummv_kernel(float *A, float *B, float *x, float *tmp, float *y) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < N) {
+    for (int j = 0; j < N; j++) {
+      tmp[i] += A[i * N + j] * x[j];
+      y[i] += B[i * N + j] * x[j];
+    }
+    y[i] = %g * tmp[i] + %g * y[i];
+  }
+}
+|}
+    gsmv_n gsmv_alpha gsmv_beta
+
+let gsmv : Workload.t =
+  let n = gsmv_n in
+  {
+    name = "GSMV";
+    group = Workload.Cs;
+    description = "scalar, vector and matrix multiplication (gesummv)";
+    source = gsmv_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "A" (n * n));
+        ignore (Workload.upload_random dev rng "B" (n * n));
+        ignore (Workload.upload_random dev rng "x" n);
+        Gpusim.Gpu.upload dev "tmp" (Array.make n 0.);
+        Gpusim.Gpu.upload dev "y" (Array.make n 0.));
+    launches =
+      [
+        launch ~name:"gesummv_kernel" ~grid:(n / 128, 1) ~block:(128, 1)
+          [ arr "A"; arr "B"; arr "x"; arr "tmp"; arr "y" ];
+      ];
+    verify =
+      (fun dev ->
+        let a = Gpusim.Gpu.get dev "A" in
+        let b = Gpusim.Gpu.get dev "B" in
+        let x = Gpusim.Gpu.get dev "x" in
+        let y_ref = Array.make n 0. in
+        for i = 0 to n - 1 do
+          let ta = ref 0. and tb = ref 0. in
+          for j = 0 to n - 1 do
+            ta := !ta +. (a.((i * n) + j) *. x.(j));
+            tb := !tb +. (b.((i * n) + j) *. x.(j))
+          done;
+          y_ref.(i) <- (gsmv_alpha *. !ta) +. (gsmv_beta *. !tb)
+        done;
+        Workload.expect_close ~what:"y" y_ref (Gpusim.Gpu.get dev "y"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* SYR2K: C += α(A·Bᵀ + B·Aᵀ) with a 2-D thread block (the paper's    *)
+(* multidimensional-TB case, Section 4.2)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A 16-row band of the rank-2k update over 240 columns.  Geometry notes:
+   one warp per (16,2) TB so warps have private row sets (Eq. 8's per-warp
+   footprint is then the true resident set), and a grid width of 15 —
+   coprime to the 4-SM round-robin CTA stride — so the TBs resident on one
+   SM cover disjoint [j] row ranges and genuinely thrash the L1D, as the
+   paper's full-size 2K×2K instance does. *)
+let syr2k_ni = 16
+let syr2k_nj = 240
+let syr2k_m = 128
+
+let syr2k_source =
+  Printf.sprintf
+    {|
+#define NI %d
+#define NJ %d
+#define M %d
+__global__ void syr2k_kernel(float *A, float *B, float *C) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < NI && j < NJ) {
+    for (int k = 0; k < M; k++) {
+      C[i * NJ + j] += A[i * M + k] * B[j * M + k] + B[i * M + k] * A[j * M + k];
+    }
+  }
+}
+|}
+    syr2k_ni syr2k_nj syr2k_m
+
+let syr2k : Workload.t =
+  let ni = syr2k_ni and nj = syr2k_nj and m = syr2k_m in
+  {
+    name = "SYR2K";
+    group = Workload.Cs;
+    description = "symmetric rank-2k band update (2-D thread blocks)";
+    source = syr2k_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "A" (nj * m));
+        ignore (Workload.upload_random dev rng "B" (nj * m));
+        Gpusim.Gpu.upload dev "C" (Array.make (ni * nj) 0.));
+    launches =
+      [
+        launch ~name:"syr2k_kernel" ~grid:(nj / 16, ni / 2) ~block:(16, 2)
+          [ arr "A"; arr "B"; arr "C" ];
+      ];
+    verify =
+      (fun dev ->
+        let a = Gpusim.Gpu.get dev "A" in
+        let b = Gpusim.Gpu.get dev "B" in
+        let c_ref = Array.make (ni * nj) 0. in
+        for i = 0 to ni - 1 do
+          for j = 0 to nj - 1 do
+            for k = 0 to m - 1 do
+              c_ref.((i * nj) + j) <-
+                c_ref.((i * nj) + j)
+                +. (a.((i * m) + k) *. b.((j * m) + k))
+                +. (b.((i * m) + k) *. a.((j * m) + k))
+            done
+          done
+        done;
+        Workload.expect_close ~what:"C" c_ref (Gpusim.Gpu.get dev "C"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CORR: row-pairwise correlation against 8 distant lags — the paper's *)
+(* "cannot fit even at minimum TLP" case (Section 5.1: CORR passes     *)
+(* through CATT untouched because Eq. 9 never converges)               *)
+(* ------------------------------------------------------------------ *)
+
+let corr_rows = 2048
+let corr_cols = 64
+let corr_lags = 8
+let corr_stride = 64  (* rows between lag partners: no intra-warp overlap *)
+
+let corr_source =
+  Printf.sprintf
+    {|
+#define ROWS %d
+#define COLS %d
+#define STRIDE %d
+__global__ void corr_kernel(float *data, float *sym) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < ROWS - 8 * STRIDE) {
+    for (int j = 0; j < COLS; j++) {
+      float base = data[i * COLS + j];
+      sym[i * 8 + 0] += base * data[(i + STRIDE) * COLS + j];
+      sym[i * 8 + 1] += base * data[(i + 2 * STRIDE) * COLS + j];
+      sym[i * 8 + 2] += base * data[(i + 3 * STRIDE) * COLS + j];
+      sym[i * 8 + 3] += base * data[(i + 4 * STRIDE) * COLS + j];
+      sym[i * 8 + 4] += base * data[(i + 5 * STRIDE) * COLS + j];
+      sym[i * 8 + 5] += base * data[(i + 6 * STRIDE) * COLS + j];
+      sym[i * 8 + 6] += base * data[(i + 7 * STRIDE) * COLS + j];
+      sym[i * 8 + 7] += base * data[(i + 8 * STRIDE) * COLS + j];
+    }
+  }
+}
+|}
+    corr_rows corr_cols corr_stride
+
+let corr : Workload.t =
+  let rows = corr_rows and cols = corr_cols in
+  let active = rows - (corr_lags * corr_stride) in
+  {
+    name = "CORR";
+    group = Workload.Cs;
+    description = "row correlation against 8 lags (unresolvable footprint)";
+    source = corr_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "data" (rows * cols));
+        Gpusim.Gpu.upload dev "sym" (Array.make (rows * 8) 0.));
+    launches =
+      [
+        launch ~name:"corr_kernel" ~grid:(rows / 256, 1) ~block:(256, 1)
+          [ arr "data"; arr "sym" ];
+      ];
+    verify =
+      (fun dev ->
+        let data = Gpusim.Gpu.get dev "data" in
+        let sym_ref = Array.make (rows * 8) 0. in
+        for i = 0 to active - 1 do
+          for j = 0 to cols - 1 do
+            let base = data.((i * cols) + j) in
+            for l = 0 to corr_lags - 1 do
+              sym_ref.((i * 8) + l) <-
+                sym_ref.((i * 8) + l)
+                +. (base *. data.(((i + ((l + 1) * corr_stride)) * cols) + j))
+            done
+          done
+        done;
+        Workload.expect_close ~what:"sym" sym_ref (Gpusim.Gpu.get dev "sym"));
+  }
+
+let all = [ atax; bicg; mvt; gsmv; syr2k; corr ]

@@ -1,0 +1,23 @@
+(** All benchmark applications, grouped as in the paper's Table 2. *)
+
+let cs : Workload.t list = Polybench_cs.all @ Rodinia_cs.all
+
+let ci : Workload.t list = Polybench_ci.all @ Rodinia_ci.all @ Rodinia_ci2.all
+
+let all : Workload.t list = cs @ ci
+
+let find name =
+  match
+    List.find_opt
+      (fun (w : Workload.t) -> String.lowercase_ascii w.Workload.name = String.lowercase_ascii name)
+      all
+  with
+  | Some w -> w
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown workload %s (known: %s)" name
+         (String.concat ", " (List.map (fun w -> w.Workload.name) all)))
+
+let names group =
+  List.map (fun (w : Workload.t) -> w.Workload.name)
+    (match group with `Cs -> cs | `Ci -> ci | `All -> all)

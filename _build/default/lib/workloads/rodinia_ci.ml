@@ -1,0 +1,478 @@
+(** Cache-insensitive Rodinia workloads (paper Table 2, CI group).
+
+    BP, LUD and LVMD also exercise the shared-memory path: their static
+    [__shared__] usage forces a non-zero carveout (paper Section 4.1), so
+    they validate Eqs. 1 and 4 end-to-end.  BT and MC are compute- or
+    pointer-chase-bound with tiny footprints. *)
+
+let launch ~name ~grid ~block args =
+  { Workload.kernel_name = name; grid; block; args }
+
+let arr name = Gpusim.Gpu.Arr name
+
+(* ------------------------------------------------------------------ *)
+(* BP (backprop): layer forward + weight adjust, coalesced over units  *)
+(* ------------------------------------------------------------------ *)
+
+let bp_in = 1024
+let bp_out = 256
+
+let bp_source =
+  Printf.sprintf
+    {|
+#define IN %d
+#define OUT %d
+__global__ void bp_layerforward(float *input, float *w, float *hidden) {
+  __shared__ float node[256];
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (j < OUT) {
+    float sum = 0.0;
+    for (int i = 0; i < IN; i++) {
+      node[threadIdx.x] = input[i];
+      sum += w[i * OUT + j] * node[threadIdx.x];
+    }
+    hidden[j] = 1.0 / (1.0 + expf(-sum));
+  }
+}
+__global__ void bp_adjust_weights(float *input, float *delta, float *w) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (j < OUT) {
+    for (int i = 0; i < IN; i++) {
+      w[i * OUT + j] += 0.3 * delta[j] * input[i];
+    }
+  }
+}
+|}
+    bp_in bp_out
+
+let bp : Workload.t =
+  let n_in = bp_in and n_out = bp_out in
+  {
+    name = "BP";
+    group = Workload.Ci;
+    description = "back propagation layer (coalesced, small shared buffer)";
+    source = bp_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "input" n_in);
+        ignore (Workload.upload_random dev rng "w" (n_in * n_out));
+        ignore (Workload.upload_random dev rng "delta" n_out);
+        Gpusim.Gpu.upload dev "hidden" (Array.make n_out 0.));
+    launches =
+      [
+        launch ~name:"bp_layerforward" ~grid:(n_out / 128, 1) ~block:(128, 1)
+          [ arr "input"; arr "w"; arr "hidden" ];
+        launch ~name:"bp_adjust_weights" ~grid:(n_out / 128, 1) ~block:(128, 1)
+          [ arr "input"; arr "delta"; arr "w" ];
+      ];
+    verify =
+      (fun dev ->
+        let input = Gpusim.Gpu.get dev "input" in
+        let delta = Gpusim.Gpu.get dev "delta" in
+        let w = Gpusim.Gpu.get dev "w" in
+        let hidden_ref = Array.make n_out 0. in
+        (* w on the device was updated by the second kernel; recompute the
+           original weights by undoing the adjustment *)
+        let w0 = Array.copy w in
+        for i = 0 to n_in - 1 do
+          for j = 0 to n_out - 1 do
+            w0.((i * n_out) + j) <-
+              w0.((i * n_out) + j) -. (0.3 *. delta.(j) *. input.(i))
+          done
+        done;
+        for j = 0 to n_out - 1 do
+          let sum = ref 0. in
+          for i = 0 to n_in - 1 do
+            sum := !sum +. (w0.((i * n_out) + j) *. input.(i))
+          done;
+          hidden_ref.(j) <- 1. /. (1. +. exp (-. !sum))
+        done;
+        Workload.expect_close ~eps:1e-3 ~what:"hidden" hidden_ref
+          (Gpusim.Gpu.get dev "hidden"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LUD: tiled update step with shared-memory staging                   *)
+(* ------------------------------------------------------------------ *)
+
+let lud_n = 128
+let lud_tile = 16
+
+let lud_source =
+  Printf.sprintf
+    {|
+#define N %d
+#define T %d
+__global__ void lud_internal(float *L, float *U, float *A) {
+  __shared__ float lsh[256];
+  __shared__ float ush[256];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int j = blockIdx.x * T + tx;
+  int i = blockIdx.y * T + ty;
+  lsh[ty * T + tx] = L[i * T + tx];
+  ush[ty * T + tx] = U[ty * N + j];
+  __syncthreads();
+  float acc = 0.0;
+  for (int k = 0; k < T; k++) {
+    acc += lsh[ty * T + k] * ush[k * T + tx];
+  }
+  A[i * N + j] -= acc;
+}
+|}
+    lud_n lud_tile
+
+let lud : Workload.t =
+  let n = lud_n and t = lud_tile in
+  {
+    name = "LUD";
+    group = Workload.Ci;
+    description = "LU decomposition internal tile update (shared staging)";
+    source = lud_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "L" (n * t));
+        ignore (Workload.upload_random dev rng "U" (t * n));
+        ignore (Workload.upload_random dev rng "A" (n * n)));
+    launches =
+      [
+        launch ~name:"lud_internal" ~grid:(n / t, n / t) ~block:(t, t)
+          [ arr "L"; arr "U"; arr "A" ];
+      ];
+    verify =
+      (fun dev ->
+        let l = Gpusim.Gpu.get dev "L" in
+        let u = Gpusim.Gpu.get dev "U" in
+        let a = Gpusim.Gpu.get dev "A" in
+        (* device A was updated in place: A_final = A_init - L·U; verify the
+           algebra by checking A_final + L·U is constant across rows of the
+           same random seed is impossible without A_init, so recompute:
+           re-derive A_init from a fresh RNG replay in the runner is not
+           available here; instead check a linear identity that survives the
+           in-place update: (A_init - A_final)[i][j] = (L·U)[i][j]. A_init is
+           unknown, so recompute L·U and confirm A_final + L·U has the same
+           value the device would have started from — we reconstruct A_init
+           by re-adding and bound-check determinism instead. *)
+        let lu = Array.make (n * n) 0. in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let acc = ref 0. in
+            for k = 0 to t - 1 do
+              acc := !acc +. (l.((i * t) + k) *. u.((k * n) + j))
+            done;
+            lu.((i * n) + j) <- !acc
+          done
+        done;
+        let reconstructed = Array.mapi (fun idx v -> v +. lu.(idx)) a in
+        (* A_init values were uniform in [0,1): the reconstruction must land
+           back in that range, which fails loudly if the tile algebra or the
+           barrier handling is wrong *)
+        let ok = Array.for_all (fun v -> v >= -1e-6 && v < 1. +. 1e-6) reconstructed in
+        if ok then Ok ()
+        else Error "LUD: reconstructed A_init outside the uploaded range");
+  }
+
+(* ------------------------------------------------------------------ *)
+(* HP (hotspot3d): 7-point stencil, coalesced                          *)
+(* ------------------------------------------------------------------ *)
+
+let hp_nx = 64
+let hp_ny = 32
+let hp_nz = 4
+
+let hp_source =
+  Printf.sprintf
+    {|
+#define NX %d
+#define NY %d
+#define NZ %d
+__global__ void hotspot3d_kernel(float *tin, float *power, float *tout) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x > 0 && x < NX - 1 && y > 0 && y < NY - 1) {
+    for (int z = 1; z < NZ - 1; z++) {
+      int c = (z * NY + y) * NX + x;
+      float center = tin[c];
+      float acc = power[c] + 0.4 * center;
+      acc += 0.1 * (tin[c - 1] + tin[c + 1]);
+      acc += 0.1 * (tin[c - NX] + tin[c + NX]);
+      acc += 0.1 * (tin[c - NX * NY] + tin[c + NX * NY]);
+      tout[c] = acc;
+    }
+  }
+}
+|}
+    hp_nx hp_ny hp_nz
+
+let hp : Workload.t =
+  let nx = hp_nx and ny = hp_ny and nz = hp_nz in
+  let total = nx * ny * nz in
+  {
+    name = "HP";
+    group = Workload.Ci;
+    description = "hotspot3d 7-point stencil (coalesced)";
+    source = hp_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "tin" total);
+        ignore (Workload.upload_random dev rng "power" total);
+        Gpusim.Gpu.upload dev "tout" (Array.make total 0.));
+    launches =
+      [
+        launch ~name:"hotspot3d_kernel" ~grid:(nx / 32, ny / 4) ~block:(32, 4)
+          [ arr "tin"; arr "power"; arr "tout" ];
+      ];
+    verify =
+      (fun dev ->
+        let tin = Gpusim.Gpu.get dev "tin" in
+        let power = Gpusim.Gpu.get dev "power" in
+        let tout_ref = Array.make total 0. in
+        for z = 1 to nz - 2 do
+          for y = 1 to ny - 2 do
+            for x = 1 to nx - 2 do
+              let c = (((z * ny) + y) * nx) + x in
+              tout_ref.(c) <-
+                power.(c) +. (0.4 *. tin.(c))
+                +. (0.1 *. (tin.(c - 1) +. tin.(c + 1)))
+                +. (0.1 *. (tin.(c - nx) +. tin.(c + nx)))
+                +. (0.1 *. (tin.(c - (nx * ny)) +. tin.(c + (nx * ny))))
+            done
+          done
+        done;
+        Workload.expect_close ~what:"tout" tout_ref (Gpusim.Gpu.get dev "tout"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* BT (B+ tree): fixed-depth index traversal, irregular but tiny       *)
+(* ------------------------------------------------------------------ *)
+
+let bt_queries = 1024
+let bt_order = 4  (* children per node *)
+let bt_levels = 5
+let bt_nodes = 1 + 4 + 16 + 64 + 256  (* perfect tree of bt_levels levels *)
+
+let bt_source =
+  Printf.sprintf
+    {|
+#define NQ %d
+#define ORDER %d
+#define LEVELS %d
+__global__ void btree_find(int *keys, int *children, int *queries, int *results) {
+  int q = blockIdx.x * blockDim.x + threadIdx.x;
+  if (q < NQ) {
+    int target = queries[q];
+    int node = 0;
+    for (int l = 0; l < LEVELS - 1; l++) {
+      int slot = 0;
+      for (int c = 1; c < ORDER; c++) {
+        if (target >= keys[node * ORDER + c]) {
+          slot = c;
+        }
+      }
+      node = children[node * ORDER + slot];
+    }
+    results[q] = node;
+  }
+}
+|}
+    bt_queries bt_order bt_levels
+
+(* perfect ORDER-ary tree over the key space [0, capacity) *)
+let bt_tree () =
+  let order = bt_order and levels = bt_levels in
+  let nodes = bt_nodes in
+  let keys = Array.make (nodes * order) 0. in
+  let children = Array.make (nodes * order) 0. in
+  let capacity = int_of_float (float_of_int order ** float_of_int levels) in
+  (* node numbering: level-order; node n at level l spans a key range *)
+  let rec fill node level lo hi =
+    if level < levels - 1 then begin
+      let span = (hi - lo) / order in
+      for c = 0 to order - 1 do
+        keys.((node * order) + c) <- float_of_int (lo + (c * span));
+        let child_index = (node * order) + c + 1 in
+        (* level-order index of the c-th child *)
+        let child = (4 * node) + c + 1 in
+        ignore child_index;
+        children.((node * order) + c) <- float_of_int child;
+        fill child (level + 1) (lo + (c * span)) (lo + ((c + 1) * span))
+      done
+    end
+  in
+  fill 0 0 0 capacity;
+  (keys, children, capacity)
+
+let bt : Workload.t =
+  let nq = bt_queries in
+  {
+    name = "BT";
+    group = Workload.Ci;
+    description = "B+ tree point queries (pointer chasing, tiny footprint)";
+    source = bt_source;
+    setup =
+      (fun dev rng ->
+        let keys, children, capacity = bt_tree () in
+        Gpusim.Gpu.upload dev "keys" keys;
+        Gpusim.Gpu.upload dev "children" children;
+        let queries =
+          Array.init nq (fun _ -> float_of_int (Gpu_util.Rng.int rng capacity))
+        in
+        Gpusim.Gpu.upload dev "queries" queries;
+        Gpusim.Gpu.upload dev "results" (Array.make nq 0.));
+    launches =
+      [
+        launch ~name:"btree_find" ~grid:(nq / 256, 1) ~block:(256, 1)
+          [ arr "keys"; arr "children"; arr "queries"; arr "results" ];
+      ];
+    verify =
+      (fun dev ->
+        let keys = Gpusim.Gpu.get dev "keys" in
+        let children = Gpusim.Gpu.get dev "children" in
+        let queries = Gpusim.Gpu.get dev "queries" in
+        let results_ref = Array.make nq 0. in
+        for q = 0 to nq - 1 do
+          let node = ref 0 in
+          for _ = 0 to bt_levels - 2 do
+            let slot = ref 0 in
+            for c = 1 to bt_order - 1 do
+              if queries.(q) >= keys.((!node * bt_order) + c) then slot := c
+            done;
+            node := int_of_float children.((!node * bt_order) + !slot)
+          done;
+          results_ref.(q) <- float_of_int !node
+        done;
+        Workload.expect_close ~what:"results" results_ref
+          (Gpusim.Gpu.get dev "results"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LVMD (LavaMD): per-box particle interactions with shared staging    *)
+(* ------------------------------------------------------------------ *)
+
+let lvmd_boxes = 16
+let lvmd_per_box = 128
+
+let lvmd_source =
+  Printf.sprintf
+    {|
+#define NB %d
+#define PPB %d
+__global__ void lavamd_kernel(float *pos, float *charge, float *force) {
+  __shared__ float cache[128];
+  int p = threadIdx.x;
+  int box = blockIdx.x;
+  int self = box * PPB + p;
+  float x = pos[self];
+  float f = 0.0;
+  for (int nb = 0; nb < NB; nb++) {
+    cache[p] = pos[nb * PPB + p];
+    __syncthreads();
+    for (int q = 0; q < PPB; q++) {
+      float d = x - cache[q];
+      f += charge[nb * PPB + q] * expf(-d * d);
+    }
+    __syncthreads();
+  }
+  force[self] = f;
+}
+|}
+    lvmd_boxes lvmd_per_box
+
+let lvmd : Workload.t =
+  let nb = lvmd_boxes and ppb = lvmd_per_box in
+  let total = nb * ppb in
+  {
+    name = "LVMD";
+    group = Workload.Ci;
+    description = "LavaMD-style particle interactions (shared-memory staging)";
+    source = lvmd_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "pos" total);
+        ignore (Workload.upload_random dev rng "charge" total);
+        Gpusim.Gpu.upload dev "force" (Array.make total 0.));
+    launches =
+      [
+        launch ~name:"lavamd_kernel" ~grid:(nb, 1) ~block:(ppb, 1)
+          [ arr "pos"; arr "charge"; arr "force" ];
+      ];
+    verify =
+      (fun dev ->
+        let pos = Gpusim.Gpu.get dev "pos" in
+        let charge = Gpusim.Gpu.get dev "charge" in
+        let force_ref = Array.make total 0. in
+        for self = 0 to total - 1 do
+          let f = ref 0. in
+          for other = 0 to total - 1 do
+            let d = pos.(self) -. pos.(other) in
+            f := !f +. (charge.(other) *. exp (-.d *. d))
+          done;
+          force_ref.(self) <- !f
+        done;
+        Workload.expect_close ~eps:1e-3 ~what:"force" force_ref
+          (Gpusim.Gpu.get dev "force"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* MC (myocyte): per-instance ODE integration, compute-bound           *)
+(* ------------------------------------------------------------------ *)
+
+let mc_instances = 512
+let mc_steps = 64
+
+let mc_source =
+  Printf.sprintf
+    {|
+#define NI %d
+#define STEPS %d
+__global__ void myocyte_kernel(float *y0, float *params, float *yout) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < NI) {
+    float y = y0[i];
+    float k = params[i];
+    for (int s = 0; s < STEPS; s++) {
+      float dy = k * y * (1.0 - y) - 0.1 * y;
+      y = y + 0.01 * dy;
+    }
+    yout[i] = y;
+  }
+}
+|}
+    mc_instances mc_steps
+
+let mc : Workload.t =
+  let ni = mc_instances in
+  {
+    name = "MC";
+    group = Workload.Ci;
+    description = "myocyte-style ODE integration (compute bound)";
+    source = mc_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "y0" ni);
+        ignore (Workload.upload_random dev rng "params" ni);
+        Gpusim.Gpu.upload dev "yout" (Array.make ni 0.));
+    launches =
+      [
+        launch ~name:"myocyte_kernel" ~grid:(ni / 128, 1) ~block:(128, 1)
+          [ arr "y0"; arr "params"; arr "yout" ];
+      ];
+    verify =
+      (fun dev ->
+        let y0 = Gpusim.Gpu.get dev "y0" in
+        let params = Gpusim.Gpu.get dev "params" in
+        let yout_ref =
+          Array.mapi
+            (fun i y_init ->
+              let y = ref y_init in
+              for _ = 1 to mc_steps do
+                let dy = (params.(i) *. !y *. (1. -. !y)) -. (0.1 *. !y) in
+                y := !y +. (0.01 *. dy)
+              done;
+              !y)
+            y0
+        in
+        Workload.expect_close ~what:"yout" yout_ref (Gpusim.Gpu.get dev "yout"));
+  }
+
+let all = [ bp; lud; hp; bt; lvmd; mc ]

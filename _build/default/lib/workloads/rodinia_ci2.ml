@@ -1,0 +1,148 @@
+(** The remaining cache-insensitive Rodinia entries of Table 2: HM
+    (Huffman) and HW (Heart Wall).  The originals depend on codec/video
+    inputs; these keep the behaviourally relevant structure — HM's
+    table-driven decode with small-stride segment reads, HW's windowed
+    template correlation with coalesced frame accesses — on synthetic
+    deterministic inputs (DESIGN.md §2). *)
+
+let launch ~name ~grid ~block args =
+  { Workload.kernel_name = name; grid; block; args }
+
+let arr name = Gpusim.Gpu.Arr name
+
+(* ------------------------------------------------------------------ *)
+(* HM: table-driven symbol decode, 16 symbols per thread               *)
+(* ------------------------------------------------------------------ *)
+
+let hm_symbols = 8192
+let hm_per_thread = 16
+let hm_table = 256
+
+let hm_source =
+  Printf.sprintf
+    {|
+#define NT %d
+#define SPT %d
+__global__ void huffman_decode(int *codes, int *table, int *out) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < NT) {
+    int acc = 0;
+    for (int j = 0; j < SPT; j++) {
+      int sym = codes[i * SPT + j];
+      acc += table[sym];
+    }
+    out[i] = acc;
+  }
+}
+|}
+    (hm_symbols / hm_per_thread)
+    hm_per_thread
+
+let hm : Workload.t =
+  let nt = hm_symbols / hm_per_thread in
+  {
+    name = "HM";
+    group = Workload.Ci;
+    description = "Huffman-style table-driven decode (small working set)";
+    source = hm_source;
+    setup =
+      (fun dev rng ->
+        let codes =
+          Array.init hm_symbols (fun _ ->
+              float_of_int (Gpu_util.Rng.int rng hm_table))
+        in
+        let table =
+          Array.init hm_table (fun _ -> float_of_int (1 + Gpu_util.Rng.int rng 15))
+        in
+        Gpusim.Gpu.upload dev "codes" codes;
+        Gpusim.Gpu.upload dev "table" table;
+        Gpusim.Gpu.upload dev "out" (Array.make nt 0.));
+    launches =
+      [
+        launch ~name:"huffman_decode" ~grid:(nt / 128, 1) ~block:(128, 1)
+          [ arr "codes"; arr "table"; arr "out" ];
+      ];
+    verify =
+      (fun dev ->
+        let codes = Gpusim.Gpu.get dev "codes" in
+        let table = Gpusim.Gpu.get dev "table" in
+        let out_ref =
+          Array.init nt (fun i ->
+              let acc = ref 0. in
+              for j = 0 to hm_per_thread - 1 do
+                acc := !acc +. table.(int_of_float codes.((i * hm_per_thread) + j))
+              done;
+              !acc)
+        in
+        Workload.expect_close ~what:"out" out_ref (Gpusim.Gpu.get dev "out"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* HW: 5x5 template correlation over a frame (coalesced windows)       *)
+(* ------------------------------------------------------------------ *)
+
+let hw_width = 128
+let hw_height = 64
+let hw_tpl = 5
+
+let hw_source =
+  Printf.sprintf
+    {|
+#define W %d
+#define H %d
+#define T %d
+__global__ void heartwall_correlate(float *frame, float *tpl, float *response) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x < W - T && y < H - T) {
+    float acc = 0.0;
+    for (int dy = 0; dy < T; dy++) {
+      for (int dx = 0; dx < T; dx++) {
+        acc += frame[(y + dy) * W + x + dx] * tpl[dy * T + dx];
+      }
+    }
+    response[y * W + x] = acc;
+  }
+}
+|}
+    hw_width hw_height hw_tpl
+
+let hw : Workload.t =
+  let w = hw_width and h = hw_height and t = hw_tpl in
+  {
+    name = "HW";
+    group = Workload.Ci;
+    description = "Heart Wall-style template correlation (coalesced stencil)";
+    source = hw_source;
+    setup =
+      (fun dev rng ->
+        ignore (Workload.upload_random dev rng "frame" (w * h));
+        ignore (Workload.upload_random dev rng "tpl" (t * t));
+        Gpusim.Gpu.upload dev "response" (Array.make (w * h) 0.));
+    launches =
+      [
+        launch ~name:"heartwall_correlate" ~grid:(w / 32, h / 8) ~block:(32, 8)
+          [ arr "frame"; arr "tpl"; arr "response" ];
+      ];
+    verify =
+      (fun dev ->
+        let frame = Gpusim.Gpu.get dev "frame" in
+        let tpl = Gpusim.Gpu.get dev "tpl" in
+        let ref_out = Array.make (w * h) 0. in
+        for y = 0 to h - t - 1 do
+          for x = 0 to w - t - 1 do
+            let acc = ref 0. in
+            for dy = 0 to t - 1 do
+              for dx = 0 to t - 1 do
+                acc :=
+                  !acc +. (frame.(((y + dy) * w) + x + dx) *. tpl.((dy * t) + dx))
+              done
+            done;
+            ref_out.((y * w) + x) <- !acc
+          done
+        done;
+        Workload.expect_close ~eps:1e-3 ~what:"response" ref_out
+          (Gpusim.Gpu.get dev "response"));
+  }
+
+let all = [ hm; hw ]

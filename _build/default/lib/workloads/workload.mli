@@ -1,0 +1,51 @@
+(** Common shape of a benchmark application.
+
+    Every workload bundles its mini-CUDA source, the host-side input
+    builders (deterministic, seeded through {!Gpu_util.Rng}), the launch
+    sequence, and a CPU oracle that checks the simulated device produced
+    the right answer.  Sizes are scaled from the paper's inputs so that
+    the per-SM footprint/L1D ratio — the quantity that decides cache
+    contention — matches the original (see DESIGN.md §6); each module
+    documents its scaling. *)
+
+type group = Cs | Ci
+(** The paper's cache-sensitive / cache-insensitive split (Table 2). *)
+
+type kernel_launch = {
+  kernel_name : string;  (** kernel within {!t.source} *)
+  grid : int * int;
+  block : int * int;
+  args : Gpusim.Gpu.arg list;
+}
+
+type t = {
+  name : string;  (** paper abbreviation, e.g. "ATAX" *)
+  group : group;
+  description : string;
+  source : string;  (** mini-CUDA translation unit *)
+  setup : Gpusim.Gpu.device -> Gpu_util.Rng.t -> unit;
+      (** allocates and fills every device array the launches reference *)
+  launches : kernel_launch list;  (** executed in order *)
+  verify : Gpusim.Gpu.device -> (unit, string) result;
+      (** CPU oracle, run after the launch sequence *)
+}
+
+val parse : t -> Minicuda.Ast.program
+(** Parse-and-cache helper (parsing is cheap; no cache, just a shorthand). *)
+
+val kernels : t -> (string * Minicuda.Ast.kernel) list
+
+val find_kernel : t -> string -> Minicuda.Ast.kernel
+
+val geometry_of : kernel_launch -> Catt.Analysis.geometry
+
+(** {2 Oracle helpers} *)
+
+val expect_close :
+  ?eps:float -> what:string -> float array -> float array -> (unit, string) result
+(** Element-wise comparison with a relative+absolute tolerance. *)
+
+val upload_random :
+  Gpusim.Gpu.device -> Gpu_util.Rng.t -> string -> int -> float array
+(** Fills a fresh device array with uniform values in [0, 1) and returns a
+    host copy for the oracle. *)

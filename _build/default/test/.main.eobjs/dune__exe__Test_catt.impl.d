@@ -1,0 +1,1 @@
+test/test_catt.ml: Alcotest Array Catt Gpu_util Gpusim List Minicuda Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Catt Experiments Gpu_util Gpusim List Minicuda Workloads

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Catt Experiments List Workloads

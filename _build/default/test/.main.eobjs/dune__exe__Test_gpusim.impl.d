@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Array Fmt Gen Gpusim List Minicuda Printf QCheck QCheck_alcotest

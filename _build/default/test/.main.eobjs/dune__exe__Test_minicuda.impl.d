@@ -1,0 +1,1 @@
+test/test_minicuda.ml: Alcotest Float List Minicuda Printexc QCheck QCheck_alcotest

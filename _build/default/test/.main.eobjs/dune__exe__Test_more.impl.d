@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Catt Experiments Float Gpusim List Minicuda Printf Workloads

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Catt Experiments Gpu_util Gpusim List Minicuda Printf QCheck QCheck_alcotest Workloads

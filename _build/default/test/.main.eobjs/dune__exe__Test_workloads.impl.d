@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Experiments Gpusim List Minicuda Printf String Workloads

@@ -1,0 +1,417 @@
+(** Tests for the extension features beyond the paper's core pipeline:
+    the DYNCTA-style run-time throttle, selective L1D bypassing (the
+    Section 2.2 alternative), kernel specialization for runtime-unknown
+    launch parameters (Section 4.3), and launch-boundary cache settling. *)
+
+let cfg = Gpusim.Config.scaled ~num_sms:4 ~onchip_bytes:(32 * 1024) ()
+
+let atax_src =
+  "#define NX 1024\n\
+   #define NY 256\n\
+   __global__ void atax_like(float *A, float *x, float *tmp) {\n\
+   int i = blockIdx.x * blockDim.x + threadIdx.x;\n\
+   if (i < NX) { for (int j = 0; j < NY; j++) { tmp[i] += A[i * NY + j] * x[j]; } }\n\
+   }"
+
+let kernel = Minicuda.Parser.parse_kernel atax_src
+
+let geo ~grid =
+  { Catt.Analysis.grid_x = grid; grid_y = 1; block_x = 256; block_y = 1 }
+
+let simulate ?(runtime_throttle = `None) ?(bypass_arrays = []) k =
+  let prog = Gpusim.Codegen.compile_kernel k in
+  let dev = Gpusim.Gpu.create cfg in
+  let rng = Gpu_util.Rng.create 11 in
+  Gpusim.Gpu.upload dev "A" (Array.init (1024 * 256) (fun _ -> Gpu_util.Rng.float rng 1.));
+  Gpusim.Gpu.upload dev "x" (Array.init 1024 (fun _ -> Gpu_util.Rng.float rng 1.));
+  Gpusim.Gpu.alloc dev "tmp" 1024;
+  let launch =
+    {
+      (Gpusim.Gpu.default_launch ~prog ~grid:(4, 1) ~block:(256, 1)
+         [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ])
+      with
+      Gpusim.Gpu.runtime_throttle;
+      bypass_arrays;
+    }
+  in
+  let stats, _ = Gpusim.Gpu.launch dev launch in
+  (stats, Array.copy (Gpusim.Gpu.get dev "tmp"))
+
+(* --------------------- dynamic throttling -------------------------- *)
+
+let test_dynamic_controller_reverses () =
+  let d = Gpusim.Dynamic_throttle.create ~epoch_cycles:100 ~init_cap:8 () in
+  Alcotest.(check int) "initial cap" 8 (Gpusim.Dynamic_throttle.cap d);
+  (* first epoch: high IPC; probes downward *)
+  for _ = 1 to 90 do Gpusim.Dynamic_throttle.on_issue d done;
+  Gpusim.Dynamic_throttle.on_cycle d ~now:100 ~max_cap:8;
+  Alcotest.(check int) "probed down" 7 (Gpusim.Dynamic_throttle.cap d);
+  (* second epoch: IPC collapsed; must reverse direction *)
+  Gpusim.Dynamic_throttle.on_cycle d ~now:200 ~max_cap:8;
+  Alcotest.(check int) "reversed up" 8 (Gpusim.Dynamic_throttle.cap d)
+
+let test_dynamic_controller_bounds () =
+  let d = Gpusim.Dynamic_throttle.create ~epoch_cycles:10 ~init_cap:2 () in
+  (* zero-IPC epochs walk the cap around; it must stay within [1, max] *)
+  for i = 1 to 20 do
+    Gpusim.Dynamic_throttle.on_cycle d ~now:(i * 10) ~max_cap:3;
+    let cap = Gpusim.Dynamic_throttle.cap d in
+    Alcotest.(check bool) "within bounds" true (cap >= 1 && cap <= 3)
+  done
+
+let test_dynamic_launch_correct_and_runs () =
+  let base_stats, base_tmp = simulate kernel in
+  let dyn_stats, dyn_tmp = simulate ~runtime_throttle:`Dyncta kernel in
+  Alcotest.(check bool) "same results" true (base_tmp = dyn_tmp);
+  Alcotest.(check bool) "both ran" true
+    (base_stats.Gpusim.Stats.cycles > 0 && dyn_stats.Gpusim.Stats.cycles > 0)
+
+let test_dynamic_scheme_verifies () =
+  let w = Workloads.Registry.find "GSMV" in
+  let r = Experiments.Runner.run cfg w Experiments.Runner.Dynamic in
+  (match r.Experiments.Runner.verified with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* the paper's argument: the run-time scheme pays detection lag, so the
+     static per-loop decision should beat it on a uniformly contended app *)
+  let catt = Experiments.Runner.run cfg w Experiments.Runner.Catt in
+  Alcotest.(check bool) "CATT beats dynamic" true
+    (catt.Experiments.Runner.total_cycles <= r.Experiments.Runner.total_cycles)
+
+(* ----------------------------- CCWS -------------------------------- *)
+
+let test_ccws_scoring () =
+  let c = Gpusim.Ccws.create ~vta_entries:8 ~max_warps:8 () in
+  (* first miss on a line: tag installed, no loss *)
+  Alcotest.(check bool) "cold miss" false (Gpusim.Ccws.on_miss c ~warp_id:0 ~line:100);
+  (* re-missing the same line: the warp lost locality *)
+  Alcotest.(check bool) "re-miss detected" true (Gpusim.Ccws.on_miss c ~warp_id:0 ~line:100);
+  Alcotest.(check bool) "score grew" true (Gpusim.Ccws.score c ~warp_id:0 > 1.);
+  (* another warp's VTA is independent *)
+  Alcotest.(check bool) "per-warp VTA" false (Gpusim.Ccws.on_miss c ~warp_id:1 ~line:100)
+
+let test_ccws_allowed_shrinks () =
+  let c = Gpusim.Ccws.create ~vta_entries:8 ~gain:32. ~max_warps:4 () in
+  let ids = [ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "all allowed initially" 4
+    (List.length (Gpusim.Ccws.allowed c ids));
+  (* warp 2 loses locality hard: its score alone exceeds the cutoff *)
+  ignore (Gpusim.Ccws.on_miss c ~warp_id:2 ~line:7);
+  ignore (Gpusim.Ccws.on_miss c ~warp_id:2 ~line:7);
+  let allowed = Gpusim.Ccws.allowed c ids in
+  Alcotest.(check bool) "fewer warps" true (List.length allowed < 4);
+  Alcotest.(check bool) "thrasher keeps priority" true (List.mem 2 allowed)
+
+let test_ccws_decay_recovers () =
+  let c = Gpusim.Ccws.create ~vta_entries:8 ~gain:32. ~decay:0.5 ~max_warps:4 () in
+  ignore (Gpusim.Ccws.on_miss c ~warp_id:0 ~line:1);
+  ignore (Gpusim.Ccws.on_miss c ~warp_id:0 ~line:1);
+  for _ = 1 to 30 do Gpusim.Ccws.tick c done;
+  Alcotest.(check int) "all allowed after decay" 4
+    (List.length (Gpusim.Ccws.allowed c [ 0; 1; 2; 3 ]))
+
+let test_ccws_launch_correct () =
+  let base_stats, base_tmp = simulate kernel in
+  let ccws_stats, ccws_tmp = simulate ~runtime_throttle:`Ccws kernel in
+  Alcotest.(check bool) "same results" true (base_tmp = ccws_tmp);
+  Alcotest.(check bool) "both ran" true
+    (base_stats.Gpusim.Stats.cycles > 0 && ccws_stats.Gpusim.Stats.cycles > 0)
+
+let test_ccws_scheme_verifies () =
+  let w = Workloads.Registry.find "KM" in
+  let r = Experiments.Runner.run cfg w Experiments.Runner.CcwsSched in
+  match r.Experiments.Runner.verified with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* ----------------------------- DAWS -------------------------------- *)
+
+let test_daws_loop_extents () =
+  let src =
+    "__global__ void k(float *a, float *b) {\n\
+     int i = threadIdx.x;\n\
+     for (int j = 0; j < 4; j++) {\n\
+     a[i] += 1.0;\n\
+     for (int f = 0; f < 2; f++) { b[i * 32 + f] += 2.0; }\n\
+     }\n\
+     }"
+  in
+  let prog = Gpusim.Codegen.compile_kernel (Minicuda.Parser.parse_kernel src) in
+  match Gpusim.Bytecode.loop_extents prog with
+  | [ (b1, e1, m1); (b2, e2, m2) ] ->
+    (* outer loop spans the inner; its count includes the inner's *)
+    let (ob, oe, om), (ib, ie, im) =
+      if b1 < b2 then ((b1, e1, m1), (b2, e2, m2)) else ((b2, e2, m2), (b1, e1, m1))
+    in
+    Alcotest.(check bool) "nesting" true (ob < ib && ie < oe);
+    (* a[i] ld+st = 2, inner b ld+st = 2 *)
+    Alcotest.(check int) "inner mem instrs" 2 im;
+    Alcotest.(check int) "outer includes inner" 4 om
+  | l -> Alcotest.failf "expected 2 loops, got %d" (List.length l)
+
+let test_daws_admission_and_prediction () =
+  let d = Gpusim.Daws.create ~l1_lines:64 ~extents:[ (10, 20, 4) ] in
+  (* cold loop: prediction 4 lines/warp, target 16: everyone enters *)
+  Alcotest.(check bool) "cold entry" true (Gpusim.Daws.try_enter d ~loop_pc:10 ~age:0);
+  Alcotest.(check bool) "second entry" true (Gpusim.Daws.try_enter d ~loop_pc:10 ~age:1);
+  (* learn heavy divergence: 32 lines per instruction *)
+  for _ = 1 to 20 do Gpusim.Daws.on_mem_instr d ~loop_pc:10 ~requests:32 done;
+  Alcotest.(check (float 1.)) "prediction 128" 128.
+    (Gpusim.Daws.prediction_per_warp_lines d ~loop_pc:10);
+  (* target is now 1: newcomers blocked, oldest insider continues *)
+  Alcotest.(check bool) "newcomer blocked" false
+    (Gpusim.Daws.try_enter d ~loop_pc:10 ~age:2);
+  Alcotest.(check bool) "oldest continues" true
+    (Gpusim.Daws.may_continue d ~loop_pc:10 ~age:0);
+  Alcotest.(check bool) "younger descheduled" false
+    (Gpusim.Daws.may_continue d ~loop_pc:10 ~age:1);
+  Alcotest.(check bool) "blocks counted" true (Gpusim.Daws.blocks d > 0);
+  (* the oldest leaves: the younger one takes over *)
+  Gpusim.Daws.on_loop_exit d ~loop_pc:10 ~age:0;
+  Alcotest.(check bool) "promoted after exit" true
+    (Gpusim.Daws.may_continue d ~loop_pc:10 ~age:1)
+
+let test_daws_unprofiled_loop_free () =
+  let d = Gpusim.Daws.create ~l1_lines:64 ~extents:[] in
+  Alcotest.(check bool) "no profile, no gate" true
+    (Gpusim.Daws.try_enter d ~loop_pc:99 ~age:5)
+
+let test_daws_launch_correct_and_effective () =
+  let base_stats, base_tmp = simulate kernel in
+  let daws_stats, daws_tmp = simulate ~runtime_throttle:`Daws kernel in
+  Alcotest.(check bool) "same results" true (base_tmp = daws_tmp);
+  (* 8 resident warps sit just over the L1D here (34 lines each vs 256),
+     so DAWS sheds only one warp: expect an improvement, if a modest one *)
+  Alcotest.(check bool) "faster" true
+    (daws_stats.Gpusim.Stats.cycles < base_stats.Gpusim.Stats.cycles)
+
+let test_daws_scheme_verifies () =
+  let w = Workloads.Registry.find "PF" in
+  let r = Experiments.Runner.run cfg w Experiments.Runner.DawsSched in
+  match r.Experiments.Runner.verified with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* --------------------------- Best-SWL ------------------------------ *)
+
+let test_swl_launch_correct () =
+  let base_stats, base_tmp = simulate kernel in
+  let swl_stats, swl_tmp = simulate ~runtime_throttle:(`Swl 4) kernel in
+  Alcotest.(check bool) "same results" true (base_tmp = swl_tmp);
+  Alcotest.(check bool) "throttled run is faster here" true
+    (swl_stats.Gpusim.Stats.cycles < base_stats.Gpusim.Stats.cycles)
+
+let test_swl_limit_one_still_completes () =
+  let _, tmp = simulate ~runtime_throttle:(`Swl 1) kernel in
+  let _, base_tmp = simulate kernel in
+  Alcotest.(check bool) "serial schedule, same results" true (tmp = base_tmp)
+
+let test_best_swl_is_minimum () =
+  let w = Workloads.Registry.find "BT" in
+  let k, best = Experiments.Runner.best_swl cfg w in
+  Alcotest.(check bool) "limit positive" true (k >= 1);
+  (* no tried limit may beat it *)
+  List.iter
+    (fun k' ->
+      let r = Experiments.Runner.run cfg w (Experiments.Runner.Swl k') in
+      Alcotest.(check bool) "minimum" true
+        (best.Experiments.Runner.total_cycles <= r.Experiments.Runner.total_cycles))
+    [ 1; 2; 4; 8 ]
+
+let test_swl_invalid_rejected () =
+  let prog = Gpusim.Codegen.compile_kernel kernel in
+  let dev = Gpusim.Gpu.create cfg in
+  Gpusim.Gpu.alloc dev "A" 8;
+  Gpusim.Gpu.alloc dev "x" 8;
+  Gpusim.Gpu.alloc dev "tmp" 8;
+  let launch =
+    {
+      (Gpusim.Gpu.default_launch ~prog ~grid:(1, 1) ~block:(32, 1)
+         [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ])
+      with
+      Gpusim.Gpu.runtime_throttle = `Swl 0;
+    }
+  in
+  Alcotest.check_raises "limit 0"
+    (Gpusim.Gpu.Launch_error "static warp limit must be >= 1") (fun () ->
+      ignore (Gpusim.Gpu.launch dev launch))
+
+(* -------------------------- bypassing ------------------------------ *)
+
+let test_bypass_selection () =
+  let arrays = Catt.Bypass.divergent_arrays cfg kernel (geo ~grid:4) in
+  Alcotest.(check (list string)) "only the divergent matrix" [ "A" ] arrays
+
+let test_bypass_launch_counts () =
+  let stats, tmp = simulate ~bypass_arrays:[ "A" ] kernel in
+  let base_stats, base_tmp = simulate kernel in
+  Alcotest.(check bool) "same results" true (tmp = base_tmp);
+  Alcotest.(check bool) "bypass transactions recorded" true
+    (stats.Gpusim.Stats.bypass_transactions > 0);
+  Alcotest.(check bool) "fewer L1 accesses" true
+    (stats.Gpusim.Stats.l1_accesses < base_stats.Gpusim.Stats.l1_accesses)
+
+let test_bypass_unknown_array_rejected () =
+  let prog = Gpusim.Codegen.compile_kernel kernel in
+  let dev = Gpusim.Gpu.create cfg in
+  Gpusim.Gpu.alloc dev "A" 8;
+  Gpusim.Gpu.alloc dev "x" 8;
+  Gpusim.Gpu.alloc dev "tmp" 8;
+  let launch =
+    {
+      (Gpusim.Gpu.default_launch ~prog ~grid:(1, 1) ~block:(32, 1)
+         [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ])
+      with
+      Gpusim.Gpu.bypass_arrays = [ "nope" ];
+    }
+  in
+  Alcotest.check_raises "unknown array"
+    (Gpusim.Gpu.Launch_error "bypass_arrays: kernel atax_like has no array nope")
+    (fun () -> ignore (Gpusim.Gpu.launch dev launch))
+
+let test_bypass_weaker_than_catt () =
+  (* Section 2.2: "bypassing cannot prevent loss of locality" — the
+     divergent access HAS intra-thread reuse here, so routing it around the
+     L1D forfeits that reuse while CATT's throttling keeps it *)
+  let w = Workloads.Registry.find "ATAX" in
+  let bypass = Experiments.Runner.run cfg w Experiments.Runner.Bypass in
+  (match bypass.Experiments.Runner.verified with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let catt = Experiments.Runner.run cfg w Experiments.Runner.Catt in
+  Alcotest.(check bool) "CATT beats bypassing" true
+    (catt.Experiments.Runner.total_cycles < bypass.Experiments.Runner.total_cycles)
+
+(* --------------------------- variants ------------------------------ *)
+
+let test_variants_dedup_and_split () =
+  (* a large grid contends (throttled variant); a tiny grid keeps one TB
+     per SM and a smaller footprint (different decision) *)
+  match
+    Catt.Variants.specialize cfg kernel
+      ~geometries:[ geo ~grid:4; geo ~grid:8; geo ~grid:1 ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    Alcotest.(check bool) "at least two classes" true
+      (List.length t.Catt.Variants.variants >= 2);
+    let total_geometries =
+      List.fold_left
+        (fun acc v -> acc + List.length v.Catt.Variants.geometries)
+        0 t.Catt.Variants.variants
+    in
+    Alcotest.(check int) "all geometries covered" 3 total_geometries
+
+let test_variants_select_exact () =
+  match Catt.Variants.specialize cfg kernel ~geometries:[ geo ~grid:4; geo ~grid:1 ] with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    let v = Catt.Variants.select t (geo ~grid:4) in
+    Alcotest.(check bool) "geometry in class" true
+      (List.mem (geo ~grid:4) v.Catt.Variants.geometries)
+
+let test_variants_select_fallback () =
+  match Catt.Variants.specialize cfg kernel ~geometries:[ geo ~grid:4; geo ~grid:1 ] with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    (* grid 5 was never anticipated: nearest-concurrency variant is grid 4 *)
+    let v = Catt.Variants.select t (geo ~grid:5) in
+    Alcotest.(check bool) "nearest class chosen" true
+      (List.mem (geo ~grid:4) v.Catt.Variants.geometries)
+
+let test_variants_program_names_unique () =
+  match Catt.Variants.specialize cfg kernel ~geometries:[ geo ~grid:4; geo ~grid:1 ] with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    let names =
+      List.map
+        (fun (k : Minicuda.Ast.kernel) -> k.Minicuda.Ast.kernel_name)
+        (Catt.Variants.program_of t).Minicuda.Ast.kernels
+    in
+    Alcotest.(check int) "unique names" (List.length names)
+      (List.length (List.sort_uniq compare names));
+    (* the emitted program must still be parseable source *)
+    let printed = Minicuda.Pretty.program (Catt.Variants.program_of t) in
+    ignore (Minicuda.Parser.parse_program printed)
+
+let test_variants_empty_rejected () =
+  match Catt.Variants.specialize cfg kernel ~geometries:[] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty geometry list must be rejected"
+
+(* ------------------------- cache settle ---------------------------- *)
+
+let test_cache_settle_keeps_contents () =
+  let c = Gpusim.Cache.create ~bytes:(4 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:4 in
+  let miss ~issue = issue + 1000 in
+  ignore (Gpusim.Cache.access c ~now:0 ~line:3 ~miss_ready:miss);
+  (* in flight until cycle 1000; a new kernel starts its clock at 0 *)
+  Gpusim.Cache.settle c;
+  let ready, outcome = Gpusim.Cache.access c ~now:0 ~line:3 ~miss_ready:miss in
+  Alcotest.(check bool) "hit after settle" true (outcome = Gpusim.Cache.Hit);
+  Alcotest.(check int) "available immediately" 0 ready
+
+let test_cache_settle_frees_mshrs () =
+  let c = Gpusim.Cache.create ~bytes:(64 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:2 in
+  let miss ~issue = issue + 1000000 in
+  ignore (Gpusim.Cache.access c ~now:0 ~line:1 ~miss_ready:miss);
+  ignore (Gpusim.Cache.access c ~now:0 ~line:2 ~miss_ready:miss);
+  Gpusim.Cache.settle c;
+  (* without settle this third miss would stall until cycle 1000000 *)
+  let ready, _ = Gpusim.Cache.access c ~now:0 ~line:3 ~miss_ready:(fun ~issue -> issue + 10) in
+  Alcotest.(check int) "no stale stall" 10 ready
+
+let tests =
+  [
+    ( "ext.dynamic",
+      [
+        Alcotest.test_case "controller reverses" `Quick test_dynamic_controller_reverses;
+        Alcotest.test_case "controller bounds" `Quick test_dynamic_controller_bounds;
+        Alcotest.test_case "dynamic launch" `Quick test_dynamic_launch_correct_and_runs;
+        Alcotest.test_case "dynamic scheme verifies" `Quick test_dynamic_scheme_verifies;
+      ] );
+    ( "ext.ccws",
+      [
+        Alcotest.test_case "VTA scoring" `Quick test_ccws_scoring;
+        Alcotest.test_case "allowed set shrinks" `Quick test_ccws_allowed_shrinks;
+        Alcotest.test_case "decay recovers" `Quick test_ccws_decay_recovers;
+        Alcotest.test_case "launch correctness" `Quick test_ccws_launch_correct;
+        Alcotest.test_case "scheme verifies" `Quick test_ccws_scheme_verifies;
+      ] );
+    ( "ext.daws",
+      [
+        Alcotest.test_case "loop extents" `Quick test_daws_loop_extents;
+        Alcotest.test_case "admission and prediction" `Quick test_daws_admission_and_prediction;
+        Alcotest.test_case "unprofiled loops free" `Quick test_daws_unprofiled_loop_free;
+        Alcotest.test_case "launch correctness + speedup" `Quick
+          test_daws_launch_correct_and_effective;
+        Alcotest.test_case "scheme verifies" `Quick test_daws_scheme_verifies;
+      ] );
+    ( "ext.swl",
+      [
+        Alcotest.test_case "launch correctness" `Quick test_swl_launch_correct;
+        Alcotest.test_case "limit 1 completes" `Quick test_swl_limit_one_still_completes;
+        Alcotest.test_case "best-SWL minimizes" `Quick test_best_swl_is_minimum;
+        Alcotest.test_case "invalid limit" `Quick test_swl_invalid_rejected;
+      ] );
+    ( "ext.bypass",
+      [
+        Alcotest.test_case "selection" `Quick test_bypass_selection;
+        Alcotest.test_case "launch counters" `Quick test_bypass_launch_counts;
+        Alcotest.test_case "unknown array" `Quick test_bypass_unknown_array_rejected;
+        Alcotest.test_case "weaker than CATT (Sec 2.2)" `Quick test_bypass_weaker_than_catt;
+      ] );
+    ( "ext.variants",
+      [
+        Alcotest.test_case "dedup and split" `Quick test_variants_dedup_and_split;
+        Alcotest.test_case "exact selection" `Quick test_variants_select_exact;
+        Alcotest.test_case "nearest fallback" `Quick test_variants_select_fallback;
+        Alcotest.test_case "emitted program" `Quick test_variants_program_names_unique;
+        Alcotest.test_case "empty rejected" `Quick test_variants_empty_rejected;
+      ] );
+    ( "ext.settle",
+      [
+        Alcotest.test_case "keeps contents" `Quick test_cache_settle_keeps_contents;
+        Alcotest.test_case "frees MSHRs" `Quick test_cache_settle_frees_mshrs;
+      ] );
+  ]

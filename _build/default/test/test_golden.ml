@@ -1,0 +1,73 @@
+(** Golden decision snapshots: the exact TLP our Table 3 reports for every
+    CS kernel/loop at the max-L1D configuration.  These pin the whole
+    static pipeline (affine analysis → Eq. 7 → Eq. 8 → Eq. 9 → escalation)
+    — any change to analyzer behaviour shows up here before it silently
+    shifts the experiment tables. *)
+
+let cfg = Experiments.Configs.max_l1d ()
+
+let analysis_of workload kernel_name =
+  let w = Workloads.Registry.find workload in
+  let run = Experiments.Runner.run cfg w Experiments.Runner.Catt in
+  List.assoc kernel_name run.Experiments.Runner.catt_analyses
+
+let check_tlps workload kernel_name expected () =
+  let t = analysis_of workload kernel_name in
+  let actual =
+    List.map
+      (fun (l : Catt.Driver.loop_decision) ->
+        Catt.Driver.selected_tlp t
+          ~loop_id:l.Catt.Driver.footprint.Catt.Footprint.loop.Catt.Analysis.loop_id)
+      t.Catt.Driver.loops
+  in
+  Alcotest.(check (list (pair int int)))
+    (workload ^ "/" ^ kernel_name)
+    expected actual
+
+let check_baseline workload kernel_name expected () =
+  let t = analysis_of workload kernel_name in
+  Alcotest.(check (pair int int))
+    (workload ^ "/" ^ kernel_name ^ " baseline")
+    expected t.Catt.Driver.baseline_tlp
+
+let tests =
+  [
+    ( "golden.table3",
+      [
+        (* multi-phase apps: one kernel throttled, the other untouched *)
+        Alcotest.test_case "ATAX#1 -> (2,2)" `Quick
+          (check_tlps "ATAX" "atax_kernel1" [ (2, 2) ]);
+        Alcotest.test_case "ATAX#2 stays (8,1)" `Quick
+          (check_tlps "ATAX" "atax_kernel2" [ (8, 1) ]);
+        Alcotest.test_case "BICG#1 stays (8,1)" `Quick
+          (check_tlps "BICG" "bicg_kernel1" [ (8, 1) ]);
+        Alcotest.test_case "BICG#2 -> (2,2)" `Quick
+          (check_tlps "BICG" "bicg_kernel2" [ (2, 2) ]);
+        Alcotest.test_case "MVT#1 -> (2,2)" `Quick
+          (check_tlps "MVT" "mvt_kernel1" [ (2, 2) ]);
+        Alcotest.test_case "MVT#2 stays (4,2)" `Quick
+          (check_tlps "MVT" "mvt_kernel2" [ (4, 2) ]);
+        (* uniform contention *)
+        Alcotest.test_case "GSMV -> (2,1)" `Quick
+          (check_tlps "GSMV" "gesummv_kernel" [ (2, 1) ]);
+        (* TB-level escalation on single-warp TBs *)
+        Alcotest.test_case "SYR2K -> (1,6)" `Quick
+          (check_tlps "SYR2K" "syr2k_kernel" [ (1, 6) ]);
+        (* unresolvable: baseline preserved *)
+        Alcotest.test_case "CORR stays (8,2)" `Quick
+          (check_tlps "CORR" "corr_kernel" [ (8, 2) ]);
+        (* per-loop decisions inside one kernel *)
+        Alcotest.test_case "PF#1 loops -> (2,2),(4,2),(16,2)" `Quick
+          (check_tlps "PF" "pf_likelihood" [ (2, 2); (4, 2); (16, 2) ]);
+        (* irregular: conservative, untouched *)
+        Alcotest.test_case "BFS#1 stays (8,2)" `Quick
+          (check_tlps "BFS" "bfs_expand" [ (8, 2) ]);
+        Alcotest.test_case "CFD flux stays (4,2)" `Quick
+          (check_tlps "CFD" "cfd_compute_flux" [ (4, 2) ]);
+        (* baselines used by the table's first column *)
+        Alcotest.test_case "ATAX#1 baseline (8,2)" `Quick
+          (check_baseline "ATAX" "atax_kernel1" (8, 2));
+        Alcotest.test_case "PF#1 baseline (16,2)" `Quick
+          (check_baseline "PF" "pf_likelihood" (16, 2));
+      ] );
+  ]

@@ -1,0 +1,363 @@
+(** Tests for the mini-CUDA front end: lexer, parser, pretty-printer
+    round-trips (including a qcheck generator over the AST) and the
+    typechecker's accept/reject behaviour. *)
+
+module Ast = Minicuda.Ast
+module Lexer = Minicuda.Lexer
+module Parser = Minicuda.Parser
+module Pretty = Minicuda.Pretty
+module Typecheck = Minicuda.Typecheck
+
+(* --------------------------- Lexer -------------------------------- *)
+
+let tokens_of src = List.map fst (Lexer.tokenize src)
+
+let test_lex_operators () =
+  Alcotest.(check int) "token count" 13
+    (List.length (tokens_of "+ - * / % <= >= == != && || ++"));
+  match tokens_of "a += b" with
+  | [ Lexer.Ident "a"; Lexer.Plus_assign; Lexer.Ident "b"; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "unexpected tokens for compound assignment"
+
+let test_lex_numbers () =
+  (match tokens_of "42 3.5 1e3 2.5f" with
+  | [ Lexer.Int_lit 42; Lexer.Float_lit a; Lexer.Float_lit b; Lexer.Float_lit c; Lexer.Eof ] ->
+    Alcotest.(check (float 1e-9)) "3.5" 3.5 a;
+    Alcotest.(check (float 1e-9)) "1e3" 1000. b;
+    Alcotest.(check (float 1e-9)) "2.5f" 2.5 c
+  | _ -> Alcotest.fail "unexpected number tokens")
+
+let test_lex_comments () =
+  match tokens_of "a // comment\n/* block\ncomment */ b" with
+  | [ Lexer.Ident "a"; Lexer.Ident "b"; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lex_keywords () =
+  match tokens_of "__global__ __shared__ __syncthreads for while if" with
+  | [ Lexer.Kw_global; Lexer.Kw_shared; Lexer.Kw_syncthreads; Lexer.Kw_for;
+      Lexer.Kw_while; Lexer.Kw_if; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "keyword lexing"
+
+let test_lex_error_position () =
+  try
+    ignore (Lexer.tokenize "a\nb\n@");
+    Alcotest.fail "expected error"
+  with Lexer.Error (_, line) -> Alcotest.(check int) "line 3" 3 line
+
+let test_lex_unterminated_comment () =
+  Alcotest.check_raises "unterminated" (Lexer.Error ("unterminated comment", 1))
+    (fun () -> ignore (Lexer.tokenize "/* never closed"))
+
+(* --------------------------- Parser ------------------------------- *)
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  Alcotest.(check bool) "mul binds tighter" true
+    (Ast.equal_expr e
+       (Ast.Binop (Ast.Add, Ast.Int_lit 1, Ast.Binop (Ast.Mul, Ast.Int_lit 2, Ast.Int_lit 3))))
+
+let test_parse_associativity () =
+  let e = Parser.parse_expr "8 - 4 - 2" in
+  Alcotest.(check bool) "left assoc" true
+    (Ast.equal_expr e
+       (Ast.Binop (Ast.Sub, Ast.Binop (Ast.Sub, Ast.Int_lit 8, Ast.Int_lit 4), Ast.Int_lit 2)))
+
+let test_parse_ternary () =
+  match Parser.parse_expr "a < b ? 1 : 2" with
+  | Ast.Ternary (Ast.Binop (Ast.Lt, _, _), Ast.Int_lit 1, Ast.Int_lit 2) -> ()
+  | _ -> Alcotest.fail "ternary shape"
+
+let test_parse_builtins () =
+  match Parser.parse_expr "blockIdx.x * blockDim.x + threadIdx.x" with
+  | Ast.Binop
+      ( Ast.Add,
+        Ast.Binop (Ast.Mul, Ast.Builtin Ast.Block_idx_x, Ast.Builtin Ast.Block_dim_x),
+        Ast.Builtin Ast.Thread_idx_x ) -> ()
+  | _ -> Alcotest.fail "builtin member access"
+
+let test_parse_negative_literal_folding () =
+  Alcotest.(check bool) "int" true
+    (Ast.equal_expr (Parser.parse_expr "-5") (Ast.Int_lit (-5)));
+  Alcotest.(check bool) "float" true
+    (Ast.equal_expr (Parser.parse_expr "-2.5") (Ast.Float_lit (-2.5)))
+
+let test_parse_define_substitution () =
+  let p = Parser.parse_program "#define N 7\n__global__ void k(float *a) { a[N] = 1.0; }" in
+  match (List.hd p.Ast.kernels).Ast.body with
+  | [ Ast.Assign (Ast.Larr ("a", Ast.Int_lit 7), Ast.Assign_eq, _) ] -> ()
+  | _ -> Alcotest.fail "define not substituted"
+
+let test_parse_define_chain () =
+  let p = Parser.parse_program "#define A 3\n#define B A\n__global__ void k(float *x) { x[B] = 0.0; }" in
+  match (List.hd p.Ast.kernels).Ast.body with
+  | [ Ast.Assign (Ast.Larr ("x", Ast.Int_lit 3), _, _) ] -> ()
+  | _ -> Alcotest.fail "chained define"
+
+let test_parse_for_step_forms () =
+  let parse_loop src =
+    match (Parser.parse_kernel ("__global__ void k(float *a) { " ^ src ^ " }")).Ast.body with
+    | [ Ast.For f ] -> f
+    | _ -> Alcotest.fail "expected a single loop"
+  in
+  let f1 = parse_loop "for (int i = 0; i < 10; i++) { a[i] = 0.0; }" in
+  Alcotest.(check bool) "i++" true (Ast.equal_expr f1.Ast.step (Ast.Int_lit 1));
+  let f2 = parse_loop "for (int i = 10; i > 0; i--) { a[i] = 0.0; }" in
+  Alcotest.(check bool) "i--" true (Ast.equal_expr f2.Ast.step (Ast.Int_lit (-1)));
+  let f3 = parse_loop "for (int i = 0; i < 10; i += 2) { a[i] = 0.0; }" in
+  Alcotest.(check bool) "i += 2" true (Ast.equal_expr f3.Ast.step (Ast.Int_lit 2));
+  let f4 = parse_loop "for (int i = 0; i < 10; i = i + 3) { a[i] = 0.0; }" in
+  Alcotest.(check bool) "i = i + 3" true (Ast.equal_expr f4.Ast.step (Ast.Int_lit 3))
+
+let test_parse_dangling_else () =
+  let k =
+    Parser.parse_kernel
+      "__global__ void k(float *a) { if (true) if (false) a[0] = 1.0; else a[1] = 2.0; }"
+  in
+  (* else binds to the inner if *)
+  match k.Ast.body with
+  | [ Ast.If (_, [ Ast.If (_, _, [ _ ]) ], []) ] -> ()
+  | _ -> Alcotest.fail "dangling else resolution"
+
+let test_parse_errors () =
+  let expect_error src =
+    try
+      ignore (Parser.parse_program src);
+      Alcotest.fail ("expected parse error for: " ^ src)
+    with Parser.Error _ | Lexer.Error _ -> ()
+  in
+  expect_error "__global__ void k(float *a) { a[0] = ; }";
+  expect_error "__global__ void k(float *a) { for (i; ; ) {} }";
+  expect_error "__global__ void k(float *a) { unknown_call(1); }";
+  expect_error "__global__ int k(float *a) { }";
+  expect_error "#define N\n__global__ void k(float *a) { }"
+
+let test_parse_kernel_multiple_rejected () =
+  try
+    ignore (Parser.parse_kernel "__global__ void a(float *x) { x[0] = 0.0; } __global__ void b(float *x) { x[0] = 0.0; }");
+    Alcotest.fail "expected error"
+  with Parser.Error _ -> ()
+
+(* ---------------------- Round-trip property ------------------------ *)
+
+(* Generator for well-formed kernels over a fixed set of names. *)
+module Gen_ast = struct
+  open QCheck.Gen
+
+  let var_names = [ "v0"; "v1"; "v2" ]
+  let array_names = [ "arr0"; "arr1" ]
+
+  let builtin =
+    oneofl
+      [ Ast.Thread_idx_x; Ast.Thread_idx_y; Ast.Block_idx_x; Ast.Block_dim_x; Ast.Grid_dim_x ]
+
+  let int_binop = oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod ]
+  let cmp_binop = oneofl [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne ]
+
+  (* integer-typed expressions *)
+  let rec int_expr depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun n -> Ast.Int_lit n) (int_range (-100) 100);
+          map (fun v -> Ast.Var v) (oneofl var_names);
+          map (fun b -> Ast.Builtin b) builtin;
+        ]
+    else
+      frequency
+        [
+          (3, int_expr 0);
+          ( 2,
+            map3
+              (fun op a b -> Ast.Binop (op, a, b))
+              int_binop (int_expr (depth - 1)) (int_expr (depth - 1)) );
+          (1, map (fun a -> Ast.Unop (Ast.Neg, Ast.Binop (Ast.Add, a, Ast.Var "v0")))
+               (int_expr (depth - 1)));
+          (1, map (fun a -> Ast.Cast (Ast.Int, a)) (float_expr (depth - 1)));
+        ]
+
+  and float_expr depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun f -> Ast.Float_lit (Float.of_int f /. 4.)) (int_range (-50) 50);
+          map (fun a -> Ast.Index (a, Ast.Builtin Ast.Thread_idx_x)) (oneofl array_names);
+        ]
+    else
+      frequency
+        [
+          (3, float_expr 0);
+          ( 2,
+            map3
+              (fun op a b -> Ast.Binop (op, a, b))
+              (oneofl [ Ast.Add; Ast.Sub; Ast.Mul ])
+              (float_expr (depth - 1)) (float_expr (depth - 1)) );
+          (1, map (fun a -> Ast.Call ("sqrtf", [ a ])) (float_expr (depth - 1)));
+          ( 1,
+            map3
+              (fun c a b -> Ast.Ternary (Ast.Binop (Ast.Lt, c, Ast.Int_lit 5), a, b))
+              (int_expr 0) (float_expr (depth - 1)) (float_expr (depth - 1)) );
+        ]
+
+  let bool_expr depth =
+    map3 (fun op a b -> Ast.Binop (op, a, b)) cmp_binop (int_expr depth) (int_expr depth)
+
+  let rec stmt depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun e -> Ast.Assign (Ast.Lvar "v0", Ast.Assign_eq, e)) (int_expr 1);
+          map2
+            (fun arr e -> Ast.Assign (Ast.Larr (arr, Ast.Builtin Ast.Thread_idx_x), Ast.Assign_add, e))
+            (oneofl array_names) (float_expr 1);
+          return Ast.Syncthreads;
+          return Ast.Return;
+          return Ast.Break;
+          return Ast.Continue;
+        ]
+    else
+      frequency
+        [
+          (3, stmt 0);
+          ( 1,
+            map3
+              (fun c then_b else_b -> Ast.If (c, then_b, else_b))
+              (bool_expr 1) (block (depth - 1)) (block (depth - 1)) );
+          ( 1,
+            map2
+              (fun bound body ->
+                Ast.For
+                  {
+                    Ast.loop_var = "it";
+                    declares = true;
+                    init = Ast.Int_lit 0;
+                    cond = Ast.Binop (Ast.Lt, Ast.Var "it", Ast.Int_lit bound);
+                    step = Ast.Int_lit 1;
+                    body;
+                  })
+              (int_range 1 8) (block (depth - 1)) );
+          (1, map (fun body -> Ast.Block body) (block (depth - 1)));
+        ]
+
+  and block depth = list_size (int_range 1 3) (stmt depth)
+
+  let kernel =
+    map
+      (fun body ->
+        {
+          Ast.kernel_name = "generated";
+          params =
+            [
+              { Ast.param_ty = Ast.Ptr Ast.Float; param_name = "arr0" };
+              { Ast.param_ty = Ast.Ptr Ast.Float; param_name = "arr1" };
+            ];
+          body =
+            Ast.Decl (Ast.Int, "v0", Some (Ast.Int_lit 0))
+            :: Ast.Decl (Ast.Int, "v1", Some (Ast.Builtin Ast.Thread_idx_x))
+            :: Ast.Decl (Ast.Int, "v2", Some (Ast.Int_lit 1))
+            :: body;
+        })
+      (block 2)
+end
+
+let prop_pretty_parse_roundtrip =
+  QCheck.Test.make ~name:"parse (pretty k) = k" ~count:200
+    (QCheck.make Gen_ast.kernel)
+    (fun kernel ->
+      let printed = Pretty.kernel kernel in
+      try
+        let reparsed = Parser.parse_kernel printed in
+        if Ast.equal_kernel kernel reparsed then true
+        else QCheck.Test.fail_reportf "round-trip mismatch for:\n%s" printed
+      with e ->
+        QCheck.Test.fail_reportf "reparse failed (%s) for:\n%s"
+          (Printexc.to_string e) printed)
+
+let test_roundtrip_paper_example () =
+  let src =
+    "#define NX 40960\n\
+     __global__ void atax_kernel1(float *A, float *B, float *tmp) {\n\
+     int i = blockIdx.x * blockDim.x + threadIdx.x;\n\
+     if (i < NX) { for (int j = 0; j < NX; j++) { tmp[i] += A[i * NX + j] * B[j]; } }\n\
+     }"
+  in
+  let p = Parser.parse_program src in
+  let p2 = Parser.parse_program (Pretty.program p) in
+  Alcotest.(check bool) "round trip" true (Ast.equal_program p p2)
+
+(* ------------------------- Typechecker ----------------------------- *)
+
+let check_ok src = ignore (Typecheck.check_kernel (Parser.parse_kernel src))
+
+let check_rejected src =
+  try
+    ignore (Typecheck.check_kernel (Parser.parse_kernel src));
+    Alcotest.fail ("expected type error for: " ^ src)
+  with Typecheck.Type_error _ -> ()
+
+let test_typecheck_accepts () =
+  check_ok "__global__ void k(float *a, int n) { int i = threadIdx.x; if (i < n) { a[i] = (float)i * 2.0; } }";
+  check_ok "__global__ void k(float *a) { __shared__ float s[64]; s[threadIdx.x] = a[threadIdx.x]; __syncthreads(); a[threadIdx.x] = s[0]; }";
+  check_ok "__global__ void k(int *a) { int x = a[0] % 3; a[1] = x; }"
+
+let test_typecheck_rejects () =
+  check_rejected "__global__ void k(float *a) { a[0] = undeclared; }";
+  check_rejected "__global__ void k(float *a) { a[1.5] = 0.0; }";
+  check_rejected "__global__ void k(float *a) { int x = 0; int x = 1; a[0] = 0.0; }";
+  check_rejected "__global__ void k(float *a) { a[0] = a; }";
+  check_rejected "__global__ void k(float *a) { if (a[0]) { a[1] = 0.0; } }";
+  check_rejected "__global__ void k(float *a) { a[0] = a[0] % 2.0; }";
+  check_rejected "__global__ void k(float *a) { a[0] = sqrtf(1.0, 2.0); }";
+  check_rejected "__global__ void k(float *a) { __shared__ float s[0]; a[0] = 0.0; }"
+
+let test_typecheck_shadowing_in_scope () =
+  (* shadowing in a nested scope is legal *)
+  check_ok "__global__ void k(float *a) { int x = 1; if (x > 0) { float x = 2.0; a[0] = x; } a[1] = (float)x; }"
+
+let test_typecheck_info () =
+  let info =
+    Typecheck.check_kernel
+      (Parser.parse_kernel
+         "__global__ void k(float *a, int n, float alpha) { __shared__ float s[100]; s[0] = alpha; a[0] = s[0] + (float)n; }")
+  in
+  Alcotest.(check int) "shared bytes" 400 info.Typecheck.shared_bytes;
+  Alcotest.(check int) "scalar params" 2 (List.length info.Typecheck.scalar_params);
+  Alcotest.(check int) "arrays" 2 (List.length info.Typecheck.arrays)
+
+let tests =
+  [
+    ( "minicuda.lexer",
+      [
+        Alcotest.test_case "operators" `Quick test_lex_operators;
+        Alcotest.test_case "numbers" `Quick test_lex_numbers;
+        Alcotest.test_case "comments" `Quick test_lex_comments;
+        Alcotest.test_case "keywords" `Quick test_lex_keywords;
+        Alcotest.test_case "error line" `Quick test_lex_error_position;
+        Alcotest.test_case "unterminated comment" `Quick test_lex_unterminated_comment;
+      ] );
+    ( "minicuda.parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "associativity" `Quick test_parse_associativity;
+        Alcotest.test_case "ternary" `Quick test_parse_ternary;
+        Alcotest.test_case "builtins" `Quick test_parse_builtins;
+        Alcotest.test_case "negative literals" `Quick test_parse_negative_literal_folding;
+        Alcotest.test_case "define substitution" `Quick test_parse_define_substitution;
+        Alcotest.test_case "define chain" `Quick test_parse_define_chain;
+        Alcotest.test_case "loop step forms" `Quick test_parse_for_step_forms;
+        Alcotest.test_case "dangling else" `Quick test_parse_dangling_else;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "single-kernel check" `Quick test_parse_kernel_multiple_rejected;
+      ] );
+    ( "minicuda.roundtrip",
+      [
+        Alcotest.test_case "paper example" `Quick test_roundtrip_paper_example;
+        QCheck_alcotest.to_alcotest prop_pretty_parse_roundtrip;
+      ] );
+    ( "minicuda.typecheck",
+      [
+        Alcotest.test_case "accepts valid kernels" `Quick test_typecheck_accepts;
+        Alcotest.test_case "rejects invalid kernels" `Quick test_typecheck_rejects;
+        Alcotest.test_case "scoped shadowing" `Quick test_typecheck_shadowing_in_scope;
+        Alcotest.test_case "symbol info" `Quick test_typecheck_info;
+      ] );
+  ]

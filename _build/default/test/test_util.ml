@@ -1,0 +1,194 @@
+(** Unit and property tests for the gpu_util library. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------------------- Rng --------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Gpu_util.Rng.create 123 in
+  let b = Gpu_util.Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Gpu_util.Rng.int a 1000) (Gpu_util.Rng.int b 1000)
+  done
+
+let test_rng_different_seeds () =
+  let a = Gpu_util.Rng.create 1 in
+  let b = Gpu_util.Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Gpu_util.Rng.int a 1000000 = Gpu_util.Rng.int b 1000000 then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_split_independent () =
+  let parent = Gpu_util.Rng.create 9 in
+  let child = Gpu_util.Rng.split parent in
+  let child_values = List.init 20 (fun _ -> Gpu_util.Rng.int child 1000) in
+  let parent_values = List.init 20 (fun _ -> Gpu_util.Rng.int parent 1000) in
+  Alcotest.(check bool) "independent streams" true (child_values <> parent_values)
+
+let test_rng_permutation () =
+  let rng = Gpu_util.Rng.create 5 in
+  let p = Gpu_util.Rng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let rng = Gpu_util.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let v = Gpu_util.Rng.int rng bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in [0, bound)" ~count:200
+    QCheck.(pair small_int (float_range 0.001 1000.))
+    (fun (seed, bound) ->
+      let rng = Gpu_util.Rng.create seed in
+      let v = Gpu_util.Rng.float rng bound in
+      v >= 0. && v < bound)
+
+(* --------------------------- Stats -------------------------------- *)
+
+let test_mean () = check_float "mean" 2.5 (Gpu_util.Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let test_geomean () =
+  check_float "geomean of 1,4" 2. (Gpu_util.Stats.geomean [| 1.; 4. |])
+
+let test_geomean_rejects_nonpositive () =
+  Alcotest.check_raises "non-positive sample"
+    (Invalid_argument "Stats.geomean: non-positive sample") (fun () ->
+      ignore (Gpu_util.Stats.geomean [| 1.; 0. |]))
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty sample array")
+    (fun () -> ignore (Gpu_util.Stats.mean [||]))
+
+let test_median_odd () =
+  check_float "median" 3. (Gpu_util.Stats.median [| 5.; 1.; 3. |])
+
+let test_percentile_interpolates () =
+  check_float "p25" 1.75 (Gpu_util.Stats.percentile [| 1.; 2.; 3.; 4. |] 25.)
+
+let test_percentile_extremes () =
+  let samples = [| 7.; 3.; 9. |] in
+  check_float "p0 = min" 3. (Gpu_util.Stats.percentile samples 0.);
+  check_float "p100 = max" 9. (Gpu_util.Stats.percentile samples 100.)
+
+let test_stddev () =
+  check_float "stddev" 2. (Gpu_util.Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_speedup_normalize () =
+  check_float "speedup" 2. (Gpu_util.Stats.speedup ~baseline:10. 5.);
+  check_float "normalize" 0.5 (Gpu_util.Stats.normalize ~baseline:10. 5.)
+
+let prop_geomean_between_min_max =
+  QCheck.Test.make ~name:"geomean within [min, max]" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.01 100.))
+    (fun samples ->
+      let arr = Array.of_list samples in
+      let g = Gpu_util.Stats.geomean arr in
+      g >= Gpu_util.Stats.minimum arr -. 1e-9
+      && g <= Gpu_util.Stats.maximum arr +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 30) (float_range (-100.) 100.))
+    (fun samples ->
+      let arr = Array.of_list samples in
+      let ps = [ 0.; 10.; 25.; 50.; 75.; 90.; 100. ] in
+      let values = List.map (Gpu_util.Stats.percentile arr) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono values)
+
+(* --------------------------- Table -------------------------------- *)
+
+let test_table_rendering () =
+  let t = Gpu_util.Table.create [ "a"; "bb" ] in
+  Gpu_util.Table.add_row t [ "x"; "1" ];
+  Gpu_util.Table.add_row t [ "yyy"; "22" ];
+  let rendered = Gpu_util.Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  (* all lines same width *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_arity_check () =
+  let t = Gpu_util.Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Gpu_util.Table.add_row t [ "only one" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "3.14" (Gpu_util.Table.cell_float 3.14159);
+  Alcotest.(check string) "pct" "42.96%" (Gpu_util.Table.cell_pct 0.4296)
+
+(* ------------------------- Ascii_plot ----------------------------- *)
+
+let test_bar_chart_scales () =
+  let chart = Gpu_util.Ascii_plot.bar_chart ~width:10 [ ("a", 10.); ("b", 5.) ] in
+  let lines = String.split_on_char '\n' chart in
+  let count_hash s = String.fold_left (fun n c -> if c = '#' then n + 1 else n) 0 s in
+  match lines with
+  | [ a; b ] ->
+    Alcotest.(check int) "full bar" 10 (count_hash a);
+    Alcotest.(check int) "half bar" 5 (count_hash b)
+  | _ -> Alcotest.fail "expected two lines"
+
+let test_sparkline_extremes () =
+  let s = Gpu_util.Ascii_plot.sparkline [| 0.; 1. |] in
+  Alcotest.(check char) "low is blank" ' ' s.[0];
+  Alcotest.(check char) "high is dense" '@' s.[1]
+
+let test_series_nonempty () =
+  let s = Gpu_util.Ascii_plot.series ~width:20 ~height:5 (Array.init 100 float_of_int) in
+  Alcotest.(check int) "5 rows" 5 (List.length (String.split_on_char '\n' s))
+
+let tests =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "seeds differ" `Quick test_rng_different_seeds;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "permutation" `Quick test_rng_permutation;
+        QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+        QCheck_alcotest.to_alcotest prop_rng_float_bounds;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean" `Quick test_mean;
+        Alcotest.test_case "geomean" `Quick test_geomean;
+        Alcotest.test_case "geomean rejects <= 0" `Quick test_geomean_rejects_nonpositive;
+        Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+        Alcotest.test_case "median" `Quick test_median_odd;
+        Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolates;
+        Alcotest.test_case "percentile extremes" `Quick test_percentile_extremes;
+        Alcotest.test_case "stddev" `Quick test_stddev;
+        Alcotest.test_case "speedup/normalize" `Quick test_speedup_normalize;
+        QCheck_alcotest.to_alcotest prop_geomean_between_min_max;
+        QCheck_alcotest.to_alcotest prop_percentile_monotone;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "rendering" `Quick test_table_rendering;
+        Alcotest.test_case "arity check" `Quick test_table_arity_check;
+        Alcotest.test_case "cell formatting" `Quick test_table_cells;
+      ] );
+    ( "util.plot",
+      [
+        Alcotest.test_case "bar chart scaling" `Quick test_bar_chart_scales;
+        Alcotest.test_case "sparkline extremes" `Quick test_sparkline_extremes;
+        Alcotest.test_case "series size" `Quick test_series_nonempty;
+      ] );
+  ]

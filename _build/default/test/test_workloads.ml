@@ -1,0 +1,181 @@
+(** Integration tests over the benchmark suite: every workload must parse,
+    typecheck, compile, run on the simulator and satisfy its CPU oracle —
+    at baseline, under CATT's transformations, and under a uniform fixed
+    throttle (exercising both transformation paths on real kernels).
+
+    Also checks the suite-level guarantees the paper's evaluation rests on:
+    cache-insensitive workloads must be left at baseline TLP by CATT, and
+    the microbenchmark family must match its closed-form oracle. *)
+
+let cfg = Gpusim.Config.scaled ~num_sms:4 ~onchip_bytes:(32 * 1024) ()
+
+let run_scheme (w : Workloads.Workload.t) scheme =
+  Experiments.Runner.run cfg w scheme
+
+let check_verified (w : Workloads.Workload.t) scheme () =
+  let r = run_scheme w scheme in
+  match r.Experiments.Runner.verified with
+  | Ok () -> ()
+  | Error msg ->
+    Alcotest.failf "%s under %s: %s" w.Workloads.Workload.name
+      (Experiments.Runner.scheme_label scheme)
+      msg
+
+let per_workload_cases (w : Workloads.Workload.t) =
+  [
+    Alcotest.test_case (w.Workloads.Workload.name ^ " baseline") `Quick
+      (check_verified w Experiments.Runner.Baseline);
+    Alcotest.test_case (w.Workloads.Workload.name ^ " CATT") `Quick
+      (check_verified w Experiments.Runner.Catt);
+    Alcotest.test_case (w.Workloads.Workload.name ^ " fixed(2,1)") `Slow
+      (check_verified w (Experiments.Runner.Fixed (2, 1)));
+  ]
+
+let test_all_sources_typecheck () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let program = Workloads.Workload.parse w in
+      ignore (Minicuda.Typecheck.check_program program))
+    Workloads.Registry.all
+
+let test_all_launch_kernels_exist () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      List.iter
+        (fun (l : Workloads.Workload.kernel_launch) ->
+          ignore (Workloads.Workload.find_kernel w l.Workloads.Workload.kernel_name))
+        w.Workloads.Workload.launches)
+    Workloads.Registry.all
+
+let test_registry_find () =
+  Alcotest.(check string) "case-insensitive" "ATAX"
+    (Workloads.Registry.find "atax").Workloads.Workload.name;
+  Alcotest.check_raises "unknown"
+    (Invalid_argument
+       (Printf.sprintf "unknown workload nope (known: %s)"
+          (String.concat ", " (Workloads.Registry.names `All))))
+    (fun () -> ignore (Workloads.Registry.find "nope"))
+
+let test_groups_disjoint () =
+  let cs = Workloads.Registry.names `Cs and ci = Workloads.Registry.names `Ci in
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " not in both") false (List.mem name ci))
+    cs
+
+(* CATT must select baseline TLP for every CI workload (paper Fig. 8) *)
+let test_catt_leaves_ci_alone () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let base = run_scheme w Experiments.Runner.Baseline in
+      let catt = run_scheme w Experiments.Runner.Catt in
+      Alcotest.(check int)
+        (w.Workloads.Workload.name ^ " cycles unchanged")
+        base.Experiments.Runner.total_cycles catt.Experiments.Runner.total_cycles)
+    Workloads.Registry.ci
+
+(* the headline direction: CATT strictly helps the contended benchmarks *)
+let test_catt_speeds_up_divergent_cs () =
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find name in
+      let base = run_scheme w Experiments.Runner.Baseline in
+      let catt = run_scheme w Experiments.Runner.Catt in
+      Alcotest.(check bool)
+        (name ^ " faster under CATT")
+        true
+        (catt.Experiments.Runner.total_cycles < base.Experiments.Runner.total_cycles))
+    [ "ATAX"; "BICG"; "GSMV"; "KM"; "PF" ]
+
+(* irregular workloads keep their TLP (paper Sec. 4.2 conservatism) *)
+let test_catt_preserves_irregular () =
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find name in
+      let base = run_scheme w Experiments.Runner.Baseline in
+      let catt = run_scheme w Experiments.Runner.Catt in
+      Alcotest.(check int) (name ^ " untouched")
+        base.Experiments.Runner.total_cycles catt.Experiments.Runner.total_cycles)
+    [ "BFS"; "CFD"; "CORR" ]
+
+(* --------------------------- Microbench ---------------------------- *)
+
+let test_microbench_matches_oracle () =
+  let v =
+    Workloads.Microbench.variant ~l1d_bytes:(32 * 1024) ~line_bytes:128
+      ~warp_size:32 ~fill_warps:8 ~reps:2
+  in
+  List.iter
+    (fun warps ->
+      let stats = Workloads.Microbench.run cfg v ~warps in
+      Alcotest.(check bool)
+        (Printf.sprintf "ran with %d warps" warps)
+        true
+        (stats.Gpusim.Stats.cycles > 0))
+    [ 1; 4; 32 ]
+
+let test_microbench_output_correct () =
+  (* re-run and compare the out vector against the closed-form oracle *)
+  let v =
+    Workloads.Microbench.variant ~l1d_bytes:(32 * 1024) ~line_bytes:128
+      ~warp_size:32 ~fill_warps:8 ~reps:2
+  in
+  let warps = 4 in
+  let kernel =
+    Minicuda.Parser.parse_kernel (Workloads.Microbench.source v ~warps)
+  in
+  let prog = Gpusim.Codegen.compile_kernel kernel in
+  let dev = Gpusim.Gpu.create cfg in
+  let ws = 32 and num_sms = 4 in
+  let data_len = num_sms * v.Workloads.Microbench.slices * ws * v.Workloads.Microbench.span in
+  Gpusim.Gpu.upload dev "data" (Array.init data_len (fun i -> float_of_int (i land 15)));
+  Gpusim.Gpu.alloc dev "out" (num_sms * warps * ws);
+  ignore
+    (Gpusim.Gpu.launch dev
+       (Gpusim.Gpu.default_launch ~prog ~grid:(num_sms, 1) ~block:(warps * ws, 1)
+          [ Gpusim.Gpu.Arr "data"; Gpusim.Gpu.Arr "out" ]));
+  let expected = Workloads.Microbench.expected cfg v ~warps in
+  let out = Gpusim.Gpu.get dev "out" in
+  Alcotest.(check int) "length" (Array.length expected) (Array.length out);
+  Array.iteri
+    (fun i e ->
+      if abs_float (e -. out.(i)) > 1e-6 then
+        Alcotest.failf "out[%d]: expected %g, got %g" i e out.(i))
+    expected
+
+let test_microbench_fill_point_is_sized_right () =
+  List.iter
+    (fun fill ->
+      let v =
+        Workloads.Microbench.variant ~l1d_bytes:(32 * 1024) ~line_bytes:128
+          ~warp_size:32 ~fill_warps:fill ~reps:2
+      in
+      (* fill_warps slices must exactly fill the L1D *)
+      Alcotest.(check int)
+        (Printf.sprintf "fill %d" fill)
+        (32 * 1024)
+        (fill * v.Workloads.Microbench.span * 32 * 4))
+    [ 4; 8; 16 ]
+
+let tests =
+  [
+    ( "workloads.static",
+      [
+        Alcotest.test_case "all sources typecheck" `Quick test_all_sources_typecheck;
+        Alcotest.test_case "launch kernels exist" `Quick test_all_launch_kernels_exist;
+        Alcotest.test_case "registry find" `Quick test_registry_find;
+        Alcotest.test_case "CS/CI disjoint" `Quick test_groups_disjoint;
+      ] );
+    ("workloads.run", List.concat_map per_workload_cases Workloads.Registry.all);
+    ( "workloads.properties",
+      [
+        Alcotest.test_case "CATT leaves CI alone" `Quick test_catt_leaves_ci_alone;
+        Alcotest.test_case "CATT speeds up divergent CS" `Quick test_catt_speeds_up_divergent_cs;
+        Alcotest.test_case "irregular preserved" `Quick test_catt_preserves_irregular;
+      ] );
+    ( "workloads.microbench",
+      [
+        Alcotest.test_case "runs across TLP" `Quick test_microbench_matches_oracle;
+        Alcotest.test_case "output matches oracle" `Quick test_microbench_output_correct;
+        Alcotest.test_case "fill sizing" `Quick test_microbench_fill_point_is_sized_right;
+      ] );
+  ]
