@@ -64,13 +64,9 @@ let simulate ?(runtime_throttle = `None) ?(sched = Gpusim.Sm.Gto) cfg kernel =
   Gpusim.Gpu.upload dev "x" (Array.init nx (fun i -> float_of_int (i land 3)));
   Gpusim.Gpu.alloc dev "tmp" nx;
   let launch =
-    {
-      (Gpusim.Gpu.default_launch ~prog ~grid:(2, 1) ~block:(256, 1)
-         [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ])
-      with
-      Gpusim.Gpu.runtime_throttle;
-      sched;
-    }
+    Gpusim.Gpu.default_launch ~runtime_throttle ~sched ~prog ~grid:(2, 1)
+      ~block:(256, 1)
+      [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ]
   in
   let stats, _ = Gpusim.Gpu.launch dev launch in
   stats.Gpusim.Stats.cycles
@@ -100,12 +96,8 @@ let bench_fig2 =
       Gpusim.Gpu.upload dev "x" (Array.make 512 1.);
       Gpusim.Gpu.alloc dev "tmp" 512;
       let launch =
-        {
-          (Gpusim.Gpu.default_launch ~prog ~grid:(2, 1) ~block:(256, 1)
-             [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ])
-          with
-          Gpusim.Gpu.trace = true;
-        }
+        Gpusim.Gpu.default_launch ~trace:true ~prog ~grid:(2, 1) ~block:(256, 1)
+          [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ]
       in
       let _, trace = Gpusim.Gpu.launch dev launch in
       ignore (Gpusim.Trace.length trace))
@@ -188,7 +180,19 @@ let bench_parser =
         (fun (w : Workloads.Workload.t) -> ignore (Workloads.Workload.parse w))
         Workloads.Registry.all)
 
-let tests =
+(* the parallel engine: the same four independent simulations fanned out
+   across a pool of [jobs] domains — at --jobs 1 this is the sequential
+   baseline the speedup is measured against *)
+let bench_pool_fanout ~jobs =
+  let kernels =
+    [ divergent_kernel; coalesced_kernel; divergent_kernel; coalesced_kernel ]
+  in
+  stage
+    (Printf.sprintf "engine/pool-fanout-x%d" jobs)
+    (fun () ->
+      ignore (Gpu_util.Pool.parallel_map ~jobs (simulate cfg_max) kernels))
+
+let tests ~jobs =
   Test.make_grouped ~name:"catt"
     [
       bench_table3;
@@ -207,15 +211,16 @@ let tests =
       bench_ablation_ccws;
       bench_ablation_order;
       bench_parser;
+      bench_pool_fanout ~jobs;
     ]
 
-let () =
+let run_benchmarks jobs =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
-  let raw = Benchmark.all cfg instances tests in
+  let raw = Benchmark.all cfg instances (tests ~jobs) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
@@ -234,3 +239,12 @@ let () =
      simulated-cycle comparisons between schemes are what bin/experiments\n\
      reports — wall-clock here tracks simulator work, i.e. memory\n\
      transactions, not simulated time)"
+
+let () =
+  let open Cmdliner in
+  let cmd =
+    Cmd.v
+      (Cmd.info "bench" ~doc:"bechamel micro-benchmarks of the artifact slices")
+      Term.(const run_benchmarks $ Cli_common.jobs)
+  in
+  exit (Cmd.eval cmd)

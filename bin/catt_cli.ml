@@ -2,7 +2,7 @@
     throttled source, mirroring how the paper's tool wraps its ANTLR pass.
 
     Usage:
-      catt_cli analyze  FILE --grid GX[,GY] --block BX[,BY] [--onchip KB]
+      catt_cli analyze  FILE --grid GX[,GY] --block BX[,BY] [--onchip KB] [--sms N] [--jobs N]
       catt_cli transform FILE --grid … --block …   (prints transformed source)
       catt_cli disasm   FILE                       (SASS-lite dump)
 *)
@@ -16,57 +16,61 @@ let read_file path =
   close_in ic;
   content
 
-let parse_pair s =
-  match String.split_on_char ',' s with
-  | [ x ] -> (int_of_string x, 1)
-  | [ x; y ] -> (int_of_string x, int_of_string y)
-  | _ -> invalid_arg "expected N or N,M"
-
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-CUDA source file")
 
 let grid_arg =
-  Arg.(value & opt string "4,1" & info [ "grid" ] ~docv:"GX[,GY]" ~doc:"grid dimensions")
+  Arg.(
+    value
+    & opt Cli_common.pair (4, 1)
+    & info [ "grid" ] ~docv:"GX[,GY]" ~doc:"grid dimensions")
 
 let block_arg =
-  Arg.(value & opt string "256,1" & info [ "block" ] ~docv:"BX[,BY]" ~doc:"thread-block dimensions")
-
-let onchip_arg =
-  Arg.(value & opt int 32 & info [ "onchip" ] ~docv:"KB" ~doc:"on-chip memory (L1D+shared) per SM, KB")
-
-let sms_arg =
-  Arg.(value & opt int 4 & info [ "sms" ] ~docv:"N" ~doc:"number of SMs")
+  Arg.(
+    value
+    & opt Cli_common.pair (256, 1)
+    & info [ "block" ] ~docv:"BX[,BY]" ~doc:"thread-block dimensions")
 
 let config ~onchip_kb ~sms =
   Gpusim.Config.scaled ~num_sms:sms ~onchip_bytes:(onchip_kb * 1024) ()
 
-let with_kernels path f =
-  let program = Minicuda.Parser.parse_program (read_file path) in
-  List.iter f program.Minicuda.Ast.kernels
+let kernels_of path =
+  (Minicuda.Parser.parse_program (read_file path)).Minicuda.Ast.kernels
 
-let analyses path grid block onchip sms =
-  let gx, gy = parse_pair grid and bx, by = parse_pair block in
+let analyses path (gx, gy) (bx, by) onchip sms jobs =
   let geo = { Catt.Analysis.grid_x = gx; grid_y = gy; block_x = bx; block_y = by } in
   let cfg = config ~onchip_kb:onchip ~sms in
-  let results = ref [] in
-  with_kernels path (fun kernel ->
-      match Catt.Driver.analyze cfg kernel geo with
-      | Ok t -> results := (kernel, t) :: !results
-      | Error msg ->
-        Printf.eprintf "%s: %s\n" kernel.Minicuda.Ast.kernel_name msg);
-  (cfg, List.rev !results)
+  let results =
+    (* independent per-kernel passes; order is preserved by Pool.map *)
+    Gpu_util.Pool.parallel_map ~jobs
+      (fun kernel -> (kernel, Catt.Driver.analyze cfg kernel geo))
+      (kernels_of path)
+  in
+  let ok =
+    List.filter_map
+      (fun (kernel, r) ->
+        match r with
+        | Ok t -> Some (kernel, t)
+        | Error msg ->
+          Printf.eprintf "%s: %s\n" kernel.Minicuda.Ast.kernel_name msg;
+          None)
+      results
+  in
+  (cfg, ok)
 
 let analyze_cmd =
-  let run path grid block onchip sms =
-    let cfg, results = analyses path grid block onchip sms in
+  let run path grid block onchip sms jobs =
+    let cfg, results = analyses path grid block onchip sms jobs in
     List.iter (fun (_, t) -> Catt.Report.print cfg t) results
   in
   Cmd.v (Cmd.info "analyze" ~doc:"print the per-loop contention analysis")
-    Term.(const run $ file_arg $ grid_arg $ block_arg $ onchip_arg $ sms_arg)
+    Term.(
+      const run $ file_arg $ grid_arg $ block_arg $ Cli_common.onchip
+      $ Cli_common.sms $ Cli_common.jobs)
 
 let transform_cmd =
-  let run path grid block onchip sms =
-    let _, results = analyses path grid block onchip sms in
+  let run path grid block onchip sms jobs =
+    let _, results = analyses path grid block onchip sms jobs in
     List.iter
       (fun (_, (t : Catt.Driver.t)) ->
         print_endline (Minicuda.Pretty.kernel t.Catt.Driver.transformed);
@@ -74,15 +78,19 @@ let transform_cmd =
       results
   in
   Cmd.v (Cmd.info "transform" ~doc:"print the throttled source")
-    Term.(const run $ file_arg $ grid_arg $ block_arg $ onchip_arg $ sms_arg)
+    Term.(
+      const run $ file_arg $ grid_arg $ block_arg $ Cli_common.onchip
+      $ Cli_common.sms $ Cli_common.jobs)
 
 let disasm_cmd =
   let file0 =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"source file")
   in
   let run path =
-    with_kernels path (fun kernel ->
+    List.iter
+      (fun kernel ->
         print_string (Gpusim.Bytecode.disassemble (Gpusim.Codegen.compile_kernel kernel)))
+      (kernels_of path)
   in
   Cmd.v (Cmd.info "disasm" ~doc:"dump SASS-lite bytecode") Term.(const run $ file0)
 

@@ -1,22 +1,39 @@
 (** [simulate] — run one benchmark application on the simulator under a
     chosen scheme and print per-kernel counters.
 
-    Usage: simulate WORKLOAD [--scheme baseline|catt|NxM] [--onchip KB] [--list] *)
+    Usage: simulate WORKLOAD [--scheme baseline|catt|NxM] [--onchip KB]
+                    [--sms N] [--jobs N] [--no-cache] [--list] [--sweep] *)
 
 open Cmdliner
 
-let parse_scheme s =
-  match String.lowercase_ascii s with
-  | "baseline" -> Experiments.Runner.Baseline
-  | "catt" -> Experiments.Runner.Catt
-  | other -> (
-    match String.split_on_char 'x' other with
-    | [ n; m ] -> Experiments.Runner.Fixed (int_of_string n, int_of_string m)
-    | _ -> invalid_arg "scheme must be baseline, catt, or NxM (e.g. 4x1)")
+let scheme_conv : Experiments.Runner.scheme Arg.conv =
+  let parse s =
+    match Experiments.Runner.scheme_of_string s with
+    | Ok scheme -> Ok scheme
+    | Error msg -> (
+      (* also accept the bare NxM / N,M shorthand for fixed factors *)
+      match Cli_common.pair_of_string s with
+      | Ok (n, m) -> Ok (Experiments.Runner.Fixed (n, m))
+      | Error _ -> Error (`Msg msg))
+  in
+  let print fmt s = Format.pp_print_string fmt (Experiments.Runner.scheme_label s) in
+  Arg.conv (parse, print)
 
-let print_sweep cfg w =
+let print_sweep ~jobs cfg w =
   Printf.printf "throttling-factor sweep for %s (N = warp split, M = TB cut):\n"
     w.Workloads.Workload.name;
+  (* precompute every cell of the sweep (plus best-SWL and CATT) across
+     the pool; the prints below then read from the memo in order *)
+  let open Experiments.Runner in
+  let cells =
+    List.map
+      (fun (n, m) ->
+        (cfg, w, if n = 1 && m = 0 then Baseline else Fixed (n, m)))
+      (candidates cfg w)
+    @ List.map (fun k -> (cfg, w, Swl k)) (swl_candidates cfg w)
+    @ [ (cfg, w, Catt) ]
+  in
+  ignore (run_many ~jobs cells);
   let sweep = Experiments.Runner.sweep cfg w in
   let base =
     match sweep with ((1, 0), r) :: _ -> r.Experiments.Runner.total_cycles | _ -> 1
@@ -33,22 +50,20 @@ let print_sweep cfg w =
   let catt = Experiments.Runner.run cfg w Experiments.Runner.Catt in
   Printf.printf "  CATT:                  %d cycles\n" catt.Experiments.Runner.total_cycles
 
-let run name scheme onchip list_only sweep =
+let find_workload name =
+  try Workloads.Registry.find name
+  with Invalid_argument msg ->
+    prerr_endline msg;
+    exit 2
+
+let run name scheme cfg jobs no_cache list_only sweep =
+  Experiments.Cache.enabled := not no_cache;
   if list_only then
     List.iter print_endline (Workloads.Registry.names `All)
   else if sweep then
-    let cfg =
-      Gpusim.Config.scaled ~num_sms:Experiments.Configs.num_sms
-        ~onchip_bytes:(onchip * 1024) ()
-    in
-    print_sweep cfg (Workloads.Registry.find name)
+    print_sweep ~jobs cfg (find_workload name)
   else begin
-    let cfg =
-      Gpusim.Config.scaled ~num_sms:Experiments.Configs.num_sms
-        ~onchip_bytes:(onchip * 1024) ()
-    in
-    let w = Workloads.Registry.find name in
-    let scheme = parse_scheme scheme in
+    let w = find_workload name in
     let r = Experiments.Runner.run cfg w scheme in
     Printf.printf "%s under %s: %d cycles total\n" w.Workloads.Workload.name
       (Experiments.Runner.scheme_label scheme)
@@ -71,10 +86,11 @@ let () =
     Arg.(value & pos 0 string "ATAX" & info [] ~docv:"WORKLOAD" ~doc:"benchmark name")
   in
   let scheme =
-    Arg.(value & opt string "baseline" & info [ "scheme" ] ~docv:"S" ~doc:"baseline, catt, or NxM")
-  in
-  let onchip =
-    Arg.(value & opt int 32 & info [ "onchip" ] ~docv:"KB" ~doc:"on-chip memory per SM, KB")
+    Arg.(
+      value
+      & opt scheme_conv Experiments.Runner.Baseline
+      & info [ "scheme" ] ~docv:"S"
+          ~doc:"baseline, catt, dynamic, ccws, daws, bypass, swl(K), or NxM")
   in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"list workloads and exit") in
   let sweep =
@@ -82,6 +98,8 @@ let () =
   in
   let cmd =
     Cmd.v (Cmd.info "simulate" ~doc:"run a workload on the GPU simulator")
-      Term.(const run $ name_arg $ scheme $ onchip $ list_only $ sweep)
+      Term.(
+        const run $ name_arg $ scheme $ Cli_common.config $ Cli_common.jobs
+        $ Cli_common.no_cache $ list_only $ sweep)
   in
   exit (Cmd.eval cmd)

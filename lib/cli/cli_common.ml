@@ -1,0 +1,71 @@
+(** Shared Cmdliner pieces for the repo's executables.
+
+    [catt_cli], [simulate] and [experiments_main] all take device-shape
+    and parallelism options; defining the converters and terms once
+    keeps the flags spelled (and documented) identically everywhere. *)
+
+open Cmdliner
+
+(** Parses ["N"], ["N,M"] or ["NxM"] into a pair (the second component
+    defaults to 1) — grid/block geometry and fixed throttling factors
+    share this shape. *)
+let pair_of_string s =
+  let parts =
+    match String.split_on_char ',' s with
+    | [ _ ] -> String.split_on_char 'x' (String.lowercase_ascii s)
+    | parts -> parts
+  in
+  let int_of p = int_of_string_opt (String.trim p) in
+  match parts with
+  | [ x ] -> (
+    match int_of x with
+    | Some x -> Ok (x, 1)
+    | None -> Error (Printf.sprintf "expected an integer, found %S" s))
+  | [ x; y ] -> (
+    match (int_of x, int_of y) with
+    | Some x, Some y -> Ok (x, y)
+    | _ -> Error (Printf.sprintf "expected N,M or NxM, found %S" s))
+  | _ -> Error (Printf.sprintf "expected N or N,M, found %S" s)
+
+let pair : (int * int) Arg.conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (pair_of_string s) in
+  let print fmt (x, y) = Format.fprintf fmt "%d,%d" x y in
+  Arg.conv (parse, print)
+
+(* ------------------------------------------------------------------ *)
+(* The flags every tool shares                                         *)
+(* ------------------------------------------------------------------ *)
+
+let onchip =
+  Arg.(
+    value
+    & opt int Experiments.Configs.default_onchip_kb
+    & info [ "onchip" ] ~docv:"KB"
+        ~doc:"on-chip memory (L1D+shared) per SM, KB")
+
+let sms =
+  Arg.(
+    value
+    & opt int Experiments.Configs.default_num_sms
+    & info [ "sms" ] ~docv:"N" ~doc:"number of SMs")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "worker domains for parallel sweeps (1 = sequential, 0 = one per \
+           core)")
+
+let no_cache =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"do not read or write the persistent result cache")
+
+(** Scaled device built from [--onchip]/[--sms]. *)
+let config =
+  let make onchip_kb sms =
+    Gpusim.Config.scaled ~num_sms:sms ~onchip_bytes:(onchip_kb * 1024) ()
+  in
+  Term.(const make $ onchip $ sms)

@@ -98,13 +98,9 @@ let render_scheduler () =
         in
         let prog = Gpusim.Codegen.compile_kernel k in
         let launch =
-          {
-            (Gpusim.Gpu.default_launch ~prog ~grid:l.Workloads.Workload.grid
-               ~block:l.Workloads.Workload.block l.Workloads.Workload.args)
-            with
-            Gpusim.Gpu.sched;
-            smem_carveout = carveout;
-          }
+          Gpusim.Gpu.default_launch ?smem_carveout:carveout ~sched ~prog
+            ~grid:l.Workloads.Workload.grid ~block:l.Workloads.Workload.block
+            l.Workloads.Workload.args
         in
         let stats, _ = Gpusim.Gpu.launch dev launch in
         total := !total + stats.Gpusim.Stats.cycles)

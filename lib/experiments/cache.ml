@@ -1,0 +1,131 @@
+(** Persistent result cache for experiment runs.
+
+    Every completed (device config, workload, scheme, seed) simulation is
+    stored as one pretty-printed JSON file under {!dir} (default
+    [results/cache/]), so a crashed or repeated sweep only pays for the
+    cells it has not already simulated.  The file name embeds a content
+    hash of the full device configuration — every field that can change
+    simulated counters — plus the workload name, scheme label and input
+    seed; changing any of them (e.g. the 16 KB vs 32 KB on-chip settings)
+    selects a different file, which is the whole invalidation story.
+    After simulator-code changes, delete the directory.
+
+    The module is deliberately generic — it stores {!Gpu_util.Json}
+    values by key; {!Runner} owns the [app_run] <-> JSON conversion.
+    Loads and stores are safe to call from pool workers: writes go to a
+    unique temp file then [Sys.rename] into place (atomic within the
+    directory). *)
+
+module Config = Gpusim.Config
+module Json = Gpu_util.Json
+
+let enabled : bool ref = ref false
+(** Off by default so library users and unit tests stay hermetic; the
+    CLIs flip it on (see [--no-cache]). *)
+
+let dir : string ref = ref (Filename.concat "results" "cache")
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Canonical rendering of every configuration field that affects
+    simulation results.  Adding a field to {!Config.t} and forgetting it
+    here would alias distinct configs, so spell all of them out. *)
+let config_fingerprint (c : Config.t) =
+  String.concat ";"
+    [
+      Printf.sprintf "num_sms=%d" c.Config.num_sms;
+      Printf.sprintf "warp_size=%d" c.Config.warp_size;
+      Printf.sprintf "max_warps_per_sm=%d" c.Config.max_warps_per_sm;
+      Printf.sprintf "max_tbs_per_sm=%d" c.Config.max_tbs_per_sm;
+      Printf.sprintf "register_file_bytes=%d" c.Config.register_file_bytes;
+      Printf.sprintf "onchip_bytes=%d" c.Config.onchip_bytes;
+      Printf.sprintf "smem_carveout_options=%s"
+        (String.concat "," (List.map string_of_int c.Config.smem_carveout_options));
+      Printf.sprintf "line_bytes=%d" c.Config.line_bytes;
+      Printf.sprintf "l1d_assoc=%d" c.Config.l1d_assoc;
+      Printf.sprintf "l1d_mshrs=%d" c.Config.l1d_mshrs;
+      Printf.sprintf "l2_bytes=%d" c.Config.l2_bytes;
+      Printf.sprintf "l2_assoc=%d" c.Config.l2_assoc;
+      Printf.sprintf "l1d_hit_latency=%d" c.Config.l1d_hit_latency;
+      Printf.sprintf "l2_hit_latency=%d" c.Config.l2_hit_latency;
+      Printf.sprintf "dram_latency=%d" c.Config.dram_latency;
+      Printf.sprintf "dram_slot_cycles=%d" c.Config.dram_slot_cycles;
+      Printf.sprintf "alu_latency=%d" c.Config.alu_latency;
+      Printf.sprintf "lsu_throughput=%d" c.Config.lsu_throughput;
+      Printf.sprintf "issue_width=%d" c.Config.issue_width;
+    ]
+
+let key cfg ~workload ~scheme ~seed =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s|workload=%s|scheme=%s|seed=%d"
+          (config_fingerprint cfg) workload scheme seed))
+
+(* file names stay human-scannable: workload and scheme first, hash last *)
+let sanitize label =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    label
+
+let path cfg ~workload ~scheme ~seed =
+  Filename.concat !dir
+    (Printf.sprintf "%s-%s-%s.json" (sanitize workload) (sanitize scheme)
+       (key cfg ~workload ~scheme ~seed))
+
+(* ------------------------------------------------------------------ *)
+(* Store / load                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load cfg ~workload ~scheme ~seed =
+  if not !enabled then None
+  else
+    let file = path cfg ~workload ~scheme ~seed in
+    if not (Sys.file_exists file) then None
+    else
+      match Json.of_string (read_file file) with
+      | Ok json -> Some json
+      | Error _ | (exception Sys_error _) ->
+        (* a corrupt or unreadable entry is a miss, not a failure *)
+        None
+
+let store cfg ~workload ~scheme ~seed json =
+  if !enabled then begin
+    let file = path cfg ~workload ~scheme ~seed in
+    mkdir_p (Filename.dirname file);
+    let tmp =
+      Printf.sprintf "%s.%d.%d.tmp" file (Unix.getpid ())
+        (Domain.self () :> int)
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Json.to_string ~pretty:true json);
+        output_char oc '\n');
+    Sys.rename tmp file
+  end
+
+let clear () =
+  if Sys.file_exists !dir && Sys.is_directory !dir then
+    Array.iter
+      (fun entry ->
+        if Filename.check_suffix entry ".json" then
+          try Sys.remove (Filename.concat !dir entry) with Sys_error _ -> ())
+      (Sys.readdir !dir)

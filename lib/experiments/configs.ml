@@ -8,11 +8,20 @@
     4 KB-per-warp divergent loop (32 lines) must still be resolvable by
     throttling to one warp, as it is in the paper's 32 KB setting. *)
 
-let num_sms = 4
+let default_num_sms = 4
+let default_onchip_kb = 32
 
-let max_l1d () = Gpusim.Config.scaled ~num_sms ~onchip_bytes:(32 * 1024) ()
+let num_sms = ref default_num_sms
 
-let small_l1d () = Gpusim.Config.scaled ~num_sms ~onchip_bytes:(16 * 1024) ()
+let onchip_kb = ref default_onchip_kb
+(** The "maximum L1D" on-chip size in KB; the reduced setting is half of
+    it.  The CLIs override both refs from [--sms]/[--onchip]. *)
+
+let max_l1d () =
+  Gpusim.Config.scaled ~num_sms:!num_sms ~onchip_bytes:(!onchip_kb * 1024) ()
+
+let small_l1d () =
+  Gpusim.Config.scaled ~num_sms:!num_sms ~onchip_bytes:(!onchip_kb * 1024 / 2) ()
 
 let label cfg =
   Printf.sprintf "%dKB-L1D" (cfg.Gpusim.Config.onchip_bytes / 1024)

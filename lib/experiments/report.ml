@@ -33,6 +33,53 @@ let find id = List.find_opt (fun a -> a.id = id) artifacts
 
 let ids = List.map (fun a -> a.id) artifacts
 
+(* ------------------------------------------------------------------ *)
+(* Parallel warm-up                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** The (config, workload, scheme) cells an artifact will ask {!Runner}
+    for while rendering.  Rendering stays sequential and deterministic;
+    {!warm} precomputes these cells across a domain pool, so the render
+    phase is all memo hits and the output is byte-identical to a
+    sequential run.  Artifacts outside the Runner grid (fig2's trace
+    runs, fig3's microbenchmarks, the static overhead table) have empty
+    plans and simply render as before. *)
+let plan id =
+  let cells cfg ws schemes_of =
+    List.concat_map (fun w -> List.map (fun s -> (cfg, w, s)) (schemes_of w)) ws
+  in
+  (* baseline + CATT + the full BFTT sweep: what the perf figures need *)
+  let perf cfg group =
+    cells cfg group (fun w ->
+        Runner.Baseline :: Runner.Catt
+        :: List.map
+             (fun (n, m) ->
+               if n = 1 && m = 0 then Runner.Baseline else Runner.Fixed (n, m))
+             (Runner.candidates cfg w))
+  in
+  let max_cfg = Configs.max_l1d () and small_cfg = Configs.small_l1d () in
+  match id with
+  | "table2" ->
+    cells max_cfg Workloads.Registry.all (fun _ -> [ Runner.Baseline ])
+    @ cells small_cfg Workloads.Registry.all (fun _ -> [ Runner.Baseline ])
+  | "table3" -> perf small_cfg Workloads.Registry.cs @ perf max_cfg Workloads.Registry.cs
+  | "fig6" | "fig7" | "fig9" -> perf max_cfg Workloads.Registry.cs
+  | "fig8" -> perf max_cfg Workloads.Registry.ci
+  | "fig10" -> perf small_cfg Workloads.Registry.cs
+  | "ablations" ->
+    cells max_cfg Workloads.Registry.cs (fun w ->
+        [
+          Runner.Baseline; Runner.Catt; Runner.CcwsSched; Runner.DawsSched;
+          Runner.Dynamic; Runner.Bypass;
+        ]
+        @ List.map (fun k -> Runner.Swl k) (Runner.swl_candidates max_cfg w))
+  | _ -> []
+
+let warm ?(jobs = 1) artifact_ids =
+  let cells = List.concat_map plan artifact_ids in
+  ignore (Runner.run_many ~jobs cells);
+  List.length cells
+
 let render_all () =
   String.concat "\n\n"
     (List.map

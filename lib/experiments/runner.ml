@@ -38,6 +38,27 @@ let scheme_label = function
   | Swl k -> Printf.sprintf "swl(%d)" k
   | Bypass -> "bypass"
 
+(** Inverse of {!scheme_label} (case-insensitive on the fixed names), so
+    persisted results and CLI arguments round-trip through the label. *)
+let scheme_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "baseline" -> Ok Baseline
+  | "catt" -> Ok Catt
+  | "dynamic" -> Ok Dynamic
+  | "ccws" -> Ok CcwsSched
+  | "daws" -> Ok DawsSched
+  | "bypass" -> Ok Bypass
+  | lower -> (
+    try Scanf.sscanf lower "fixed(n=%d,m=%d)%!" (fun n m -> Ok (Fixed (n, m)))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+      try Scanf.sscanf lower "swl(%d)%!" (fun k -> Ok (Swl k))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+        Error
+          (Printf.sprintf
+             "unknown scheme %S (expected baseline, CATT, fixed(N=..,M=..), \
+              dynamic, ccws, daws, swl(..) or bypass)"
+             s)))
+
 type kernel_stats = {
   kernel_name : string;
   stats : Gpusim.Stats.t;  (** aggregated over repeated launches *)
@@ -158,18 +179,19 @@ let prepare_baseline cfg kernel geo =
 (* Whole-application execution                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* geometry per kernel comes from its first launch *)
+let geometry_of_kernel (w : Workloads.Workload.t) name =
+  match
+    List.find_opt
+      (fun (l : Workloads.Workload.kernel_launch) -> l.kernel_name = name)
+      w.Workloads.Workload.launches
+  with
+  | Some l -> Workloads.Workload.geometry_of l
+  | None -> invalid_arg (Printf.sprintf "kernel %s is never launched" name)
+
 let run_uncached ?(trace = false) cfg (w : Workloads.Workload.t) scheme =
   let kernels = Workloads.Workload.kernels w in
-  (* geometry per kernel comes from its first launch *)
-  let geometry_of_kernel name =
-    match
-      List.find_opt
-        (fun (l : Workloads.Workload.kernel_launch) -> l.kernel_name = name)
-        w.Workloads.Workload.launches
-    with
-    | Some l -> Workloads.Workload.geometry_of l
-    | None -> invalid_arg (Printf.sprintf "kernel %s is never launched" name)
-  in
+  let geometry_of_kernel name = geometry_of_kernel w name in
   let prepared =
     List.map
       (fun (name, kernel) ->
@@ -191,28 +213,21 @@ let run_uncached ?(trace = false) cfg (w : Workloads.Workload.t) scheme =
     (fun (l : Workloads.Workload.kernel_launch) ->
       let p = List.assoc l.kernel_name prepared in
       let launch =
-        {
-          Gpu.prog = p.prog;
-          grid = l.grid;
-          block = l.block;
-          args = l.args;
-          smem_carveout = p.carveout;
-          sched = Gpusim.Sm.Gto;
-          trace;
-          runtime_throttle =
+        Gpu.default_launch ?smem_carveout:p.carveout ~trace
+          ~runtime_throttle:
             (match scheme with
             | Dynamic -> `Dyncta
             | CcwsSched -> `Ccws
             | DawsSched -> `Daws
             | Swl k -> `Swl k
-            | Baseline | Catt | Fixed _ | Bypass -> `None);
-          bypass_arrays =
+            | Baseline | Catt | Fixed _ | Bypass -> `None)
+          ~bypass_arrays:
             (if scheme = Bypass then
                Catt.Bypass.divergent_arrays cfg
                  (Workloads.Workload.find_kernel w l.kernel_name)
                  (Workloads.Workload.geometry_of l)
-             else []);
-        }
+             else [])
+          ~prog:p.prog ~grid:l.grid ~block:l.block l.args
       in
       let stats, tr = Gpu.launch dev launch in
       match List.assoc_opt l.kernel_name !acc with
@@ -250,26 +265,182 @@ let run_uncached ?(trace = false) cfg (w : Workloads.Workload.t) scheme =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Memoization                                                         *)
+(* JSON round-trip (the persistent cache's wire format)                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Gpu_util.Json
+
+(* bump when the layout below changes: old entries become misses *)
+let cache_format_version = 1
+
+let kernel_stats_to_json (ks : kernel_stats) =
+  Json.Obj
+    [
+      ("kernel", Json.String ks.kernel_name);
+      ( "tlp",
+        Json.List [ Json.Int (fst ks.tlp); Json.Int (snd ks.tlp) ] );
+      ("stats", Gpusim.Stats.to_json ks.stats);
+    ]
+
+(** Everything except traces (trace runs bypass the cache) and the CATT
+    analyses, which are static, deterministic and cheap — {!run_of_json}
+    recomputes them instead of persisting the whole analysis tree. *)
+let run_to_json (r : app_run) =
+  Json.Obj
+    [
+      ("version", Json.Int cache_format_version);
+      ("workload", Json.String r.workload);
+      ("scheme", Json.String (scheme_label r.scheme));
+      ("total_cycles", Json.Int r.total_cycles);
+      ( "verified",
+        match r.verified with
+        | Ok () -> Json.Null
+        | Error msg -> Json.String msg );
+      ("kernels", Json.List (List.map kernel_stats_to_json r.kernels));
+    ]
+
+let analyses_for cfg (w : Workloads.Workload.t) scheme =
+  match scheme with
+  | Catt ->
+    List.filter_map
+      (fun (name, kernel) ->
+        match Catt.Driver.analyze cfg kernel (geometry_of_kernel w name) with
+        | Ok t -> Some (name, t)
+        | Error _ -> None)
+      (Workloads.Workload.kernels w)
+  | Baseline | Fixed _ | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass -> []
+
+let run_of_json cfg (w : Workloads.Workload.t) scheme json =
+  Json.decode
+    (fun j ->
+      if Json.to_int (Json.member "version" j) <> cache_format_version then
+        raise (Json.Type_error "stale cache format");
+      if Json.to_str (Json.member "workload" j) <> w.Workloads.Workload.name then
+        raise (Json.Type_error "workload mismatch");
+      if Json.to_str (Json.member "scheme" j) <> scheme_label scheme then
+        raise (Json.Type_error "scheme mismatch");
+      let kernels =
+        List.map
+          (fun kj ->
+            let stats =
+              match Gpusim.Stats.of_json (Json.member "stats" kj) with
+              | Ok s -> s
+              | Error msg -> raise (Json.Type_error msg)
+            in
+            let tlp =
+              match Json.to_list (Json.member "tlp" kj) with
+              | [ a; b ] -> (Json.to_int a, Json.to_int b)
+              | _ -> raise (Json.Type_error "tlp must be a pair")
+            in
+            {
+              kernel_name = Json.to_str (Json.member "kernel" kj);
+              stats;
+              tlp;
+              trace = None;
+            })
+          (Json.to_list (Json.member "kernels" j))
+      in
+      {
+        workload = w.Workloads.Workload.name;
+        scheme;
+        kernels;
+        total_cycles = Json.to_int (Json.member "total_cycles" j);
+        verified =
+          (match Json.member "verified" j with
+          | Json.Null -> Ok ()
+          | v -> Error (Json.to_str v));
+        catt_analyses = analyses_for cfg w scheme;
+      })
+    json
+
+(* ------------------------------------------------------------------ *)
+(* Memoization: a thread-safe in-process table backed by the on-disk   *)
+(* cache.  Pool workers race on the table, so every access is locked;  *)
+(* simulation itself runs outside the lock (each run owns its device). *)
 (* ------------------------------------------------------------------ *)
 
 let memo : (string, app_run) Hashtbl.t = Hashtbl.create 64
+let memo_lock = Mutex.create ()
 
 let memo_key cfg (w : Workloads.Workload.t) scheme =
-  Printf.sprintf "%d/%d/%s/%s" cfg.Config.onchip_bytes cfg.Config.num_sms
-    w.Workloads.Workload.name (scheme_label scheme)
+  Cache.key cfg ~workload:w.Workloads.Workload.name
+    ~scheme:(scheme_label scheme) ~seed
 
+let progress : bool ref = ref false
+(** When set, one line per simulated or cache-loaded run goes to stderr. *)
+
+(** Drops every in-process result (the disk cache is untouched) — lets
+    tests exercise the cold-start path of a fresh process. *)
+let clear_memo () =
+  Mutex.lock memo_lock;
+  Hashtbl.reset memo;
+  Mutex.unlock memo_lock
+
+let log_run source (r : app_run) =
+  if !progress then
+    Printf.eprintf "[run] %-12s %-16s %10d cycles  (%s)\n%!" r.workload
+      (scheme_label r.scheme) r.total_cycles source
+
+let with_lock f =
+  Mutex.lock memo_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock memo_lock) f
+
+(** Compute one run: in-process memo, then the disk cache, then a real
+    simulation (persisted on completion).  Two workers racing on the
+    same key may both simulate — {!run_many} deduplicates keys up front,
+    so this stays simple and lock-free during the simulation itself. *)
 let run ?(trace = false) cfg w scheme =
   if trace then run_uncached ~trace cfg w scheme
   else begin
     let key = memo_key cfg w scheme in
-    match Hashtbl.find_opt memo key with
+    match with_lock (fun () -> Hashtbl.find_opt memo key) with
     | Some r -> r
     | None ->
-      let r = run_uncached cfg w scheme in
-      Hashtbl.replace memo key r;
+      let workload = w.Workloads.Workload.name
+      and label = scheme_label scheme in
+      let from_disk =
+        match Cache.load cfg ~workload ~scheme:label ~seed with
+        | None -> None
+        | Some json -> (
+          match run_of_json cfg w scheme json with
+          | Ok r -> Some r
+          | Error _ -> None (* stale or corrupt entry: recompute *))
+      in
+      let r, source =
+        match from_disk with
+        | Some r -> (r, "cache hit")
+        | None ->
+          let r = run_uncached cfg w scheme in
+          Cache.store cfg ~workload ~scheme:label ~seed (run_to_json r);
+          (r, "cache miss")
+      in
+      with_lock (fun () -> Hashtbl.replace memo key r);
+      log_run source r;
       r
   end
+
+(** Fan a (config, workload, scheme) grid out across a domain pool.
+    Results come back element-wise in input order, identical to what the
+    same calls would return sequentially (every cell simulates on its
+    own fresh device from the same seed).  Duplicate cells are computed
+    once.  [jobs <= 1] runs sequentially on the calling domain. *)
+let run_many ?(jobs = 1) cells =
+  let keyed =
+    List.map (fun (cfg, w, scheme) -> (memo_key cfg w scheme, (cfg, w, scheme))) cells
+  in
+  let unique =
+    List.rev
+      (List.fold_left
+         (fun acc (key, cell) ->
+           if List.mem_assoc key acc then acc else (key, cell) :: acc)
+         [] keyed)
+  in
+  let computed =
+    Gpu_util.Pool.parallel_map ~jobs
+      (fun (key, (cfg, w, scheme)) -> (key, run cfg w scheme))
+      unique
+  in
+  List.map (fun (key, _) -> List.assoc key computed) keyed
 
 (* ------------------------------------------------------------------ *)
 (* Sweeps and BFTT                                                     *)
@@ -317,10 +488,9 @@ let sweep cfg w =
       ((n, m), run cfg w scheme))
     (candidates cfg w)
 
-(** Best-SWL (Rogers et al., MICRO-45; discussed in the paper's
-    Section 2.2): the best static scheduler-level warp limit, found by
-    exhaustive offline search over per-SM warp counts. *)
-let best_swl cfg w =
+(** Per-SM warp-limit candidates for Best-SWL: powers of two up to the
+    workload's maximum concurrent warp count. *)
+let swl_candidates cfg (w : Workloads.Workload.t) =
   let max_warps =
     List.fold_left
       (fun acc (l : Workloads.Workload.kernel_launch) ->
@@ -339,8 +509,13 @@ let best_swl cfg w =
       1 w.Workloads.Workload.launches
   in
   let rec limits k acc = if k > max_warps then List.rev acc else limits (2 * k) (k :: acc) in
-  let candidates = limits 1 [] in
-  let runs = List.map (fun k -> (k, run cfg w (Swl k))) candidates in
+  limits 1 []
+
+(** Best-SWL (Rogers et al., MICRO-45; discussed in the paper's
+    Section 2.2): the best static scheduler-level warp limit, found by
+    exhaustive offline search over per-SM warp counts. *)
+let best_swl cfg w =
+  let runs = List.map (fun k -> (k, run cfg w (Swl k))) (swl_candidates cfg w) in
   List.fold_left
     (fun ((_, best) as acc) ((_, r) as cand) ->
       if r.total_cycles < best.total_cycles then cand else acc)

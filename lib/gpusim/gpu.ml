@@ -54,17 +54,18 @@ type launch = {
           (Section 2.2) used by the ablation benches *)
 }
 
-let default_launch ~prog ~grid ~block args =
+let default_launch ?smem_carveout ?(sched = Sm.Gto) ?(trace = false)
+    ?(runtime_throttle = `None) ?(bypass_arrays = []) ~prog ~grid ~block args =
   {
     prog;
     grid;
     block;
     args;
-    smem_carveout = None;
-    sched = Sm.Gto;
-    trace = false;
-    runtime_throttle = `None;
-    bypass_arrays = [];
+    smem_carveout;
+    sched;
+    trace;
+    runtime_throttle;
+    bypass_arrays;
   }
 
 let geometry l =

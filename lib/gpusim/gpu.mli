@@ -58,7 +58,19 @@ type launch = {
 }
 
 val default_launch :
-  prog:Bytecode.program -> grid:int * int -> block:int * int -> arg list -> launch
+  ?smem_carveout:int ->
+  ?sched:Sm.sched ->
+  ?trace:bool ->
+  ?runtime_throttle:[ `None | `Dyncta | `Ccws | `Daws | `Swl of int ] ->
+  ?bypass_arrays:string list ->
+  prog:Bytecode.program ->
+  grid:int * int ->
+  block:int * int ->
+  arg list ->
+  launch
+(** Every non-geometry field defaults to the plain configuration
+    ([None]/GTO/no trace/no runtime throttle/no bypass); pass the labeled
+    argument instead of rebuilding the record with [{ ... with ... }]. *)
 
 val occupancy : device -> launch -> int
 (** Resident TBs per SM (Eq. 3) for this launch.  Raises {!Launch_error}

@@ -91,6 +91,64 @@ let accumulate ~into src =
   into.mem_idle_cycles <- into.mem_idle_cycles + src.mem_idle_cycles;
   into.barrier_idle_cycles <- into.barrier_idle_cycles + src.barrier_idle_cycles
 
+(* field list shared by [to_json]/[of_json] so the two cannot drift *)
+let int_fields : (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("cycles", (fun t -> t.cycles), fun t v -> t.cycles <- v);
+    ("instructions", (fun t -> t.instructions), fun t v -> t.instructions <- v);
+    ( "global_load_instrs",
+      (fun t -> t.global_load_instrs),
+      fun t v -> t.global_load_instrs <- v );
+    ( "global_store_instrs",
+      (fun t -> t.global_store_instrs),
+      fun t v -> t.global_store_instrs <- v );
+    ("shared_instrs", (fun t -> t.shared_instrs), fun t v -> t.shared_instrs <- v);
+    ("l1_accesses", (fun t -> t.l1_accesses), fun t v -> t.l1_accesses <- v);
+    ("l1_hits", (fun t -> t.l1_hits), fun t v -> t.l1_hits <- v);
+    ( "l1_pending_hits",
+      (fun t -> t.l1_pending_hits),
+      fun t v -> t.l1_pending_hits <- v );
+    ("l1_misses", (fun t -> t.l1_misses), fun t v -> t.l1_misses <- v);
+    ("l2_accesses", (fun t -> t.l2_accesses), fun t v -> t.l2_accesses <- v);
+    ("l2_hits", (fun t -> t.l2_hits), fun t v -> t.l2_hits <- v);
+    ("l2_misses", (fun t -> t.l2_misses), fun t v -> t.l2_misses <- v);
+    ( "store_transactions",
+      (fun t -> t.store_transactions),
+      fun t v -> t.store_transactions <- v );
+    ( "bypass_transactions",
+      (fun t -> t.bypass_transactions),
+      fun t v -> t.bypass_transactions <- v );
+    ("barriers", (fun t -> t.barriers), fun t v -> t.barriers <- v);
+    ("tbs_launched", (fun t -> t.tbs_launched), fun t v -> t.tbs_launched <- v);
+    ( "max_resident_warps",
+      (fun t -> t.max_resident_warps),
+      fun t v -> t.max_resident_warps <- v );
+    ( "issued_instructions",
+      (fun t -> t.issued_instructions),
+      fun t v -> t.issued_instructions <- v );
+    ( "mem_idle_cycles",
+      (fun t -> t.mem_idle_cycles),
+      fun t v -> t.mem_idle_cycles <- v );
+    ( "barrier_idle_cycles",
+      (fun t -> t.barrier_idle_cycles),
+      fun t v -> t.barrier_idle_cycles <- v );
+  ]
+
+let to_json t =
+  Gpu_util.Json.Obj
+    (List.map (fun (name, get, _) -> (name, Gpu_util.Json.Int (get t))) int_fields)
+
+let of_json json =
+  Gpu_util.Json.decode
+    (fun json ->
+      let t = create () in
+      List.iter
+        (fun (name, _, set) ->
+          set t (Gpu_util.Json.to_int (Gpu_util.Json.member name json)))
+        int_fields;
+      t)
+    json
+
 let pp fmt t =
   Format.fprintf fmt
     "cycles=%d instrs=%d gld=%d gst=%d l1=%d/%d (%.1f%% hit) l2=%d/%d \

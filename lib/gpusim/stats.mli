@@ -43,4 +43,12 @@ val l2_hit_rate : t -> float
 val accumulate : into:t -> t -> unit
 (** Sums counters; [cycles] takes the max (it is a makespan). *)
 
+val to_json : t -> Gpu_util.Json.t
+(** Flat object of every counter — the persistent result cache's wire
+    format. *)
+
+val of_json : Gpu_util.Json.t -> (t, string) result
+(** Inverse of {!to_json}; [Error] names the first missing or mistyped
+    field. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,311 @@
+(** Minimal JSON codec (see json.mli). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --------------------------- printing ------------------------------ *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let to_string ?(pretty = false) v =
+  let buf = Buffer.create 256 in
+  let indent n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let rec write depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> add_float buf f
+    | String s -> add_escaped buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          if pretty then begin
+            Buffer.add_char buf '\n';
+            indent (depth + 1)
+          end;
+          write (depth + 1) item)
+        items;
+      if pretty then begin
+        Buffer.add_char buf '\n';
+        indent depth
+      end;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          if pretty then begin
+            Buffer.add_char buf '\n';
+            indent (depth + 1)
+          end;
+          add_escaped buf k;
+          Buffer.add_string buf (if pretty then ": " else ":");
+          write (depth + 1) item)
+        fields;
+      if pretty then begin
+        Buffer.add_char buf '\n';
+        indent depth
+      end;
+      Buffer.add_char buf '}'
+  in
+  write 0 v;
+  Buffer.contents buf
+
+(* --------------------------- parsing ------------------------------- *)
+
+exception Parse_error of int * string
+
+let parse_error pos fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (pos, msg))) fmt
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> parse_error !pos "expected %c, found %c" c c'
+    | None -> parse_error !pos "expected %c, found end of input" c
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else parse_error !pos "invalid literal"
+  in
+  (* UTF-8-encode one \uXXXX code point (surrogate pairs not joined —
+     the cache never emits them) *)
+  let add_code_point buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then parse_error !pos "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+        if !pos >= n then parse_error !pos "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if !pos + 4 > n then parse_error !pos "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          let cp =
+            try int_of_string ("0x" ^ hex)
+            with _ -> parse_error !pos "bad \\u escape %s" hex
+          in
+          add_code_point buf cp
+        | c -> parse_error !pos "bad escape \\%c" c);
+        loop ())
+      | c -> Buffer.add_char buf c; loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        advance ()
+      done
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> parse_error start "bad number %s" text
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> parse_error start "bad number %s" text
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_error !pos "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> parse_error !pos "expected , or } in object"
+        in
+        fields []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> parse_error !pos "expected , or ] in array"
+        in
+        items []
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> parse_error !pos "unexpected character %c" c
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then parse_error !pos "trailing garbage"
+    else Ok v
+  with Parse_error (at, msg) -> Error (Printf.sprintf "JSON error at byte %d: %s" at msg)
+
+(* --------------------------- accessors ----------------------------- *)
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun msg -> raise (Type_error msg)) fmt
+
+let kind = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | List _ -> "list"
+  | Obj _ -> "object"
+
+let member_opt key = function
+  | Obj fields -> List.assoc_opt key fields
+  | v -> type_error "expected object with %S, found %s" key (kind v)
+
+let member key v =
+  match member_opt key v with
+  | Some f -> f
+  | None -> type_error "missing field %S" key
+
+let to_int = function
+  | Int i -> i
+  | v -> type_error "expected int, found %s" (kind v)
+
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> type_error "expected float, found %s" (kind v)
+
+let to_bool = function
+  | Bool b -> b
+  | v -> type_error "expected bool, found %s" (kind v)
+
+let to_str = function
+  | String s -> s
+  | v -> type_error "expected string, found %s" (kind v)
+
+let to_list = function
+  | List l -> l
+  | v -> type_error "expected list, found %s" (kind v)
+
+let decode f v = try Ok (f v) with Type_error msg -> Error msg

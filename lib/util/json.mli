@@ -1,0 +1,47 @@
+(** Minimal JSON: a value type, a printer, and a parser.
+
+    The result cache persists simulator counters as JSON so that cached
+    sweeps survive across processes and stay greppable/diffable.  The
+    toolchain ships no JSON library, and the cache only needs objects of
+    scalars and short lists, so this is a deliberately small codec:
+    strict on structure, ASCII escapes plus [\uXXXX] decoding, integers
+    kept distinct from floats (performance counters are exact). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents with two spaces (the
+    on-disk cache format, so entries diff cleanly). *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value (trailing whitespace allowed).  The error
+    string includes the byte offset. *)
+
+exception Type_error of string
+
+(** Raising accessors for decoding known shapes; wrap the decoder in
+    {!decode} to get a [result] back. *)
+
+val member : string -> t -> t
+(** Field of an [Obj]; raises {!Type_error} when absent. *)
+
+val member_opt : string -> t -> t option
+
+val to_int : t -> int
+
+val to_float : t -> float
+(** Accepts [Int] too. *)
+
+val to_bool : t -> bool
+val to_str : t -> string
+val to_list : t -> t list
+
+val decode : (t -> 'a) -> t -> ('a, string) result
+(** Runs a raising decoder, turning {!Type_error} into [Error]. *)

@@ -1,0 +1,105 @@
+(** Fixed domain pool with a shared FIFO work queue (see pool.mli). *)
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;
+  work_available : Condition.t;  (** queue non-empty, or stopping *)
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let rec worker t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work_available t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock (* stopping, queue drained *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.lock;
+    task ();
+    worker t
+  end
+
+(* jobs <= 0 means one worker per effective core *)
+let resolve_jobs jobs =
+  if jobs <= 0 then Domain.recommended_domain_count () else jobs
+
+let create ~jobs =
+  let jobs = resolve_jobs jobs in
+  let t =
+    {
+      jobs;
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let map t f items =
+  let inputs = Array.of_list items in
+  let n = Array.length inputs in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let remaining = ref n in
+    let batch_done = Condition.create () in
+    Array.iteri
+      (fun i x ->
+        let task () =
+          let r =
+            try Ok (f x)
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          Mutex.lock t.lock;
+          results.(i) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast batch_done;
+          Mutex.unlock t.lock
+        in
+        Mutex.lock t.lock;
+        if t.stopping then begin
+          Mutex.unlock t.lock;
+          invalid_arg "Pool.map: pool is shut down"
+        end;
+        Queue.push task t.queue;
+        Condition.signal t.work_available;
+        Mutex.unlock t.lock)
+      inputs;
+    Mutex.lock t.lock;
+    while !remaining > 0 do
+      Condition.wait batch_done t.lock
+    done;
+    Mutex.unlock t.lock;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false)
+         results)
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let parallel_map ~jobs f items =
+  let jobs = resolve_jobs jobs in
+  if jobs <= 1 then List.map f items
+  else with_pool ~jobs (fun t -> map t f items)

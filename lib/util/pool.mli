@@ -1,0 +1,40 @@
+(** Fixed-size domain pool with a shared work queue.
+
+    The experiment engine's sweeps are embarrassingly parallel — each
+    (workload, scheme) cell simulates on its own fresh device — so a
+    plain fixed pool of OCaml 5 domains with a FIFO queue is all the
+    machinery needed.  Workers block on a condition variable when the
+    queue is empty; {!map} preserves input order regardless of the
+    order in which workers finish.
+
+    Tasks must not themselves call {!map} on the same pool (a worker
+    blocking on its own pool can deadlock once all workers wait). *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawns [jobs] worker domains, idle until work arrives.  [jobs <= 0]
+    means one worker per effective core
+    ({!Domain.recommended_domain_count}) — more domains than cores only
+    adds GC-synchronization overhead in OCaml 5. *)
+
+val jobs : t -> int
+(** The number of worker domains. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f items] runs [f] on every item across the pool and returns
+    the results in input order.  If any [f] raised, the first such
+    exception (in input order) is re-raised after all tasks of this
+    batch have finished.  Safe to call from several threads at once. *)
+
+val shutdown : t -> unit
+(** Waits for queued work to drain, then joins all workers.  The pool
+    must not be used afterwards.  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create] / run / [shutdown], exception-safe. *)
+
+val parallel_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: sequential [List.map] when the resolved job
+    count is 1 (no domains spawned), a temporary pool otherwise.
+    [jobs <= 0] auto-detects as in {!create}. *)

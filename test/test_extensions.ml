@@ -26,13 +26,9 @@ let simulate ?(runtime_throttle = `None) ?(bypass_arrays = []) k =
   Gpusim.Gpu.upload dev "x" (Array.init 1024 (fun _ -> Gpu_util.Rng.float rng 1.));
   Gpusim.Gpu.alloc dev "tmp" 1024;
   let launch =
-    {
-      (Gpusim.Gpu.default_launch ~prog ~grid:(4, 1) ~block:(256, 1)
-         [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ])
-      with
-      Gpusim.Gpu.runtime_throttle;
-      bypass_arrays;
-    }
+    Gpusim.Gpu.default_launch ~runtime_throttle ~bypass_arrays ~prog
+      ~grid:(4, 1) ~block:(256, 1)
+      [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ]
   in
   let stats, _ = Gpusim.Gpu.launch dev launch in
   (stats, Array.copy (Gpusim.Gpu.get dev "tmp"))
@@ -225,12 +221,9 @@ let test_swl_invalid_rejected () =
   Gpusim.Gpu.alloc dev "x" 8;
   Gpusim.Gpu.alloc dev "tmp" 8;
   let launch =
-    {
-      (Gpusim.Gpu.default_launch ~prog ~grid:(1, 1) ~block:(32, 1)
-         [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ])
-      with
-      Gpusim.Gpu.runtime_throttle = `Swl 0;
-    }
+    Gpusim.Gpu.default_launch ~runtime_throttle:(`Swl 0) ~prog ~grid:(1, 1)
+      ~block:(32, 1)
+      [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ]
   in
   Alcotest.check_raises "limit 0"
     (Gpusim.Gpu.Launch_error "static warp limit must be >= 1") (fun () ->
@@ -258,12 +251,9 @@ let test_bypass_unknown_array_rejected () =
   Gpusim.Gpu.alloc dev "x" 8;
   Gpusim.Gpu.alloc dev "tmp" 8;
   let launch =
-    {
-      (Gpusim.Gpu.default_launch ~prog ~grid:(1, 1) ~block:(32, 1)
-         [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ])
-      with
-      Gpusim.Gpu.bypass_arrays = [ "nope" ];
-    }
+    Gpusim.Gpu.default_launch ~bypass_arrays:[ "nope" ] ~prog ~grid:(1, 1)
+      ~block:(32, 1)
+      [ Gpusim.Gpu.Arr "A"; Gpusim.Gpu.Arr "x"; Gpusim.Gpu.Arr "tmp" ]
   in
   Alcotest.check_raises "unknown array"
     (Gpusim.Gpu.Launch_error "bypass_arrays: kernel atax_like has no array nope")

@@ -1,0 +1,245 @@
+(** Tests for the parallel experiment engine: the domain pool, the
+    parallel (workload × scheme) sweep, and the persistent result cache.
+
+    The load-bearing property is that parallelism and caching are pure
+    plumbing — a sweep fanned across domains, or reloaded from disk,
+    must be element-wise identical to a fresh sequential simulation. *)
+
+module Runner = Experiments.Runner
+module Cache = Experiments.Cache
+module Json = Gpu_util.Json
+module Pool = Gpu_util.Pool
+
+let cfg = Gpusim.Config.scaled ~num_sms:4 ~onchip_bytes:(32 * 1024) ()
+
+(* ------------------------------- pool ------------------------------ *)
+
+let test_pool_preserves_order () =
+  let n = 100 in
+  let inputs = List.init n (fun i -> i) in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let doubled = Pool.map pool (fun i -> 2 * i) inputs in
+      Alcotest.(check (list int))
+        "results in input order"
+        (List.map (fun i -> 2 * i) inputs)
+        doubled;
+      (* a second batch on the same pool still works *)
+      let squared = Pool.map pool (fun i -> i * i) inputs in
+      Alcotest.(check (list int))
+        "second batch too"
+        (List.map (fun i -> i * i) inputs)
+        squared)
+
+let test_pool_uses_domains () =
+  (* each task records the domain it ran on; 8 tasks that each block
+     until all 4 workers have picked one up can only finish if 4 distinct
+     domains are serving the queue *)
+  let jobs = 4 in
+  let barrier = Atomic.make 0 in
+  let ids =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map pool
+          (fun _ ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < jobs do
+              Domain.cpu_relax ()
+            done;
+            (Domain.self () :> int))
+          (List.init jobs (fun i -> i)))
+  in
+  let distinct = List.sort_uniq compare ids in
+  Alcotest.(check int) "ran on 4 distinct domains" jobs (List.length distinct)
+
+let test_pool_propagates_exceptions () =
+  Alcotest.check_raises "first failure re-raised" (Failure "task 3") (fun () ->
+      ignore
+        (Pool.parallel_map ~jobs:3
+           (fun i -> if i = 3 then failwith "task 3" else i)
+           [ 0; 1; 2; 3; 4 ]))
+
+(* ----------------------- parallel sweeps --------------------------- *)
+
+let check_run_equal msg (a : Runner.app_run) (b : Runner.app_run) =
+  Alcotest.(check string) (msg ^ ": workload") a.Runner.workload b.Runner.workload;
+  Alcotest.(check string)
+    (msg ^ ": scheme")
+    (Runner.scheme_label a.Runner.scheme)
+    (Runner.scheme_label b.Runner.scheme);
+  Alcotest.(check int) (msg ^ ": total cycles") a.Runner.total_cycles b.Runner.total_cycles;
+  Alcotest.(check bool)
+    (msg ^ ": verified")
+    (a.Runner.verified = Ok ())
+    (b.Runner.verified = Ok ());
+  Alcotest.(check (list (pair string (pair int int))))
+    (msg ^ ": per-kernel stats")
+    (List.map
+       (fun (ks : Runner.kernel_stats) ->
+         ( ks.Runner.kernel_name,
+           (ks.Runner.stats.Gpusim.Stats.cycles, ks.Runner.stats.Gpusim.Stats.l1_hits) ))
+       a.Runner.kernels)
+    (List.map
+       (fun (ks : Runner.kernel_stats) ->
+         ( ks.Runner.kernel_name,
+           (ks.Runner.stats.Gpusim.Stats.cycles, ks.Runner.stats.Gpusim.Stats.l1_hits) ))
+       b.Runner.kernels)
+
+let sweep_cells =
+  List.concat_map
+    (fun name ->
+      let w = Workloads.Registry.find name in
+      [ (cfg, w, Runner.Baseline); (cfg, w, Runner.Fixed (2, 0)) ])
+    [ "ATAX"; "BICG"; "BT" ]
+
+let test_parallel_sweep_matches_sequential () =
+  (* ground truth: fresh, memo-free sequential simulations *)
+  let sequential =
+    List.map (fun (cfg, w, s) -> Runner.run_uncached cfg w s) sweep_cells
+  in
+  let parallel = Runner.run_many ~jobs:4 sweep_cells in
+  Alcotest.(check int)
+    "one result per cell" (List.length sweep_cells) (List.length parallel);
+  List.iter2 (fun a b -> check_run_equal "parallel vs sequential" a b)
+    sequential parallel
+
+let test_run_many_preserves_order () =
+  let results = Runner.run_many ~jobs:4 sweep_cells in
+  List.iter2
+    (fun (_, (w : Workloads.Workload.t), scheme) (r : Runner.app_run) ->
+      Alcotest.(check string) "workload order" w.Workloads.Workload.name r.Runner.workload;
+      Alcotest.(check string)
+        "scheme order"
+        (Runner.scheme_label scheme)
+        (Runner.scheme_label r.Runner.scheme))
+    sweep_cells results
+
+(* ------------------------------ cache ------------------------------ *)
+
+let test_json_round_trip () =
+  let w = Workloads.Registry.find "BT" in
+  List.iter
+    (fun scheme ->
+      let r = Runner.run_uncached cfg w scheme in
+      match Runner.run_of_json cfg w scheme (Runner.run_to_json r) with
+      | Error msg -> Alcotest.failf "decode failed: %s" msg
+      | Ok r' -> check_run_equal (Runner.scheme_label scheme) r r')
+    [ Runner.Baseline; Runner.Fixed (2, 1) ]
+
+let test_json_round_trip_through_text () =
+  (* the same round trip, but through the actual on-disk representation *)
+  let w = Workloads.Registry.find "BT" in
+  let r = Runner.run_uncached cfg w Runner.Baseline in
+  let text = Json.to_string ~pretty:true (Runner.run_to_json r) in
+  match Json.of_string text with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok json -> (
+    match Runner.run_of_json cfg w Runner.Baseline json with
+    | Error msg -> Alcotest.failf "decode failed: %s" msg
+    | Ok r' -> check_run_equal "pretty-printed text" r r')
+
+let test_scheme_label_round_trip () =
+  List.iter
+    (fun scheme ->
+      match Runner.scheme_of_string (Runner.scheme_label scheme) with
+      | Ok s ->
+        Alcotest.(check string)
+          "label round-trips"
+          (Runner.scheme_label scheme)
+          (Runner.scheme_label s)
+      | Error msg -> Alcotest.fail msg)
+    [
+      Runner.Baseline; Runner.Catt; Runner.Fixed (4, 1); Runner.Dynamic;
+      Runner.CcwsSched; Runner.DawsSched; Runner.Swl 8; Runner.Bypass;
+    ];
+  match Runner.scheme_of_string "no-such-scheme" with
+  | Ok _ -> Alcotest.fail "junk must not parse"
+  | Error _ -> ()
+
+let with_temp_cache f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "catt-cache-test-%d" (Unix.getpid ()))
+  in
+  let old_dir = !Cache.dir and old_enabled = !Cache.enabled in
+  Cache.dir := dir;
+  Cache.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.clear ();
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+      Cache.dir := old_dir;
+      Cache.enabled := old_enabled)
+    (fun () -> f ())
+
+let test_warm_second_run_hits_cache () =
+  with_temp_cache (fun () ->
+      (* a config no other test uses, so the memo is genuinely cold *)
+      let cfg = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(32 * 1024) () in
+      let w = Workloads.Registry.find "BT" in
+      let scheme = Runner.Baseline in
+      let first = Runner.run cfg w scheme in
+      let file =
+        Cache.path cfg ~workload:w.Workloads.Workload.name
+          ~scheme:(Runner.scheme_label scheme) ~seed:Runner.seed
+      in
+      Alcotest.(check bool) "entry persisted" true (Sys.file_exists file);
+      (* plant a sentinel in the stored entry; if the second (cold-memo)
+         run returns it, the result really came from disk *)
+      let sentinel = 123456789 in
+      let planted =
+        match Json.of_string (In_channel.with_open_bin file In_channel.input_all) with
+        | Ok (Json.Obj fields) ->
+          Json.Obj
+            (List.map
+               (fun (k, v) ->
+                 if k = "total_cycles" then (k, Json.Int sentinel) else (k, v))
+               fields)
+        | Ok _ | Error _ -> Alcotest.fail "unreadable cache entry"
+      in
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (Json.to_string planted));
+      Runner.clear_memo ();
+      let second = Runner.run cfg w scheme in
+      Alcotest.(check int) "served from disk" sentinel second.Runner.total_cycles;
+      (* drop the poisoned entry and memo so later tests recompute *)
+      Runner.clear_memo ();
+      Cache.clear ();
+      let third = Runner.run cfg w scheme in
+      check_run_equal "recomputed after clear" first third)
+
+let test_corrupt_cache_entry_is_recomputed () =
+  with_temp_cache (fun () ->
+      let cfg = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(16 * 1024) () in
+      let w = Workloads.Registry.find "BT" in
+      let first = Runner.run cfg w Runner.Baseline in
+      let file =
+        Cache.path cfg ~workload:w.Workloads.Workload.name
+          ~scheme:(Runner.scheme_label Runner.Baseline) ~seed:Runner.seed
+      in
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc "{ not json");
+      Runner.clear_memo ();
+      let second = Runner.run cfg w Runner.Baseline in
+      check_run_equal "recomputed, not crashed" first second)
+
+let tests =
+  [
+    ( "parallel.pool",
+      [
+        Alcotest.test_case "map preserves order" `Quick test_pool_preserves_order;
+        Alcotest.test_case "runs on K domains" `Quick test_pool_uses_domains;
+        Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exceptions;
+      ] );
+    ( "parallel.sweep",
+      [
+        Alcotest.test_case "matches sequential" `Quick test_parallel_sweep_matches_sequential;
+        Alcotest.test_case "preserves order" `Quick test_run_many_preserves_order;
+      ] );
+    ( "parallel.cache",
+      [
+        Alcotest.test_case "JSON round trip" `Quick test_json_round_trip;
+        Alcotest.test_case "round trip through text" `Quick test_json_round_trip_through_text;
+        Alcotest.test_case "scheme labels round trip" `Quick test_scheme_label_round_trip;
+        Alcotest.test_case "second run hits cache" `Quick test_warm_second_run_hits_cache;
+        Alcotest.test_case "corrupt entry recomputed" `Quick test_corrupt_cache_entry_is_recomputed;
+      ] );
+  ]

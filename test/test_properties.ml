@@ -206,12 +206,9 @@ let prop_catt_preserves_semantics =
           (Array.init 512 (fun _ -> Gpu_util.Rng.float rng 1.));
         Gpusim.Gpu.alloc dev "out" 512;
         let launch =
-          {
-            (Gpusim.Gpu.default_launch ~prog ~grid:(2, 1) ~block:(256, 1)
-               [ Gpusim.Gpu.Arr "data"; Gpusim.Gpu.Arr "vec"; Gpusim.Gpu.Arr "out" ])
-            with
-            Gpusim.Gpu.smem_carveout = carveout;
-          }
+          Gpusim.Gpu.default_launch ?smem_carveout:carveout ~prog ~grid:(2, 1)
+            ~block:(256, 1)
+            [ Gpusim.Gpu.Arr "data"; Gpusim.Gpu.Arr "vec"; Gpusim.Gpu.Arr "out" ]
         in
         ignore (Gpusim.Gpu.launch dev launch);
         Array.copy (Gpusim.Gpu.get dev "out")
