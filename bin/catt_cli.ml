@@ -4,6 +4,7 @@
     Usage:
       catt_cli analyze  FILE --grid GX[,GY] --block BX[,BY] [--onchip KB] [--sms N] [--jobs N]
       catt_cli transform FILE --grid … --block …   (prints transformed source)
+      catt_cli check    FILE --grid … --block … [--strict]   (kernel sanitizer)
       catt_cli disasm   FILE                       (SASS-lite dump)
 *)
 
@@ -82,6 +83,38 @@ let transform_cmd =
       const run $ file_arg $ grid_arg $ block_arg $ Cli_common.onchip
       $ Cli_common.sms $ Cli_common.jobs)
 
+let check_cmd =
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"treat warnings (e.g. possible out-of-bounds) as fatal")
+  in
+  let run path (gx, gy) (bx, by) strict =
+    let geo =
+      { Sanitize.Geom.grid_x = gx; grid_y = gy; block_x = bx; block_y = by }
+    in
+    let diags =
+      List.concat_map
+        (fun kernel -> Sanitize.Check.check_kernel geo kernel)
+        (kernels_of path)
+    in
+    List.iter
+      (fun d -> print_endline (Sanitize.Diag.to_string ~file:path d))
+      diags;
+    let fatal =
+      if strict then diags <> [] else Sanitize.Diag.has_errors diags
+    in
+    if fatal then exit 1
+    else if diags = [] then print_endline "no diagnostics"
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "run the kernel sanitizer (barrier divergence, shared-memory races, \
+          bounds); exits non-zero on errors")
+    Term.(const run $ file_arg $ grid_arg $ block_arg $ strict_arg)
+
 let disasm_cmd =
   let file0 =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"source file")
@@ -97,4 +130,7 @@ let disasm_cmd =
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "catt_cli" ~doc:"compiler-assisted GPU thread throttling" in
-  exit (Cmd.eval (Cmd.group ~default info [ analyze_cmd; transform_cmd; disasm_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ analyze_cmd; transform_cmd; check_cmd; disasm_cmd ]))

@@ -1,7 +1,14 @@
 module Ast = Minicuda.Ast
 module Typecheck = Minicuda.Typecheck
 
-type geometry = { grid_x : int; grid_y : int; block_x : int; block_y : int }
+(* same record as the sanitizer's, re-exported so analysis results and
+   sanitizer calls share geometry values without conversion *)
+type geometry = Sanitize.Geom.t = {
+  grid_x : int;
+  grid_y : int;
+  block_x : int;
+  block_y : int;
+}
 
 type access = {
   array : string;
@@ -156,7 +163,7 @@ let assign_value geo env op target_value (e : Ast.expr) =
     | _ -> Affine.Unknown)
 
 let rec walk_stmt geo rec_ (env : env) (s : Ast.stmt) : env =
-  match s with
+  match s.Ast.sk with
   | Ast.Decl (_, name, None) -> bind env name Affine.Unknown
   | Ast.Decl (ty, name, Some e) ->
     record_expr geo rec_ env e;
@@ -208,7 +215,7 @@ and kill_assigned (env : env) body : env =
   let assigned =
     Ast.fold_block
       (fun acc s ->
-        match s with
+        match s.Ast.sk with
         | Ast.Assign (Ast.Lvar name, _, _) -> name :: acc
         | Ast.For { loop_var; declares = false; _ } -> loop_var :: acc
         | _ -> acc)
@@ -262,7 +269,7 @@ and loop_body_env geo (env : env) { Ast.loop_var; init; step; body; _ } : env =
 (* ------------------------------------------------------------------ *)
 
 let barrier_in stmt =
-  Ast.fold_stmt (fun acc s -> acc || s = Ast.Syncthreads) false stmt
+  Ast.fold_stmt (fun acc s -> acc || s.Ast.sk = Ast.Syncthreads) false stmt
 
 let analyze_kernel (k : Ast.kernel) geo =
   let info = Typecheck.check_kernel k in
@@ -281,36 +288,36 @@ let analyze_kernel (k : Ast.kernel) geo =
   let reports = ref [] in
   let next_id = ref 0 in
   let rec top geo env (s : Ast.stmt) : env =
-    match s with
-    | Ast.For ({ loop_var; _ } as loop) ->
+    match s.Ast.sk with
+    | Ast.For { loop_var; _ } ->
       let id = !next_id in
       incr next_id;
       rec_.current <- [];
       rec_.recording <- true;
-      let env' = walk_stmt geo rec_ env (Ast.For loop) in
+      let env' = walk_stmt geo rec_ env s in
       rec_.recording <- false;
       reports :=
         {
           loop_id = id;
           loop_var;
           accesses = List.rev rec_.current;
-          has_barrier = barrier_in (Ast.For loop);
+          has_barrier = barrier_in s;
         }
         :: !reports;
       env'
-    | Ast.While (cond, body) ->
+    | Ast.While (_, _) ->
       let id = !next_id in
       incr next_id;
       rec_.current <- [];
       rec_.recording <- true;
-      let env' = walk_stmt geo rec_ env (Ast.While (cond, body)) in
+      let env' = walk_stmt geo rec_ env s in
       rec_.recording <- false;
       reports :=
         {
           loop_id = id;
           loop_var = "<while>";
           accesses = List.rev rec_.current;
-          has_barrier = barrier_in (Ast.While (cond, body));
+          has_barrier = barrier_in s;
         }
         :: !reports;
       env'
@@ -320,7 +327,7 @@ let analyze_kernel (k : Ast.kernel) geo =
       let env_else = List.fold_left (top geo) env else_b in
       join_env (join_env env env_then) env_else
     | Ast.Block body -> List.fold_left (top geo) env body
-    | other -> walk_stmt geo rec_ env other
+    | _ -> walk_stmt geo rec_ env s
   in
   let _ = List.fold_left (top geo) env0 k.Ast.body in
   List.rev !reports

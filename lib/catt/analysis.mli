@@ -11,7 +11,13 @@
     {!Affine.Unknown}, which downstream analysis treats with the paper's
     conservative irregular-access rule. *)
 
-type geometry = { grid_x : int; grid_y : int; block_x : int; block_y : int }
+(** Launch geometry, shared with the sanitizer (same record type). *)
+type geometry = Sanitize.Geom.t = {
+  grid_x : int;
+  grid_y : int;
+  block_x : int;
+  block_y : int;
+}
 
 type access = {
   array : string;

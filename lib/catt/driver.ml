@@ -143,6 +143,15 @@ let analyze (cfg : Gpusim.Config.t) (kernel : Ast.kernel)
         Transform.tb_throttle transformed ~dummy_elems:(max 1 (dummy_bytes / 4))
       | None -> transformed
     in
+    match Sanitize.Check.gate geometry ~original:kernel ~transformed with
+    | Error diags ->
+      Error
+        (Printf.sprintf
+           "sanitizer rejected the transform of %s (new diagnostics not \
+            present in the original):\n%s"
+           kernel.Ast.kernel_name
+           (Sanitize.Diag.to_report diags))
+    | Ok () ->
     Ok
       {
         kernel;

@@ -27,13 +27,16 @@ let guarded_copy ~warp_size ~one_dim_block ~group_size ~group stmt =
         Ast.Binop (Ast.Ge, wid, Ast.Int_lit lo),
         Ast.Binop (Ast.Lt, wid, Ast.Int_lit hi) )
   in
-  [ Ast.If (cond, [ stmt ], []); Ast.Syncthreads ]
+  (* synthesized statements inherit the split loop's position so any
+     diagnostic on a phase points back at the source loop *)
+  let loc = stmt.Ast.sloc in
+  [ Ast.at ~loc (Ast.If (cond, [ stmt ], [])); Ast.at ~loc Ast.Syncthreads ]
 
 (* A loop whose body reaches a barrier cannot be split into warp-group
    phases: the groups would rendezvous at different barrier sites, which is
    undefined on real hardware and wrong in any model. *)
 let contains_barrier stmt =
-  Ast.fold_stmt (fun acc s -> acc || s = Ast.Syncthreads) false stmt
+  Ast.fold_stmt (fun acc s -> acc || s.Ast.sk = Ast.Syncthreads) false stmt
 
 let split_loop ~n ~warps_per_tb ~warp_size ~one_dim_block stmt =
   if warps_per_tb mod n <> 0 then
@@ -57,7 +60,7 @@ let warp_throttle_plan (k : Ast.kernel) ~plan ~warps_per_tb ~warp_size
   let rec rewrite_block (b : Ast.block) : Ast.block =
     List.concat_map rewrite_stmt b
   and rewrite_stmt (s : Ast.stmt) : Ast.stmt list =
-    match s with
+    match s.Ast.sk with
     | Ast.For _ | Ast.While _ -> (
       let id = !counter in
       incr counter;
@@ -67,9 +70,9 @@ let warp_throttle_plan (k : Ast.kernel) ~plan ~warps_per_tb ~warp_size
         split_loop ~n ~warps_per_tb ~warp_size ~one_dim_block s
       | _ -> [ s ])
     | Ast.If (cond, then_b, else_b) ->
-      [ Ast.If (cond, rewrite_block then_b, rewrite_block else_b) ]
-    | Ast.Block body -> [ Ast.Block (rewrite_block body) ]
-    | other -> [ other ]
+      [ { s with Ast.sk = Ast.If (cond, rewrite_block then_b, rewrite_block else_b) } ]
+    | Ast.Block body -> [ { s with Ast.sk = Ast.Block (rewrite_block body) } ]
+    | _ -> [ s ]
   in
   let body = rewrite_block k.Ast.body in
   List.iter
@@ -88,7 +91,7 @@ let warp_throttle k ~loop_id ~n ~warps_per_tb ~warp_size ~one_dim_block =
 let count_top_loops (k : Ast.kernel) =
   let rec count_block acc (b : Ast.block) = List.fold_left count_stmt acc b
   and count_stmt acc (s : Ast.stmt) =
-    match s with
+    match s.Ast.sk with
     | Ast.For _ | Ast.While _ -> acc + 1
     | Ast.If (_, then_b, else_b) -> count_block (count_block acc then_b) else_b
     | Ast.Block body -> count_block acc body
@@ -103,24 +106,26 @@ let warp_throttle_all (k : Ast.kernel) ~n ~warps_per_tb ~warp_size
   let rec rewrite_block (b : Ast.block) : Ast.block =
     List.concat_map rewrite_stmt b
   and rewrite_stmt (s : Ast.stmt) : Ast.stmt list =
-    match s with
+    match s.Ast.sk with
     | Ast.For _ | Ast.While _ ->
       split_loop ~n ~warps_per_tb ~warp_size ~one_dim_block s
     | Ast.If (cond, then_b, else_b) ->
-      [ Ast.If (cond, rewrite_block then_b, rewrite_block else_b) ]
-    | Ast.Block body -> [ Ast.Block (rewrite_block body) ]
-    | other -> [ other ]
+      [ { s with Ast.sk = Ast.If (cond, rewrite_block then_b, rewrite_block else_b) } ]
+    | Ast.Block body -> [ { s with Ast.sk = Ast.Block (rewrite_block body) } ]
+    | _ -> [ s ]
   in
   { k with Ast.body = rewrite_block k.Ast.body }
 
 let tb_throttle (k : Ast.kernel) ~dummy_elems =
   if dummy_elems <= 0 then
     invalid_arg "Transform.tb_throttle: dummy_elems must be positive";
-  let decl = Ast.Shared_decl (Ast.Float, dummy_array_name, dummy_elems) in
+  let decl = Ast.at (Ast.Shared_decl (Ast.Float, dummy_array_name, dummy_elems)) in
   (* one store keeps the allocation observable; all threads hit the same
      address, a single broadcastable shared transaction *)
   let keep_alive =
-    Ast.Assign (Ast.Larr (dummy_array_name, Ast.Int_lit 0), Ast.Assign_eq, Ast.Float_lit 0.)
+    Ast.at
+      (Ast.Assign
+         (Ast.Larr (dummy_array_name, Ast.Int_lit 0), Ast.Assign_eq, Ast.Float_lit 0.))
   in
   { k with Ast.body = decl :: keep_alive :: k.Ast.body }
 

@@ -83,42 +83,59 @@ let render_scheduler () =
     let kernels = Workloads.Workload.kernels w in
     let dev = Gpusim.Gpu.create cfg in
     w.Workloads.Workload.setup dev (Gpu_util.Rng.create 42);
-    let total = ref 0 in
-    List.iter
-      (fun (l : Workloads.Workload.kernel_launch) ->
-        let kernel = List.assoc l.Workloads.Workload.kernel_name kernels in
-        let geo = Workloads.Workload.geometry_of l in
-        let k, carveout =
-          match scheme with
-          | `Baseline -> (kernel, None)
-          | `Catt -> (
-            match Catt.Driver.analyze cfg kernel geo with
-            | Ok t -> (t.Catt.Driver.transformed, Some t.Catt.Driver.final_carveout)
-            | Error msg -> failwith msg)
-        in
-        let prog = Gpusim.Codegen.compile_kernel k in
-        let launch =
-          Gpusim.Gpu.default_launch ?smem_carveout:carveout ~sched ~prog
-            ~grid:l.Workloads.Workload.grid ~block:l.Workloads.Workload.block
-            l.Workloads.Workload.args
-        in
-        let stats, _ = Gpusim.Gpu.launch dev launch in
-        total := !total + stats.Gpusim.Stats.cycles)
-      w.Workloads.Workload.launches;
-    !total
+    List.fold_left
+      (fun acc (l : Workloads.Workload.kernel_launch) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok total -> (
+          let kernel = List.assoc l.Workloads.Workload.kernel_name kernels in
+          let geo = Workloads.Workload.geometry_of l in
+          let prepared =
+            match scheme with
+            | `Baseline -> Ok (kernel, None)
+            | `Catt -> (
+              match Catt.Driver.analyze cfg kernel geo with
+              | Ok t ->
+                Ok (t.Catt.Driver.transformed, Some t.Catt.Driver.final_carveout)
+              | Error msg ->
+                Error
+                  (Printf.sprintf "kernel %s: %s"
+                     l.Workloads.Workload.kernel_name msg))
+          in
+          match prepared with
+          | Error _ as e -> e
+          | Ok (k, carveout) ->
+            let prog = Gpusim.Codegen.compile_kernel k in
+            let launch =
+              Gpusim.Gpu.default_launch ?smem_carveout:carveout ~sched ~prog
+                ~grid:l.Workloads.Workload.grid ~block:l.Workloads.Workload.block
+                l.Workloads.Workload.args
+            in
+            let stats, _ = Gpusim.Gpu.launch dev launch in
+            Ok (total + stats.Gpusim.Stats.cycles)))
+      (Ok 0) w.Workloads.Workload.launches
+  in
+  (* a located diagnostic report can span lines; table cells get the gist *)
+  let first_line s =
+    match String.index_opt s '\n' with
+    | None -> s
+    | Some i -> String.sub s 0 i ^ " ..."
   in
   let table = Gpu_util.Table.create [ "scheme"; "GTO"; "LRR"; "LRR/GTO" ] in
   List.iter
     (fun (label, scheme) ->
-      let gto = run Gpusim.Sm.Gto scheme in
-      let lrr = run Gpusim.Sm.Lrr scheme in
-      Gpu_util.Table.add_row table
-        [
-          label;
-          string_of_int gto;
-          string_of_int lrr;
-          Gpu_util.Table.cell_float (float_of_int lrr /. float_of_int gto);
-        ])
+      match (run Gpusim.Sm.Gto scheme, run Gpusim.Sm.Lrr scheme) with
+      | Ok gto, Ok lrr ->
+        Gpu_util.Table.add_row table
+          [
+            label;
+            string_of_int gto;
+            string_of_int lrr;
+            Gpu_util.Table.cell_float (float_of_int lrr /. float_of_int gto);
+          ]
+      | Error msg, _ | _, Error msg ->
+        Gpu_util.Table.add_row table
+          [ label; "--"; "--"; "skipped: " ^ first_line msg ])
     [ ("ATAX baseline", `Baseline); ("ATAX CATT", `Catt) ];
   "Ablation: warp scheduler sensitivity (GTO vs loose round-robin)\n"
   ^ Gpu_util.Table.render table

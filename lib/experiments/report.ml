@@ -27,6 +27,11 @@ let artifacts =
       title = "Ablations: dynamic / bypass / scheduler (Sec 2 arguments)";
       render = Ablations.render;
     };
+    {
+      id = "sanitize-all";
+      title = "Sanitizer sweep: every kernel variant checks clean";
+      render = Sanitize_all.render;
+    };
   ]
 
 let find id = List.find_opt (fun a -> a.id = id) artifacts

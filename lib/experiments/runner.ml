@@ -92,7 +92,53 @@ let largest_divisor_leq value cap =
     1
     (Catt.Throttle.divisors value)
 
-let prepare_fixed cfg kernel geo ~n ~m =
+(* BFTT warp splitting under the sanitizer's gate.  The uniform
+   whole-kernel split is blind: on kernels with thread-divergent control
+   flow it would plant barriers where part of the block never arrives.
+   When the gate refuses the whole-kernel split, retry loop by loop and
+   keep only the splits the sanitizer accepts (the combined plan is gated
+   once more — phases of different loops could in principle interact). *)
+let gated_warp_throttle_all kernel geo ~n ~warps_per_tb ~warp_size
+    ~one_dim_block =
+  if n <= 1 then kernel
+  else begin
+    let gate k = Sanitize.Check.gate geo ~original:kernel ~transformed:k in
+    let all =
+      Catt.Transform.warp_throttle_all kernel ~n ~warps_per_tb ~warp_size
+        ~one_dim_block
+    in
+    match gate all with
+    | Ok () -> all
+    | Error _ ->
+      let plan =
+        List.filter_map
+          (fun loop_id ->
+            let cand =
+              Catt.Transform.warp_throttle kernel ~loop_id ~n ~warps_per_tb
+                ~warp_size ~one_dim_block
+            in
+            match gate cand with Ok () -> Some (loop_id, n) | Error _ -> None)
+          (List.init (Catt.Transform.count_top_loops kernel) Fun.id)
+      in
+      if plan = [] then kernel
+      else
+        let combined =
+          Catt.Transform.warp_throttle_plan kernel ~plan ~warps_per_tb
+            ~warp_size ~one_dim_block
+        in
+        (match gate combined with Ok () -> combined | Error _ -> kernel)
+  end
+
+(** The source a [Fixed (n, m)] scheme actually executes, with its TLP and
+    carveout.  Shared with the sanitize-all artifact, so what that sweep
+    checks is exactly what runs. *)
+type fixed_variant = {
+  fixed_kernel : Minicuda.Ast.kernel;
+  fixed_tlp : int * int;  (** requested (warps per TB, TBs per SM) *)
+  fixed_carveout : int option;
+}
+
+let fixed_variant cfg kernel geo ~n ~m =
   let prog0 = Gpusim.Codegen.compile_kernel kernel in
   let tb_threads = geo.Catt.Analysis.block_x * geo.Catt.Analysis.block_y in
   let grid_tbs = geo.Catt.Analysis.grid_x * geo.Catt.Analysis.grid_y in
@@ -101,7 +147,7 @@ let prepare_fixed cfg kernel geo ~n ~m =
       ~num_regs:prog0.Gpusim.Bytecode.num_regs
       ~shared_bytes:prog0.Gpusim.Bytecode.shared_bytes ()
   with
-  | Error msg -> failwith msg
+  | Error msg -> Error msg
   | Ok occ ->
     let warps_per_tb = occ.Catt.Occupancy.warps_per_tb in
     let tbs = occ.Catt.Occupancy.tbs_per_sm in
@@ -109,10 +155,8 @@ let prepare_fixed cfg kernel geo ~n ~m =
     let m' = min m (tbs - 1) in
     let one_dim_block = geo.Catt.Analysis.block_y = 1 in
     let k =
-      if n' > 1 then
-        Catt.Transform.warp_throttle_all kernel ~n:n' ~warps_per_tb
-          ~warp_size:cfg.Config.warp_size ~one_dim_block
-      else kernel
+      gated_warp_throttle_all kernel geo ~n:n' ~warps_per_tb
+        ~warp_size:cfg.Config.warp_size ~one_dim_block
     in
     let k, carveout, tbs' =
       if m' > 0 then
@@ -123,22 +167,39 @@ let prepare_fixed cfg kernel geo ~n ~m =
             ~target_tbs:(tbs - m')
         with
         | Some (c, dummy_bytes) ->
-          ( Catt.Transform.tb_throttle k ~dummy_elems:(max 1 (dummy_bytes / 4)),
-            Some c,
-            tbs - m' )
+          let kt =
+            Catt.Transform.tb_throttle k ~dummy_elems:(max 1 (dummy_bytes / 4))
+          in
+          (* the pad store is a benign broadcast, so this gate passes; kept
+             as a hard check so a regression in tb_throttle cannot ship *)
+          (match Sanitize.Check.gate geo ~original:kernel ~transformed:kt with
+          | Ok () -> (kt, Some c, tbs - m')
+          | Error _ -> (k, None, tbs))
         | None -> (k, None, tbs)
       else (k, None, tbs)
     in
-    {
-      prog = Gpusim.Codegen.compile_kernel k;
-      carveout;
-      prepared_tlp = (warps_per_tb / n', tbs');
-      analysis = None;
-    }
+    Ok
+      {
+        fixed_kernel = k;
+        fixed_tlp = (warps_per_tb / n', tbs');
+        fixed_carveout = carveout;
+      }
+
+let prepare_fixed cfg kernel geo ~n ~m =
+  match fixed_variant cfg kernel geo ~n ~m with
+  | Error _ as e -> e
+  | Ok v ->
+    Ok
+      {
+        prog = Gpusim.Codegen.compile_kernel v.fixed_kernel;
+        carveout = v.fixed_carveout;
+        prepared_tlp = v.fixed_tlp;
+        analysis = None;
+      }
 
 let prepare_catt cfg kernel geo =
   match Catt.Driver.analyze cfg kernel geo with
-  | Error msg -> failwith msg
+  | Error _ as e -> e
   | Ok t ->
     let transformed = t.Catt.Driver.transformed in
     (* the kernel-level TLP: the strongest of the per-loop selections *)
@@ -153,12 +214,13 @@ let prepare_catt cfg kernel geo =
         (fst t.Catt.Driver.baseline_tlp, t.Catt.Driver.resident_tbs)
         t.Catt.Driver.loops
     in
-    {
-      prog = Gpusim.Codegen.compile_kernel transformed;
-      carveout = Some t.Catt.Driver.final_carveout;
-      prepared_tlp = tlp;
-      analysis = Some t;
-    }
+    Ok
+      {
+        prog = Gpusim.Codegen.compile_kernel transformed;
+        carveout = Some t.Catt.Driver.final_carveout;
+        prepared_tlp = tlp;
+        analysis = Some t;
+      }
 
 let prepare_baseline cfg kernel geo =
   let prog = Gpusim.Codegen.compile_kernel kernel in
@@ -193,19 +255,31 @@ let run_uncached ?(trace = false) cfg (w : Workloads.Workload.t) scheme =
   let kernels = Workloads.Workload.kernels w in
   let geometry_of_kernel name = geometry_of_kernel w name in
   let prepared =
-    List.map
-      (fun (name, kernel) ->
-        let geo = geometry_of_kernel name in
-        let p =
-          match scheme with
-          | Baseline | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass ->
-            prepare_baseline cfg kernel geo
-          | Catt -> prepare_catt cfg kernel geo
-          | Fixed (n, m) -> prepare_fixed cfg kernel geo ~n ~m
-        in
-        (name, p))
-      kernels
+    List.fold_left
+      (fun acc (name, kernel) ->
+        match acc with
+        | Error _ -> acc
+        | Ok ps ->
+          let geo = geometry_of_kernel name in
+          let p =
+            match scheme with
+            | Baseline | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass ->
+              Ok (prepare_baseline cfg kernel geo)
+            | Catt -> prepare_catt cfg kernel geo
+            | Fixed (n, m) -> prepare_fixed cfg kernel geo ~n ~m
+          in
+          (match p with
+          | Ok p -> Ok ((name, p) :: ps)
+          | Error msg ->
+            Error
+              (Printf.sprintf "%s, kernel %s, scheme %s:\n%s"
+                 w.Workloads.Workload.name name (scheme_label scheme) msg)))
+      (Ok []) kernels
   in
+  match prepared with
+  | Error _ as e -> e
+  | Ok rev_prepared ->
+  let prepared = List.rev rev_prepared in
   let dev = Gpu.create cfg in
   w.Workloads.Workload.setup dev (Gpu_util.Rng.create seed);
   let acc : (string * kernel_stats) list ref = ref [] in
@@ -250,19 +324,22 @@ let run_uncached ?(trace = false) cfg (w : Workloads.Workload.t) scheme =
             ])
     w.Workloads.Workload.launches;
   let kernels_stats = List.map snd !acc in
-  {
-    workload = w.Workloads.Workload.name;
-    scheme;
-    kernels = kernels_stats;
-    total_cycles =
-      List.fold_left (fun t ks -> t + ks.stats.Gpusim.Stats.cycles) 0 kernels_stats;
-    verified = w.Workloads.Workload.verify dev;
-    catt_analyses =
-      List.filter_map
-        (fun (name, p) ->
-          match p.analysis with Some a -> Some (name, a) | None -> None)
-        prepared;
-  }
+  Ok
+    {
+      workload = w.Workloads.Workload.name;
+      scheme;
+      kernels = kernels_stats;
+      total_cycles =
+        List.fold_left
+          (fun t ks -> t + ks.stats.Gpusim.Stats.cycles)
+          0 kernels_stats;
+      verified = w.Workloads.Workload.verify dev;
+      catt_analyses =
+        List.filter_map
+          (fun (name, p) ->
+            match p.analysis with Some a -> Some (name, a) | None -> None)
+          prepared;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* JSON round-trip (the persistent cache's wire format)                *)
@@ -270,8 +347,10 @@ let run_uncached ?(trace = false) cfg (w : Workloads.Workload.t) scheme =
 
 module Json = Gpu_util.Json
 
-(* bump when the layout below changes: old entries become misses *)
-let cache_format_version = 1
+(* bump when the layout below changes — or when the transformation a scheme
+   applies changes, since cached cycles would then describe a kernel that is
+   no longer produced (v2: sanitizer-gated BFTT splitting) *)
+let cache_format_version = 2
 
 let kernel_stats_to_json (ks : kernel_stats) =
   Json.Obj
@@ -388,14 +467,16 @@ let with_lock f =
 (** Compute one run: in-process memo, then the disk cache, then a real
     simulation (persisted on completion).  Two workers racing on the
     same key may both simulate — {!run_many} deduplicates keys up front,
-    so this stays simple and lock-free during the simulation itself. *)
-let run ?(trace = false) cfg w scheme =
+    so this stays simple and lock-free during the simulation itself.
+    Preparation failures (occupancy refusals, sanitizer diagnostics) come
+    back as [Error] with the located report and are never cached. *)
+let run_result ?(trace = false) cfg w scheme =
   if trace then run_uncached ~trace cfg w scheme
   else begin
     let key = memo_key cfg w scheme in
     match with_lock (fun () -> Hashtbl.find_opt memo key) with
-    | Some r -> r
-    | None ->
+    | Some r -> Ok r
+    | None -> (
       let workload = w.Workloads.Workload.name
       and label = scheme_label scheme in
       let from_disk =
@@ -406,18 +487,30 @@ let run ?(trace = false) cfg w scheme =
           | Ok r -> Some r
           | Error _ -> None (* stale or corrupt entry: recompute *))
       in
-      let r, source =
+      let computed =
         match from_disk with
-        | Some r -> (r, "cache hit")
-        | None ->
-          let r = run_uncached cfg w scheme in
-          Cache.store cfg ~workload ~scheme:label ~seed (run_to_json r);
-          (r, "cache miss")
+        | Some r -> Ok (r, "cache hit")
+        | None -> (
+          match run_uncached cfg w scheme with
+          | Error _ as e -> e
+          | Ok r ->
+            Cache.store cfg ~workload ~scheme:label ~seed (run_to_json r);
+            Ok (r, "cache miss"))
       in
-      with_lock (fun () -> Hashtbl.replace memo key r);
-      log_run source r;
-      r
+      match computed with
+      | Error _ as e -> e
+      | Ok (r, source) ->
+        with_lock (fun () -> Hashtbl.replace memo key r);
+        log_run source r;
+        Ok r)
   end
+
+(** {!run_result}, unwrapped: the one place a preparation failure turns
+    into an exception, carrying the full located diagnostic report. *)
+let run ?(trace = false) cfg w scheme =
+  match run_result ~trace cfg w scheme with
+  | Ok r -> r
+  | Error msg -> failwith msg
 
 (** Fan a (config, workload, scheme) grid out across a domain pool.
     Results come back element-wise in input order, identical to what the

@@ -1,0 +1,129 @@
+(** Sanitize-all: run the kernel sanitizer over every registered workload
+    kernel and every variant that can actually execute — the baseline
+    source, the CATT transform, and each BFTT [Fixed (n, m)] candidate the
+    sweep would try — under both cache configurations.
+
+    This is the repo-wide soundness artifact for the transform gate: the
+    unit tests seed known-bad kernels and check the diagnostics fire;
+    this sweep checks the converse, that nothing we actually simulate
+    trips the sanitizer.  A variant whose occupancy configuration is
+    refused never runs, so it is skipped rather than checked. *)
+
+type row = {
+  workload : string;
+  kernel : string;
+  variant : string;
+  diags : Sanitize.Diag.t list;
+}
+
+let check geo k = Sanitize.Check.check_kernel geo k
+
+(* Every (kernel, geometry, variant) triple one config's sweep would
+   execute, each with its sanitizer verdict. *)
+let rows_of_config cfg (w : Workloads.Workload.t) =
+  let kernels = Workloads.Workload.kernels w in
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun (l : Workloads.Workload.kernel_launch) ->
+      let geo = Workloads.Workload.geometry_of l in
+      let key = (l.Workloads.Workload.kernel_name, geo) in
+      if Hashtbl.mem seen key then []
+      else begin
+        Hashtbl.add seen key ();
+        let kernel = List.assoc l.Workloads.Workload.kernel_name kernels in
+        let row variant diags =
+          {
+            workload = w.Workloads.Workload.name;
+            kernel = l.Workloads.Workload.kernel_name;
+            variant;
+            diags;
+          }
+        in
+        let baseline = row "baseline" (check geo kernel) in
+        let catt =
+          match Catt.Driver.analyze cfg kernel geo with
+          | Ok t -> [ row "catt" (check geo t.Catt.Driver.transformed) ]
+          | Error _ -> [] (* occupancy refusal: the scheme never runs *)
+        in
+        let fixed =
+          List.filter_map
+            (fun (n, m) ->
+              if n = 1 && m = 0 then None (* identical to baseline *)
+              else
+                match Runner.fixed_variant cfg kernel geo ~n ~m with
+                | Error _ -> None
+                | Ok v ->
+                  Some
+                    (row
+                       (Printf.sprintf "fixed(%d,%d)" n m)
+                       (check geo v.Runner.fixed_kernel)))
+            (Runner.candidates cfg w)
+        in
+        (baseline :: catt) @ fixed
+      end)
+    w.Workloads.Workload.launches
+
+let configs () =
+  [ ("max L1D", Configs.max_l1d ()); ("small L1D", Configs.small_l1d ()) ]
+
+(** All dirty rows across both configs, as [(config label, row)].  Empty
+    means the whole sweep is clean — the property the test suite pins. *)
+let violations () =
+  List.concat_map
+    (fun (label, cfg) ->
+      List.concat_map
+        (fun w ->
+          List.filter_map
+            (fun r -> if r.diags = [] then None else Some (label, r))
+            (rows_of_config cfg w))
+        Workloads.Registry.all)
+    (configs ())
+
+let render () =
+  let buf = Buffer.create 4096 in
+  let table =
+    Gpu_util.Table.create
+      [ "config"; "workload"; "variants"; "errors"; "warnings" ]
+  in
+  let total = ref 0 and dirty = ref [] in
+  List.iter
+    (fun (label, cfg) ->
+      List.iter
+        (fun w ->
+          let rows = List.concat_map (rows_of_config cfg) [ w ] in
+          total := !total + List.length rows;
+          let all = List.concat_map (fun r -> r.diags) rows in
+          List.iter
+            (fun r -> if r.diags <> [] then dirty := (label, r) :: !dirty)
+            rows;
+          Gpu_util.Table.add_row table
+            [
+              label;
+              w.Workloads.Workload.name;
+              string_of_int (List.length rows);
+              string_of_int (List.length (Sanitize.Diag.errors all));
+              string_of_int (List.length (Sanitize.Diag.warnings all));
+            ])
+        Workloads.Registry.all)
+    (configs ());
+  Buffer.add_string buf
+    "Sanitizer sweep: baseline + CATT + BFTT variants of every registered \
+     kernel\n";
+  Buffer.add_string buf (Gpu_util.Table.render table);
+  (match List.rev !dirty with
+  | [] ->
+    Buffer.add_string buf
+      (Printf.sprintf "\nPASS: 0 diagnostics across %d kernel variants\n"
+         !total)
+  | dirty ->
+    Buffer.add_string buf
+      (Printf.sprintf "\nFAIL: %d variant(s) with diagnostics\n"
+         (List.length dirty));
+    List.iter
+      (fun (label, r) ->
+        Buffer.add_string buf
+          (Printf.sprintf "-- %s / %s / %s / %s\n%s" label r.workload r.kernel
+             r.variant
+             (Sanitize.Diag.to_report r.diags)))
+      dirty);
+  Buffer.contents buf

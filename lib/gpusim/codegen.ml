@@ -258,7 +258,7 @@ and gen_index env idx =
 let rec block_has_continue (b : Ast.block) = List.exists stmt_has_continue b
 
 and stmt_has_continue (s : Ast.stmt) =
-  match s with
+  match s.Ast.sk with
   | Ast.Continue -> true
   | Ast.If (_, then_b, else_b) ->
     block_has_continue then_b || block_has_continue else_b
@@ -276,7 +276,7 @@ let binop_of_assign = function
   | Ast.Assign_eq -> assert false
 
 let rec gen_stmt env (s : Ast.stmt) =
-  match s with
+  match s.Ast.sk with
   | Ast.Decl (ty, name, init) ->
     let reg = alloc_named env name ty in
     (match init with

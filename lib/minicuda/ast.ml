@@ -8,6 +8,22 @@
     to a fixed set of math builtins — GPU kernels in the benchmark suites
     are fully inlined, as the paper assumes. *)
 
+(** Source position of a statement, 1-based.  Synthesized statements (for
+    example the guarded phases emitted by the CATT transform) carry
+    {!dummy_loc}.  Locations are deliberately invisible to the derived
+    equalities: two ASTs that differ only in positions are [equal], which is
+    what every structural test and the transform gate want. *)
+type loc = { line : int; col : int }
+
+let dummy_loc = { line = 0; col = 0 }
+let equal_loc (_ : loc) (_ : loc) = true
+
+let pp_loc fmt l =
+  if l = dummy_loc then Format.pp_print_string fmt "<synth>"
+  else Format.fprintf fmt "%d:%d" l.line l.col
+
+let show_loc l = Format.asprintf "%a" pp_loc l
+
 type ty =
   | Int
   | Float
@@ -84,7 +100,13 @@ type for_loop = {
 }
 [@@deriving show { with_path = false }, eq]
 
-and stmt =
+and stmt = {
+  sk : stmt_kind;
+  sloc : loc;  (** where the statement starts; {!dummy_loc} if synthesized *)
+}
+[@@deriving show { with_path = false }, eq]
+
+and stmt_kind =
   | Decl of ty * string * expr option
   | Shared_decl of ty * string * int  (** [__shared__ float s\[256\];] *)
   | Assign of lvalue * assign_op * expr
@@ -116,6 +138,12 @@ type program = {
 }
 [@@deriving show { with_path = false }, eq]
 
+(** {2 Construction helpers} *)
+
+(** [at ?loc kind] wraps a statement kind with a position; synthesized code
+    omits [?loc] and gets {!dummy_loc}. *)
+let at ?(loc = dummy_loc) sk = { sk; sloc = loc }
+
 (** {2 Traversal helpers} *)
 
 (** [fold_expr f acc e] folds [f] over [e] and all sub-expressions,
@@ -133,7 +161,7 @@ let rec fold_expr f acc e =
     parents before children. *)
 let rec fold_stmt f acc s =
   let acc = f acc s in
-  match s with
+  match s.sk with
   | Decl _ | Shared_decl _ | Assign _ | Syncthreads | Return | Break
   | Continue ->
     acc
@@ -146,7 +174,8 @@ and fold_block f acc b = List.fold_left (fold_stmt f) acc b
 (** All expressions appearing directly in a statement (not in nested
     statements): declaration initializers, assignment sources and targets,
     conditions, loop bounds. *)
-let stmt_exprs = function
+let stmt_exprs s =
+  match s.sk with
   | Decl (_, _, None) | Shared_decl _ | Syncthreads | Return | Break
   | Continue | Block _ ->
     []
@@ -167,7 +196,7 @@ let arrays_of_block block =
   in
   let of_stmt acc s =
     let acc =
-      match s with Assign (Larr (a, _), _, _) -> add acc a | _ -> acc
+      match s.sk with Assign (Larr (a, _), _, _) -> add acc a | _ -> acc
     in
     List.fold_left of_expr acc (stmt_exprs s)
   in

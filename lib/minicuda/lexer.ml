@@ -129,7 +129,12 @@ let keyword_of_string = function
   | "__syncthreads" -> Some Kw_syncthreads
   | _ -> None
 
-type cursor = { src : string; mutable pos : int; mutable line : int }
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the first character of the current line *)
+}
 
 let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
 
@@ -137,7 +142,11 @@ let peek2 c =
   if c.pos + 1 < String.length c.src then Some c.src.[c.pos + 1] else None
 
 let advance c =
-  (match peek c with Some '\n' -> c.line <- c.line + 1 | _ -> ());
+  (match peek c with
+  | Some '\n' ->
+    c.line <- c.line + 1;
+    c.bol <- c.pos + 1
+  | _ -> ());
   c.pos <- c.pos + 1
 
 let is_ident_start ch = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
@@ -248,6 +257,7 @@ let two_char c first single combos =
 let next_token c =
   skip_trivia c;
   let line = c.line in
+  let loc = { Ast.line; col = c.pos - c.bol + 1 } in
   let tok =
     match peek c with
     | None -> Eof
@@ -290,10 +300,10 @@ let next_token c =
       | _ -> raise (Error ("expected '||'", line)))
     | Some ch -> raise (Error (Printf.sprintf "unexpected character %C" ch, line))
   in
-  (tok, line)
+  (tok, loc)
 
 let tokenize src =
-  let c = { src; pos = 0; line = 1 } in
+  let c = { src; pos = 0; line = 1; bol = 0 } in
   let rec loop acc =
     let ((tok, _) as entry) = next_token c in
     let acc = entry :: acc in

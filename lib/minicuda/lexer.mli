@@ -1,9 +1,10 @@
 (** Hand-written lexer for the mini-CUDA surface syntax.
 
-    Tokens carry the line number they started on so the parser can report
-    readable errors.  Comments ([//…] and [/*…*/]) and whitespace are
-    skipped; the preprocessor subset ([#define NAME INT]) is tokenized as
-    ordinary tokens and interpreted by the parser. *)
+    Tokens carry the source position ({!Ast.loc}, 1-based line and column)
+    they started on so the parser can attach locations to statements and
+    report readable errors.  Comments ([//…] and [/*…*/]) and whitespace
+    are skipped; the preprocessor subset ([#define NAME INT]) is tokenized
+    as ordinary tokens and interpreted by the parser. *)
 
 type token =
   | Int_lit of int
@@ -65,6 +66,6 @@ exception Error of string * int
 
 val show_token : token -> string
 
-val tokenize : string -> (token * int) list
+val tokenize : string -> (token * Ast.loc) list
 (** [tokenize source] lexes the whole input; the result ends with [Eof].
     Raises {!Error} on an unrecognized character or unterminated comment. *)

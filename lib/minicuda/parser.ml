@@ -1,13 +1,13 @@
 exception Error of string * int
 
 type state = {
-  mutable tokens : (Lexer.token * int) list;
+  mutable tokens : (Lexer.token * Ast.loc) list;
   mutable defines : (string * int) list;
 }
 
 let current st =
   match st.tokens with
-  | [] -> (Lexer.Eof, 0)
+  | [] -> (Lexer.Eof, Ast.dummy_loc)
   | tok :: _ -> tok
 
 let peek st = fst (current st)
@@ -15,7 +15,8 @@ let peek st = fst (current st)
 let peek_snd st =
   match st.tokens with _ :: (tok, _) :: _ -> tok | _ -> Lexer.Eof
 
-let line st = snd (current st)
+let loc st = snd (current st)
+let line st = (loc st).Ast.line
 
 let advance st =
   match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
@@ -285,36 +286,41 @@ let assign_op_of_token = function
   | _ -> None
 
 let rec stmt st =
-  match peek st with
-  | Lexer.Lbrace -> Ast.Block (block st)
-  | Lexer.Kw_shared -> shared_decl st
-  | tok when is_type_start tok -> decl st
-  | Lexer.Kw_if -> if_stmt st
-  | Lexer.Kw_for -> Ast.For (for_stmt st)
-  | Lexer.Kw_while -> while_stmt st
-  | Lexer.Kw_return ->
-    advance st;
-    expect st Lexer.Semi;
-    Ast.Return
-  | Lexer.Kw_break ->
-    advance st;
-    expect st Lexer.Semi;
-    Ast.Break
-  | Lexer.Kw_continue ->
-    advance st;
-    expect st Lexer.Semi;
-    Ast.Continue
-  | Lexer.Kw_syncthreads ->
-    advance st;
-    expect st Lexer.Lparen;
-    expect st Lexer.Rparen;
-    expect st Lexer.Semi;
-    Ast.Syncthreads
-  | Lexer.Ident _ ->
-    let s = assign_stmt st in
-    expect st Lexer.Semi;
-    s
-  | tok -> fail st (Printf.sprintf "unexpected token %s at statement start" (Lexer.show_token tok))
+  let sloc = loc st in
+  let sk =
+    match peek st with
+    | Lexer.Lbrace -> Ast.Block (block st)
+    | Lexer.Kw_shared -> shared_decl st
+    | tok when is_type_start tok -> decl st
+    | Lexer.Kw_if -> if_stmt st
+    | Lexer.Kw_for -> Ast.For (for_stmt st)
+    | Lexer.Kw_while -> while_stmt st
+    | Lexer.Kw_return ->
+      advance st;
+      expect st Lexer.Semi;
+      Ast.Return
+    | Lexer.Kw_break ->
+      advance st;
+      expect st Lexer.Semi;
+      Ast.Break
+    | Lexer.Kw_continue ->
+      advance st;
+      expect st Lexer.Semi;
+      Ast.Continue
+    | Lexer.Kw_syncthreads ->
+      advance st;
+      expect st Lexer.Lparen;
+      expect st Lexer.Rparen;
+      expect st Lexer.Semi;
+      Ast.Syncthreads
+    | Lexer.Ident _ ->
+      let s = assign_stmt st in
+      expect st Lexer.Semi;
+      s
+    | tok ->
+      fail st (Printf.sprintf "unexpected token %s at statement start" (Lexer.show_token tok))
+  in
+  Ast.at ~loc:sloc sk
 
 and shared_decl st =
   expect st Lexer.Kw_shared;

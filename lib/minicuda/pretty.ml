@@ -95,7 +95,7 @@ let pad indent = String.make (indent * 2) ' '
 
 let rec stmt ?(indent = 0) s =
   let p = pad indent in
-  match s with
+  match s.Ast.sk with
   | Ast.Decl (t, name, None) -> Printf.sprintf "%s%s %s;" p (ty t) name
   | Ast.Decl (t, name, Some e) ->
     Printf.sprintf "%s%s %s = %s;" p (ty t) name (expr e)

@@ -143,8 +143,19 @@ let check_numeric_assign env target_ty e =
   if not (is_numeric ty && is_numeric target_ty) then
     fail "assignment between non-numeric types"
 
+(* The innermost statement wins: a message that already carries a
+   "line:col:" prefix (it starts with a digit) is passed through. *)
+let relocate loc msg =
+  if loc = Ast.dummy_loc || (msg <> "" && msg.[0] >= '0' && msg.[0] <= '9')
+  then msg
+  else Printf.sprintf "%d:%d: %s" loc.Ast.line loc.Ast.col msg
+
 let rec check_stmt env s =
-  match s with
+  try check_stmt_kind env s.Ast.sk
+  with Type_error msg -> raise (Type_error (relocate s.Ast.sloc msg))
+
+and check_stmt_kind env sk =
+  match sk with
   | Ast.Decl (ty, name, init) ->
     if not (is_numeric ty) then fail "local %s must be int or float" name;
     (match init with Some e -> check_numeric_assign env ty e | None -> ());
@@ -203,7 +214,7 @@ let rec check_stmt env s =
     List.iter (check_stmt env) body;
     pop_scope env
 
-and check_block env b =
+and check_block env b : unit =
   push_scope env;
   List.iter (check_stmt env) b;
   pop_scope env

@@ -1,0 +1,44 @@
+(** Out-of-bounds analysis for [__shared__] arrays.
+
+    The walker already computed, for every shared access, the interval of
+    its affine index over all blocks, threads and loop iterations.  When a
+    finite end of that interval provably escapes [0, size) the access *may*
+    overflow — a warning, not an error, because the interval is an
+    over-approximation (a guard the affine domain cannot see may exclude
+    the offending lanes).  Unknown or unbounded indices stay silent:
+    warning on every lost index would bury the real findings.  Global
+    arrays have no declared extent in the kernel language, so only shared
+    arrays are checked. *)
+
+let check kname (r : Walk.result) : Diag.t list =
+  let diags = ref [] in
+  List.iter
+    (fun (a : Walk.access) ->
+      let itv = a.Walk.idx_itv in
+      let low = match itv.Interval.lo with Some l -> l < 0 | None -> false in
+      let high =
+        match itv.Interval.hi with Some h -> h >= a.Walk.asize | None -> false
+      in
+      if a.Walk.asize > 0 && (low || high) then begin
+        let d =
+          {
+            Diag.severity = Diag.Warning;
+            kind = Diag.Out_of_bounds;
+            kernel = kname;
+            loc = a.Walk.aloc;
+            message =
+              Printf.sprintf
+                "index of __shared__ `%s` (%d elements) may reach %s"
+                a.Walk.arr a.Walk.asize
+                (Interval.to_string itv);
+          }
+        in
+        if
+          not
+            (List.exists
+               (fun d' -> Diag.key d' = Diag.key d && d'.Diag.loc = d.Diag.loc)
+               !diags)
+        then diags := d :: !diags
+      end)
+    r.Walk.accesses;
+  List.rev !diags

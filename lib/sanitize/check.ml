@@ -1,0 +1,39 @@
+(** Kernel sanitizer entry points: run all analyses, and gate rewrites.
+
+    [check_kernel] runs the three analyses — barrier divergence, shared
+    races, shared bounds — under one launch geometry and returns the
+    located diagnostics sorted by position.
+
+    [gate] is the contract every CATT/BFTT transform must honor: a rewrite
+    may keep the diagnostics the original kernel already had (they are the
+    programmer's, not the transform's), but it must not mint new ones.
+    Comparison is by {!Diag.key}, which ignores source positions, because a
+    rewrite duplicates statements into guarded phases and moves them
+    around. *)
+
+module Ast = Minicuda.Ast
+
+let check_kernel (geo : Geom.t) (k : Ast.kernel) : Diag.t list =
+  let r = Walk.run geo k in
+  Diag.sort
+    (r.Walk.diags
+    @ Races.check geo k.Ast.kernel_name r
+    @ Bounds.check k.Ast.kernel_name r)
+
+(** All kernels of a program under one geometry. *)
+let check_program (geo : Geom.t) (p : Ast.program) : Diag.t list =
+  List.concat_map (check_kernel geo) p.Ast.kernels
+
+let gate (geo : Geom.t) ~(original : Ast.kernel) ~(transformed : Ast.kernel) :
+    (unit, Diag.t list) result =
+  if original == transformed then Ok ()  (* identity rewrite: nothing to gate *)
+  else begin
+    let before = check_kernel geo original in
+    let after = check_kernel geo transformed in
+    let seen = List.map Diag.key before in
+    match
+      List.filter (fun d -> not (List.mem (Diag.key d) seen)) after
+    with
+    | [] -> Ok ()
+    | fresh -> Error (Diag.sort fresh)
+  end

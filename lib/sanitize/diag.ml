@@ -1,0 +1,60 @@
+(** Structured, source-located diagnostics emitted by the sanitizer.
+
+    A diagnostic's identity for gating purposes is {!key}: everything except
+    the source position.  The transform gate compares the diagnostic sets of
+    the original and the rewritten kernel, and rewrites move statements
+    around, so two reports of the same defect at different positions must
+    count as the same diagnostic. *)
+
+module Ast = Minicuda.Ast
+
+type severity = Error | Warning
+
+type kind = Barrier_divergence | Shared_race | Out_of_bounds
+
+type t = {
+  severity : severity;
+  kind : kind;
+  kernel : string;  (** kernel the diagnostic is about *)
+  loc : Ast.loc;
+  message : string;  (** free of positions, so {!key} stays stable *)
+}
+
+let severity_label = function Error -> "error" | Warning -> "warning"
+
+let kind_label = function
+  | Barrier_divergence -> "barrier-divergence"
+  | Shared_race -> "shared-race"
+  | Out_of_bounds -> "out-of-bounds"
+
+let key d = (d.severity, d.kind, d.kernel, d.message)
+
+let compare_locs a b =
+  match compare a.Ast.line b.Ast.line with
+  | 0 -> compare a.Ast.col b.Ast.col
+  | c -> c
+
+let sort ds =
+  List.sort
+    (fun a b ->
+      match compare_locs a.loc b.loc with 0 -> compare (key a) (key b) | c -> c)
+    ds
+
+(** "file:line:col: error: [kind] kernel: message"; the file prefix is
+    omitted when [?file] is not given, the position when it is unknown. *)
+let to_string ?file d =
+  let file_part = match file with Some f -> f ^ ":" | None -> "" in
+  let loc_part =
+    if d.loc = Ast.dummy_loc then ""
+    else Printf.sprintf "%d:%d:" d.loc.Ast.line d.loc.Ast.col
+  in
+  Printf.sprintf "%s%s %s: [%s] %s: %s" file_part loc_part
+    (severity_label d.severity) (kind_label d.kind) d.kernel d.message
+
+let to_report ?file ds =
+  String.concat "\n" (List.map (to_string ?file) (sort ds))
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds

@@ -1,0 +1,9 @@
+(** Launch geometry: grid and block extents in x/y.  The same shape as the
+    analysis layer's geometry record upstream ([Catt.Analysis.geometry]
+    re-exports this type), so values flow between the two without
+    conversion. *)
+
+type t = { grid_x : int; grid_y : int; block_x : int; block_y : int }
+
+let threads_per_block g = g.block_x * g.block_y
+let blocks g = g.grid_x * g.grid_y

@@ -1,0 +1,47 @@
+(** Integer intervals with open ends, the numeric half of the sanitizer's
+    abstract domain.  [None] bounds mean minus/plus infinity; all operations
+    are over-approximating. *)
+
+type t = { lo : int option; hi : int option }
+
+let top = { lo = None; hi = None }
+let point n = { lo = Some n; hi = Some n }
+let make lo hi = { lo = Some lo; hi = Some hi }
+let is_finite i = i.lo <> None && i.hi <> None
+let is_empty i = match (i.lo, i.hi) with Some l, Some h -> l > h | _ -> false
+
+let opt2 f a b = match (a, b) with Some a, Some b -> Some (f a b) | _ -> None
+
+let add a b = { lo = opt2 ( + ) a.lo b.lo; hi = opt2 ( + ) a.hi b.hi }
+
+(* scale by an integer constant; a negative factor flips the ends *)
+let scale c i =
+  if c = 0 then point 0
+  else if c > 0 then
+    { lo = Option.map (fun v -> c * v) i.lo; hi = Option.map (fun v -> c * v) i.hi }
+  else
+    { lo = Option.map (fun v -> c * v) i.hi; hi = Option.map (fun v -> c * v) i.lo }
+
+let hull a b =
+  {
+    lo = (match (a.lo, b.lo) with Some x, Some y -> Some (min x y) | _ -> None);
+    hi = (match (a.hi, b.hi) with Some x, Some y -> Some (max x y) | _ -> None);
+  }
+
+(* do two (possibly unbounded) intervals share a point? *)
+let intersects a b =
+  (not (is_empty a)) && (not (is_empty b))
+  && (match (a.hi, b.lo) with Some h, Some l -> h >= l | _ -> true)
+  && match (b.hi, a.lo) with Some h, Some l -> h >= l | _ -> true
+
+let contains i n =
+  (match i.lo with Some l -> l <= n | None -> true)
+  && match i.hi with Some h -> n <= h | None -> true
+
+(* entirely below/above a threshold (strict) *)
+let all_lt i n = match i.hi with Some h -> h < n | None -> false
+let all_ge i n = match i.lo with Some l -> l >= n | None -> false
+
+let to_string i =
+  let b = function Some n -> string_of_int n | None -> "inf" in
+  Printf.sprintf "[%s, %s]" (b i.lo) (b i.hi)

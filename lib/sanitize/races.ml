@@ -1,0 +1,170 @@
+(** Shared-memory race detection over the event trace of {!Walk}.
+
+    Two accesses to the same [__shared__] array race when (1) at least one
+    writes, (2) they may happen in parallel, and (3) their affine index sets
+    can overlap across two *distinct* threads of a block.
+
+    May-happen-in-parallel is a barrier-interval argument on the trace
+    coordinates: a pair is ordered only if some full-block barrier sits
+    between the two events in program order at the nesting depth of their
+    common loops — a barrier buried in a deeper loop may execute zero times
+    — and, when the pair shares a loop, a second barrier must also cover the
+    wrap-around path from the end of one iteration back to the start of the
+    next.  Guarded barriers (under any condition not proved always-true)
+    never order anything.
+
+    Overlap is decided exactly on the thread part by enumerating pairs of
+    distinct threads of one block — blocks are at most ~1k threads — and
+    conservatively on the rest: block-index and iterator terms contribute an
+    interval (iterators of the two accesses are independent, since distinct
+    iterations run concurrently across threads).  The one deliberate
+    exception: two plain stores of the same block-uniform value at the same
+    block-uniform index are a benign broadcast (the idiom the TB-throttling
+    transform emits) and are not reported. *)
+
+module Ast = Minicuda.Ast
+
+let rec is_prefix p l =
+  match (p, l) with
+  | [], _ -> true
+  | x :: p', y :: l' -> x = y && is_prefix p' l'
+  | _ :: _, [] -> false
+
+let rec common_prefix a b =
+  match (a, b) with
+  | x :: a', y :: b' when x = y -> x :: common_prefix a' b'
+  | _ -> []
+
+(* is the pair (a, b), a before b in the trace, separated by barriers on
+   every path? *)
+let ordered (barriers : Walk.barrier list) (a : Walk.access) (b : Walk.access)
+    =
+  let common = common_prefix a.Walk.aloops b.Walk.aloops in
+  let between bar =
+    (not bar.Walk.guarded)
+    && bar.Walk.bseq > a.Walk.aseq
+    && bar.Walk.bseq < b.Walk.aseq
+    && is_prefix bar.Walk.bloops common
+  in
+  let sep_linear = List.exists between barriers in
+  if common = [] then sep_linear
+  else
+    (* the wrap-around path of the innermost common loop needs a barrier
+       directly at that loop's level, outside the a..b span *)
+    sep_linear
+    && List.exists
+         (fun bar ->
+           (not bar.Walk.guarded)
+           && bar.Walk.bloops = common
+           && (bar.Walk.bseq < a.Walk.aseq || bar.Walk.bseq > b.Walk.aseq))
+         barriers
+
+let thread_enum_cap = 1024
+
+let iter_range iters name =
+  match List.assoc_opt name iters with Some r -> r | None -> Interval.top
+
+let overlap (geo : Geom.t) (a : Walk.access) (b : Walk.access) =
+  match (a.Walk.idx, b.Walk.idx) with
+  | Affine.Affine fa, Affine.Affine fb ->
+    let bx = geo.Geom.block_x and by = geo.Geom.block_y in
+    if bx * by > thread_enum_cap then true
+    else begin
+      (* residual = everything except the thread terms; the block indices
+         are shared (shared memory is per block), iterators range
+         independently per access *)
+      let iters_part sign f iters =
+        List.fold_left
+          (fun acc (name, c) ->
+            Interval.add acc (Interval.scale (sign * c) (iter_range iters name)))
+          (Interval.point 0) f.Affine.iters
+      in
+      let res =
+        List.fold_left Interval.add
+          (Interval.point (fa.Affine.const - fb.Affine.const))
+          [
+            Interval.scale
+              (fa.Affine.c_bx - fb.Affine.c_bx)
+              (Interval.make 0 (geo.Geom.grid_x - 1));
+            Interval.scale
+              (fa.Affine.c_by - fb.Affine.c_by)
+              (Interval.make 0 (geo.Geom.grid_y - 1));
+            iters_part 1 fa a.Walk.aiters;
+            iters_part (-1) fb b.Walk.aiters;
+          ]
+      in
+      (* ∃ pa ≠ pb with tid(pa) − tid(pb) + res ∋ 0 *)
+      let hit = ref false in
+      for txa = 0 to bx - 1 do
+        for tya = 0 to by - 1 do
+          for txb = 0 to bx - 1 do
+            for tyb = 0 to by - 1 do
+              if
+                (not !hit)
+                && (txa <> txb || tya <> tyb)
+                && Interval.contains res
+                     (-((fa.Affine.c_tx * txa) + (fa.Affine.c_ty * tya)
+                        - (fb.Affine.c_tx * txb)
+                        - (fb.Affine.c_ty * tyb)))
+              then hit := true
+            done
+          done
+        done
+      done;
+      !hit
+    end
+  | _ -> true  (* a data-dependent index can point anywhere *)
+
+let benign_broadcast (a : Walk.access) (b : Walk.access) =
+  a.Walk.is_write && b.Walk.is_write && a.Walk.broadcast && b.Walk.broadcast
+  && (match (a.Walk.rhs, b.Walk.rhs) with
+     | Some x, Some y -> Ast.equal_expr x y
+     | _ -> false)
+  && match (a.Walk.idx, b.Walk.idx) with
+     | Affine.Affine x, Affine.Affine y -> Affine.equal x y
+     | _ -> false
+
+let check (geo : Geom.t) kname (r : Walk.result) : Diag.t list =
+  let accs = Array.of_list r.Walk.accesses in
+  let n = Array.length accs in
+  let diags = ref [] in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a = accs.(i) and b = accs.(j) in
+      if
+        a.Walk.arr = b.Walk.arr
+        && (a.Walk.is_write || b.Walk.is_write)
+        && (not (benign_broadcast a b))
+        (* a thread is ordered against itself by program order, so the pair
+           needs barriers only when two distinct threads can collide — which
+           [overlap] requires — and i = j is never barrier-separated *)
+        && (i = j || not (ordered r.Walk.barriers a b))
+        && overlap geo a b
+      then begin
+        let kinds =
+          if a.Walk.is_write && b.Walk.is_write then "two writes"
+          else "a write and a read"
+        in
+        let d =
+          {
+            Diag.severity = Diag.Error;
+            kind = Diag.Shared_race;
+            kernel = kname;
+            loc = b.Walk.aloc;
+            message =
+              Printf.sprintf
+                "possible race on __shared__ `%s`: %s may touch the same \
+                 element from different threads with no separating barrier"
+                a.Walk.arr kinds;
+          }
+        in
+        if
+          not
+            (List.exists
+               (fun d' -> Diag.key d' = Diag.key d && d'.Diag.loc = d.Diag.loc)
+               !diags)
+        then diags := d :: !diags
+      end
+    done
+  done;
+  List.rev !diags

@@ -1,0 +1,289 @@
+(** Block-uniformity analysis over the affine domain.
+
+    The sanitizer must decide, for every condition guarding a barrier,
+    whether all threads of a block agree on it.  Plain taint analysis is far
+    too coarse: every benchmark kernel guards its body with [if (i < N)]
+    where [i = blockIdx.x * blockDim.x + threadIdx.x], which is
+    tid-dependent yet block-uniform whenever [N] falls on a block boundary
+    (and always-true when the grid exactly covers [N]).  So for affine
+    comparisons we prove uniformity per block: split the difference
+    [d = lhs - rhs] into its thread part [T] (the [c_tx]/[c_ty] terms) and
+    its block-uniform part [u] (constant, block indices, loop iterators),
+    then enumerate blocks and check whether any block admits a [u] for which
+    [u + T] straddles the comparison threshold.  Grids are small (a few
+    thousand blocks), so enumeration is exact and cheap; absurd grids fall
+    back to one conservative interval. *)
+
+module Ast = Minicuda.Ast
+
+(* Abstract value of a scalar: its affine form (when expressible) plus a
+   block-uniformity bit.  [uniform] means "all threads of a block that are
+   executing this program point together see the same value"; loop
+   iterators are uniform among active threads even when the trip count is
+   not, which is why trip divergence is tracked separately by the walker. *)
+type binding = { value : Affine.value; uniform : bool }
+
+let unknown_uniform = { value = Affine.Unknown; uniform = true }
+let unknown_varying = { value = Affine.Unknown; uniform = false }
+
+type ctx = {
+  geo : Geom.t;
+  env : (string * binding) list;
+  iters : (string * Interval.t) list;  (** live iterator ranges, innermost first *)
+}
+
+let init geo = { geo; env = []; iters = [] }
+
+let lookup ctx name =
+  (* unbound names are scalar kernel parameters: launch constants, hence
+     uniform but with unknown value *)
+  match List.assoc_opt name ctx.env with
+  | Some b -> b
+  | None -> unknown_uniform
+
+let bind ctx name b = { ctx with env = (name, b) :: ctx.env }
+
+let iter_range ctx name =
+  match List.assoc_opt name ctx.iters with
+  | Some r -> r
+  | None -> Interval.top
+
+let push_iter ctx name range = { ctx with iters = (name, range) :: ctx.iters }
+
+(* width of the thread-dependent part of an affine form within one block;
+   zero means every thread of a block computes the same value *)
+let tid_width geo (a : Affine.t) =
+  (abs a.Affine.c_tx * (geo.Geom.block_x - 1))
+  + (abs a.Affine.c_ty * (geo.Geom.block_y - 1))
+
+(* the affine form knows better than operand taint: [tid - tid] is uniform,
+   [threadIdx.x] under a one-thread-wide block too *)
+let refine geo b =
+  match b.value with
+  | Affine.Affine a -> { b with uniform = tid_width geo a = 0 }
+  | Affine.Unknown -> b
+
+let rec eval ctx (e : Ast.expr) : binding =
+  let geo = ctx.geo in
+  match e with
+  | Ast.Int_lit n -> { value = Affine.Affine (Affine.const n); uniform = true }
+  | Ast.Float_lit _ | Ast.Bool_lit _ -> unknown_uniform
+  | Ast.Var name -> lookup ctx name
+  | Ast.Builtin b ->
+    let value =
+      match
+        Affine.of_builtin b ~bdim_x:geo.Geom.block_x ~bdim_y:geo.Geom.block_y
+          ~grid_x:geo.Geom.grid_x
+      with
+      | Some a -> Affine.Affine a
+      | None -> Affine.Unknown
+    in
+    let uniform =
+      match b with Ast.Thread_idx_x | Ast.Thread_idx_y -> false | _ -> true
+    in
+    refine geo { value; uniform }
+  | Ast.Binop (op, a, b) ->
+    let ba = eval ctx a and bb = eval ctx b in
+    let value =
+      match op with
+      | Ast.Add -> Affine.add ba.value bb.value
+      | Ast.Sub -> Affine.sub ba.value bb.value
+      | Ast.Mul -> Affine.mul ba.value bb.value
+      | Ast.Div -> (
+        match bb.value with
+        | Affine.Affine k when Affine.is_constant k ->
+          Affine.div_exact ba.value k.Affine.const
+        | _ -> Affine.Unknown)
+      | _ -> Affine.Unknown
+    in
+    refine geo { value; uniform = ba.uniform && bb.uniform }
+  | Ast.Unop (Ast.Neg, a) ->
+    let b = eval ctx a in
+    refine geo { b with value = Affine.neg b.value }
+  | Ast.Unop (Ast.Not, a) -> { value = Affine.Unknown; uniform = (eval ctx a).uniform }
+  | Ast.Index (_, idx) ->
+    (* the loaded value is data: nothing guarantees two threads read the
+       same thing, even from the same address *)
+    ignore (eval ctx idx);
+    unknown_varying
+  | Ast.Call (_, args) ->
+    { value = Affine.Unknown;
+      uniform = List.for_all (fun a -> (eval ctx a).uniform) args }
+  | Ast.Cast (Ast.Int, a) -> eval ctx a
+  | Ast.Cast (_, a) -> { value = Affine.Unknown; uniform = (eval ctx a).uniform }
+  | Ast.Ternary (c, a, b) ->
+    { value = Affine.Unknown;
+      uniform =
+        (eval ctx c).uniform && (eval ctx a).uniform && (eval ctx b).uniform }
+
+(* interval of an affine form; block indices fixed when given, otherwise
+   ranging over the whole grid *)
+let range_of_affine ?bx ?by ctx (a : Affine.t) : Interval.t =
+  let geo = ctx.geo in
+  let axis fixed coeff extent =
+    match fixed with
+    | Some v -> Interval.point (coeff * v)
+    | None -> Interval.scale coeff (Interval.make 0 (extent - 1))
+  in
+  List.fold_left
+    (fun acc (name, c) ->
+      Interval.add acc (Interval.scale c (iter_range ctx name)))
+    (Interval.add
+       (Interval.add
+          (Interval.add
+             (Interval.add
+                (Interval.point a.Affine.const)
+                (Interval.scale a.Affine.c_tx
+                   (Interval.make 0 (geo.Geom.block_x - 1))))
+             (Interval.scale a.Affine.c_ty
+                (Interval.make 0 (geo.Geom.block_y - 1))))
+          (axis bx a.Affine.c_bx geo.Geom.grid_x))
+       (axis by a.Affine.c_by geo.Geom.grid_y))
+    a.Affine.iters
+
+let range_of_value ctx = function
+  | Affine.Affine a -> range_of_affine ctx a
+  | Affine.Unknown -> Interval.top
+
+(* ------------------------------------------------------------------ *)
+(* Truth of conditions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type truth = Always_true | Always_false | Uniform | Divergent
+
+let not_t = function
+  | Always_true -> Always_false
+  | Always_false -> Always_true
+  | t -> t
+
+let and_t a b =
+  match (a, b) with
+  | Always_false, _ | _, Always_false -> Always_false
+  | Always_true, t | t, Always_true -> t
+  | Divergent, _ | _, Divergent -> Divergent
+  | Uniform, Uniform -> Uniform
+
+let or_t a b = not_t (and_t (not_t a) (not_t b))
+
+(* verdict for one interval of d values: all satisfy the comparison, none
+   do, or we cannot tell *)
+let verdict_of_interval op (v : Interval.t) =
+  match op with
+  | Ast.Lt ->
+    if Interval.all_lt v 0 then `True
+    else if Interval.all_ge v 0 then `False
+    else `Varies
+  | Ast.Le ->
+    if Interval.all_lt v 1 then `True
+    else if Interval.all_ge v 1 then `False
+    else `Varies
+  | Ast.Gt ->
+    if Interval.all_ge v 1 then `True
+    else if Interval.all_lt v 1 then `False
+    else `Varies
+  | Ast.Ge ->
+    if Interval.all_ge v 0 then `True
+    else if Interval.all_lt v 0 then `False
+    else `Varies
+  | Ast.Eq ->
+    if v = Interval.point 0 then `True
+    else if not (Interval.contains v 0) then `False
+    else `Varies
+  | Ast.Ne ->
+    if v = Interval.point 0 then `False
+    else if not (Interval.contains v 0) then `True
+    else `Varies
+  | _ -> `Varies
+
+(* u-values for which [u + T] straddles the threshold of [op]: when the
+   block-uniform part lands in this window, threads of the block disagree *)
+let mixed_window op ~tmin ~tmax =
+  if tmin = tmax then None
+  else
+    match op with
+    | Ast.Lt | Ast.Ge -> Some (Interval.make (-tmax) (-1 - tmin))
+    | Ast.Le | Ast.Gt -> Some (Interval.make (1 - tmax) (-tmin))
+    | Ast.Eq | Ast.Ne -> Some (Interval.make (-tmax) (-tmin))
+    | _ -> None
+
+(* enumerating more blocks than this gains nothing; fall back to a single
+   conservative interval over the whole grid *)
+let block_enumeration_cap = 65536
+
+let classify_cmp ctx op (d : Affine.t) : truth =
+  let geo = ctx.geo in
+  let tmin, tmax =
+    let span c extent = Interval.scale c (Interval.make 0 (extent - 1)) in
+    let t =
+      Interval.add
+        (span d.Affine.c_tx geo.Geom.block_x)
+        (span d.Affine.c_ty geo.Geom.block_y)
+    in
+    (Option.get t.Interval.lo, Option.get t.Interval.hi)
+  in
+  let mixed = mixed_window op ~tmin ~tmax in
+  (* block-uniform residue without the thread terms *)
+  let uniform_part = { d with Affine.c_tx = 0; c_ty = 0 } in
+  let block_result ?bx ?by () =
+    let u = range_of_affine ?bx ?by ctx uniform_part in
+    let straddles =
+      match mixed with Some m -> Interval.intersects u m | None -> false
+    in
+    if straddles then `Divergent
+    else verdict_of_interval op (Interval.add u (Interval.make tmin tmax))
+  in
+  if Geom.blocks geo <= block_enumeration_cap then begin
+    let saw_true = ref false and saw_false = ref false and varies = ref false in
+    let divergent = ref false in
+    for bx = 0 to geo.Geom.grid_x - 1 do
+      for by = 0 to geo.Geom.grid_y - 1 do
+        if not !divergent then
+          match block_result ~bx ~by () with
+          | `Divergent -> divergent := true
+          | `Varies -> varies := true
+          | `True -> saw_true := true
+          | `False -> saw_false := true
+      done
+    done;
+    if !divergent then Divergent
+    else if !varies then Uniform
+    else
+      match (!saw_true, !saw_false) with
+      | true, false -> Always_true
+      | false, true -> Always_false
+      | _ -> Uniform
+  end
+  else
+    match block_result () with
+    | `Divergent -> Divergent
+    | `Varies -> Uniform
+    | `True -> Always_true
+    | `False -> Always_false
+
+let is_cmp = function
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> true
+  | _ -> false
+
+(* an iterator of divergent trip count still holds equal values across the
+   active threads, so affine machinery applies; an iterator we lost track of
+   ranges over top and the interval tests stay sound *)
+let cmp_truth ctx op a b =
+  let ba = eval ctx a and bb = eval ctx b in
+  match (ba.value, bb.value) with
+  | Affine.Affine fa, Affine.Affine fb -> (
+    match Affine.sub (Affine.Affine fa) (Affine.Affine fb) with
+    | Affine.Affine d -> classify_cmp ctx op d
+    | Affine.Unknown -> if ba.uniform && bb.uniform then Uniform else Divergent)
+  | _ -> if ba.uniform && bb.uniform then Uniform else Divergent
+
+let rec truth ctx (e : Ast.expr) : truth =
+  match e with
+  | Ast.Bool_lit true -> Always_true
+  | Ast.Bool_lit false -> Always_false
+  | Ast.Unop (Ast.Not, a) -> not_t (truth ctx a)
+  | Ast.Binop (Ast.And, a, b) -> and_t (truth ctx a) (truth ctx b)
+  | Ast.Binop (Ast.Or, a, b) -> or_t (truth ctx a) (truth ctx b)
+  | Ast.Binop (op, a, b) when is_cmp op -> cmp_truth ctx op a b
+  | e ->
+    (* C truthiness: any other expression is compared against zero *)
+    cmp_truth ctx Ast.Ne e (Ast.Int_lit 0)

@@ -1,0 +1,18 @@
+(** Entry point for the [@sanitize] dune alias: sweep every registered
+    workload kernel — baseline, CATT transform, and each BFTT candidate —
+    through the sanitizer and fail if anything is dirty.  [dune runtest]
+    depends on this alias, so a kernel or transform regression that mints
+    a diagnostic breaks the build even without the unit suite. *)
+
+let () =
+  match Experiments.Sanitize_all.violations () with
+  | [] -> print_endline "sanitize: all kernel variants clean"
+  | dirty ->
+    List.iter
+      (fun ((label : string), (r : Experiments.Sanitize_all.row)) ->
+        Printf.eprintf "sanitize: %s / %s / %s / %s\n%s" label
+          r.Experiments.Sanitize_all.workload r.Experiments.Sanitize_all.kernel
+          r.Experiments.Sanitize_all.variant
+          (Sanitize.Diag.to_report r.Experiments.Sanitize_all.diags))
+      dirty;
+    exit 1

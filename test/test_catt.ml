@@ -346,7 +346,7 @@ let test_transform_warp_split_structure () =
   (* 4 guarded copies + 4 barriers *)
   let barriers =
     Minicuda.Ast.fold_block
-      (fun acc s -> if s = Minicuda.Ast.Syncthreads then acc + 1 else acc)
+      (fun acc s -> if s.Minicuda.Ast.sk = Minicuda.Ast.Syncthreads then acc + 1 else acc)
       0 t.Minicuda.Ast.body
   in
   Alcotest.(check int) "4 barriers" 4 barriers;
@@ -380,7 +380,7 @@ let test_transform_plan_hits_later_loops () =
 let test_transform_tb_throttle_shape () =
   let k = parse atax_src in
   let t = Transform.tb_throttle k ~dummy_elems:512 in
-  match t.Minicuda.Ast.body with
+  match List.map (fun s -> s.Minicuda.Ast.sk) t.Minicuda.Ast.body with
   | Minicuda.Ast.Shared_decl (Minicuda.Ast.Float, name, 512) :: Minicuda.Ast.Assign _ :: _ ->
     Alcotest.(check string) "dummy name" Transform.dummy_array_name name
   | _ -> Alcotest.fail "expected dummy shared decl then keep-alive store"

@@ -83,19 +83,22 @@ let test_parse_negative_literal_folding () =
 
 let test_parse_define_substitution () =
   let p = Parser.parse_program "#define N 7\n__global__ void k(float *a) { a[N] = 1.0; }" in
-  match (List.hd p.Ast.kernels).Ast.body with
+  match List.map (fun s -> s.Ast.sk) (List.hd p.Ast.kernels).Ast.body with
   | [ Ast.Assign (Ast.Larr ("a", Ast.Int_lit 7), Ast.Assign_eq, _) ] -> ()
   | _ -> Alcotest.fail "define not substituted"
 
 let test_parse_define_chain () =
   let p = Parser.parse_program "#define A 3\n#define B A\n__global__ void k(float *x) { x[B] = 0.0; }" in
-  match (List.hd p.Ast.kernels).Ast.body with
+  match List.map (fun s -> s.Ast.sk) (List.hd p.Ast.kernels).Ast.body with
   | [ Ast.Assign (Ast.Larr ("x", Ast.Int_lit 3), _, _) ] -> ()
   | _ -> Alcotest.fail "chained define"
 
 let test_parse_for_step_forms () =
   let parse_loop src =
-    match (Parser.parse_kernel ("__global__ void k(float *a) { " ^ src ^ " }")).Ast.body with
+    match
+      List.map (fun s -> s.Ast.sk)
+        (Parser.parse_kernel ("__global__ void k(float *a) { " ^ src ^ " }")).Ast.body
+    with
     | [ Ast.For f ] -> f
     | _ -> Alcotest.fail "expected a single loop"
   in
@@ -114,8 +117,8 @@ let test_parse_dangling_else () =
       "__global__ void k(float *a) { if (true) if (false) a[0] = 1.0; else a[1] = 2.0; }"
   in
   (* else binds to the inner if *)
-  match k.Ast.body with
-  | [ Ast.If (_, [ Ast.If (_, _, [ _ ]) ], []) ] -> ()
+  match List.map (fun s -> s.Ast.sk) k.Ast.body with
+  | [ Ast.If (_, { Ast.sk = Ast.If (_, _, [ _ ]); _ } :: [], []) ] -> ()
   | _ -> Alcotest.fail "dangling else resolution"
 
 let test_parse_errors () =
@@ -201,7 +204,9 @@ module Gen_ast = struct
   let bool_expr depth =
     map3 (fun op a b -> Ast.Binop (op, a, b)) cmp_binop (int_expr depth) (int_expr depth)
 
-  let rec stmt depth =
+  let rec stmt depth = map (fun sk -> Ast.at sk) (stmt_kind depth)
+
+  and stmt_kind depth =
     if depth = 0 then
       oneof
         [
@@ -217,11 +222,15 @@ module Gen_ast = struct
     else
       frequency
         [
-          (3, stmt 0);
+          (3, stmt_kind 0);
           ( 1,
             map3
               (fun c then_b else_b -> Ast.If (c, then_b, else_b))
               (bool_expr 1) (block (depth - 1)) (block (depth - 1)) );
+          ( 1,
+            map2
+              (fun c body -> Ast.While (c, body))
+              (bool_expr 1) (block (depth - 1)) );
           ( 1,
             map2
               (fun bound body ->
@@ -251,9 +260,10 @@ module Gen_ast = struct
               { Ast.param_ty = Ast.Ptr Ast.Float; param_name = "arr1" };
             ];
           body =
-            Ast.Decl (Ast.Int, "v0", Some (Ast.Int_lit 0))
-            :: Ast.Decl (Ast.Int, "v1", Some (Ast.Builtin Ast.Thread_idx_x))
-            :: Ast.Decl (Ast.Int, "v2", Some (Ast.Int_lit 1))
+            Ast.at (Ast.Shared_decl (Ast.Float, "sm0", 64))
+            :: Ast.at (Ast.Decl (Ast.Int, "v0", Some (Ast.Int_lit 0)))
+            :: Ast.at (Ast.Decl (Ast.Int, "v1", Some (Ast.Builtin Ast.Thread_idx_x)))
+            :: Ast.at (Ast.Decl (Ast.Int, "v2", Some (Ast.Int_lit 1)))
             :: body;
         })
       (block 2)

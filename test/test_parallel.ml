@@ -93,7 +93,12 @@ let sweep_cells =
 let test_parallel_sweep_matches_sequential () =
   (* ground truth: fresh, memo-free sequential simulations *)
   let sequential =
-    List.map (fun (cfg, w, s) -> Runner.run_uncached cfg w s) sweep_cells
+    List.map
+      (fun (cfg, w, s) ->
+        match Runner.run_uncached cfg w s with
+        | Ok r -> r
+        | Error msg -> Alcotest.fail msg)
+      sweep_cells
   in
   let parallel = Runner.run_many ~jobs:4 sweep_cells in
   Alcotest.(check int)
@@ -118,7 +123,11 @@ let test_json_round_trip () =
   let w = Workloads.Registry.find "BT" in
   List.iter
     (fun scheme ->
-      let r = Runner.run_uncached cfg w scheme in
+      let r =
+        match Runner.run_uncached cfg w scheme with
+        | Ok r -> r
+        | Error msg -> Alcotest.fail msg
+      in
       match Runner.run_of_json cfg w scheme (Runner.run_to_json r) with
       | Error msg -> Alcotest.failf "decode failed: %s" msg
       | Ok r' -> check_run_equal (Runner.scheme_label scheme) r r')
@@ -127,7 +136,11 @@ let test_json_round_trip () =
 let test_json_round_trip_through_text () =
   (* the same round trip, but through the actual on-disk representation *)
   let w = Workloads.Registry.find "BT" in
-  let r = Runner.run_uncached cfg w Runner.Baseline in
+  let r =
+    match Runner.run_uncached cfg w Runner.Baseline with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
   let text = Json.to_string ~pretty:true (Runner.run_to_json r) in
   match Json.of_string text with
   | Error msg -> Alcotest.failf "reparse failed: %s" msg
