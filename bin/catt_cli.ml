@@ -6,6 +6,8 @@
       catt_cli transform FILE --grid … --block …   (prints transformed source)
       catt_cli check    FILE --grid … --block … [--strict]   (kernel sanitizer)
       catt_cli disasm   FILE                       (SASS-lite dump)
+      catt_cli profile  WORKLOAD [--scheme S] [--onchip KB] [--sms N]
+                                                   (cycle accounting + L1D heat maps)
 *)
 
 open Cmdliner
@@ -127,10 +129,64 @@ let disasm_cmd =
   in
   Cmd.v (Cmd.info "disasm" ~doc:"dump SASS-lite bytecode") Term.(const run $ file0)
 
+let profile_cmd =
+  let workload_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"registered workload name (e.g. ATAX, GEMM); case-insensitive")
+  in
+  let scheme_arg =
+    Arg.(
+      value & opt string "baseline"
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:
+            "execution scheme to profile: baseline, CATT, fixed(N=..,M=..), \
+             dynamic, ccws, daws, swl(..) or bypass")
+  in
+  let run name scheme_str onchip sms =
+    let cfg = config ~onchip_kb:onchip ~sms in
+    match Experiments.Runner.scheme_of_string scheme_str with
+    | Error msg ->
+      prerr_endline msg;
+      exit 2
+    | Ok scheme -> (
+      match Workloads.Registry.find name with
+      | exception Invalid_argument msg ->
+        prerr_endline msg;
+        exit 2
+      | w -> (
+        match Experiments.Runner.run_result ~profile:true cfg w scheme with
+        | Error msg ->
+          prerr_endline msg;
+          exit 1
+        | Ok r ->
+          Printf.printf "%s, %s scheme, %d total cycles\n"
+            r.Experiments.Runner.workload
+            (Experiments.Runner.scheme_label scheme)
+            r.Experiments.Runner.total_cycles;
+          List.iter
+            (fun (ks : Experiments.Runner.kernel_stats) ->
+              match ks.Experiments.Runner.profile with
+              | Some p ->
+                Printf.printf "\n==== kernel %s ====\n\n%s"
+                  ks.Experiments.Runner.kernel_name
+                  (Profile.Collector.render p)
+              | None -> ())
+            r.Experiments.Runner.kernels))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "simulate a registered workload with the profiler attached and \
+          render per-SM cycle accounting plus per-array L1D heat maps")
+    Term.(const run $ workload_arg $ scheme_arg $ Cli_common.onchip $ Cli_common.sms)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "catt_cli" ~doc:"compiler-assisted GPU thread throttling" in
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ analyze_cmd; transform_cmd; check_cmd; disasm_cmd ]))
+          [ analyze_cmd; transform_cmd; check_cmd; disasm_cmd; profile_cmd ]))

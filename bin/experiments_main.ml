@@ -3,7 +3,7 @@
     Usage: experiments [ARTIFACT…] [--jobs N] [--onchip KB] [--sms N]
                        [--no-cache] [--quiet]
     Artifacts: table2 table3 fig2 fig3 fig6 fig7 fig8 fig9 fig10
-               overhead ablations              (default: all)
+               overhead ablations sanitize-all profile-all   (default: all)
 
     The (workload × scheme) grid behind the requested artifacts is
     precomputed on a pool of [--jobs] domains, and every completed cell

@@ -55,6 +55,8 @@ let config_fingerprint (c : Config.t) =
       Printf.sprintf "alu_latency=%d" c.Config.alu_latency;
       Printf.sprintf "lsu_throughput=%d" c.Config.lsu_throughput;
       Printf.sprintf "issue_width=%d" c.Config.issue_width;
+      (* trace_cap deliberately omitted: it bounds the Fig. 2 trace ring,
+         which is never cached, and cannot change simulated counters *)
     ]
 
 let key cfg ~workload ~scheme ~seed =

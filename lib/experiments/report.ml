@@ -32,6 +32,11 @@ let artifacts =
       title = "Sanitizer sweep: every kernel variant checks clean";
       render = Sanitize_all.render;
     };
+    {
+      id = "profile-all";
+      title = "Profiler: Eq. 8 footprint vs measured L1D miss rate";
+      render = Profile_all.render;
+    };
   ]
 
 let find id = List.find_opt (fun a -> a.id = id) artifacts
@@ -48,7 +53,8 @@ let ids = List.map (fun a -> a.id) artifacts
     phase is all memo hits and the output is byte-identical to a
     sequential run.  Artifacts outside the Runner grid (fig2's trace
     runs, fig3's microbenchmarks, the static overhead table) have empty
-    plans and simply render as before. *)
+    plans and simply render as before; so does profile-all, whose
+    profiled runs bypass the Runner grid and carry their own cache. *)
 let plan id =
   let cells cfg ws schemes_of =
     List.concat_map (fun w -> List.map (fun s -> (cfg, w, s)) (schemes_of w)) ws

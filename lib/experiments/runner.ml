@@ -64,6 +64,9 @@ type kernel_stats = {
   stats : Gpusim.Stats.t;  (** aggregated over repeated launches *)
   tlp : int * int;  (** active (warps per TB, TBs per SM) *)
   trace : Gpusim.Trace.t option;
+  profile : Profile.Collector.t option;
+      (** when profiled, one collector per kernel, aggregated over its
+          repeated launches *)
 }
 
 type app_run = {
@@ -251,8 +254,23 @@ let geometry_of_kernel (w : Workloads.Workload.t) name =
   | Some l -> Workloads.Workload.geometry_of l
   | None -> invalid_arg (Printf.sprintf "kernel %s is never launched" name)
 
-let run_uncached ?(trace = false) cfg (w : Workloads.Workload.t) scheme =
+let run_uncached ?(trace = false) ?(profile = false) cfg
+    (w : Workloads.Workload.t) scheme =
   let kernels = Workloads.Workload.kernels w in
+  (* one collector per kernel name: repeated launches of the same kernel
+     aggregate into it, matching how stats accumulate *)
+  let collectors : (string, Profile.Collector.t) Hashtbl.t = Hashtbl.create 4 in
+  let collector_for name =
+    if not profile then None
+    else
+      Some
+        (match Hashtbl.find_opt collectors name with
+        | Some c -> c
+        | None ->
+          let c = Profile.Collector.create () in
+          Hashtbl.add collectors name c;
+          c)
+  in
   let geometry_of_kernel name = geometry_of_kernel w name in
   let prepared =
     List.fold_left
@@ -301,7 +319,9 @@ let run_uncached ?(trace = false) cfg (w : Workloads.Workload.t) scheme =
                  (Workloads.Workload.find_kernel w l.kernel_name)
                  (Workloads.Workload.geometry_of l)
              else [])
-          ~prog:p.prog ~grid:l.grid ~block:l.block l.args
+          ~prog:p.prog ~grid:l.grid ~block:l.block
+          ?profile:(collector_for l.kernel_name)
+          l.args
       in
       let stats, tr = Gpu.launch dev launch in
       match List.assoc_opt l.kernel_name !acc with
@@ -320,6 +340,7 @@ let run_uncached ?(trace = false) cfg (w : Workloads.Workload.t) scheme =
                   stats;
                   tlp = p.prepared_tlp;
                   trace = (if trace then Some tr else None);
+                  profile = collector_for l.kernel_name;
                 } );
             ])
     w.Workloads.Workload.launches;
@@ -416,6 +437,7 @@ let run_of_json cfg (w : Workloads.Workload.t) scheme json =
               stats;
               tlp;
               trace = None;
+              profile = None;
             })
           (Json.to_list (Json.member "kernels" j))
       in
@@ -470,8 +492,8 @@ let with_lock f =
     so this stays simple and lock-free during the simulation itself.
     Preparation failures (occupancy refusals, sanitizer diagnostics) come
     back as [Error] with the located report and are never cached. *)
-let run_result ?(trace = false) cfg w scheme =
-  if trace then run_uncached ~trace cfg w scheme
+let run_result ?(trace = false) ?(profile = false) cfg w scheme =
+  if trace || profile then run_uncached ~trace ~profile cfg w scheme
   else begin
     let key = memo_key cfg w scheme in
     match with_lock (fun () -> Hashtbl.find_opt memo key) with
@@ -507,8 +529,8 @@ let run_result ?(trace = false) cfg w scheme =
 
 (** {!run_result}, unwrapped: the one place a preparation failure turns
     into an exception, carrying the full located diagnostic report. *)
-let run ?(trace = false) cfg w scheme =
-  match run_result ~trace cfg w scheme with
+let run ?(trace = false) ?(profile = false) cfg w scheme =
+  match run_result ~trace ~profile cfg w scheme with
   | Ok r -> r
   | Error msg -> failwith msg
 

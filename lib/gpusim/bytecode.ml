@@ -103,6 +103,10 @@ type program = {
   global_load_ids : int list;
       (** pcs of global-memory loads, in program order — the off-chip
           instructions traced for Fig. 2 *)
+  src_locs : (int * int) array;
+      (** pc → (line, col) of the source statement each instruction was
+          lowered from; (0, 0) marks synthetic code.  The profiler keys its
+          L1D heat maps on these sites. *)
 }
 
 let special_name = function

@@ -131,7 +131,9 @@ let victim_slot t line =
   done;
   if !best <> -1 then !best else !lru
 
-let access t ~now ~line ~miss_ready =
+let set_index t line = set_of t line
+
+let access ?on_evict t ~now ~line ~miss_ready =
   let slot = find_way t line in
   if slot >= 0 then begin
     touch t slot;
@@ -151,6 +153,9 @@ let access t ~now ~line ~miss_ready =
     in
     let ready = miss_ready ~issue in
     let slot = victim_slot t line in
+    (match on_evict with
+    | Some f when t.tags.(slot) <> -1 -> f ~set:(set_of t line) ~line:t.tags.(slot)
+    | _ -> ());
     t.tags.(slot) <- line;
     t.data_ready.(slot) <- ready;
     touch t slot;

@@ -20,14 +20,19 @@ val sets : t -> int
 val lines : t -> int
 (** Total line capacity, [sets * assoc]. *)
 
+val set_index : t -> int -> int
+(** The set a line index maps to (XOR-folded; see implementation note). *)
+
 val access :
+  ?on_evict:(set:int -> line:int -> unit) ->
   t -> now:int -> line:int -> miss_ready:(issue:int -> int) -> int * outcome
 (** [access t ~now ~line ~miss_ready] performs a read.  On a miss the line
     is allocated (evicting LRU) and [miss_ready ~issue] is called with the
     actual issue time — delayed past [now] if all MSHRs are busy — and must
     return the cycle the data arrives from the next level.  The result is
     the cycle the requesting warp may consume the data, and the outcome for
-    stats. *)
+    stats.  When a valid line is displaced, [on_evict] (profiling hook) is
+    called first with the set and the victim's line index. *)
 
 val write_update : t -> now:int -> line:int -> bool
 (** Write-through, no-allocate write handling: if the line is present, its

@@ -13,10 +13,13 @@ type env = {
   mutable free_temps : int list;
   mutable code : Bytecode.instr list;  (* reversed *)
   mutable pc : int;
+  mutable locs : (int * int) list;  (* reversed, parallel to [code] *)
+  mutable cur_loc : int * int;  (* source site of the statement being lowered *)
 }
 
 let emit env instr =
   env.code <- instr :: env.code;
+  env.locs <- env.cur_loc :: env.locs;
   env.pc <- env.pc + 1
 
 (* Emit a placeholder and return its pc for later backpatching. *)
@@ -276,6 +279,8 @@ let binop_of_assign = function
   | Ast.Assign_eq -> assert false
 
 let rec gen_stmt env (s : Ast.stmt) =
+  (let l = s.Ast.sloc in
+   if l.Ast.line <> 0 then env.cur_loc <- (l.Ast.line, l.Ast.col));
   match s.Ast.sk with
   | Ast.Decl (ty, name, init) ->
     let reg = alloc_named env name ty in
@@ -440,6 +445,8 @@ let compile_kernel (k : Ast.kernel) =
       free_temps = [];
       code = [];
       pc = 0;
+      locs = [];
+      cur_loc = (0, 0);
     }
   in
   (* scalar params get the first registers, preloaded at warp start *)
@@ -451,6 +458,7 @@ let compile_kernel (k : Ast.kernel) =
       info.scalar_params
   in
   gen_block env k.Ast.body;
+  env.cur_loc <- (0, 0);
   emit env Bytecode.Exit;
   let code = Array.of_list (List.rev env.code) in
   let args =
@@ -487,6 +495,7 @@ let compile_kernel (k : Ast.kernel) =
            array_entries);
     shared_bytes = info.shared_bytes;
     global_load_ids;
+    src_locs = Array.of_list (List.rev env.locs);
   }
 
 let compile_program (p : Ast.program) = List.map compile_kernel p.Ast.kernels

@@ -52,10 +52,14 @@ type launch = {
   bypass_arrays : string list;
       (** arrays whose loads skip the L1D — the cache-bypassing alternative
           (Section 2.2) used by the ablation benches *)
+  profile : Profile.Collector.t option;
+      (** opt-in observability sink; the same collector may be passed to
+          several launches and aggregates across them *)
 }
 
 let default_launch ?smem_carveout ?(sched = Sm.Gto) ?(trace = false)
-    ?(runtime_throttle = `None) ?(bypass_arrays = []) ~prog ~grid ~block args =
+    ?(runtime_throttle = `None) ?(bypass_arrays = []) ?profile ~prog ~grid
+    ~block args =
   {
     prog;
     grid;
@@ -66,6 +70,7 @@ let default_launch ?smem_carveout ?(sched = Sm.Gto) ?(trace = false)
     trace;
     runtime_throttle;
     bypass_arrays;
+    profile;
   }
 
 let geometry l =
@@ -169,7 +174,10 @@ let launch dev l =
   let tb_threads = bx * by in
   let warps_per_tb = Cta_scheduler.warps_per_tb dev.cfg ~tb_threads in
   let stats = Stats.create () in
-  let trace = if l.trace then Trace.create ~sm:0 () else Trace.disabled in
+  let trace =
+    if l.trace then Trace.create ~cap:dev.cfg.Config.trace_cap ~sm:0 ()
+    else Trace.disabled
+  in
   let job =
     {
       Sm.cfg = dev.cfg;
@@ -201,6 +209,7 @@ let launch dev l =
                  l.prog.Bytecode.name name)
            l.bypass_arrays;
          flags);
+      prof = l.profile;
     }
   in
   let l1_bytes = Config.l1d_bytes dev.cfg ~smem_carveout:carveout in
@@ -226,6 +235,28 @@ let launch dev l =
           if limit < 1 then launch_error "static warp limit must be >= 1";
           Sm.create ~swl:limit job i ~l1_bytes)
   in
+  (match l.profile with
+  | Some p ->
+    let arrays_meta =
+      List.filter_map
+        (fun (name, id) ->
+          match arrays.(id) with
+          | Some ga ->
+            Some
+              {
+                Profile.Collector.name;
+                id;
+                base = ga.Sm.base;
+                bytes = Array.length ga.Sm.data * 4;
+              }
+          | None -> None)
+        l.prog.Bytecode.array_ids
+    in
+    Profile.Collector.init p ~num_sms:dev.cfg.Config.num_sms
+      ~l1_sets:(Cache.sets sms.(0).Sm.l1)
+      ~line_bytes:dev.cfg.Config.line_bytes ~arrays:arrays_meta
+      ~locs:l.prog.Bytecode.src_locs
+  | None -> ());
   let total_tbs = gx * gy in
   let next_tb = ref 0 in
   let refill sm =
@@ -274,4 +305,10 @@ let launch dev l =
   assert (!next_tb = total_tbs);
   stats.Stats.cycles <-
     Array.fold_left (fun acc sm -> max acc sm.Sm.now) 0 sms;
+  (match l.profile with
+  | Some p ->
+    Array.iter
+      (fun sm -> Profile.Collector.add_sm_cycles p ~sm:sm.Sm.id ~cycles:sm.Sm.now)
+      sms
+  | None -> ());
   (stats, trace)

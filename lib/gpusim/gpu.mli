@@ -55,6 +55,11 @@ type launch = {
   bypass_arrays : string list;
       (** arrays whose loads skip the L1D entirely — models the selective
           cache-bypassing alternative of Section 2.2 for ablations *)
+  profile : Profile.Collector.t option;
+      (** opt-in observability sink ({!Profile.Collector}); hooks fire from
+          the scheduler and cache paths but never change simulation
+          results.  One collector may span several launches; counters
+          aggregate across them. *)
 }
 
 val default_launch :
@@ -63,6 +68,7 @@ val default_launch :
   ?trace:bool ->
   ?runtime_throttle:[ `None | `Dyncta | `Ccws | `Daws | `Swl of int ] ->
   ?bypass_arrays:string list ->
+  ?profile:Profile.Collector.t ->
   prog:Bytecode.program ->
   grid:int * int ->
   block:int * int ->

@@ -36,6 +36,9 @@ type job = {
   l2 : Cache.t;
   dram_free : int ref;  (** shared DRAM-port availability (bandwidth model) *)
   bypass : bool array;  (** per array id: loads skip the L1D (ablation) *)
+  prof : Profile.Collector.t option;
+      (** opt-in observability sink; [None] costs one branch per event and
+          must never change simulation results (differential tests) *)
 }
 
 type frame_kind = F_if | F_loop
@@ -265,7 +268,7 @@ let check_bounds sm arr_id idx len =
    hierarchy; returns the cycle its data is available.  [bypass] loads go
    straight to the L2, leaving the L1D untouched — the cache-bypassing
    alternative of the paper's Section 2.2. *)
-let issue_load_transaction ?(bypass = false) sm warp line =
+let issue_load_transaction ?(bypass = false) sm warp ~arr_id line =
   let cfg = sm.job.cfg in
   let stats = sm.job.stats in
   let issue = max sm.now sm.lsu_free in
@@ -291,12 +294,24 @@ let issue_load_transaction ?(bypass = false) sm warp line =
   in
   if bypass then begin
     stats.Stats.bypass_transactions <- stats.Stats.bypass_transactions + 1;
+    (match sm.job.prof with
+    | Some p -> Profile.Collector.record_bypass p ~arr_id ~pc:warp.pc
+    | None -> ());
     l2_ready ~issue
   end
   else begin
     stats.Stats.l1_accesses <- stats.Stats.l1_accesses + 1;
+    let on_evict =
+      match sm.job.prof with
+      | None -> None
+      | Some p ->
+        Some
+          (fun ~set ~line ->
+            Profile.Collector.record_evict p ~arr_id ~pc:warp.pc ~set
+              ~victim_line:line)
+    in
     let arrival, outcome =
-      Cache.access sm.l1 ~now:issue ~line ~miss_ready:l2_ready
+      Cache.access ?on_evict sm.l1 ~now:issue ~line ~miss_ready:l2_ready
     in
     (match outcome with
     | Cache.Hit -> stats.Stats.l1_hits <- stats.Stats.l1_hits + 1
@@ -307,6 +322,16 @@ let issue_load_transaction ?(bypass = false) sm warp line =
       (match sm.ccws with
       | Some c -> ignore (Ccws.on_miss c ~warp_id:warp.age ~line)
       | None -> ()));
+    (match sm.job.prof with
+    | Some p ->
+      Profile.Collector.record_l1 p ~arr_id ~pc:warp.pc
+        ~set:(Cache.set_index sm.l1 line)
+        ~outcome:
+          (match outcome with
+          | Cache.Hit -> Profile.Heatmap.Hit
+          | Cache.Pending_hit -> Profile.Heatmap.Pending_hit
+          | Cache.Miss -> Profile.Heatmap.Miss)
+    | None -> ());
     max arrival (issue + cfg.Config.l1d_hit_latency)
   end
 
@@ -356,7 +381,7 @@ let exec_global_load sm warp ~dst ~arr_id ~idx_reg =
     sm.job.stats.Stats.global_load_instrs + 1;
   let bypass = sm.job.bypass.(arr_id) in
   List.fold_left
-    (fun acc line -> max acc (issue_load_transaction ~bypass sm warp line))
+    (fun acc line -> max acc (issue_load_transaction ~bypass sm warp ~arr_id line))
     sm.now lines
 
 let exec_global_store sm warp ~arr_id ~idx_reg ~src =
@@ -384,7 +409,13 @@ let exec_global_store sm warp ~arr_id ~idx_reg ~src =
   | _ -> ());
   sm.job.stats.Stats.global_store_instrs <-
     sm.job.stats.Stats.global_store_instrs + 1;
-  List.iter (issue_store_transaction sm) lines
+  List.iter
+    (fun line ->
+      (match sm.job.prof with
+      | Some p -> Profile.Collector.record_store p ~arr_id ~pc:warp.pc
+      | None -> ());
+      issue_store_transaction sm line)
+    lines
 
 let shared_of warp arr_id =
   let arr = warp.tb.shared.(arr_id) in
@@ -762,6 +793,58 @@ let next_event sm =
 
 let has_warps sm = sm.warps <> []
 
+(* Classify a forwarded idle gap [sm.now, until) for the profiler,
+   mirroring the Stats attribution (barrier wait wins when any resident
+   warp is parked at a barrier) but additionally splitting non-barrier
+   gaps into memory-pending vs throttled-idle.  The split needs no
+   scheduler query: [next_event] took [until] as the minimum ready time
+   over *schedulable* warps, so any live non-barrier warp with an earlier
+   ready time is necessarily excluded by a throttling pool — from the
+   moment it became ready until the gap ends, the SM idled by policy, not
+   by memory latency.  Pure reads only: throttle controllers (CCWS pools,
+   DYNCTA epochs) must not observe profiling. *)
+let profile_gap p sm ~until =
+  let now = sm.now in
+  let gap = until - now in
+  if List.exists (fun w -> w.at_barrier) sm.warps then
+    Profile.Collector.add_idle p ~sm:sm.id ~kind:Profile.Stall.Barrier_wait
+      ~cycles:gap
+  else begin
+    let earliest =
+      List.fold_left
+        (fun acc w ->
+          if w.finished || w.at_barrier then acc else min acc w.ready_at)
+        max_int sm.warps
+    in
+    let throttled = if earliest < until then until - max earliest now else 0 in
+    if throttled > 0 then
+      Profile.Collector.add_idle p ~sm:sm.id ~kind:Profile.Stall.Throttle_wait
+        ~cycles:throttled;
+    if gap - throttled > 0 then
+      Profile.Collector.add_idle p ~sm:sm.id ~kind:Profile.Stall.Mem_wait
+        ~cycles:(gap - throttled)
+  end;
+  (* per-warp: every live warp spends the whole gap waiting on something *)
+  List.iter
+    (fun w ->
+      if not w.finished then
+        if w.at_barrier then
+          Profile.Collector.add_warp_wait p ~sm:sm.id ~warp:w.age
+            ~kind:Profile.Stall.Barrier_wait ~cycles:gap
+        else if w.ready_at >= until then
+          Profile.Collector.add_warp_wait p ~sm:sm.id ~warp:w.age
+            ~kind:Profile.Stall.Mem_wait ~cycles:gap
+        else begin
+          let ready = max w.ready_at now in
+          if ready > now then
+            Profile.Collector.add_warp_wait p ~sm:sm.id ~warp:w.age
+              ~kind:Profile.Stall.Mem_wait ~cycles:(ready - now);
+          if until - ready > 0 then
+            Profile.Collector.add_warp_wait p ~sm:sm.id ~warp:w.age
+              ~kind:Profile.Stall.Throttle_wait ~cycles:(until - ready)
+        end)
+    sm.warps
+
 (** Advance this SM by one cycle, issuing up to [issue_width] instructions
     from distinct ready warps (each issue makes the warp unready for at
     least a cycle, so distinctness is automatic).  Returns [false] when
@@ -781,6 +864,9 @@ let step sm =
       else
         sm.job.stats.Stats.mem_idle_cycles <-
           sm.job.stats.Stats.mem_idle_cycles + gap;
+      (match sm.job.prof with
+      | Some p -> profile_gap p sm ~until:t
+      | None -> ());
       sm.now <- t
     end;
     let width = sm.job.cfg.Config.issue_width in
@@ -790,6 +876,9 @@ let step sm =
       match pick_warp sm with
       | None -> continue := false
       | Some warp ->
+        (match sm.job.prof with
+        | Some p -> Profile.Collector.record_warp_issue p ~sm:sm.id ~warp:warp.age
+        | None -> ());
         exec_instr sm warp;
         sm.last_issued <- Some warp;
         sm.job.stats.Stats.issued_instructions <-
@@ -803,5 +892,8 @@ let step sm =
     (match sm.ccws with Some c -> Ccws.tick c | None -> ());
     if !issued = 0 then
       sim_error "scheduler found no warp despite pending event";
+    (match sm.job.prof with
+    | Some p -> Profile.Collector.add_issue_cycle p ~sm:sm.id
+    | None -> ());
     sm.now <- sm.now + 1;
     true

@@ -3,38 +3,39 @@
     Records, in dynamic program order, the post-coalescing request count of
     every global-memory instruction executed on a chosen SM — the data
     series plotted in the paper's Fig. 2 (memory requests per off-chip
-    instruction over time). *)
+    instruction over time).
+
+    Storage is a bounded {!Profile.Ring}: past [cap] entries the oldest are
+    overwritten and counted in {!dropped}, so a long-running traced kernel
+    holds the most recent window instead of growing without bound (the
+    seed's doubling array made the trace the dominant allocation of a
+    traced CS run). *)
 
 type entry = { pc : int; requests : int; cycle : int }
 
+let dummy_entry = { pc = 0; requests = 0; cycle = 0 }
+
 type t = {
-  mutable entries : entry array;
-  mutable len : int;
+  ring : entry Profile.Ring.t;
   enabled : bool;
   sm_filter : int;  (** only record events from this SM *)
 }
 
-let disabled = { entries = [||]; len = 0; enabled = false; sm_filter = -1 }
+let disabled =
+  { ring = Profile.Ring.create ~cap:1 ~dummy:dummy_entry; enabled = false; sm_filter = -1 }
 
-let create ?(sm = 0) () =
-  { entries = Array.make 1024 { pc = 0; requests = 0; cycle = 0 }; len = 0; enabled = true; sm_filter = sm }
+let default_cap = 1 lsl 18
+
+let create ?(cap = default_cap) ?(sm = 0) () =
+  { ring = Profile.Ring.create ~cap ~dummy:dummy_entry; enabled = true; sm_filter = sm }
 
 let record t ~sm ~pc ~requests ~cycle =
-  if t.enabled && sm = t.sm_filter then begin
-    if t.len = Array.length t.entries then begin
-      let bigger =
-        Array.make (2 * Array.length t.entries) { pc = 0; requests = 0; cycle = 0 }
-      in
-      Array.blit t.entries 0 bigger 0 t.len;
-      t.entries <- bigger
-    end;
-    t.entries.(t.len) <- { pc; requests; cycle };
-    t.len <- t.len + 1
-  end
+  if t.enabled && sm = t.sm_filter then Profile.Ring.push t.ring { pc; requests; cycle }
 
-let length t = t.len
-
-let to_array t = Array.sub t.entries 0 t.len
+let length t = if t.enabled then Profile.Ring.length t.ring else 0
+let dropped t = if t.enabled then Profile.Ring.dropped t.ring else 0
+let capacity t = Profile.Ring.capacity t.ring
+let to_array t = if t.enabled then Profile.Ring.to_array t.ring else [||]
 
 let request_series t =
   Array.map (fun e -> float_of_int e.requests) (to_array t)

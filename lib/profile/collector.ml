@@ -1,0 +1,338 @@
+(** The profiler facade the simulator talks to.
+
+    A collector is created by the caller (CLI, runner, tests) and handed to
+    {!Gpusim.Gpu.default_launch} via [?profile]; the simulator calls the
+    record hooks below from its hot paths.  Every hook is guarded at the
+    call site by a [match job.prof with None -> ()] so an unprofiled run
+    pays only a branch — the differential tests assert the observable
+    simulation state is bit-identical either way.
+
+    One collector may span several launches (the experiment runner re-runs
+    a kernel's launch list and sums cycles): [init] refreshes the metadata
+    but keeps all counters, so repeated launches aggregate for free. *)
+
+module Json = Gpu_util.Json
+
+type array_info = { name : string; id : int; base : int; bytes : int }
+
+type t = {
+  stall : Stall.t;
+  heat : Heatmap.t;
+  mutable arrays : array_info list; (* sorted by base *)
+  mutable line_bytes : int;
+  mutable locs : (int * int) array; (* pc -> (line, col); (0,0) = synthetic *)
+  mutable launches : int;
+}
+
+let create () =
+  {
+    stall = Stall.create ();
+    heat = Heatmap.create ();
+    arrays = [];
+    line_bytes = 0;
+    locs = [||];
+    launches = 0;
+  }
+
+let init t ~num_sms ~l1_sets ~line_bytes ~arrays ~locs =
+  ignore num_sms;
+  t.arrays <- List.sort (fun a b -> compare a.base b.base) arrays;
+  t.line_bytes <- line_bytes;
+  t.locs <- locs;
+  t.launches <- t.launches + 1;
+  Heatmap.ensure_sets t.heat l1_sets
+
+let site t pc = if pc >= 0 && pc < Array.length t.locs then t.locs.(pc) else (0, 0)
+
+(* Which array owns a cache line?  Bases are line-aligned with a one-line
+   gap between consecutive arrays (see [Gpu.bind_args]), so the line's
+   first byte falls inside exactly one array's [base, base+bytes) span. *)
+let array_of_line t line =
+  let byte = line * t.line_bytes in
+  let rec find = function
+    | [] -> None
+    | a :: rest ->
+      if byte >= a.base && byte < a.base + a.bytes then Some a.id else find rest
+  in
+  find t.arrays
+
+(* ---- hooks called from the simulator ---- *)
+
+let record_l1 t ~arr_id ~pc ~set ~outcome =
+  Heatmap.record_access t.heat ~arr_id ~site:(site t pc) ~set ~outcome
+
+let record_evict t ~arr_id ~pc ~set ~victim_line =
+  Heatmap.record_evict t.heat ~arr_id ~site:(site t pc) ~set
+    ~victim_arr:(array_of_line t victim_line)
+
+let record_store t ~arr_id ~pc = Heatmap.record_store t.heat ~arr_id ~site:(site t pc)
+let record_bypass t ~arr_id ~pc = Heatmap.record_bypass t.heat ~arr_id ~site:(site t pc)
+let add_issue_cycle t ~sm = Stall.add t.stall ~sm ~kind:Stall.Issue ~cycles:1
+let add_idle t ~sm ~kind ~cycles = Stall.add t.stall ~sm ~kind ~cycles
+let add_warp_wait t ~sm ~warp ~kind ~cycles = Stall.warp_wait t.stall ~sm ~warp ~kind ~cycles
+let record_warp_issue t ~sm ~warp = Stall.warp_issue t.stall ~sm ~warp
+let add_sm_cycles t ~sm ~cycles = Stall.add_sm_cycles t.stall ~sm ~cycles
+
+(* ---- read side ---- *)
+
+let launches t = t.launches
+let stall t = t.stall
+let heat t = t.heat
+let arrays t = t.arrays
+
+let array_name t id =
+  match List.find_opt (fun a -> a.id = id) t.arrays with
+  | Some a -> a.name
+  | None -> Printf.sprintf "arr%d" id
+
+(** Per-array load miss rate over all sites: (loads, miss_rate). *)
+let array_miss_rate t ~arr_id =
+  List.fold_left
+    (fun (loads, misses) ((id, _), c) ->
+      if id = arr_id then (loads + Heatmap.cell_loads c, misses + c.Heatmap.misses)
+      else (loads, misses))
+    (0, 0) (Heatmap.rows t.heat)
+  |> fun (loads, misses) ->
+  (loads, if loads = 0 then 0.0 else float_of_int misses /. float_of_int loads)
+
+(** The accounting identity: per SM, issue + barrier + mem + throttled
+    cycles must equal the SM's simulated cycles.  The golden tests assert
+    this; [render] flags a violation loudly. *)
+let check_identity t =
+  let bad = ref [] in
+  for sm = 0 to Stall.num_sms t.stall - 1 do
+    let sum =
+      Stall.get t.stall ~sm ~kind:Stall.Issue
+      + Stall.get t.stall ~sm ~kind:Stall.Mem_wait
+      + Stall.get t.stall ~sm ~kind:Stall.Barrier_wait
+      + Stall.get t.stall ~sm ~kind:Stall.Throttle_wait
+    and cyc = Stall.cycles t.stall ~sm in
+    if sum <> cyc then bad := Printf.sprintf "SM%d: accounted %d <> cycles %d" sm sum cyc :: !bad
+  done;
+  match !bad with [] -> Ok () | msgs -> Error (String.concat "; " (List.rev msgs))
+
+(* ---- JSON export ---- *)
+
+let profile_format_version = 1
+
+let kind_fields = [ Stall.Issue; Stall.Mem_wait; Stall.Barrier_wait; Stall.Throttle_wait ]
+
+let to_json t =
+  let sms =
+    List.init (Stall.num_sms t.stall) (fun sm ->
+        Json.Obj
+          (("sm", Json.Int sm)
+           :: ("cycles", Json.Int (Stall.cycles t.stall ~sm))
+           :: List.map
+                (fun k -> (Stall.label k, Json.Int (Stall.get t.stall ~sm ~kind:k)))
+                kind_fields))
+  in
+  let warps =
+    List.map
+      (fun ((sm, warp), row) ->
+        Json.Obj
+          [
+            ("sm", Json.Int sm);
+            ("warp", Json.Int warp);
+            ("issued", Json.Int row.(Stall.index Stall.Issue));
+            ("mem", Json.Int row.(Stall.index Stall.Mem_wait));
+            ("barrier", Json.Int row.(Stall.index Stall.Barrier_wait));
+            ("throttled", Json.Int row.(Stall.index Stall.Throttle_wait));
+          ])
+      (Stall.warp_rows t.stall)
+  in
+  let cells =
+    List.map
+      (fun ((arr_id, (line, col)), c) ->
+        Json.Obj
+          [
+            ("array", Json.String (array_name t arr_id));
+            ("array_id", Json.Int arr_id);
+            ("line", Json.Int line);
+            ("col", Json.Int col);
+            ("hits", Json.Int c.Heatmap.hits);
+            ("pending_hits", Json.Int c.Heatmap.pending_hits);
+            ("misses", Json.Int c.Heatmap.misses);
+            ("evictions", Json.Int c.Heatmap.evictions);
+            ("stores", Json.Int c.Heatmap.stores);
+            ("bypassed", Json.Int c.Heatmap.bypassed);
+          ])
+      (Heatmap.rows t.heat)
+  in
+  let int_list a = Json.List (Array.to_list (Array.map (fun n -> Json.Int n) a)) in
+  let victims =
+    List.filter_map
+      (fun a ->
+        let n = Heatmap.victim_count t.heat ~arr_id:a.id in
+        if n = 0 then None
+        else Some (Json.Obj [ ("array", Json.String a.name); ("lines_evicted", Json.Int n) ]))
+      t.arrays
+  in
+  Json.Obj
+    [
+      ("version", Json.Int profile_format_version);
+      ("line_bytes", Json.Int t.line_bytes);
+      ("launches", Json.Int t.launches);
+      ( "arrays",
+        Json.List
+          (List.map
+             (fun a ->
+               Json.Obj
+                 [
+                   ("name", Json.String a.name);
+                   ("id", Json.Int a.id);
+                   ("base", Json.Int a.base);
+                   ("bytes", Json.Int a.bytes);
+                 ])
+             t.arrays) );
+      ("sms", Json.List sms);
+      ("warps", Json.List warps);
+      ("cells", Json.List cells);
+      ( "sets",
+        Json.Obj
+          [
+            ("accesses", int_list t.heat.Heatmap.set_accesses);
+            ("misses", int_list t.heat.Heatmap.set_misses);
+            ("evictions", int_list t.heat.Heatmap.set_evictions);
+          ] );
+      ("victims", Json.List victims);
+    ]
+
+let of_json json =
+  Json.decode
+    (fun j ->
+      if Json.to_int (Json.member "version" j) <> profile_format_version then
+        raise (Json.Type_error "profile version mismatch");
+      let t = create () in
+      t.line_bytes <- Json.to_int (Json.member "line_bytes" j);
+      t.launches <- Json.to_int (Json.member "launches" j);
+      t.arrays <-
+        List.map
+          (fun a ->
+            {
+              name = Json.to_str (Json.member "name" a);
+              id = Json.to_int (Json.member "id" a);
+              base = Json.to_int (Json.member "base" a);
+              bytes = Json.to_int (Json.member "bytes" a);
+            })
+          (Json.to_list (Json.member "arrays" j));
+      List.iter
+        (fun s ->
+          let sm = Json.to_int (Json.member "sm" s) in
+          Stall.add_sm_cycles t.stall ~sm ~cycles:(Json.to_int (Json.member "cycles" s));
+          List.iter
+            (fun k ->
+              Stall.add t.stall ~sm ~kind:k
+                ~cycles:(Json.to_int (Json.member (Stall.label k) s)))
+            kind_fields)
+        (Json.to_list (Json.member "sms" j));
+      List.iter
+        (fun w ->
+          let sm = Json.to_int (Json.member "sm" w)
+          and warp = Json.to_int (Json.member "warp" w) in
+          let row = Stall.warp_row t.stall ~sm ~warp in
+          row.(Stall.index Stall.Issue) <- Json.to_int (Json.member "issued" w);
+          row.(Stall.index Stall.Mem_wait) <- Json.to_int (Json.member "mem" w);
+          row.(Stall.index Stall.Barrier_wait) <- Json.to_int (Json.member "barrier" w);
+          row.(Stall.index Stall.Throttle_wait) <- Json.to_int (Json.member "throttled" w))
+        (Json.to_list (Json.member "warps" j));
+      List.iter
+        (fun cj ->
+          let arr_id = Json.to_int (Json.member "array_id" cj)
+          and site =
+            (Json.to_int (Json.member "line" cj), Json.to_int (Json.member "col" cj))
+          in
+          let c = Heatmap.cell t.heat ~arr_id ~site in
+          c.Heatmap.hits <- Json.to_int (Json.member "hits" cj);
+          c.Heatmap.pending_hits <- Json.to_int (Json.member "pending_hits" cj);
+          c.Heatmap.misses <- Json.to_int (Json.member "misses" cj);
+          c.Heatmap.evictions <- Json.to_int (Json.member "evictions" cj);
+          c.Heatmap.stores <- Json.to_int (Json.member "stores" cj);
+          c.Heatmap.bypassed <- Json.to_int (Json.member "bypassed" cj))
+        (Json.to_list (Json.member "cells" j));
+      let int_array j = Array.of_list (List.map Json.to_int (Json.to_list j)) in
+      let sets = Json.member "sets" j in
+      let acc = int_array (Json.member "accesses" sets) in
+      Heatmap.ensure_sets t.heat (Array.length acc);
+      Array.blit acc 0 t.heat.Heatmap.set_accesses 0 (Array.length acc);
+      let m = int_array (Json.member "misses" sets) in
+      Array.blit m 0 t.heat.Heatmap.set_misses 0 (Array.length m);
+      let e = int_array (Json.member "evictions" sets) in
+      Array.blit e 0 t.heat.Heatmap.set_evictions 0 (Array.length e);
+      t)
+    json
+
+(* ---- ASCII rendering ---- *)
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let site_label (line, col) =
+  if line = 0 && col = 0 then "<synth>" else Printf.sprintf "%d:%d" line col
+
+let render t =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "-- cycle accounting (per SM) --\n";
+  out "%-5s %12s %10s %12s %10s %14s\n" "SM" "cycles" "issue" "mem-pending" "barrier"
+    "throttled-idle";
+  for sm = 0 to Stall.num_sms t.stall - 1 do
+    out "%-5d %12d %10d %12d %10d %14d\n" sm
+      (Stall.cycles t.stall ~sm)
+      (Stall.get t.stall ~sm ~kind:Stall.Issue)
+      (Stall.get t.stall ~sm ~kind:Stall.Mem_wait)
+      (Stall.get t.stall ~sm ~kind:Stall.Barrier_wait)
+      (Stall.get t.stall ~sm ~kind:Stall.Throttle_wait)
+  done;
+  (match check_identity t with
+  | Ok () -> ()
+  | Error msg -> out "!! accounting identity VIOLATED: %s\n" msg);
+  let total = Stall.total_cycles t.stall in
+  if total > 0 then begin
+    out "\n";
+    out "%s\n"
+      (Gpu_util.Ascii_plot.bar_chart ~unit_label:"% of cycles"
+         (List.map
+            (fun k -> (Stall.label k, pct (Stall.total t.stall ~kind:k) total))
+            kind_fields))
+  end;
+  let rows = Heatmap.rows t.heat in
+  if rows <> [] then begin
+    out "\n-- L1D heat map (per array x source site) --\n";
+    out "%-12s %-8s %10s %8s %8s %9s %8s %8s\n" "array" "site" "loads" "hit%" "miss%"
+      "evictions" "stores" "bypassed";
+    List.iter
+      (fun ((arr_id, site), c) ->
+        let loads = Heatmap.cell_loads c in
+        out "%-12s %-8s %10d %8.1f %8.1f %9d %8d %8d\n" (array_name t arr_id)
+          (site_label site) loads
+          (pct (c.Heatmap.hits + c.Heatmap.pending_hits) loads)
+          (pct c.Heatmap.misses loads)
+          c.Heatmap.evictions c.Heatmap.stores c.Heatmap.bypassed)
+      rows;
+    let per_array =
+      List.filter_map
+        (fun a ->
+          let loads, rate = array_miss_rate t ~arr_id:a.id in
+          if loads = 0 then None else Some (a.name, 100.0 *. rate))
+        t.arrays
+    in
+    if per_array <> [] then begin
+      out "\n%s\n" (Gpu_util.Ascii_plot.bar_chart ~unit_label:"% load misses" per_array)
+    end;
+    let victims =
+      List.filter_map
+        (fun a ->
+          let n = Heatmap.victim_count t.heat ~arr_id:a.id in
+          if n = 0 then None else Some (Printf.sprintf "%s:%d" a.name n))
+        t.arrays
+    in
+    if victims <> [] then out "victim lines evicted by array: %s\n" (String.concat " " victims)
+  end;
+  if Heatmap.num_sets t.heat > 0 then begin
+    let f a = Array.map float_of_int a in
+    out "\n-- L1D set occupancy (one column per set) --\n";
+    out "accesses  %s\n" (Gpu_util.Ascii_plot.sparkline (f t.heat.Heatmap.set_accesses));
+    out "misses    %s\n" (Gpu_util.Ascii_plot.sparkline (f t.heat.Heatmap.set_misses));
+    out "evictions %s\n" (Gpu_util.Ascii_plot.sparkline (f t.heat.Heatmap.set_evictions))
+  end;
+  Buffer.contents buf

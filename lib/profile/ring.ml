@@ -1,0 +1,39 @@
+(** Bounded ring buffer — the streaming sink under {!Gpusim.Trace} and the
+    profiler's event streams.
+
+    Once full, each push overwrites the oldest element and bumps [dropped],
+    so memory stays bounded no matter how long the simulated kernel runs.
+    The seed's trace grew an unbounded (doubling) array; long-running CS
+    workloads made that the dominant allocation of a traced run. *)
+
+type 'a t = {
+  data : 'a array;
+  mutable len : int;  (* elements currently stored, <= capacity *)
+  mutable next : int; (* slot the next push writes *)
+  mutable dropped : int;
+}
+
+let create ~cap ~dummy =
+  if cap <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { data = Array.make cap dummy; len = 0; next = 0; dropped = 0 }
+
+let capacity t = Array.length t.data
+let length t = t.len
+let dropped t = t.dropped
+
+let push t x =
+  let cap = Array.length t.data in
+  t.data.(t.next) <- x;
+  t.next <- (t.next + 1) mod cap;
+  if t.len < cap then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+
+(** Stored elements, oldest surviving push first. *)
+let to_array t =
+  let cap = Array.length t.data in
+  let start = (t.next - t.len + cap) mod cap in
+  Array.init t.len (fun i -> t.data.((start + i) mod cap))
+
+let clear t =
+  t.len <- 0;
+  t.next <- 0;
+  t.dropped <- 0

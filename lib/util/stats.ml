@@ -60,3 +60,36 @@ let speedup ~baseline t =
 let normalize ~baseline t =
   if baseline <= 0. then invalid_arg "Stats.normalize: non-positive baseline";
   t /. baseline
+
+(* Average ranks (1-based), ties sharing the mean of their rank span. *)
+let ranks samples =
+  let n = Array.length samples in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare samples.(a) samples.(b)) order;
+  let r = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && samples.(order.(!j + 1)) = samples.(order.(!i)) do incr j done;
+    let mean_rank = float_of_int (!i + !j + 2) /. 2. in
+    for k = !i to !j do
+      r.(order.(k)) <- mean_rank
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.spearman: length mismatch";
+  if n < 2 then invalid_arg "Stats.spearman: need at least two samples";
+  let rx = ranks xs and ry = ranks ys in
+  let mx = mean rx and my = mean ry in
+  let num = ref 0. and dx = ref 0. and dy = ref 0. in
+  for i = 0 to n - 1 do
+    let a = rx.(i) -. mx and b = ry.(i) -. my in
+    num := !num +. (a *. b);
+    dx := !dx +. (a *. a);
+    dy := !dy +. (b *. b)
+  done;
+  if !dx = 0. || !dy = 0. then 0. else !num /. sqrt (!dx *. !dy)

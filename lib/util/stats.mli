@@ -30,3 +30,10 @@ val speedup : baseline:float -> float -> float
 val normalize : baseline:float -> float -> float
 (** [normalize ~baseline t] is [t /. baseline]: execution time normalized to
     the baseline, as plotted in the paper's Figures 7, 8 and 10. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation between two equal-length sample arrays, with
+    average ranks for ties.  Used by the [profile-all] artifact to score how
+    well the Eq. 8 static footprint orders loops by measured L1D miss rate.
+    Returns 0 when either array is constant (rank variance vanishes).
+    Raises [Invalid_argument] on length mismatch or fewer than two points. *)

@@ -70,8 +70,9 @@ __global__ void l1full_kernel(float *data, float *out) {
     t.span t.slices slices_per_warp warps t.reps warp_size
 
 (** Run [t] with [warps] warps per SM (one TB per SM, so the count is
-    exact).  [warps] must divide [t.slices]. *)
-let run (cfg : Gpusim.Config.t) t ~warps =
+    exact).  [warps] must divide [t.slices].  [?profile] attaches a
+    profiler collector to the launch. *)
+let run ?profile (cfg : Gpusim.Config.t) t ~warps =
   if warps < 1 || warps * cfg.Gpusim.Config.warp_size > 1024 then
     invalid_arg "Microbench.run: warps out of range";
   if t.slices mod warps <> 0 then
@@ -87,7 +88,8 @@ let run (cfg : Gpusim.Config.t) t ~warps =
     (Array.init data_len (fun i -> float_of_int (i land 15)));
   Gpusim.Gpu.alloc dev "out" (num_sms * block_threads);
   let launch =
-    Gpusim.Gpu.default_launch ~prog ~grid:(num_sms, 1) ~block:(block_threads, 1)
+    Gpusim.Gpu.default_launch ?profile ~prog ~grid:(num_sms, 1)
+      ~block:(block_threads, 1)
       [ Gpusim.Gpu.Arr "data"; Gpusim.Gpu.Arr "out" ]
   in
   let stats, _ = Gpusim.Gpu.launch dev launch in

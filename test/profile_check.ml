@@ -1,0 +1,12 @@
+(** Driver for the profiler test suite (the [@profile] alias, pulled into
+    [dune runtest]): unit tests, simulator-driven checks, golden-profile
+    regression tests and the differential purity harness.
+
+    With [GOLDEN_REGEN=<absolute dir>] set, rewrites the golden snapshots
+    into that directory instead of running the suite. *)
+
+let () =
+  match Sys.getenv_opt "GOLDEN_REGEN" with
+  | Some dir -> Test_profile.regen_goldens dir
+  | None ->
+    Alcotest.run "catt-profile" (Test_profile.tests @ Test_differential.tests)

@@ -1,0 +1,196 @@
+(** Differential harness: profiling must be observationally pure.
+
+    Random mini-CUDA kernels (three contention shapes x random geometry x
+    random scheduler/throttle/bypass configuration) run twice on fresh
+    devices — once bare, once with a {!Profile.Collector} attached.  The
+    final {!Gpusim.Stats} (every counter, serialized) and the full final
+    device memory must be bit-identical: the profiler hooks sit on the
+    simulator's hottest paths and the throttling controllers (CCWS pools,
+    DYNCTA epochs) are stateful, so any accidental state read from a hook
+    would show up here.  The profiled run additionally must satisfy the
+    cycle-accounting identity. *)
+
+module Gpu = Gpusim.Gpu
+module Config = Gpusim.Config
+module Stats = Gpusim.Stats
+module Json = Gpu_util.Json
+
+type case = {
+  label : string;
+  src : string;
+  arrays : (string * int) list;  (* every device array, inputs and outputs *)
+  args : Gpu.arg list;
+  grid : int * int;
+  block : int * int;
+  bypassable : string;  (* a global array eligible for --bypass runs *)
+}
+
+let divergent_case ~nx ~ny =
+  {
+    label = Printf.sprintf "divergent-%dx%d" nx ny;
+    src =
+      Printf.sprintf
+        "__global__ void k(float *A, float *x, float *tmp) {\n\
+         int i = blockIdx.x * blockDim.x + threadIdx.x;\n\
+         if (i < %d) {\n\
+         for (int j = 0; j < %d; j++) {\n\
+         tmp[i] += A[i * %d + j] * x[j];\n\
+         }\n\
+         }\n\
+         }" nx ny ny;
+    arrays = [ ("A", nx * ny); ("x", ny); ("tmp", nx) ];
+    args = [ Gpu.Arr "A"; Gpu.Arr "x"; Gpu.Arr "tmp" ];
+    grid = (2, 1);
+    block = (64, 1);
+    bypassable = "A";
+  }
+
+let barrier_case ~blocks =
+  {
+    label = Printf.sprintf "barrier-shared-%d" blocks;
+    src =
+      "__global__ void k(float *a, float *out) {\n\
+       __shared__ float buf[64];\n\
+       int t = threadIdx.x;\n\
+       int i = blockIdx.x * blockDim.x + t;\n\
+       buf[t] = a[i];\n\
+       __syncthreads();\n\
+       out[i] = buf[63 - t] + buf[t];\n\
+       }";
+    arrays = [ ("a", blocks * 64); ("out", blocks * 64) ];
+    args = [ Gpu.Arr "a"; Gpu.Arr "out" ];
+    grid = (blocks, 1);
+    block = (64, 1);
+    bypassable = "a";
+  }
+
+let branchy_case ~cut ~trips =
+  let threads = 128 in
+  let alen = max threads (trips * 32) in
+  {
+    label = Printf.sprintf "branchy-%d-%d" cut trips;
+    src =
+      Printf.sprintf
+        "__global__ void k(float *a, float *out) {\n\
+         int i = blockIdx.x * blockDim.x + threadIdx.x;\n\
+         if (i < %d) {\n\
+         for (int j = 0; j < %d; j++) {\n\
+         if (j * 2 < i) { out[i] += a[j * 32]; } else { out[i] += a[i]; }\n\
+         }\n\
+         } else {\n\
+         out[i] = a[i];\n\
+         }\n\
+         }" cut trips;
+    arrays = [ ("a", alen); ("out", threads) ];
+    args = [ Gpu.Arr "a"; Gpu.Arr "out" ];
+    grid = (2, 1);
+    block = (64, 1);
+    bypassable = "a";
+  }
+
+let init_value i = float_of_int ((i * 7 + 3) land 31)
+
+(* small on-chip memory so random kernels actually contend in the L1D *)
+let cfg = Config.scaled ~num_sms:2 ~onchip_bytes:(16 * 1024) ()
+
+let run_case case ~sched ~throttle ~bypass ~profile =
+  let kernel = Minicuda.Parser.parse_kernel case.src in
+  let prog = Gpusim.Codegen.compile_kernel kernel in
+  let dev = Gpu.create cfg in
+  List.iter
+    (fun (name, len) -> Gpu.upload dev name (Array.init len init_value))
+    case.arrays;
+  let collector = if profile then Some (Profile.Collector.create ()) else None in
+  let launch =
+    Gpu.default_launch ~sched ~runtime_throttle:throttle
+      ~bypass_arrays:(if bypass then [ case.bypassable ] else [])
+      ?profile:collector ~prog ~grid:case.grid ~block:case.block case.args
+  in
+  let stats, _ = Gpu.launch dev launch in
+  let memory =
+    List.map (fun (name, _) -> (name, Array.copy (Gpu.get dev name))) case.arrays
+  in
+  (Json.to_string (Stats.to_json stats), memory, collector)
+
+let gen =
+  QCheck.Gen.(
+    let shape =
+      oneof
+        [
+          map2
+            (fun nx ny -> divergent_case ~nx ~ny)
+            (oneofl [ 64; 128 ])
+            (oneofl [ 16; 32; 64 ]);
+          map (fun blocks -> barrier_case ~blocks) (oneofl [ 1; 2; 3 ]);
+          map2
+            (fun cut trips -> branchy_case ~cut ~trips)
+            (oneofl [ 0; 37; 128 ])
+            (oneofl [ 4; 16 ]);
+        ]
+    in
+    let sched = oneofl [ Gpusim.Sm.Gto; Gpusim.Sm.Lrr ] in
+    let throttle = oneofl [ `None; `Dyncta; `Ccws; `Daws; `Swl 2 ] in
+    quad shape sched throttle bool)
+
+let print_cfg (case, sched, throttle, bypass) =
+  Printf.sprintf "%s sched=%s throttle=%s bypass=%b" case.label
+    (match sched with Gpusim.Sm.Gto -> "gto" | Gpusim.Sm.Lrr -> "lrr")
+    (match throttle with
+    | `None -> "none"
+    | `Dyncta -> "dyncta"
+    | `Ccws -> "ccws"
+    | `Daws -> "daws"
+    | `Swl k -> Printf.sprintf "swl%d" k)
+    bypass
+
+let arbitrary = QCheck.make ~print:print_cfg gen
+
+let prop_profiling_pure =
+  QCheck.Test.make ~name:"profiled run == unprofiled run (stats + memory)"
+    ~count:40 arbitrary (fun (case, sched, throttle, bypass) ->
+      let stats_bare, mem_bare, _ =
+        run_case case ~sched ~throttle ~bypass ~profile:false
+      in
+      let stats_prof, mem_prof, collector =
+        run_case case ~sched ~throttle ~bypass ~profile:true
+      in
+      if stats_bare <> stats_prof then
+        QCheck.Test.fail_reportf "stats diverged:\nbare: %s\nprof: %s"
+          stats_bare stats_prof;
+      List.iter2
+        (fun (name, a) (_, b) ->
+          if a <> b then
+            QCheck.Test.fail_reportf "final memory of %s diverged" name)
+        mem_bare mem_prof;
+      (match collector with
+      | None -> QCheck.Test.fail_report "profiled run returned no collector"
+      | Some c -> (
+        match Profile.Collector.check_identity c with
+        | Ok () -> ()
+        | Error msg ->
+          QCheck.Test.fail_reportf "accounting identity violated: %s" msg));
+      true)
+
+(* repeated profiled runs of the same configuration also agree with each
+   other — the collector aggregation itself is deterministic *)
+let prop_profiling_deterministic =
+  QCheck.Test.make ~name:"profiled run is deterministic" ~count:10 arbitrary
+    (fun (case, sched, throttle, bypass) ->
+      let run () =
+        let _, _, c = run_case case ~sched ~throttle ~bypass ~profile:true in
+        match c with
+        | Some c -> Json.to_string (Profile.Collector.to_json c)
+        | None -> ""
+      in
+      let a = run () and b = run () in
+      if a <> b then QCheck.Test.fail_report "profile JSON diverged";
+      true)
+
+let tests =
+  [
+    ( "differential",
+      [
+        QCheck_alcotest.to_alcotest prop_profiling_pure;
+        QCheck_alcotest.to_alcotest prop_profiling_deterministic;
+      ] );
+  ]

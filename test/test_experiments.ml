@@ -49,14 +49,14 @@ let test_scheme_labels () =
     (Experiments.Runner.scheme_label (Experiments.Runner.Fixed (4, 1)))
 
 let test_report_registry () =
-  Alcotest.(check int) "twelve artifacts" 12 (List.length Experiments.Report.artifacts);
+  Alcotest.(check int) "thirteen artifacts" 13 (List.length Experiments.Report.artifacts);
   List.iter
     (fun id ->
       match Experiments.Report.find id with
       | Some _ -> ()
       | None -> Alcotest.failf "artifact %s not found" id)
     [ "table3"; "fig2"; "fig3"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10";
-      "overhead"; "sanitize-all" ]
+      "overhead"; "sanitize-all"; "profile-all" ]
 
 let test_configs () =
   Alcotest.(check int) "max" (32 * 1024)
