@@ -295,11 +295,38 @@ let run_benchmarks jobs =
      transactions, not simulated time)";
   profiler_overhead_report ()
 
+(* --json: skip the bechamel table and emit the machine-readable
+   throughput report (cells/sec + allocation rates per stage) that
+   `catt_cli bench --check` gates future changes against.  The stages are
+   measured by {!Experiments.Bench_core} — the same code the gate runs. *)
+let run jobs json =
+  match json with
+  | None -> run_benchmarks jobs
+  | Some path ->
+    let r = Experiments.Bench_core.collect ~jobs () in
+    Experiments.Bench_core.write_json path r;
+    List.iter
+      (fun (s : Experiments.Bench_core.stage) ->
+        Printf.printf "  %-16s %8.2f cells/sec  %12.0f minor words/cell\n"
+          s.Experiments.Bench_core.name s.Experiments.Bench_core.cells_per_sec
+          s.Experiments.Bench_core.minor_words_per_cell)
+      (r.Experiments.Bench_core.gated @ r.Experiments.Bench_core.pool);
+    Printf.printf "wrote %s\n" path
+
 let () =
   let open Cmdliner in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "write the BENCH_gpusim.json throughput report to $(docv) \
+             instead of running the bechamel table")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "bench" ~doc:"bechamel micro-benchmarks of the artifact slices")
-      Term.(const run_benchmarks $ Cli_common.jobs)
+      Term.(const run $ Cli_common.jobs $ json)
   in
   exit (Cmd.eval cmd)

@@ -1,0 +1,54 @@
+(** Smoke test for the throughput-measurement machinery (the [@bench-smoke]
+    alias, pulled into [dune runtest]).
+
+    Runs the gated stages over a 2-workload grid, writes the JSON report,
+    reads it back and passes it through the gate against itself.  Asserts
+    the plumbing — stage measurement, serialization, gate comparison —
+    not any throughput number: absolute cells/sec belongs to the full
+    [bench --json] run and the [catt_cli bench --check] gate. *)
+
+module Bench = Experiments.Bench_core
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let workloads = List.map Workloads.Registry.find [ "ATAX"; "BT" ] in
+  let r = Bench.collect ~workloads ~jobs:1 () in
+  if r.Bench.gated = [] then fail "no gated stages measured";
+  List.iter
+    (fun (s : Bench.stage) ->
+      if not (Float.is_finite s.Bench.cells_per_sec && s.Bench.cells_per_sec > 0.)
+      then fail "stage %s: bad cells/sec %f" s.Bench.name s.Bench.cells_per_sec;
+      if s.Bench.minor_words_per_cell <= 0. then
+        fail "stage %s: implausible allocation rate" s.Bench.name)
+    (r.Bench.gated @ r.Bench.pool);
+  let tmp = Filename.temp_file "bench-smoke" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Bench.write_json tmp r;
+      let json =
+        match
+          Gpu_util.Json.of_string
+            (In_channel.with_open_bin tmp In_channel.input_all)
+        with
+        | Ok j -> j
+        | Error msg -> fail "report does not reparse: %s" msg
+      in
+      let committed =
+        match Bench.baseline_of_json json with
+        | Ok stages -> stages
+        | Error msg -> fail "report does not decode: %s" msg
+      in
+      let verdicts = Bench.check ~committed ~measured:r.Bench.gated in
+      if List.length verdicts <> List.length r.Bench.gated then
+        fail "gate dropped stages: %d of %d" (List.length verdicts)
+          (List.length r.Bench.gated);
+      List.iter
+        (fun v ->
+          if not v.Bench.ok then
+            fail "self-comparison regressed at %s" v.Bench.stage_name)
+        verdicts);
+  Printf.printf "bench-smoke: OK (%d gated stages, %d pool stages)\n"
+    (List.length r.Bench.gated)
+    (List.length r.Bench.pool)

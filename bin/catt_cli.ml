@@ -183,10 +183,86 @@ let profile_cmd =
           render per-SM cycle accounting plus per-array L1D heat maps")
     Term.(const run $ workload_arg $ scheme_arg $ Cli_common.onchip $ Cli_common.sms)
 
+let bench_cmd =
+  let module Bench = Experiments.Bench_core in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt string "BENCH_gpusim.json"
+      & info [ "baseline" ] ~docv:"PATH"
+          ~doc:"committed throughput report to compare against")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "re-measure the gated stages and exit non-zero when any stage \
+             regresses more than 10% below the committed cells/sec")
+  in
+  let run baseline check jobs =
+    if not check then begin
+      (* without --check, just measure and print (no gate, no file write) *)
+      let r = Bench.collect ~jobs () in
+      List.iter
+        (fun (s : Bench.stage) ->
+          Printf.printf "  %-16s %8.2f cells/sec  %12.0f minor words/cell\n"
+            s.Bench.name s.Bench.cells_per_sec s.Bench.minor_words_per_cell)
+        (r.Bench.gated @ r.Bench.pool)
+    end
+    else if not (Sys.file_exists baseline) then begin
+      Printf.eprintf
+        "no committed baseline at %s — generate one with `bench --json %s`\n"
+        baseline baseline;
+      exit 2
+    end
+    else
+      let committed =
+        match
+          Gpu_util.Json.of_string
+            (In_channel.with_open_bin baseline In_channel.input_all)
+        with
+        | Error msg ->
+          Printf.eprintf "%s: %s\n" baseline msg;
+          exit 2
+        | Ok json -> (
+          match Bench.baseline_of_json json with
+          | Ok stages -> stages
+          | Error msg ->
+            Printf.eprintf "%s: %s\n" baseline msg;
+            exit 2)
+      in
+      let measured = Bench.stages () in
+      let remeasure name =
+        Printf.printf "  %-16s re-measuring (ruling out timing noise)\n%!"
+          name;
+        Bench.remeasure_gated name
+      in
+      let verdicts =
+        Bench.check_with_retry ~committed ~measured ~remeasure ()
+      in
+      print_string (Bench.render_verdicts verdicts);
+      if List.for_all (fun v -> v.Bench.ok) verdicts then
+        print_endline "throughput gate: PASS"
+      else begin
+        print_endline "throughput gate: FAIL (>10% below committed baseline)";
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "measure grid-simulation throughput; with $(b,--check), gate it \
+          against the committed BENCH_gpusim.json")
+    Term.(const run $ baseline_arg $ check_arg $ Cli_common.jobs)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "catt_cli" ~doc:"compiler-assisted GPU thread throttling" in
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ analyze_cmd; transform_cmd; check_cmd; disasm_cmd; profile_cmd ]))
+          [
+            analyze_cmd; transform_cmd; check_cmd; disasm_cmd; profile_cmd;
+            bench_cmd;
+          ]))

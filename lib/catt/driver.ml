@@ -131,27 +131,82 @@ let analyze (cfg : Gpusim.Config.t) (kernel : Ast.kernel)
           else None)
         loops
     in
-    let transformed =
-      if plan = [] then kernel
-      else
-        Transform.warp_throttle_plan kernel ~plan ~warps_per_tb ~warp_size
-          ~one_dim_block
-    in
-    let transformed =
+    let build plan =
+      let t =
+        if plan = [] then kernel
+        else
+          Transform.warp_throttle_plan kernel ~plan ~warps_per_tb ~warp_size
+            ~one_dim_block
+      in
       match tb_throttle_plan with
       | Some (_, dummy_bytes) ->
-        Transform.tb_throttle transformed ~dummy_elems:(max 1 (dummy_bytes / 4))
-      | None -> transformed
+        Transform.tb_throttle t ~dummy_elems:(max 1 (dummy_bytes / 4))
+      | None -> t
     in
-    match Sanitize.Check.gate geometry ~original:kernel ~transformed with
-    | Error diags ->
-      Error
-        (Printf.sprintf
-           "sanitizer rejected the transform of %s (new diagnostics not \
-            present in the original):\n%s"
-           kernel.Ast.kernel_name
-           (Sanitize.Diag.to_report diags))
-    | Ok () ->
+    let gate t = Sanitize.Check.gate geometry ~original:kernel ~transformed:t in
+    (* The sanitizer has the last word.  A warp split plants barriers, and
+       a loop sitting under thread-divergent control flow (common in
+       irregular kernels, whose Eq. 7 footprint is now large enough to ask
+       for throttling) cannot legally take one.  Degrade like the BFTT
+       path: whole plan -> per-loop-gated plan -> no splits, and demote the
+       decisions of every dropped loop to unresolved-at-full-TLP so Table 3
+       reports what actually runs. *)
+    let plan, transformed, gate_failed =
+      let full = build plan in
+      match gate full with
+      | Ok () -> (plan, full, false)
+      | Error _ ->
+        let kept =
+          List.filter
+            (fun (loop_id, n) ->
+              match
+                gate
+                  (Transform.warp_throttle kernel ~loop_id ~n ~warps_per_tb
+                     ~warp_size ~one_dim_block)
+              with
+              | Ok () -> true
+              | Error _ -> false)
+            plan
+        in
+        let combined = build kept in
+        (match gate combined with
+        | Ok () -> (kept, combined, true)
+        | Error _ -> (
+          (* even the accepted single-loop splits interact badly together:
+             keep only the TB-level pad, or nothing *)
+          let pad_only = build [] in
+          match gate pad_only with
+          | Ok () -> ([], pad_only, true)
+          | Error _ -> ([], kernel, true)))
+    in
+    let loops =
+      if not gate_failed then loops
+      else
+        List.map
+          (fun l ->
+            let loop_id = l.footprint.Footprint.loop.Analysis.loop_id in
+            let d = l.decision in
+            if
+              d.Throttle.throttled && d.Throttle.n > 1
+              && not (List.mem_assoc loop_id plan)
+            then
+              (* the warp split was refused, but a TB-level pad (if any)
+                 still throttles this loop; without the split the footprint
+                 is no longer proven to fit, so it is unresolved *)
+              {
+                l with
+                decision =
+                  {
+                    d with
+                    Throttle.n = 1;
+                    throttled = tb_throttle_plan <> None || d.Throttle.m > 0;
+                    resolved = false;
+                    active_warps_per_tb = warps_per_tb;
+                  };
+              }
+            else l)
+          loops
+    in
     Ok
       {
         kernel;

@@ -17,20 +17,32 @@ let elem_bytes = 4
 
 let req_warp ~line_bytes ~warp_size ~block_x index =
   match index with
-  | Affine.Unknown -> 1  (* Section 4.2: conservative for irregular *)
+  | Affine.Unknown ->
+    (* Section 4.2: an irregular (data-dependent) index is modeled as fully
+       uncoalesced — one request per thread, i.e. [warp_size] lines per
+       warp.  This is the conservative direction for a capacity bound: the
+       lanes could land anywhere, so assume no line sharing. *)
+    warp_size
   | Affine.Affine a ->
     (* enumerate the addresses of warp 0 of block 0 at iteration 0; only
        lane-to-lane distances matter, so this is representative of every
        aligned warp *)
-    let lines = ref [] in
+    let lines = Array.make warp_size 0 in
     for lane = 0 to warp_size - 1 do
       let idx = Affine.eval_lane a ~bdim_x:block_x ~lane ~base_linear_tid:0 in
       let byte = idx * elem_bytes in
       (* floor toward -inf so negative offsets don't merge spuriously *)
-      let line = if byte >= 0 then byte / line_bytes else ((byte + 1) / line_bytes) - 1 in
-      if not (List.mem line !lines) then lines := line :: !lines
+      lines.(lane) <-
+        (if byte >= 0 then byte / line_bytes else ((byte + 1) / line_bytes) - 1)
     done;
-    List.length !lines
+    (* distinct-count by sorting: O(WS log WS) instead of the former
+       List.mem scan's O(WS^2) *)
+    Array.sort compare lines;
+    let distinct = ref 1 in
+    for i = 1 to warp_size - 1 do
+      if lines.(i) <> lines.(i - 1) then incr distinct
+    done;
+    !distinct
 
 let has_reuse ~line_bytes (access : Analysis.access) =
   match access.Analysis.index with

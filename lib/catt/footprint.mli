@@ -5,7 +5,10 @@
     accesses are counted exactly by enumerating the 32 lane addresses
     (which reduces to Eq. 7's [min(C_tid, warp_size)] for 1-D thread
     blocks and handles multidimensional TBs the way the paper's Section 4.2
-    fallback does); irregular accesses use the conservative [C_tid = 1]. *)
+    fallback does); irregular (data-dependent) accesses are modeled as
+    fully uncoalesced, one request per thread — [warp_size] lines per
+    warp, Section 4.2's treatment of accesses the affine analysis cannot
+    bound. *)
 
 type access_summary = {
   access : Analysis.access;

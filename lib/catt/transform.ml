@@ -56,7 +56,7 @@ let split_loop ~n ~warps_per_tb ~warp_size ~one_dim_block stmt =
 let warp_throttle_plan (k : Ast.kernel) ~plan ~warps_per_tb ~warp_size
     ~one_dim_block =
   let counter = ref 0 in
-  let seen = ref [] in
+  let seen = Hashtbl.create 16 in
   let rec rewrite_block (b : Ast.block) : Ast.block =
     List.concat_map rewrite_stmt b
   and rewrite_stmt (s : Ast.stmt) : Ast.stmt list =
@@ -64,7 +64,7 @@ let warp_throttle_plan (k : Ast.kernel) ~plan ~warps_per_tb ~warp_size
     | Ast.For _ | Ast.While _ -> (
       let id = !counter in
       incr counter;
-      seen := id :: !seen;
+      Hashtbl.replace seen id ();
       match List.assoc_opt id plan with
       | Some n when n > 1 ->
         split_loop ~n ~warps_per_tb ~warp_size ~one_dim_block s
@@ -77,7 +77,7 @@ let warp_throttle_plan (k : Ast.kernel) ~plan ~warps_per_tb ~warp_size
   let body = rewrite_block k.Ast.body in
   List.iter
     (fun (loop_id, _) ->
-      if not (List.mem loop_id !seen) then
+      if not (Hashtbl.mem seen loop_id) then
         invalid_arg
           (Printf.sprintf "Transform.warp_throttle: kernel %s has no loop %d"
              k.Ast.kernel_name loop_id))

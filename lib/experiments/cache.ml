@@ -30,33 +30,59 @@ let dir : string ref = ref (Filename.concat "results" "cache")
 (* ------------------------------------------------------------------ *)
 
 (** Canonical rendering of every configuration field that affects
-    simulation results.  Adding a field to {!Config.t} and forgetting it
-    here would alias distinct configs, so spell all of them out. *)
+    simulation results.  The record is destructured field-by-field with no
+    wildcard, so adding a field to {!Config.t} and forgetting it here is a
+    compile error (warning 9 is fatal in this tree), not a silent aliasing
+    of distinct configs. *)
 let config_fingerprint (c : Config.t) =
+  let {
+    Config.num_sms;
+    warp_size;
+    max_warps_per_sm;
+    max_tbs_per_sm;
+    register_file_bytes;
+    onchip_bytes;
+    smem_carveout_options;
+    line_bytes;
+    l1d_assoc;
+    l1d_mshrs;
+    l2_bytes;
+    l2_assoc;
+    l1d_hit_latency;
+    l2_hit_latency;
+    dram_latency;
+    dram_slot_cycles;
+    alu_latency;
+    lsu_throughput;
+    issue_width;
+    (* trace_cap deliberately excluded: it bounds the Fig. 2 trace ring,
+       which is never cached, and cannot change simulated counters *)
+    trace_cap = _;
+  } =
+    c
+  in
   String.concat ";"
     [
-      Printf.sprintf "num_sms=%d" c.Config.num_sms;
-      Printf.sprintf "warp_size=%d" c.Config.warp_size;
-      Printf.sprintf "max_warps_per_sm=%d" c.Config.max_warps_per_sm;
-      Printf.sprintf "max_tbs_per_sm=%d" c.Config.max_tbs_per_sm;
-      Printf.sprintf "register_file_bytes=%d" c.Config.register_file_bytes;
-      Printf.sprintf "onchip_bytes=%d" c.Config.onchip_bytes;
+      Printf.sprintf "num_sms=%d" num_sms;
+      Printf.sprintf "warp_size=%d" warp_size;
+      Printf.sprintf "max_warps_per_sm=%d" max_warps_per_sm;
+      Printf.sprintf "max_tbs_per_sm=%d" max_tbs_per_sm;
+      Printf.sprintf "register_file_bytes=%d" register_file_bytes;
+      Printf.sprintf "onchip_bytes=%d" onchip_bytes;
       Printf.sprintf "smem_carveout_options=%s"
-        (String.concat "," (List.map string_of_int c.Config.smem_carveout_options));
-      Printf.sprintf "line_bytes=%d" c.Config.line_bytes;
-      Printf.sprintf "l1d_assoc=%d" c.Config.l1d_assoc;
-      Printf.sprintf "l1d_mshrs=%d" c.Config.l1d_mshrs;
-      Printf.sprintf "l2_bytes=%d" c.Config.l2_bytes;
-      Printf.sprintf "l2_assoc=%d" c.Config.l2_assoc;
-      Printf.sprintf "l1d_hit_latency=%d" c.Config.l1d_hit_latency;
-      Printf.sprintf "l2_hit_latency=%d" c.Config.l2_hit_latency;
-      Printf.sprintf "dram_latency=%d" c.Config.dram_latency;
-      Printf.sprintf "dram_slot_cycles=%d" c.Config.dram_slot_cycles;
-      Printf.sprintf "alu_latency=%d" c.Config.alu_latency;
-      Printf.sprintf "lsu_throughput=%d" c.Config.lsu_throughput;
-      Printf.sprintf "issue_width=%d" c.Config.issue_width;
-      (* trace_cap deliberately omitted: it bounds the Fig. 2 trace ring,
-         which is never cached, and cannot change simulated counters *)
+        (String.concat "," (List.map string_of_int smem_carveout_options));
+      Printf.sprintf "line_bytes=%d" line_bytes;
+      Printf.sprintf "l1d_assoc=%d" l1d_assoc;
+      Printf.sprintf "l1d_mshrs=%d" l1d_mshrs;
+      Printf.sprintf "l2_bytes=%d" l2_bytes;
+      Printf.sprintf "l2_assoc=%d" l2_assoc;
+      Printf.sprintf "l1d_hit_latency=%d" l1d_hit_latency;
+      Printf.sprintf "l2_hit_latency=%d" l2_hit_latency;
+      Printf.sprintf "dram_latency=%d" dram_latency;
+      Printf.sprintf "dram_slot_cycles=%d" dram_slot_cycles;
+      Printf.sprintf "alu_latency=%d" alu_latency;
+      Printf.sprintf "lsu_throughput=%d" lsu_throughput;
+      Printf.sprintf "issue_width=%d" issue_width;
     ]
 
 let key cfg ~workload ~scheme ~seed =

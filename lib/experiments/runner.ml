@@ -254,7 +254,7 @@ let geometry_of_kernel (w : Workloads.Workload.t) name =
   | Some l -> Workloads.Workload.geometry_of l
   | None -> invalid_arg (Printf.sprintf "kernel %s is never launched" name)
 
-let run_uncached ?(trace = false) ?(profile = false) cfg
+let run_uncached ?(trace = false) ?(profile = false) ?on_device cfg
     (w : Workloads.Workload.t) scheme =
   let kernels = Workloads.Workload.kernels w in
   (* one collector per kernel name: repeated launches of the same kernel
@@ -345,6 +345,9 @@ let run_uncached ?(trace = false) ?(profile = false) cfg
             ])
     w.Workloads.Workload.launches;
   let kernels_stats = List.map snd !acc in
+  (* observe the final device state (e.g. digest the memory image for the
+     golden-grid bit-identity snapshots) before it goes out of scope *)
+  (match on_device with Some f -> f dev | None -> ());
   Ok
     {
       workload = w.Workloads.Workload.name;

@@ -59,6 +59,10 @@ end
 
 type t = {
   num_sets : int;
+  sets_shift : int;
+      (* log2 num_sets when num_sets is a power of two, else -1: lets the
+         XOR-fold below run on shifts and masks instead of four integer
+         divisions (every probe and every fill computes a set index) *)
   assoc : int;
   line_bytes : int;
   mshrs : int;
@@ -76,8 +80,15 @@ let create ~bytes ~assoc ~line_bytes ~mshrs =
   if line_bytes <= 0 then invalid_arg "Cache.create: line_bytes must be positive";
   let num_sets = max 1 (bytes / (assoc * line_bytes)) in
   let ways = num_sets * assoc in
+  let sets_shift =
+    if num_sets land (num_sets - 1) = 0 then
+      let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+      log2 num_sets 0
+    else -1
+  in
   {
     num_sets;
+    sets_shift;
     assoc;
     line_bytes;
     mshrs = max 1 mshrs;
@@ -96,12 +107,18 @@ let lines t = t.num_sets * t.assoc
    into a couple of sets and conflict-thrash even when the working set is
    far below capacity, defeating any capacity-based reasoning. *)
 let set_of t line =
-  let folded =
-    line
-    lxor (line / t.num_sets)
-    lxor (line / t.num_sets / t.num_sets)
-  in
-  (folded mod t.num_sets + t.num_sets) mod t.num_sets
+  if t.sets_shift >= 0 && line >= 0 then
+    (* same fold, on shifts: for non-negative [line] and power-of-two set
+       counts, [lsr]/[land] compute exactly what the divisions below do *)
+    let n = t.sets_shift in
+    (line lxor (line lsr n) lxor (line lsr (2 * n))) land (t.num_sets - 1)
+  else
+    let folded =
+      line
+      lxor (line / t.num_sets)
+      lxor (line / t.num_sets / t.num_sets)
+    in
+    (folded mod t.num_sets + t.num_sets) mod t.num_sets
 
 let find_way t line =
   let base = set_of t line * t.assoc in
@@ -133,33 +150,58 @@ let victim_slot t line =
 
 let set_index t line = set_of t line
 
-let access ?on_evict t ~now ~line ~miss_ready =
+(* The hot-path protocol: the caller drives the miss sequence itself
+   instead of passing a [miss_ready] closure, and the probe result packs
+   (arrival, hit-or-pending) into one immediate int — no tuple, no
+   closure, nothing allocated per transaction.  [access] below keeps the
+   original all-in-one semantics as a thin composition of these. *)
+
+let probe_miss = -1
+
+let probe t ~now ~line =
   let slot = find_way t line in
-  if slot >= 0 then begin
+  if slot < 0 then probe_miss
+  else begin
     touch t slot;
     let arrival = t.data_ready.(slot) in
-    if arrival > now then (arrival, Pending_hit) else (now, Hit)
+    if arrival > now then (arrival lsl 1) lor 1 else now lsl 1
   end
+
+let probe_arrival r = r lsr 1
+let probe_pending r = r land 1 <> 0
+
+let miss_issue t ~now =
+  Heap.drain_until t.inflight now;
+  (* structural hazard: a full MSHR file delays the issue *)
+  if Heap.size t.inflight >= t.mshrs then begin
+    let wake = Heap.peek t.inflight in
+    Heap.drain_until t.inflight wake;
+    max now wake
+  end
+  else now
+
+let evict_victim t ~line = t.tags.(victim_slot t line)
+
+let fill t ~line ~ready =
+  let slot = victim_slot t line in
+  t.tags.(slot) <- line;
+  t.data_ready.(slot) <- ready;
+  touch t slot;
+  Heap.push t.inflight ready
+
+let access ?on_evict t ~now ~line ~miss_ready =
+  let r = probe t ~now ~line in
+  if r <> probe_miss then
+    if probe_pending r then (probe_arrival r, Pending_hit) else (now, Hit)
   else begin
-    Heap.drain_until t.inflight now;
-    (* structural hazard: a full MSHR file delays the issue *)
-    let issue =
-      if Heap.size t.inflight >= t.mshrs then begin
-        let wake = Heap.peek t.inflight in
-        Heap.drain_until t.inflight wake;
-        max now wake
-      end
-      else now
-    in
+    let issue = miss_issue t ~now in
     let ready = miss_ready ~issue in
-    let slot = victim_slot t line in
     (match on_evict with
-    | Some f when t.tags.(slot) <> -1 -> f ~set:(set_of t line) ~line:t.tags.(slot)
-    | _ -> ());
-    t.tags.(slot) <- line;
-    t.data_ready.(slot) <- ready;
-    touch t slot;
-    Heap.push t.inflight ready;
+    | Some f ->
+      let victim = evict_victim t ~line in
+      if victim <> -1 then f ~set:(set_of t line) ~line:victim
+    | None -> ());
+    fill t ~line ~ready;
     (ready, Miss)
   end
 

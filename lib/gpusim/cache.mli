@@ -23,6 +23,50 @@ val lines : t -> int
 val set_index : t -> int -> int
 (** The set a line index maps to (XOR-folded; see implementation note). *)
 
+(** {2 Allocation-free probe/fill protocol}
+
+    The simulator's load path issues millions of transactions per cell; the
+    closure-and-tuple shape of {!access} allocates on every one.  The split
+    protocol below packs the probe result into an immediate int and leaves
+    the miss sequencing to the caller:
+
+    {[
+      let r = Cache.probe c ~now ~line in
+      if r <> Cache.probe_miss then (* Cache.probe_arrival r, pending? *)
+      else
+        let issue = Cache.miss_issue c ~now in
+        (* ... compute [ready] from the next level ... *)
+        Cache.fill c ~line ~ready
+    ]}
+
+    The sequence must mirror {!access}: probe, then on a miss [miss_issue]
+    {e before} the next level is consulted (the MSHR hazard delays the
+    issue), then [fill] once the fill time is known. *)
+
+val probe_miss : int
+(** Probe result denoting a miss (no state was changed beyond LRU). *)
+
+val probe : t -> now:int -> line:int -> int
+(** Tag lookup.  Returns {!probe_miss}, or a packed hit result: the line's
+    LRU position refreshes, {!probe_arrival} gives the consume cycle and
+    {!probe_pending} whether the fill is still in flight. *)
+
+val probe_arrival : int -> int
+val probe_pending : int -> bool
+
+val miss_issue : t -> now:int -> int
+(** The cycle a miss detected at [now] actually issues: [now], delayed
+    while every MSHR is occupied.  Retires completed fills as a side
+    effect; call exactly once per miss. *)
+
+val evict_victim : t -> line:int -> int
+(** The tag {!fill} on [line] would displace, [-1] when an invalid way
+    will absorb it (profiling hook; read-only). *)
+
+val fill : t -> line:int -> ready:int -> unit
+(** Install [line] over the victim way with its data arriving at [ready]
+    and occupy an MSHR until then. *)
+
 val access :
   ?on_evict:(set:int -> line:int -> unit) ->
   t -> now:int -> line:int -> miss_ready:(issue:int -> int) -> int * outcome

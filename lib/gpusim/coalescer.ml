@@ -1,15 +1,67 @@
-(* Warps are at most 32 lanes, so a small association list beats hashing. *)
+(* Warps are at most 32 lanes; dedup works directly on the caller's
+   buffer, so the hot path allocates nothing.
 
-let lines ~line_bytes ~addrs ~mask =
-  let acc = ref [] in
+   The common case — an affine index expression — produces addresses that
+   are monotone in the lane id, so their line indices arrive in
+   non-decreasing order.  As long as that holds, a new line only needs
+   comparing against the last one emitted (O(1) per lane); the first
+   out-of-order line drops the fast path and later lanes fall back to a
+   linear scan of the lines emitted so far (O(count), count <= 32).
+   Either way the buffer keeps first-touch order, which callers rely on:
+   transactions issue in this order and timing depends on it. *)
+
+let into ~line_bytes ~addrs ~mask ~buf =
   let n = Array.length addrs in
+  (* line sizes are powers of two in every real configuration: divide by
+     shifting (addresses are non-negative, so lsr agrees with /) instead
+     of paying an integer division per lane per memory instruction *)
+  let shift =
+    if line_bytes land (line_bytes - 1) = 0 then
+      let rec log2 v acc = if v <= 1 then acc else log2 (v lsr 1) (acc + 1) in
+      log2 line_bytes 0
+    else -1
+  in
+  let count = ref 0 in
+  let mono = ref true in
+  (* invariant: [mono] implies buf.(0 .. count-1) is strictly increasing *)
   for lane = 0 to n - 1 do
     if mask land (1 lsl lane) <> 0 then begin
-      let line = addrs.(lane) / line_bytes in
-      if not (List.mem line !acc) then acc := line :: !acc
+      let addr = addrs.(lane) in
+      let line =
+        if shift >= 0 && addr >= 0 then addr lsr shift else addr / line_bytes
+      in
+      if !count = 0 then begin
+        buf.(0) <- line;
+        count := 1
+      end
+      else begin
+        let last = buf.(!count - 1) in
+        if line <> last then
+          if !mono && line > last then begin
+            buf.(!count) <- line;
+            incr count
+          end
+          else begin
+            let dup = ref false in
+            for i = 0 to !count - 1 do
+              if buf.(i) = line then dup := true
+            done;
+            if not !dup then begin
+              buf.(!count) <- line;
+              incr count;
+              mono := false
+            end
+          end
+      end
     end
   done;
-  List.rev !acc
+  !count
+
+let lines ~line_bytes ~addrs ~mask =
+  let buf = Array.make (max 1 (Array.length addrs)) 0 in
+  let count = into ~line_bytes ~addrs ~mask ~buf in
+  Array.to_list (Array.sub buf 0 count)
 
 let count ~line_bytes ~addrs ~mask =
-  List.length (lines ~line_bytes ~addrs ~mask)
+  let buf = Array.make (max 1 (Array.length addrs)) 0 in
+  into ~line_bytes ~addrs ~mask ~buf

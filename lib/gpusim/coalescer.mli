@@ -7,10 +7,16 @@
     coalesced accesses give 1 line, fully divergent ones give up to
     [warp_size] lines. *)
 
+val into : line_bytes:int -> addrs:int array -> mask:int -> buf:int array -> int
+(** [into ~line_bytes ~addrs ~mask ~buf] writes the distinct line indices
+    touched by lanes whose bit is set in [mask] into [buf] (which must hold
+    at least [Array.length addrs] entries) in first-touch order and returns
+    how many were written.  Allocation-free; affine (lane-monotone) address
+    patterns dedup in O(lanes).  [addrs.(lane)] is a byte address and is
+    ignored for inactive lanes. *)
+
 val lines : line_bytes:int -> addrs:int array -> mask:int -> int list
-(** [lines ~line_bytes ~addrs ~mask] returns the distinct line indices
-    touched by lanes whose bit is set in [mask], in first-touch order.
-    [addrs.(lane)] is a byte address and is ignored for inactive lanes. *)
+(** [into] against a fresh buffer, as a list (tests, static analysis). *)
 
 val count : line_bytes:int -> addrs:int array -> mask:int -> int
-(** [List.length (lines …)] without building the list. *)
+(** Number of distinct lines, without keeping them. *)

@@ -31,6 +31,11 @@ let get dev name =
   | Some arr -> arr
   | None -> launch_error "no device array named %s" name
 
+let arrays dev =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun name data acc -> (name, data) :: acc) dev.memory [])
+
 let free_all dev = Hashtbl.reset dev.memory
 
 let flush_caches dev = Cache.flush dev.l2
@@ -278,30 +283,49 @@ let launch dev l =
         end)
       sms
   done;
-  (* event loop: always step the SM whose next issue is earliest *)
-  let rec run () =
-    let best = ref None in
-    Array.iter
-      (fun sm ->
-        if Sm.has_warps sm then
-          match Sm.next_event sm with
-          | Some t ->
-            let at = max t sm.Sm.now in
-            (match !best with
-            | Some (_, best_at) when best_at <= at -> ()
-            | _ -> best := Some (sm, at))
-          | None ->
-            Sm.sim_error "kernel %s: barrier deadlock on SM %d"
-              l.prog.Bytecode.name sm.Sm.id)
-      sms;
-    match !best with
-    | None -> ()  (* all SMs drained *)
-    | Some (sm, _) ->
-      ignore (Sm.step sm);
-      refill sm;
-      run ()
+  (* event loop: always step the SM whose next issue is earliest.  Each
+     SM's next-event time is cached and recomputed only after that SM
+     steps (and is refilled): stepping one SM cannot change another's
+     ready times — warps, barriers and throttle controllers are all
+     per-SM state, and the shared L2/DRAM only affect transaction times
+     computed at issue.  The argmin scan is a flat int-array walk, first
+     index on ties, exactly the order the unfused scan visited. *)
+  let num_sms = Array.length sms in
+  let next_at = Array.make num_sms max_int in
+  let refresh i =
+    let sm = sms.(i) in
+    if Sm.has_warps sm then begin
+      let t = Sm.next_event sm in
+      if t = max_int then
+        Sm.sim_error "kernel %s: barrier deadlock on SM %d"
+          l.prog.Bytecode.name sm.Sm.id;
+      next_at.(i) <- t  (* already clamped to the SM's clock *)
+    end
+    else next_at.(i) <- max_int  (* drained *)
   in
-  run ();
+  for i = 0 to num_sms - 1 do
+    refresh i
+  done;
+  let running = ref true in
+  while !running do
+    let best = ref (-1) in
+    let best_at = ref max_int in
+    for i = 0 to num_sms - 1 do
+      if next_at.(i) < !best_at then begin
+        best := i;
+        best_at := next_at.(i)
+      end
+    done;
+    if !best < 0 then running := false  (* all SMs drained *)
+    else begin
+      let sm = sms.(!best) in
+      (* the argmin already knows this SM's next event time: stepping at
+         it skips a second scheduler scan inside [Sm.step] *)
+      ignore (Sm.step_at sm ~t:!best_at);
+      refill sm;
+      refresh !best
+    end
+  done;
   assert (!next_tb = total_tbs);
   stats.Stats.cycles <-
     Array.fold_left (fun acc sm -> max acc sm.Sm.now) 0 sms;

@@ -28,6 +28,10 @@ val get : device -> string -> float array
 (** The live device array (no copy) — read results directly, mutate to
     re-initialize between runs. *)
 
+val arrays : device -> (string * float array) list
+(** Every live device array (no copies), sorted by name — the whole final
+    memory image, e.g. for bit-identity digests. *)
+
 val free_all : device -> unit
 
 val flush_caches : device -> unit

@@ -30,9 +30,13 @@ let gate (geo : Geom.t) ~(original : Ast.kernel) ~(transformed : Ast.kernel) :
   else begin
     let before = check_kernel geo original in
     let after = check_kernel geo transformed in
-    let seen = List.map Diag.key before in
+    (* membership by hash set, not List.mem: rewrites duplicate statements
+       into guarded phases, so [after] can be quadratically larger than the
+       original's diagnostic set *)
+    let seen = Hashtbl.create 16 in
+    List.iter (fun d -> Hashtbl.replace seen (Diag.key d) ()) before;
     match
-      List.filter (fun d -> not (List.mem (Diag.key d) seen)) after
+      List.filter (fun d -> not (Hashtbl.mem seen (Diag.key d))) after
     with
     | [] -> Ok ()
     | fresh -> Error (Diag.sort fresh)

@@ -7,6 +7,8 @@
 
 let () =
   match Sys.getenv_opt "GOLDEN_REGEN" with
-  | Some dir -> Test_profile.regen_goldens dir
+  | Some dir ->
+    Test_profile.regen_goldens dir;
+    Test_differential.regen_golden_grid dir
   | None ->
     Alcotest.run "catt-profile" (Test_profile.tests @ Test_differential.tests)

@@ -182,13 +182,43 @@ let test_req_warp_eq7 () =
   Alcotest.(check int) "C_tid=8 -> 8 (paper example)" 8 (req (with_ctid 8));
   Alcotest.(check int) "C_tid=32 -> 32" 32 (req (with_ctid 32));
   Alcotest.(check int) "C_tid=4096 -> 32 (clamped)" 32 (req (with_ctid 4096));
-  Alcotest.(check int) "irregular -> 1 (conservative)" 1 (req Affine.Unknown)
+  (* Section 4.2: irregular accesses are fully uncoalesced — one request
+     per *thread*, not per warp (the old value 1 was maximally optimistic
+     and let irregular CS kernels escape throttling) *)
+  Alcotest.(check int) "irregular -> warp_size (uncoalesced)" 32
+    (req Affine.Unknown);
+  Alcotest.(check int) "irregular scales with warp_size" 16
+    (Footprint.req_warp ~line_bytes:128 ~warp_size:16 ~block_x:256
+       Affine.Unknown)
 
 let test_req_warp_2d_block () =
   (* 16-wide block: a warp spans ty∈{0,1}; index c_ty*M reaches 2 rows *)
   let a = { (Affine.const 0) with Affine.c_ty = 4096 } in
   Alcotest.(check int) "2 lines for 2 rows" 2
     (Footprint.req_warp ~line_bytes:128 ~warp_size:32 ~block_x:16 (Affine.Affine a))
+
+(* Negative offsets and strides through the sorted-dedup path.  elem = 4B,
+   line = 128B, so 32 elements per line and index -32 is exactly
+   byte = -line_bytes — the floor-division edge where truncating division
+   would merge or split lines spuriously. *)
+let test_req_warp_negative_offsets () =
+  let aff ?(const = 0) c = Affine.Affine { (Affine.const const) with Affine.c_tx = c } in
+  (* idx -32..-1: bytes -128..-4 all live in line -1 (floor, not truncate:
+     truncation maps byte -4 to line 0 and would count 2 lines) *)
+  Alcotest.(check int) "[-line_bytes, 0) is one line" 1 (req (aff ~const:(-32) 1));
+  (* idx -1..30 straddles byte 0: lines {-1, 0} must stay distinct
+     (truncation folds byte -4 into line 0 and undercounts to 1) *)
+  Alcotest.(check int) "straddling zero -> 2 lines" 2 (req (aff ~const:(-1) 1));
+  (* all lanes at the same negative address *)
+  Alcotest.(check int) "uniform negative -> 1 line" 1 (req (aff ~const:(-32) 0));
+  (* negative unit stride mirrors the positive one: idx 0..-31 touches
+     lines {0, -1} *)
+  Alcotest.(check int) "stride -1 from 0 -> 2 lines" 2 (req (aff (-1)));
+  (* one line per lane in either direction *)
+  Alcotest.(check int) "stride -32 fully diverges" 32 (req (aff (-32)));
+  (* bytes 0, -32, ..., -992: one more line than the positive mirror
+     because byte 0 sits on a boundary and byte -32 is already line -1 *)
+  Alcotest.(check int) "stride -8 -> 9 lines" 9 (req (aff (-8)))
 
 let test_reuse_eq6 () =
   let access coeff =
@@ -309,10 +339,52 @@ let test_throttle_tb_level () =
   Alcotest.(check int) "2 TBs" 2 d.Throttle.active_tbs
 
 let test_throttle_unresolvable () =
-  (* > 256 lines for a single warp: the CORR case *)
+  (* > 256 lines for a single warp: the CORR case.  The "even one warp
+     thrashes" fallback must hand back the exact baseline TLP, not a
+     half-applied split. *)
   let d = decide ~l1d:(32 * 1024) 300 in
   Alcotest.(check bool) "unresolved" false d.Throttle.resolved;
-  Alcotest.(check bool) "left untouched" false d.Throttle.throttled
+  Alcotest.(check bool) "left untouched" false d.Throttle.throttled;
+  Alcotest.(check int) "n back to 1" 1 d.Throttle.n;
+  Alcotest.(check int) "m back to 0" 0 d.Throttle.m;
+  Alcotest.(check int) "baseline warps" 8 d.Throttle.active_warps_per_tb;
+  Alcotest.(check int) "baseline TBs" 4 d.Throttle.active_tbs
+
+let test_throttle_single_warp_tbs () =
+  (* warps_per_tb = 1: no divisor > 1 exists, so phase 1 can never fire
+     and contention goes straight to the TB phase *)
+  let d = decide ~l1d:(32 * 1024) ~warps:1 ~tbs:4 100 in
+  (* 100 lines x 4 TBs = 400 > 256; 2 TBs = 200 fits -> m = 2 *)
+  Alcotest.(check bool) "throttled" true d.Throttle.throttled;
+  Alcotest.(check bool) "resolved" true d.Throttle.resolved;
+  Alcotest.(check int) "m" 2 d.Throttle.m;
+  Alcotest.(check int) "2 TBs" 2 d.Throttle.active_tbs;
+  Alcotest.(check int) "1 warp" 1 d.Throttle.active_warps_per_tb;
+  (* and a fitting footprint is simply left alone *)
+  let d = decide ~l1d:(32 * 1024) ~warps:1 ~tbs:4 10 in
+  Alcotest.(check bool) "fits untouched" false d.Throttle.throttled
+
+let test_throttle_single_tb () =
+  (* tbs = 1: the TB phase has no room (m ranges over 1..tbs-1 = empty),
+     so either a warp split resolves it or nothing does *)
+  let d = decide ~l1d:(32 * 1024) ~warps:8 ~tbs:1 100 in
+  (* 100 lines: 8 warps = 800 > 256; n=4 -> 2 warps -> 200 fits *)
+  Alcotest.(check int) "n" 4 d.Throttle.n;
+  Alcotest.(check int) "m" 0 d.Throttle.m;
+  Alcotest.(check bool) "resolved" true d.Throttle.resolved;
+  (* too big for even one warp: unresolved, baseline kept *)
+  let d = decide ~l1d:(32 * 1024) ~warps:8 ~tbs:1 300 in
+  Alcotest.(check bool) "unresolved" false d.Throttle.resolved;
+  Alcotest.(check bool) "untouched" false d.Throttle.throttled;
+  Alcotest.(check int) "baseline TB kept" 1 d.Throttle.active_tbs
+
+let test_throttle_single_warp_single_tb () =
+  (* (1,1) is the floor of the search space: any overflow is unresolved *)
+  let d = decide ~l1d:(32 * 1024) ~warps:1 ~tbs:1 300 in
+  Alcotest.(check bool) "unresolved" false d.Throttle.resolved;
+  Alcotest.(check bool) "untouched" false d.Throttle.throttled;
+  Alcotest.(check int) "1 warp" 1 d.Throttle.active_warps_per_tb;
+  Alcotest.(check int) "1 TB" 1 d.Throttle.active_tbs
 
 let test_throttle_divisors () =
   Alcotest.(check (list int)) "8" [ 1; 2; 4; 8 ] (Throttle.divisors 8);
@@ -525,6 +597,8 @@ let tests =
       [
         Alcotest.test_case "REQ_warp (Eq. 7)" `Quick test_req_warp_eq7;
         Alcotest.test_case "REQ_warp 2-D block" `Quick test_req_warp_2d_block;
+        Alcotest.test_case "REQ_warp negative offsets" `Quick
+          test_req_warp_negative_offsets;
         Alcotest.test_case "reuse (Eq. 6)" `Quick test_reuse_eq6;
         Alcotest.test_case "ATAX footprint (Eq. 8)" `Quick test_footprint_atax;
       ] );
@@ -542,6 +616,9 @@ let tests =
         Alcotest.test_case "ATAX factors" `Quick test_throttle_atax_paper_numbers;
         Alcotest.test_case "TB-level (Eq. 9 phase 2)" `Quick test_throttle_tb_level;
         Alcotest.test_case "unresolvable (CORR)" `Quick test_throttle_unresolvable;
+        Alcotest.test_case "single-warp TBs" `Quick test_throttle_single_warp_tbs;
+        Alcotest.test_case "single TB" `Quick test_throttle_single_tb;
+        Alcotest.test_case "(1,1) floor" `Quick test_throttle_single_warp_single_tb;
         Alcotest.test_case "divisors" `Quick test_throttle_divisors;
         QCheck_alcotest.to_alcotest prop_throttle_result_fits;
       ] );

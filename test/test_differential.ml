@@ -186,11 +186,60 @@ let prop_profiling_deterministic =
       if a <> b then QCheck.Test.fail_report "profile JSON diverged";
       true)
 
+(* ------------------------------------------------------------------ *)
+(* Golden grid: bit-identity of the full evaluation grid               *)
+(* ------------------------------------------------------------------ *)
+
+(* The QCheck properties above prove profiling is pure on random kernels;
+   the golden grid pins the absolute semantics of the real evaluation:
+   every (workload, scheme) cell's stats, profiles and final memory must
+   digest to exactly the committed snapshot.  A hot-path optimization that
+   changes any counter, any profile bucket or any output bit fails here. *)
+
+let golden_grid_path = Filename.concat "golden_profiles" "golden_grid.json"
+let golden_grid_cfg () = Experiments.Configs.max_l1d ()
+
+let render_grid () =
+  Json.to_string ~pretty:true
+    (Experiments.Golden_grid.to_json
+       (Experiments.Golden_grid.digests (golden_grid_cfg ())))
+  ^ "\n"
+
+let test_golden_grid () =
+  if not (Sys.file_exists golden_grid_path) then
+    Alcotest.failf "missing golden %s — regenerate (see test_profile.ml)"
+      golden_grid_path;
+  let golden =
+    match
+      Json.of_string
+        (In_channel.with_open_bin golden_grid_path In_channel.input_all)
+    with
+    | Ok j -> (
+      match Experiments.Golden_grid.of_json j with
+      | Ok pairs -> pairs
+      | Error msg -> Alcotest.failf "unreadable golden grid: %s" msg)
+    | Error msg -> Alcotest.failf "unreadable golden grid: %s" msg
+  in
+  let actual = Experiments.Golden_grid.digests (golden_grid_cfg ()) in
+  Alcotest.(check int) "cell count" (List.length golden) (List.length actual);
+  List.iter2
+    (fun (gk, gd) (ak, ad) ->
+      Alcotest.(check string) "cell key order" gk ak;
+      Alcotest.(check string) (gk ^ " digest") gd ad)
+    golden actual
+
+let regen_golden_grid dir =
+  let path = Filename.concat dir "golden_grid.json" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (render_grid ()));
+  Printf.printf "wrote %s\n" path
+
 let tests =
   [
     ( "differential",
       [
         QCheck_alcotest.to_alcotest prop_profiling_pure;
         QCheck_alcotest.to_alcotest prop_profiling_deterministic;
+        Alcotest.test_case "golden grid bit-identity" `Slow test_golden_grid;
       ] );
   ]

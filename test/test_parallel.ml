@@ -167,6 +167,65 @@ let test_scheme_label_round_trip () =
   | Ok _ -> Alcotest.fail "junk must not parse"
   | Error _ -> ()
 
+let test_fingerprint_sensitive_to_every_field () =
+  let base = Gpusim.Config.volta () in
+  let fp = Cache.config_fingerprint base in
+  (* one variant per simulation-relevant field; if the fingerprint misses
+     a field, its variant aliases the base config and this test fails *)
+  let variants =
+    [
+      ("num_sms", { base with Gpusim.Config.num_sms = base.Gpusim.Config.num_sms + 1 });
+      ("warp_size", { base with Gpusim.Config.warp_size = 16 });
+      ( "max_warps_per_sm",
+        { base with Gpusim.Config.max_warps_per_sm = base.Gpusim.Config.max_warps_per_sm + 1 } );
+      ( "max_tbs_per_sm",
+        { base with Gpusim.Config.max_tbs_per_sm = base.Gpusim.Config.max_tbs_per_sm + 1 } );
+      ( "register_file_bytes",
+        { base with Gpusim.Config.register_file_bytes = base.Gpusim.Config.register_file_bytes * 2 } );
+      ( "onchip_bytes",
+        { base with Gpusim.Config.onchip_bytes = base.Gpusim.Config.onchip_bytes * 2 } );
+      ( "smem_carveout_options",
+        { base with Gpusim.Config.smem_carveout_options = [ 0 ] } );
+      ("line_bytes", { base with Gpusim.Config.line_bytes = 64 });
+      ("l1d_assoc", { base with Gpusim.Config.l1d_assoc = base.Gpusim.Config.l1d_assoc * 2 });
+      ("l1d_mshrs", { base with Gpusim.Config.l1d_mshrs = base.Gpusim.Config.l1d_mshrs + 1 });
+      ("l2_bytes", { base with Gpusim.Config.l2_bytes = base.Gpusim.Config.l2_bytes * 2 });
+      ("l2_assoc", { base with Gpusim.Config.l2_assoc = base.Gpusim.Config.l2_assoc * 2 });
+      ( "l1d_hit_latency",
+        { base with Gpusim.Config.l1d_hit_latency = base.Gpusim.Config.l1d_hit_latency + 1 } );
+      ( "l2_hit_latency",
+        { base with Gpusim.Config.l2_hit_latency = base.Gpusim.Config.l2_hit_latency + 1 } );
+      ( "dram_latency",
+        { base with Gpusim.Config.dram_latency = base.Gpusim.Config.dram_latency + 1 } );
+      ( "dram_slot_cycles",
+        { base with Gpusim.Config.dram_slot_cycles = base.Gpusim.Config.dram_slot_cycles + 1 } );
+      ( "alu_latency",
+        { base with Gpusim.Config.alu_latency = base.Gpusim.Config.alu_latency + 1 } );
+      ( "lsu_throughput",
+        { base with Gpusim.Config.lsu_throughput = base.Gpusim.Config.lsu_throughput + 1 } );
+      ( "issue_width",
+        { base with Gpusim.Config.issue_width = base.Gpusim.Config.issue_width + 1 } );
+    ]
+  in
+  List.iter
+    (fun (field, variant) ->
+      Alcotest.(check bool)
+        (field ^ " changes the fingerprint")
+        false
+        (String.equal fp (Cache.config_fingerprint variant)))
+    variants;
+  (* all variants must also be pairwise distinct: a field rendered into
+     the wrong slot would collide with another variant, not the base *)
+  let fps = fp :: List.map (fun (_, v) -> Cache.config_fingerprint v) variants in
+  Alcotest.(check int)
+    "fingerprints pairwise distinct" (List.length fps)
+    (List.length (List.sort_uniq compare fps));
+  (* trace_cap only bounds the (never-cached) trace ring *)
+  Alcotest.(check string)
+    "trace_cap does not invalidate" fp
+    (Cache.config_fingerprint
+       { base with Gpusim.Config.trace_cap = base.Gpusim.Config.trace_cap + 1 })
+
 let with_temp_cache f =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -252,6 +311,8 @@ let tests =
         Alcotest.test_case "JSON round trip" `Quick test_json_round_trip;
         Alcotest.test_case "round trip through text" `Quick test_json_round_trip_through_text;
         Alcotest.test_case "scheme labels round trip" `Quick test_scheme_label_round_trip;
+        Alcotest.test_case "fingerprint covers every field" `Quick
+          test_fingerprint_sensitive_to_every_field;
         Alcotest.test_case "second run hits cache" `Quick test_warm_second_run_hits_cache;
         Alcotest.test_case "corrupt entry recomputed" `Quick test_corrupt_cache_entry_is_recomputed;
       ] );

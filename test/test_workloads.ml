@@ -86,8 +86,9 @@ let test_catt_speeds_up_divergent_cs () =
         (catt.Experiments.Runner.total_cycles < base.Experiments.Runner.total_cycles))
     [ "ATAX"; "BICG"; "GSMV"; "KM"; "PF" ]
 
-(* irregular workloads keep their TLP (paper Sec. 4.2 conservatism) *)
-let test_catt_preserves_irregular () =
+(* unresolvable contention keeps baseline TLP: CORR's footprint cannot be
+   made to fit even at minimum TLP, so CATT must leave it alone *)
+let test_catt_preserves_unresolved () =
   List.iter
     (fun name ->
       let w = Workloads.Registry.find name in
@@ -95,7 +96,38 @@ let test_catt_preserves_irregular () =
       let catt = run_scheme w Experiments.Runner.Catt in
       Alcotest.(check int) (name ^ " untouched")
         base.Experiments.Runner.total_cycles catt.Experiments.Runner.total_cycles)
-    [ "BFS"; "CFD"; "CORR" ]
+    [ "CORR" ]
+
+(* Regression for the Eq. 7 irregular-access undercount: with irregular
+   accesses modeled as one request per *warp* (the old bug), BFS and CFD
+   footprints looked tiny and CATT left them at full TLP.  The corrected
+   uncoalesced model (warp_size requests per warp) must produce an actual
+   throttling decision for these irregular CS kernels. *)
+let test_catt_throttles_irregular () =
+  List.iter
+    (fun (name, kernel_name) ->
+      let w = Workloads.Registry.find name in
+      let r = run_scheme w Experiments.Runner.Catt in
+      let t = List.assoc kernel_name r.Experiments.Runner.catt_analyses in
+      let throttled =
+        List.exists
+          (fun (l : Catt.Driver.loop_decision) ->
+            l.Catt.Driver.decision.Catt.Throttle.throttled)
+          t.Catt.Driver.loops
+      in
+      Alcotest.(check bool) (name ^ "/" ^ kernel_name ^ " throttled") true
+        throttled;
+      Alcotest.(check bool)
+        (name ^ " TLP below baseline") true
+        (List.exists
+           (fun (l : Catt.Driver.loop_decision) ->
+             Catt.Driver.selected_tlp t
+               ~loop_id:
+                 l.Catt.Driver.footprint.Catt.Footprint.loop
+                   .Catt.Analysis.loop_id
+             < t.Catt.Driver.baseline_tlp)
+           t.Catt.Driver.loops))
+    [ ("BFS", "bfs_expand"); ("CFD", "cfd_compute_flux") ]
 
 (* --------------------------- Microbench ---------------------------- *)
 
@@ -170,7 +202,8 @@ let tests =
       [
         Alcotest.test_case "CATT leaves CI alone" `Quick test_catt_leaves_ci_alone;
         Alcotest.test_case "CATT speeds up divergent CS" `Quick test_catt_speeds_up_divergent_cs;
-        Alcotest.test_case "irregular preserved" `Quick test_catt_preserves_irregular;
+        Alcotest.test_case "unresolved preserved" `Quick test_catt_preserves_unresolved;
+        Alcotest.test_case "irregular now throttled" `Quick test_catt_throttles_irregular;
       ] );
     ( "workloads.microbench",
       [
