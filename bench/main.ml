@@ -268,6 +268,20 @@ let profiler_overhead_report () =
   Printf.printf "  disabled-profiler overhead <= 5%%: %s\n"
     (if disabled_overhead <= 5. then "PASS" else "FAIL")
 
+(* Same A/A protocol for the obs span-tracing subsystem: the guarded
+   hooks threaded through the driver, runner and simulator must cost
+   nothing measurable while [Obs.Span.enabled] is false. *)
+let obs_overhead_report () =
+  let module B = Experiments.Bench_core in
+  let o = B.obs_overhead () in
+  Printf.printf "\nobs (span tracing) overhead (bench_div, A/A batches):\n";
+  Printf.printf "  disabled A/B batches: %.2f ms -> %.1f%% apart\n"
+    o.B.disabled_ms o.B.disabled_ab_pct;
+  Printf.printf "  tracing enabled:      %.2f ms -> +%.1f%% vs disabled\n"
+    o.B.enabled_ms o.B.enabled_pct;
+  Printf.printf "  disabled-obs overhead <= 5%%: %s\n"
+    (if o.B.disabled_within_5pct then "PASS" else "FAIL")
+
 let run_benchmarks jobs =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -293,7 +307,8 @@ let run_benchmarks jobs =
      simulated-cycle comparisons between schemes are what bin/experiments\n\
      reports — wall-clock here tracks simulator work, i.e. memory\n\
      transactions, not simulated time)";
-  profiler_overhead_report ()
+  profiler_overhead_report ();
+  obs_overhead_report ()
 
 (* --json: skip the bechamel table and emit the machine-readable
    throughput report (cells/sec + allocation rates per stage) that

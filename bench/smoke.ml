@@ -48,7 +48,26 @@ let () =
         (fun v ->
           if not v.Bench.ok then
             fail "self-comparison regressed at %s" v.Bench.stage_name)
-        verdicts);
-  Printf.printf "bench-smoke: OK (%d gated stages, %d pool stages)\n"
+        verdicts;
+      (* the obs A/A stage must ride along in the report the bench gate
+         reads: spans disabled twice (A/A, <= 5% apart) vs enabled once *)
+      let module J = Gpu_util.Json in
+      let obs = J.member "obs" json in
+      List.iter
+        (fun field ->
+          match J.member_opt field obs with
+          | Some (J.Float _) -> ()
+          | _ -> fail "obs section missing float field %s" field)
+        [ "disabled_ms"; "disabled_ab_pct"; "enabled_ms"; "enabled_pct" ];
+      if not (J.to_bool (J.member "disabled_within_5pct" obs)) then
+        fail "obs disabled-path A/A overhead above 5%%: %.1f%% apart"
+          r.Bench.obs.Bench.disabled_ab_pct;
+      if not r.Bench.obs.Bench.disabled_within_5pct then
+        fail "obs report/JSON verdict mismatch");
+  if !Obs.Span.enabled then fail "bench left span tracing enabled";
+  if Obs.Span.finished () <> [] then fail "bench left spans in the sink";
+  Printf.printf
+    "bench-smoke: OK (%d gated stages, %d pool stages, obs A/A %.1f%%)\n"
     (List.length r.Bench.gated)
     (List.length r.Bench.pool)
+    r.Bench.obs.Bench.disabled_ab_pct

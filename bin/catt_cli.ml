@@ -7,7 +7,11 @@
       catt_cli check    FILE --grid … --block … [--strict]   (kernel sanitizer)
       catt_cli disasm   FILE                       (SASS-lite dump)
       catt_cli profile  WORKLOAD [--scheme S] [--onchip KB] [--sms N]
-                                                   (cycle accounting + L1D heat maps)
+                        [--trace-out trace.json]
+                                                   (cycle accounting + L1D heat maps,
+                                                    optional Perfetto timeline export)
+      catt_cli explain  WORKLOAD [--json] [--onchip KB] [--sms N]
+                                                   (CATT decision provenance)
 *)
 
 open Cmdliner
@@ -129,14 +133,49 @@ let disasm_cmd =
   in
   Cmd.v (Cmd.info "disasm" ~doc:"dump SASS-lite bytecode") Term.(const run $ file0)
 
-let profile_cmd =
-  let workload_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"WORKLOAD"
-          ~doc:"registered workload name (e.g. ATAX, GEMM); case-insensitive")
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD"
+        ~doc:"registered workload name (e.g. ATAX, GEMM); case-insensitive")
+
+let find_workload name =
+  match Workloads.Registry.find name with
+  | exception Invalid_argument msg ->
+    prerr_endline msg;
+    exit 2
+  | w -> w
+
+(* Perfetto/Chrome trace-event export: host spans on pid 1, each profiled
+   kernel's per-SM cycle timeline on its own pid (simulated cycles render
+   as microseconds). *)
+let write_trace ~path (r : Experiments.Runner.app_run) =
+  let host =
+    Obs.Trace_event.process_name ~pid:1 "host"
+    :: Obs.Trace_event.of_spans ~pid:1 (Obs.Span.finished ())
   in
+  let sim =
+    List.concat
+      (List.mapi
+         (fun i (ks : Experiments.Runner.kernel_stats) ->
+           match ks.Experiments.Runner.profile with
+           | None -> []
+           | Some p -> (
+             match Profile.Collector.timeline p with
+             | None -> []
+             | Some tl ->
+               let pid = 2 + i in
+               Obs.Trace_event.process_name ~pid
+                 (Printf.sprintf "sim:%s (cycles as us)"
+                    ks.Experiments.Runner.kernel_name)
+               :: Profile.Timeline.to_events tl ~pid))
+         r.Experiments.Runner.kernels)
+  in
+  Obs.Trace_event.write ~path (host @ sim);
+  Printf.printf "wrote %s (open in chrome://tracing or ui.perfetto.dev)\n" path
+
+let profile_cmd =
   let scheme_arg =
     Arg.(
       value & opt string "baseline"
@@ -145,43 +184,85 @@ let profile_cmd =
             "execution scheme to profile: baseline, CATT, fixed(N=..,M=..), \
              dynamic, ccws, daws, swl(..) or bypass")
   in
-  let run name scheme_str onchip sms =
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"PATH"
+          ~doc:
+            "also record host spans and the per-SM warp issue/stall \
+             timeline, and write them as Chrome trace-event JSON loadable \
+             in chrome://tracing or Perfetto")
+  in
+  let run name scheme_str trace_out onchip sms =
     let cfg = config ~onchip_kb:onchip ~sms in
     match Experiments.Runner.scheme_of_string scheme_str with
     | Error msg ->
       prerr_endline msg;
       exit 2
     | Ok scheme -> (
-      match Workloads.Registry.find name with
-      | exception Invalid_argument msg ->
+      let w = find_workload name in
+      let timeline = trace_out <> None in
+      if timeline then Obs.Span.enabled := true;
+      match
+        Experiments.Runner.run_result ~profile:true ~timeline cfg w scheme
+      with
+      | Error msg ->
         prerr_endline msg;
-        exit 2
-      | w -> (
-        match Experiments.Runner.run_result ~profile:true cfg w scheme with
-        | Error msg ->
-          prerr_endline msg;
-          exit 1
-        | Ok r ->
-          Printf.printf "%s, %s scheme, %d total cycles\n"
-            r.Experiments.Runner.workload
-            (Experiments.Runner.scheme_label scheme)
-            r.Experiments.Runner.total_cycles;
-          List.iter
-            (fun (ks : Experiments.Runner.kernel_stats) ->
-              match ks.Experiments.Runner.profile with
-              | Some p ->
-                Printf.printf "\n==== kernel %s ====\n\n%s"
-                  ks.Experiments.Runner.kernel_name
-                  (Profile.Collector.render p)
-              | None -> ())
-            r.Experiments.Runner.kernels))
+        exit 1
+      | Ok r ->
+        Printf.printf "%s, %s scheme, %d total cycles\n"
+          r.Experiments.Runner.workload
+          (Experiments.Runner.scheme_label scheme)
+          r.Experiments.Runner.total_cycles;
+        List.iter
+          (fun (ks : Experiments.Runner.kernel_stats) ->
+            match ks.Experiments.Runner.profile with
+            | Some p ->
+              Printf.printf "\n==== kernel %s ====\n\n%s"
+                ks.Experiments.Runner.kernel_name
+                (Profile.Collector.render p)
+            | None -> ())
+          r.Experiments.Runner.kernels;
+        match trace_out with
+        | Some path -> write_trace ~path r
+        | None -> ())
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "simulate a registered workload with the profiler attached and \
-          render per-SM cycle accounting plus per-array L1D heat maps")
-    Term.(const run $ workload_arg $ scheme_arg $ Cli_common.onchip $ Cli_common.sms)
+          render per-SM cycle accounting plus per-array L1D heat maps; \
+          $(b,--trace-out) additionally exports a Perfetto timeline")
+    Term.(
+      const run $ workload_arg $ scheme_arg $ trace_out_arg $ Cli_common.onchip
+      $ Cli_common.sms)
+
+let explain_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"emit the provenance record as JSON instead of rendering it")
+  in
+  let run name as_json onchip sms =
+    let cfg = config ~onchip_kb:onchip ~sms in
+    let w = find_workload name in
+    if as_json then
+      print_endline
+        (Gpu_util.Json.to_string ~pretty:true
+           (Experiments.Explain.workload_to_json cfg w))
+    else print_string (Experiments.Explain.render cfg w)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "show the provenance of every CATT decision for a registered \
+          workload: per-loop Eq. 8 footprints, the candidate (N, M) \
+          sequence tried against the L1D capacity, and the sanitizer \
+          gate outcome")
+    Term.(
+      const run $ workload_arg $ json_arg $ Cli_common.onchip $ Cli_common.sms)
 
 let bench_cmd =
   let module Bench = Experiments.Bench_core in
@@ -264,5 +345,5 @@ let () =
        (Cmd.group ~default info
           [
             analyze_cmd; transform_cmd; check_cmd; disasm_cmd; profile_cmd;
-            bench_cmd;
+            explain_cmd; bench_cmd;
           ]))

@@ -46,7 +46,23 @@ let run artifact_ids jobs onchip_kb sms no_cache quiet =
   List.iter
     (fun (a : Experiments.Report.artifact) ->
       Printf.printf "==== %s ====\n\n%s\n\n%!" a.title (a.render ()))
-    targets
+    targets;
+  let cs = Experiments.Cache.stats () in
+  Printf.printf
+    "summary: cache %d hits / %d misses / %d evicted / %d stored; %d cells \
+     simulated (%.2f cells/sec)\n"
+    cs.Experiments.Cache.hits cs.Experiments.Cache.misses
+    cs.Experiments.Cache.evictions cs.Experiments.Cache.stores
+    (Obs.Metrics.value (Obs.Metrics.counter "sim.cells"))
+    (let uptime_us =
+       match List.assoc_opt "process.uptime_us" (Obs.Metrics.snapshot ()) with
+       | Some (Obs.Metrics.Count us) -> float_of_int us
+       | _ -> 0.
+     in
+     if uptime_us <= 0. then 0.
+     else
+       float_of_int (Obs.Metrics.value (Obs.Metrics.counter "sim.cells"))
+       /. (uptime_us /. 1e6))
 
 let () =
   let cmd =

@@ -15,21 +15,32 @@ type t = {
   final_carveout : int;
   baseline_tlp : int * int;
   resident_tbs : int;  (* TBs per SM after any TB-level throttling *)
+  gate_degraded : bool;
   analysis_seconds : float;
 }
 
 let decide_all ~line_bytes ~l1d_bytes ~warps_per_tb ~tbs footprints =
-  List.map
-    (fun footprint ->
-      let decision =
-        (* loops that rendezvous at a barrier cannot be split into warp
-           groups; leave them at full TLP *)
-        if footprint.Footprint.loop.Analysis.has_barrier then
-          Throttle.no_throttle ~warps_per_tb ~tbs
-        else Throttle.decide ~line_bytes ~l1d_bytes ~warps_per_tb ~tbs footprint
-      in
-      { footprint; decision })
-    footprints
+  Obs.Span.with_span "catt.decide"
+    ~attrs:
+      [
+        ("l1d_bytes", Obs.Span.Int l1d_bytes);
+        ("warps_per_tb", Obs.Span.Int warps_per_tb);
+        ("tbs", Obs.Span.Int tbs);
+      ]
+    (fun _ ->
+      List.map
+        (fun footprint ->
+          let decision =
+            (* loops that rendezvous at a barrier cannot be split into warp
+               groups; leave them at full TLP *)
+            if footprint.Footprint.loop.Analysis.has_barrier then
+              Throttle.no_throttle ~warps_per_tb ~tbs
+            else
+              Throttle.decide ~line_bytes ~l1d_bytes ~warps_per_tb ~tbs
+                footprint
+          in
+          { footprint; decision })
+        footprints)
 
 let max_m loops =
   List.fold_left (fun acc l -> max acc l.decision.Throttle.m) 0 loops
@@ -63,6 +74,9 @@ let escalate cfg ~tb_threads ~num_regs ~shared_bytes ~line_bytes ~warps_per_tb
 
 let analyze (cfg : Gpusim.Config.t) (kernel : Ast.kernel)
     (geometry : Analysis.geometry) =
+  Obs.Span.with_span "catt.analyze"
+    ~attrs:[ ("kernel", Obs.Span.Str kernel.Ast.kernel_name) ]
+  @@ fun analyze_span ->
   let started = Unix.gettimeofday () in
   let prog = Gpusim.Codegen.compile_kernel kernel in
   let tb_threads = geometry.Analysis.block_x * geometry.Analysis.block_y in
@@ -79,10 +93,17 @@ let analyze (cfg : Gpusim.Config.t) (kernel : Ast.kernel)
     let warps_per_tb = occ.Occupancy.warps_per_tb in
     let tbs = occ.Occupancy.tbs_per_sm in
     let footprints =
-      List.map
-        (Footprint.of_loop ~line_bytes ~warp_size
-           ~block_x:geometry.Analysis.block_x)
-        (Analysis.analyze_kernel kernel geometry)
+      Obs.Span.with_span "catt.footprint" (fun fp_span ->
+        let fps =
+          List.map
+            (Footprint.of_loop ~line_bytes ~warp_size
+               ~block_x:geometry.Analysis.block_x)
+            (Analysis.analyze_kernel kernel geometry)
+        in
+        Option.iter
+          (fun s -> Obs.Span.add_attr s "loops" (Obs.Span.Int (List.length fps)))
+          fp_span;
+        fps)
     in
     let initial =
       decide_all ~line_bytes ~l1d_bytes:occ.Occupancy.l1d_bytes ~warps_per_tb
@@ -207,6 +228,14 @@ let analyze (cfg : Gpusim.Config.t) (kernel : Ast.kernel)
             else l)
           loops
     in
+    Option.iter
+      (fun s ->
+        Obs.Span.add_attr s "throttled_loops"
+          (Obs.Span.Int
+             (List.length
+                (List.filter (fun l -> l.decision.Throttle.throttled) loops)));
+        Obs.Span.add_attr s "gate_degraded" (Obs.Span.Bool gate_failed))
+      analyze_span;
     Ok
       {
         kernel;
@@ -218,6 +247,7 @@ let analyze (cfg : Gpusim.Config.t) (kernel : Ast.kernel)
         final_carveout;
         baseline_tlp = (warps_per_tb, tbs);
         resident_tbs;
+        gate_degraded = gate_failed;
         analysis_seconds = Unix.gettimeofday () -. started;
       }
 

@@ -29,6 +29,9 @@ type t = {
   final_carveout : int;  (** pass as [smem_carveout] at launch *)
   baseline_tlp : int * int;  (** (warps per TB, TBs per SM) *)
   resident_tbs : int;  (** TBs per SM after any TB-level throttling *)
+  gate_degraded : bool;
+      (** the sanitizer refused part of the plan and [analyze] fell back
+          (whole plan → per-loop → pad only → untouched) *)
   analysis_seconds : float;
 }
 

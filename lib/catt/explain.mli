@@ -1,0 +1,12 @@
+(** Decision provenance for one CATT analysis ([catt_cli explain]). *)
+
+val explain_format_version : int
+
+val to_json : Gpusim.Config.t -> Driver.t -> Gpu_util.Json.t
+(** Deterministic (no wall-clock fields): per-loop Eq. 8 footprints,
+    the candidate (N, M) sequence {!Throttle.decide} evaluated with
+    each candidate's footprint bytes, the occupancy / L1D capacity
+    inputs, and the sanitizer gate outcome. *)
+
+val render : Gpusim.Config.t -> Driver.t -> string
+(** Human-readable rendering of the same record. *)

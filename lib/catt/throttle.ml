@@ -1,3 +1,11 @@
+type trial = {
+  cand_n : int;
+  cand_m : int;
+  cand_warps : int;
+  cand_bytes : int;
+  cand_fits : bool;
+}
+
 type decision = {
   n : int;
   m : int;
@@ -5,6 +13,7 @@ type decision = {
   throttled : bool;
   active_warps_per_tb : int;
   active_tbs : int;
+  trials : trial list;
 }
 
 let no_throttle ~warps_per_tb ~tbs =
@@ -15,6 +24,7 @@ let no_throttle ~warps_per_tb ~tbs =
     throttled = false;
     active_warps_per_tb = warps_per_tb;
     active_tbs = tbs;
+    trials = [];
   }
 
 let divisors n =
@@ -25,47 +35,63 @@ let divisors n =
   collect 1 []
 
 let decide ~line_bytes ~l1d_bytes ~warps_per_tb ~tbs fp =
-  let fits ~warps =
-    Footprint.size_req_bytes ~line_bytes fp ~concurrent_warps:warps <= l1d_bytes
+  (* every capacity test is recorded, in evaluation order, as decision
+     provenance (rendered by `catt_cli explain`) *)
+  let tried = ref [] in
+  let fits ~n ~m ~warps =
+    let bytes = Footprint.size_req_bytes ~line_bytes fp ~concurrent_warps:warps in
+    let ok = bytes <= l1d_bytes in
+    tried :=
+      { cand_n = n; cand_m = m; cand_warps = warps; cand_bytes = bytes;
+        cand_fits = ok }
+      :: !tried;
+    ok
   in
-  if (not fp.Footprint.has_locality) || fits ~warps:(warps_per_tb * tbs) then
-    no_throttle ~warps_per_tb ~tbs
+  let conclude d = { d with trials = List.rev !tried } in
+  if
+    (not fp.Footprint.has_locality)
+    || fits ~n:1 ~m:0 ~warps:(warps_per_tb * tbs)
+  then conclude (no_throttle ~warps_per_tb ~tbs)
   else begin
     (* phase 1: warp-level (Fig. 4) — n over divisors, smallest first *)
     let candidate_n =
       List.find_opt
-        (fun n -> n > 1 && fits ~warps:(warps_per_tb / n * tbs))
+        (fun n -> n > 1 && fits ~n ~m:0 ~warps:(warps_per_tb / n * tbs))
         (divisors warps_per_tb)
     in
     match candidate_n with
     | Some n ->
-      {
-        n;
-        m = 0;
-        resolved = true;
-        throttled = true;
-        active_warps_per_tb = warps_per_tb / n;
-        active_tbs = tbs;
-      }
+      conclude
+        {
+          n;
+          m = 0;
+          resolved = true;
+          throttled = true;
+          active_warps_per_tb = warps_per_tb / n;
+          active_tbs = tbs;
+          trials = [];
+        }
     | None ->
       (* phase 2: TB-level (Fig. 5) on top of maximal warp splitting *)
       let n = warps_per_tb in
       let rec search m =
         if m > tbs - 1 then None
-        else if fits ~warps:(tbs - m) then Some m
+        else if fits ~n ~m ~warps:(tbs - m) then Some m
         else search (m + 1)
       in
       (match search 1 with
       | Some m ->
-        {
-          n;
-          m;
-          resolved = true;
-          throttled = true;
-          active_warps_per_tb = 1;
-          active_tbs = tbs - m;
-        }
+        conclude
+          {
+            n;
+            m;
+            resolved = true;
+            throttled = true;
+            active_warps_per_tb = 1;
+            active_tbs = tbs - m;
+            trials = [];
+          }
       | None ->
         (* even one warp thrashes: leave the kernel alone (CORR) *)
-        { (no_throttle ~warps_per_tb ~tbs) with resolved = false })
+        conclude { (no_throttle ~warps_per_tb ~tbs) with resolved = false })
   end

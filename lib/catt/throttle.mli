@@ -8,6 +8,16 @@
     even at one warp total is left untouched ([resolved = false]) — the
     paper's CORR case. *)
 
+type trial = {
+  cand_n : int;  (** warp split factor under test *)
+  cand_m : int;  (** TB reduction under test *)
+  cand_warps : int;  (** concurrent warps implied by the candidate *)
+  cand_bytes : int;  (** Eq. 8 footprint at that concurrency *)
+  cand_fits : bool;  (** [cand_bytes <= l1d_bytes] *)
+}
+(** One capacity test evaluated during {!decide} — decision provenance
+    for [catt_cli explain]. *)
+
 type decision = {
   n : int;  (** warp split factor; 1 = no warp-level throttling *)
   m : int;  (** concurrent-TB reduction; 0 = no TB-level throttling *)
@@ -15,6 +25,10 @@ type decision = {
   throttled : bool;
   active_warps_per_tb : int;
   active_tbs : int;
+  trials : trial list;
+      (** every candidate tried, in evaluation order: the full-TLP
+          check first, then phase-1 divisors, then phase-2 TB counts.
+          Empty for loops without locality (no test was needed). *)
 }
 
 val no_throttle : warps_per_tb:int -> tbs:int -> decision

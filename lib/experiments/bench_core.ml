@@ -184,6 +184,49 @@ let profiler_overhead ?(reps = 7) () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Obs (span tracing) overhead (A/A)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Same protocol as {!profiler_overhead}, for the obs subsystem: two
+    interleaved batches with [Obs.Span.enabled = false] (their median
+    delta bounds the cost of the [ref]-read guards plus noise — the
+    ≤5% gate the tentpole promises for the disabled path) against one
+    batch with span tracing on.  The span sink is drained afterwards so
+    benchmarking leaves no trace state behind. *)
+let obs_overhead ?(reps = 7) () =
+  let cfg = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(32 * 1024) () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let a = Array.make reps 0.
+  and b = Array.make reps 0.
+  and en = Array.make reps 0. in
+  let was_enabled = !Obs.Span.enabled in
+  Obs.Span.enabled := false;
+  simulate_overhead_kernel cfg (* warm-up *);
+  for i = 0 to reps - 1 do
+    a.(i) <- time (fun () -> simulate_overhead_kernel cfg);
+    b.(i) <- time (fun () -> simulate_overhead_kernel cfg);
+    Obs.Span.enabled := true;
+    en.(i) <- time (fun () -> simulate_overhead_kernel cfg);
+    Obs.Span.enabled := false;
+    Obs.Span.reset ()
+  done;
+  Obs.Span.enabled := was_enabled;
+  let med = Gpu_util.Stats.median in
+  let ma = med a and mb = med b and me = med en in
+  let disabled_ab_pct = 100. *. (abs_float (ma -. mb) /. min ma mb) in
+  {
+    disabled_ms = 1000. *. min ma mb;
+    disabled_ab_pct;
+    enabled_ms = 1000. *. me;
+    enabled_pct = 100. *. ((me -. min ma mb) /. min ma mb);
+    disabled_within_5pct = disabled_ab_pct <= 5.;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Report + JSON                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -192,6 +235,7 @@ type report = {
   gated : stage list;
   pool : stage list;
   profiler : profiler_overhead;
+  obs : profiler_overhead;  (** span tracing off (A/A) vs on *)
 }
 
 let collect ?workloads ?(jobs = 0) () =
@@ -200,6 +244,7 @@ let collect ?workloads ?(jobs = 0) () =
     gated = stages ?workloads ();
     pool = pool_stages ?workloads ();
     profiler = profiler_overhead ();
+    obs = obs_overhead ();
   }
 
 let stage_to_json s =
@@ -230,6 +275,15 @@ let report_to_json ?pre_overhaul r =
              ("enabled_pct", Json.Float r.profiler.enabled_pct);
              ( "disabled_within_5pct",
                Json.Bool r.profiler.disabled_within_5pct );
+           ] );
+       ( "obs",
+         Json.Obj
+           [
+             ("disabled_ms", Json.Float r.obs.disabled_ms);
+             ("disabled_ab_pct", Json.Float r.obs.disabled_ab_pct);
+             ("enabled_ms", Json.Float r.obs.enabled_ms);
+             ("enabled_pct", Json.Float r.obs.enabled_pct);
+             ("disabled_within_5pct", Json.Bool r.obs.disabled_within_5pct);
            ] );
      ]
     @ match pre_overhaul with Some j -> [ ("pre_overhaul", j) ] | None -> [])

@@ -26,6 +26,33 @@ let enabled : bool ref = ref false
 let dir : string ref = ref (Filename.concat "results" "cache")
 
 (* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* process-wide, always on: surfaced in the experiments_main summary
+   line, span attrs, and every run manifest's metric snapshot *)
+let m_hits = Obs.Metrics.counter "cache.hits"
+let m_misses = Obs.Metrics.counter "cache.misses"
+let m_stores = Obs.Metrics.counter "cache.stores"
+
+let m_evictions = Obs.Metrics.counter "cache.evictions"
+(** Entries that existed on disk but could not be used: unreadable /
+    corrupt JSON here, plus stale-format entries {!Runner} rejects and
+    recomputes (it calls {!note_evicted}). *)
+
+let note_evicted () = Obs.Metrics.incr m_evictions
+
+type stats = { hits : int; misses : int; stores : int; evictions : int }
+
+let stats () =
+  {
+    hits = Obs.Metrics.value m_hits;
+    misses = Obs.Metrics.value m_misses;
+    stores = Obs.Metrics.value m_stores;
+    evictions = Obs.Metrics.value m_evictions;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Keys                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -125,16 +152,24 @@ let load cfg ~workload ~scheme ~seed =
   if not !enabled then None
   else
     let file = path cfg ~workload ~scheme ~seed in
-    if not (Sys.file_exists file) then None
+    if not (Sys.file_exists file) then begin
+      Obs.Metrics.incr m_misses;
+      None
+    end
     else
       match Json.of_string (read_file file) with
-      | Ok json -> Some json
+      | Ok json ->
+        Obs.Metrics.incr m_hits;
+        Some json
       | Error _ | (exception Sys_error _) ->
         (* a corrupt or unreadable entry is a miss, not a failure *)
+        Obs.Metrics.incr m_misses;
+        Obs.Metrics.incr m_evictions;
         None
 
 let store cfg ~workload ~scheme ~seed json =
   if !enabled then begin
+    Obs.Metrics.incr m_stores;
     let file = path cfg ~workload ~scheme ~seed in
     mkdir_p (Filename.dirname file);
     let tmp =

@@ -1,0 +1,32 @@
+(** Workload-level decision provenance: run the CATT pass over every
+    kernel of a registered workload (at its real launch geometries) and
+    collect each kernel's {!Catt.Explain} record.  Shared by the
+    [catt_cli explain] subcommand and the golden explain test, so what
+    the test pins is exactly what the CLI prints. *)
+
+module Json = Gpu_util.Json
+
+let analyses cfg (w : Workloads.Workload.t) =
+  Runner.analyses_for cfg w Runner.Catt
+
+let workload_to_json cfg (w : Workloads.Workload.t) =
+  Json.Obj
+    [
+      ("workload", Json.String w.Workloads.Workload.name);
+      ( "kernels",
+        Json.List
+          (List.map (fun (_, t) -> Catt.Explain.to_json cfg t) (analyses cfg w))
+      );
+    ]
+
+let render cfg (w : Workloads.Workload.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== %s under CATT ==\n" w.Workloads.Workload.name);
+  (match analyses cfg w with
+  | [] -> Buffer.add_string buf "no kernel could be analyzed\n"
+  | kernels ->
+    List.iter
+      (fun (_, t) -> Buffer.add_string buf (Catt.Explain.render cfg t))
+      kernels);
+  Buffer.contents buf

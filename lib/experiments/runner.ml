@@ -76,6 +76,9 @@ type app_run = {
   total_cycles : int;
   verified : (unit, string) result;
   catt_analyses : (string * Catt.Driver.t) list;  (** only for [Catt] *)
+  manifest : Manifest.t option;
+      (** provenance of a simulated (not memo-served) run; persisted
+          with the cache entry but never part of the simulated payload *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -254,8 +257,20 @@ let geometry_of_kernel (w : Workloads.Workload.t) name =
   | Some l -> Workloads.Workload.geometry_of l
   | None -> invalid_arg (Printf.sprintf "kernel %s is never launched" name)
 
-let run_uncached ?(trace = false) ?(profile = false) ?on_device cfg
-    (w : Workloads.Workload.t) scheme =
+(* one simulated (workload, scheme) cell — the unit the bench gate's
+   cells/sec throughput counts *)
+let m_cells = Obs.Metrics.counter "sim.cells"
+
+let run_uncached ?(trace = false) ?(profile = false) ?(timeline = false)
+    ?on_device cfg (w : Workloads.Workload.t) scheme =
+  Obs.Span.with_span "runner.simulate"
+    ~attrs:
+      [
+        ("workload", Obs.Span.Str w.Workloads.Workload.name);
+        ("scheme", Obs.Span.Str (scheme_label scheme));
+      ]
+  @@ fun _ ->
+  let started = Unix.gettimeofday () in
   let kernels = Workloads.Workload.kernels w in
   (* one collector per kernel name: repeated launches of the same kernel
      aggregate into it, matching how stats accumulate *)
@@ -268,6 +283,7 @@ let run_uncached ?(trace = false) ?(profile = false) ?on_device cfg
         | Some c -> c
         | None ->
           let c = Profile.Collector.create () in
+          if timeline then Profile.Collector.enable_timeline c;
           Hashtbl.add collectors name c;
           c)
   in
@@ -348,6 +364,7 @@ let run_uncached ?(trace = false) ?(profile = false) ?on_device cfg
   (* observe the final device state (e.g. digest the memory image for the
      golden-grid bit-identity snapshots) before it goes out of scope *)
   (match on_device with Some f -> f dev | None -> ());
+  Obs.Metrics.incr m_cells;
   Ok
     {
       workload = w.Workloads.Workload.name;
@@ -363,6 +380,11 @@ let run_uncached ?(trace = false) ?(profile = false) ?on_device cfg
           (fun (name, p) ->
             match p.analysis with Some a -> Some (name, a) | None -> None)
           prepared;
+      manifest =
+        Some
+          (Manifest.make cfg ~workload:w.Workloads.Workload.name
+             ~scheme:(scheme_label scheme) ~seed
+             ~wall_seconds:(Unix.gettimeofday () -. started));
     }
 
 (* ------------------------------------------------------------------ *)
@@ -400,6 +422,10 @@ let run_to_json (r : app_run) =
         | Ok () -> Json.Null
         | Error msg -> Json.String msg );
       ("kernels", Json.List (List.map kernel_stats_to_json r.kernels));
+      ( "manifest",
+        match r.manifest with
+        | Some m -> Manifest.to_json m
+        | None -> Json.Null );
     ]
 
 let analyses_for cfg (w : Workloads.Workload.t) scheme =
@@ -454,6 +480,13 @@ let run_of_json cfg (w : Workloads.Workload.t) scheme json =
           | Json.Null -> Ok ()
           | v -> Error (Json.to_str v));
         catt_analyses = analyses_for cfg w scheme;
+        manifest =
+          (* lenient: entries written before manifests existed (or with a
+             stale manifest version) still yield their simulated payload *)
+          (match Json.member_opt "manifest" j with
+          | None | Some Json.Null -> None
+          | Some mj -> (
+            match Manifest.of_json mj with Ok m -> Some m | Error _ -> None));
       })
     json
 
@@ -495,12 +528,30 @@ let with_lock f =
     so this stays simple and lock-free during the simulation itself.
     Preparation failures (occupancy refusals, sanitizer diagnostics) come
     back as [Error] with the located report and are never cached. *)
-let run_result ?(trace = false) ?(profile = false) cfg w scheme =
-  if trace || profile then run_uncached ~trace ~profile cfg w scheme
+let run_result ?(trace = false) ?(profile = false) ?(timeline = false) cfg w
+    scheme =
+  Obs.Span.with_span "runner.run"
+    ~attrs:
+      [
+        ("workload", Obs.Span.Str w.Workloads.Workload.name);
+        ("scheme", Obs.Span.Str (scheme_label scheme));
+      ]
+  @@ fun run_span ->
+  let note_source src =
+    Option.iter
+      (fun s -> Obs.Span.add_attr s "source" (Obs.Span.Str src))
+      run_span
+  in
+  if trace || profile || timeline then begin
+    note_source "simulated (uncached)";
+    run_uncached ~trace ~profile ~timeline cfg w scheme
+  end
   else begin
     let key = memo_key cfg w scheme in
     match with_lock (fun () -> Hashtbl.find_opt memo key) with
-    | Some r -> Ok r
+    | Some r ->
+      note_source "memo";
+      Ok r
     | None -> (
       let workload = w.Workloads.Workload.name
       and label = scheme_label scheme in
@@ -510,7 +561,11 @@ let run_result ?(trace = false) ?(profile = false) cfg w scheme =
         | Some json -> (
           match run_of_json cfg w scheme json with
           | Ok r -> Some r
-          | Error _ -> None (* stale or corrupt entry: recompute *))
+          | Error _ ->
+            (* stale or corrupt entry: recompute.  Cache.load counted a
+               hit for the successful parse, but the entry is unusable *)
+            Cache.note_evicted ();
+            None)
       in
       let computed =
         match from_disk with
@@ -526,14 +581,15 @@ let run_result ?(trace = false) ?(profile = false) cfg w scheme =
       | Error _ as e -> e
       | Ok (r, source) ->
         with_lock (fun () -> Hashtbl.replace memo key r);
+        note_source source;
         log_run source r;
         Ok r)
   end
 
 (** {!run_result}, unwrapped: the one place a preparation failure turns
     into an exception, carrying the full located diagnostic report. *)
-let run ?(trace = false) ?(profile = false) cfg w scheme =
-  match run_result ~trace ~profile cfg w scheme with
+let run ?(trace = false) ?(profile = false) ?(timeline = false) cfg w scheme =
+  match run_result ~trace ~profile ~timeline cfg w scheme with
   | Ok r -> r
   | Error msg -> failwith msg
 

@@ -168,7 +168,20 @@ let bind_args dev l =
     prog.Bytecode.args l.args;
   (arrays, !scalars)
 
+(* process-wide launch accounting (always on; see Obs.Metrics) *)
+let m_launches = Obs.Metrics.counter "gpu.launches"
+let m_sim_cycles = Obs.Metrics.counter "gpu.sim_cycles"
+
 let launch dev l =
+  Obs.Span.with_span "gpu.launch"
+    ~attrs:
+      [
+        ("kernel", Obs.Span.Str l.prog.Bytecode.name);
+        ("grid", Obs.Span.Str (Printf.sprintf "%dx%d" (fst l.grid) (snd l.grid)));
+        ( "block",
+          Obs.Span.Str (Printf.sprintf "%dx%d" (fst l.block) (snd l.block)) );
+      ]
+  @@ fun launch_span ->
   (* the cycle clock restarts per launch; the warm L2 must not carry
      in-flight fill times from the previous kernel *)
   Cache.settle dev.l2;
@@ -335,4 +348,9 @@ let launch dev l =
       (fun sm -> Profile.Collector.add_sm_cycles p ~sm:sm.Sm.id ~cycles:sm.Sm.now)
       sms
   | None -> ());
+  Obs.Metrics.incr m_launches;
+  Obs.Metrics.add m_sim_cycles stats.Stats.cycles;
+  Option.iter
+    (fun s -> Obs.Span.add_attr s "cycles" (Obs.Span.Int stats.Stats.cycles))
+    launch_span;
   (stats, trace)

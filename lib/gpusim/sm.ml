@@ -1239,9 +1239,12 @@ let rec any_at_barrier (arr : warp array) n i =
 let profile_gap p sm ~until =
   let now = sm.now in
   let gap = until - now in
-  if any_at_barrier sm.warps sm.n_warps 0 then
+  if any_at_barrier sm.warps sm.n_warps 0 then begin
     Profile.Collector.add_idle p ~sm:sm.id ~kind:Profile.Stall.Barrier_wait
-      ~cycles:gap
+      ~cycles:gap;
+    Profile.Collector.record_gap_interval p ~sm:sm.id
+      ~kind:Profile.Stall.Barrier_wait ~start:now ~stop:until
+  end
   else begin
     let earliest = ref max_int in
     for i = 0 to sm.n_warps - 1 do
@@ -1252,12 +1255,18 @@ let profile_gap p sm ~until =
     let throttled =
       if !earliest < until then until - imax !earliest now else 0
     in
-    if throttled > 0 then
+    if throttled > 0 then begin
       Profile.Collector.add_idle p ~sm:sm.id ~kind:Profile.Stall.Throttle_wait
         ~cycles:throttled;
-    if gap - throttled > 0 then
+      Profile.Collector.record_gap_interval p ~sm:sm.id
+        ~kind:Profile.Stall.Throttle_wait ~start:(until - throttled) ~stop:until
+    end;
+    if gap - throttled > 0 then begin
       Profile.Collector.add_idle p ~sm:sm.id ~kind:Profile.Stall.Mem_wait
-        ~cycles:(gap - throttled)
+        ~cycles:(gap - throttled);
+      Profile.Collector.record_gap_interval p ~sm:sm.id
+        ~kind:Profile.Stall.Mem_wait ~start:now ~stop:(until - throttled)
+    end
   end;
   (* per-warp: every live warp spends the whole gap waiting on something *)
   for i = 0 to sm.n_warps - 1 do
@@ -1334,7 +1343,9 @@ let step_at sm ~t =
     if issued = 0 then
       sim_error "scheduler found no warp despite pending event";
     (match sm.job.prof with
-    | Some p -> Profile.Collector.add_issue_cycle p ~sm:sm.id
+    | Some p ->
+      Profile.Collector.add_issue_cycle p ~sm:sm.id;
+      Profile.Collector.record_issue_interval p ~sm:sm.id ~now:sm.now
     | None -> ());
     sm.now <- sm.now + 1;
     true

@@ -1,0 +1,20 @@
+(** Monotone process clock, microseconds since the first use in this
+    process.  [Unix.gettimeofday] can step backwards under NTP; spans and
+    trace events need a timestamp that never does, so successive reads are
+    clamped to be non-decreasing across all domains. *)
+
+let epoch = Unix.gettimeofday ()
+
+(* last value handed out, in us; CAS-clamped so the clock is globally
+   monotone even when the wall clock steps back *)
+let last : int Atomic.t = Atomic.make 0
+
+let rec clamp raw =
+  let prev = Atomic.get last in
+  if raw <= prev then prev
+  else if Atomic.compare_and_set last prev raw then raw
+  else clamp raw
+
+let now_us () =
+  let raw = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e6) in
+  clamp raw

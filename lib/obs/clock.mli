@@ -1,0 +1,5 @@
+(** Monotone process clock (microseconds since first use). *)
+
+val now_us : unit -> int
+(** Microseconds elapsed since the process epoch.  Non-decreasing across
+    all domains, even if the wall clock steps backwards. *)

@@ -1,0 +1,71 @@
+(** Process-wide metrics registry: named monotonic counters and
+    last-write-wins gauges.
+
+    Counters are lock-free [Atomic.t]s once registered; registration
+    itself takes a mutex (rare).  Unlike spans, metrics are always on —
+    an atomic increment is cheap enough for every hot path that wants
+    one, and keeping them unconditional means a snapshot is meaningful
+    whether or not tracing was enabled for the run. *)
+
+type value =
+  | Count of int
+  | Gauge of float
+
+type counter = int Atomic.t
+
+let registry_lock = Mutex.create ()
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 8
+
+let counter name =
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = Atomic.make 0 in
+      Hashtbl.add counters name c;
+      c
+  in
+  Mutex.unlock registry_lock;
+  c
+
+let incr c = ignore (Atomic.fetch_and_add c 1)
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+let value c = Atomic.get c
+
+let set_gauge name v =
+  Mutex.lock registry_lock;
+  (match Hashtbl.find_opt gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add gauges name (ref v));
+  Mutex.unlock registry_lock
+
+let max_gauge name v =
+  Mutex.lock registry_lock;
+  (match Hashtbl.find_opt gauges name with
+  | Some r -> if v > !r then r := v
+  | None -> Hashtbl.add gauges name (ref v));
+  Mutex.unlock registry_lock
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let entries =
+    Hashtbl.fold (fun name c acc -> (name, Count (Atomic.get c)) :: acc) counters []
+  in
+  let entries =
+    Hashtbl.fold (fun name r acc -> (name, Gauge !r) :: acc) gauges entries
+  in
+  Mutex.unlock registry_lock;
+  let entries = ("process.uptime_us", Count (Clock.now_us ())) :: entries in
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+  Hashtbl.iter (fun _ r -> r := 0.) gauges;
+  Mutex.unlock registry_lock

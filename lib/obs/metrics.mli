@@ -1,0 +1,30 @@
+(** Process-wide metrics: named monotonic counters and gauges.
+    Always on (not gated by {!Span.enabled}). *)
+
+type value =
+  | Count of int
+  | Gauge of float
+
+type counter
+(** Handle to a registered counter; cache it at module init and use the
+    lock-free [incr]/[add] on hot paths. *)
+
+val counter : string -> counter
+(** Find-or-register the counter with this name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set_gauge : string -> float -> unit
+(** Last write wins. *)
+
+val max_gauge : string -> float -> unit
+(** Keep the maximum of all writes (e.g. peak queue depth). *)
+
+val snapshot : unit -> (string * value) list
+(** All registered metrics sorted by name, plus a computed
+    ["process.uptime_us"] counter. *)
+
+val reset : unit -> unit
+(** Zero every registered counter and gauge (tests). *)

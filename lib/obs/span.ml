@@ -1,0 +1,112 @@
+(** Structured tracing spans.
+
+    A span is a named interval with attributes, a monotonic [start_us] /
+    [end_us] pair from {!Clock}, and a parent link inferred from a
+    per-domain stack of open spans (so nesting falls out of call
+    structure, no plumbing required).  Tracing is off by default; every
+    entry point returns [None] / does nothing until [enabled] is set, so
+    the disabled path costs one [ref] read.
+
+    Finished spans accumulate in a process-wide sink (mutex-protected,
+    append-only) until [reset] or [drain].  The sink is intended for
+    short tool runs — a CLI invocation, a test — not an unbounded
+    server; callers that trace long sweeps should drain periodically. *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type t = {
+  id : int;
+  parent : int option;  (** id of the enclosing open span on this track *)
+  name : string;
+  track : int;  (** trace track; defaults to the domain id *)
+  start_us : int;
+  mutable end_us : int;  (** -1 while the span is still open *)
+  mutable attrs : (string * attr) list;  (** reverse insertion order *)
+}
+
+let enabled = ref false
+
+let next_id = Atomic.make 1
+
+(* finished spans, newest first *)
+let sink : t list ref = ref []
+
+let sink_lock = Mutex.create ()
+
+(* open-span stack of the current domain, innermost first *)
+let stack_key : t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let enter ?(attrs = []) name =
+  if not !enabled then None
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> None | s :: _ -> Some s.id in
+    let span =
+      {
+        id = Atomic.fetch_and_add next_id 1;
+        parent;
+        name;
+        track = (Domain.self () :> int);
+        start_us = Clock.now_us ();
+        end_us = -1;
+        attrs = List.rev attrs;
+      }
+    in
+    stack := span :: !stack;
+    Some span
+  end
+
+let add_attr span key value = span.attrs <- (key, value) :: span.attrs
+
+let finish span =
+  if span.end_us < 0 then begin
+    span.end_us <- Clock.now_us ();
+    let stack = Domain.DLS.get stack_key in
+    (* pop this span (and, defensively, anything left open above it) *)
+    let rec pop = function
+      | s :: rest when s.id = span.id -> rest
+      | _ :: rest -> pop rest
+      | [] -> []
+    in
+    stack := pop !stack;
+    Mutex.lock sink_lock;
+    sink := span :: !sink;
+    Mutex.unlock sink_lock
+  end
+
+let with_span ?attrs name f =
+  if not !enabled then f None
+  else
+    let span = enter ?attrs name in
+    match f span with
+    | result ->
+      Option.iter finish span;
+      result
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Option.iter
+        (fun s ->
+          add_attr s "error" (Str (Printexc.to_string e));
+          finish s)
+        span;
+      Printexc.raise_with_backtrace e bt
+
+let attrs span = List.rev span.attrs
+
+let finished () =
+  Mutex.lock sink_lock;
+  let spans = !sink in
+  Mutex.unlock sink_lock;
+  (* oldest first, stable on start time *)
+  List.stable_sort (fun a b -> compare a.start_us b.start_us) (List.rev spans)
+
+let reset () =
+  Mutex.lock sink_lock;
+  sink := [];
+  Mutex.unlock sink_lock;
+  Domain.DLS.get stack_key := []

@@ -1,0 +1,47 @@
+(** Structured tracing spans (off by default, nesting via a per-domain
+    stack, finished spans collected in a process-wide sink). *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type t = private {
+  id : int;
+  parent : int option;
+  name : string;
+  track : int;
+  start_us : int;
+  mutable end_us : int;
+  mutable attrs : (string * attr) list;
+}
+
+val enabled : bool ref
+(** Master switch; [false] by default.  While off, [enter] returns
+    [None] and [with_span] calls its body with [None]. *)
+
+val enter : ?attrs:(string * attr) list -> string -> t option
+(** Open a span on the current domain's stack.  Its parent is the
+    innermost span still open on this domain. *)
+
+val add_attr : t -> string -> attr -> unit
+
+val finish : t -> unit
+(** Stamp [end_us], pop the span from its domain stack and move it to
+    the finished sink.  Idempotent. *)
+
+val with_span : ?attrs:(string * attr) list -> string -> (t option -> 'a) -> 'a
+(** [with_span name f] brackets [f] in a span.  The callback receives
+    the open span (for late attributes) or [None] when tracing is off.
+    On exception the span is finished with an ["error"] attribute and
+    the exception is re-raised with its backtrace. *)
+
+val attrs : t -> (string * attr) list
+(** Attributes in insertion order. *)
+
+val finished : unit -> t list
+(** Snapshot of finished spans, oldest first (stable on start time). *)
+
+val reset : unit -> unit
+(** Drop finished spans and clear the calling domain's open stack. *)

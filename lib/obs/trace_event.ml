@@ -1,0 +1,114 @@
+(** Chrome/Perfetto trace-event JSON export.
+
+    Emits the JSON-object flavour ({["traceEvents": [...]]}) with
+    complete events ([ph = "X"], [ts]/[dur] in microseconds) and
+    metadata events ([ph = "M"]) naming processes and threads — the
+    subset both [chrome://tracing] and https://ui.perfetto.dev load.
+
+    The printer is self-contained (obs sits below [Gpu_util] in the
+    dependency order, so it cannot use [Gpu_util.Json]). *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : string;  (** "X" complete slice, "M" metadata *)
+  ts : int;  (** microseconds *)
+  dur : int;  (** microseconds; ignored unless [ph = "X"] *)
+  pid : int;
+  tid : int;
+  args : (string * Span.attr) list;
+}
+
+let complete ?(cat = "span") ?(args = []) ~name ~ts ~dur ~pid ~tid () =
+  { name; cat; ph = "X"; ts; dur; pid; tid; args }
+
+let process_name ~pid name =
+  { name = "process_name"; cat = "__metadata"; ph = "M"; ts = 0; dur = 0;
+    pid; tid = 0; args = [ ("name", Span.Str name) ] }
+
+let thread_name ~pid ~tid name =
+  { name = "thread_name"; cat = "__metadata"; ph = "M"; ts = 0; dur = 0;
+    pid; tid; args = [ ("name", Span.Str name) ] }
+
+let of_spans ?(pid = 1) spans =
+  List.map
+    (fun (s : Span.t) ->
+      let stop = if s.end_us < 0 then s.start_us else s.end_us in
+      complete ~name:s.name ~ts:s.start_us
+        ~dur:(stop - s.start_us)
+        ~pid ~tid:s.track ~args:(Span.attrs s) ())
+    spans
+
+(* --- printing --- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  escape buf s;
+  Buffer.add_char buf '"'
+
+let add_attr buf = function
+  | Span.Int n -> Buffer.add_string buf (string_of_int n)
+  | Span.Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Span.Str s -> add_str buf s
+  | Span.Float f ->
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    else add_str buf (Float.to_string f)
+
+let add_event buf e =
+  Buffer.add_string buf "{\"name\":";
+  add_str buf e.name;
+  Buffer.add_string buf ",\"cat\":";
+  add_str buf e.cat;
+  Buffer.add_string buf ",\"ph\":";
+  add_str buf e.ph;
+  Buffer.add_string buf (Printf.sprintf ",\"ts\":%d" e.ts);
+  if e.ph = "X" then Buffer.add_string buf (Printf.sprintf ",\"dur\":%d" e.dur);
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" e.pid e.tid);
+  if e.args <> [] then begin
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_str buf k;
+        Buffer.add_char buf ':';
+        add_attr buf v)
+      e.args
+  end;
+  if e.args <> [] then Buffer.add_string buf "}}" else Buffer.add_char buf '}'
+
+let to_string events =
+  (* metadata first; slices ordered by (pid, tid, ts) so each track's
+     timestamps read monotonically *)
+  let meta, slices = List.partition (fun e -> e.ph = "M") events in
+  let slices =
+    List.stable_sort
+      (fun a b -> compare (a.pid, a.tid, a.ts) (b.pid, b.tid, b.ts))
+      slices
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      add_event buf e)
+    (meta @ slices);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let write ~path events =
+  Out_channel.with_open_bin path (fun oc ->
+    Out_channel.output_string oc (to_string events))

@@ -1,0 +1,33 @@
+(** Chrome/Perfetto trace-event JSON export (self-contained printer). *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : string;
+  ts : int;
+  dur : int;
+  pid : int;
+  tid : int;
+  args : (string * Span.attr) list;
+}
+
+val complete :
+  ?cat:string ->
+  ?args:(string * Span.attr) list ->
+  name:string -> ts:int -> dur:int -> pid:int -> tid:int -> unit -> event
+(** A [ph = "X"] complete slice; [ts]/[dur] in microseconds. *)
+
+val process_name : pid:int -> string -> event
+(** [ph = "M"] metadata naming a process row in the viewer. *)
+
+val thread_name : pid:int -> tid:int -> string -> event
+(** [ph = "M"] metadata naming a thread track. *)
+
+val of_spans : ?pid:int -> Span.t list -> event list
+(** One complete slice per span; [tid] is the span's track. *)
+
+val to_string : event list -> string
+(** Render the [{"traceEvents": [...]}] object.  Metadata events come
+    first; slices are sorted by (pid, tid, ts). *)
+
+val write : path:string -> event list -> unit

@@ -22,6 +22,9 @@ type t = {
   mutable line_bytes : int;
   mutable locs : (int * int) array; (* pc -> (line, col); (0,0) = synthetic *)
   mutable launches : int;
+  mutable timeline : Timeline.t option;
+      (* opt-in per-SM interval timeline for the Perfetto export; never
+         part of [to_json] (the golden grid digests that output) *)
 }
 
 let create () =
@@ -32,7 +35,13 @@ let create () =
     line_bytes = 0;
     locs = [||];
     launches = 0;
+    timeline = None;
   }
+
+let enable_timeline ?cap t =
+  if t.timeline = None then t.timeline <- Some (Timeline.create ?cap ())
+
+let timeline t = t.timeline
 
 let init t ~num_sms ~l1_sets ~line_bytes ~arrays ~locs =
   ignore num_sms;
@@ -72,6 +81,16 @@ let add_idle t ~sm ~kind ~cycles = Stall.add t.stall ~sm ~kind ~cycles
 let add_warp_wait t ~sm ~warp ~kind ~cycles = Stall.warp_wait t.stall ~sm ~warp ~kind ~cycles
 let record_warp_issue t ~sm ~warp = Stall.warp_issue t.stall ~sm ~warp
 let add_sm_cycles t ~sm ~cycles = Stall.add_sm_cycles t.stall ~sm ~cycles
+
+let record_issue_interval t ~sm ~now =
+  match t.timeline with
+  | None -> ()
+  | Some tl -> Timeline.record tl ~sm ~kind:Stall.Issue ~start:now ~stop:(now + 1)
+
+let record_gap_interval t ~sm ~kind ~start ~stop =
+  match t.timeline with
+  | None -> ()
+  | Some tl -> Timeline.record tl ~sm ~kind ~start ~stop
 
 (* ---- read side ---- *)
 

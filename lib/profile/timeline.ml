@@ -1,0 +1,75 @@
+(** Opt-in per-SM activity timeline: what each SM was doing on every
+    simulated cycle, as coalesced [(start, stop)] intervals tagged with a
+    {!Stall.kind}.  Feeds the Perfetto export ([catt_cli profile
+    --trace-out]): one track per SM, one slice per interval, simulated
+    cycles mapped 1:1 to trace microseconds.
+
+    The recorder coalesces back-to-back intervals of the same kind on
+    the same SM (the common case — long mem-pending gaps are reported
+    cycle-range at a time, issue slots cycle by cycle), so a kernel's
+    timeline stays proportional to its phase changes, not its cycles.
+    A hard cap bounds memory on pathological kernels; past it, new
+    intervals are counted in [dropped] instead of stored. *)
+
+type interval = {
+  sm : int;
+  kind : Stall.kind;
+  start : int;
+  mutable stop : int;  (** exclusive *)
+}
+
+type t = {
+  cap : int;
+  mutable items : interval array;
+  mutable len : int;
+  mutable dropped : int;
+  last : (int, interval) Hashtbl.t;  (** sm -> most recent interval *)
+}
+
+let default_cap = 1 lsl 20
+
+let create ?(cap = default_cap) () =
+  { cap; items = [||]; len = 0; dropped = 0; last = Hashtbl.create 8 }
+
+let length t = t.len
+
+let dropped t = t.dropped
+
+let push t iv =
+  if t.len >= t.cap then t.dropped <- t.dropped + 1
+  else begin
+    if t.len >= Array.length t.items then begin
+      let cap = min t.cap (max 256 (2 * Array.length t.items)) in
+      let items = Array.make cap iv in
+      Array.blit t.items 0 items 0 t.len;
+      t.items <- items
+    end;
+    t.items.(t.len) <- iv;
+    t.len <- t.len + 1;
+    Hashtbl.replace t.last iv.sm iv
+  end
+
+let record t ~sm ~kind ~start ~stop =
+  if stop > start then
+    match Hashtbl.find_opt t.last sm with
+    | Some last when last.kind = kind && last.stop = start ->
+      last.stop <- stop  (* coalesce with the adjacent same-kind interval *)
+    | _ -> push t { sm; kind; start; stop }
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.items.(i)
+  done
+
+(* Cycles map 1:1 to microseconds: Perfetto renders integer us, and the
+   absolute scale of a simulated timeline is meaningless anyway. *)
+let to_events t ~pid =
+  let events = ref [] in
+  for i = t.len - 1 downto 0 do
+    let iv = t.items.(i) in
+    events :=
+      Obs.Trace_event.complete ~cat:"sim" ~name:(Stall.label iv.kind)
+        ~ts:iv.start ~dur:(iv.stop - iv.start) ~pid ~tid:iv.sm ()
+      :: !events
+  done;
+  !events

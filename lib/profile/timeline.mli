@@ -1,0 +1,28 @@
+(** Opt-in per-SM activity timeline (coalesced cycle intervals) feeding
+    the Perfetto export. *)
+
+type interval = {
+  sm : int;
+  kind : Stall.kind;
+  start : int;
+  mutable stop : int;  (** exclusive *)
+}
+
+type t
+
+val default_cap : int
+
+val create : ?cap:int -> unit -> t
+
+val record : t -> sm:int -> kind:Stall.kind -> start:int -> stop:int -> unit
+(** Append the interval [start, stop) on [sm]'s track; empty intervals
+    are ignored and back-to-back same-kind intervals coalesce.  Past
+    [cap] stored intervals, new ones only bump {!dropped}. *)
+
+val length : t -> int
+val dropped : t -> int
+val iter : t -> (interval -> unit) -> unit
+
+val to_events : t -> pid:int -> Obs.Trace_event.event list
+(** One complete slice per interval: [tid] = SM id, [ts]/[dur] =
+    simulated cycles rendered as trace microseconds. *)

@@ -13,6 +13,9 @@
 
 module Ast = Minicuda.Ast
 
+(* transforms the gate refused, across all kernels this process checked *)
+let gate_rejections = Obs.Metrics.counter "sanitize.gate_rejections"
+
 let check_kernel (geo : Geom.t) (k : Ast.kernel) : Diag.t list =
   let r = Walk.run geo k in
   Diag.sort
@@ -39,5 +42,7 @@ let gate (geo : Geom.t) ~(original : Ast.kernel) ~(transformed : Ast.kernel) :
       List.filter (fun d -> not (Hashtbl.mem seen (Diag.key d))) after
     with
     | [] -> Ok ()
-    | fresh -> Error (Diag.sort fresh)
+    | fresh ->
+      Obs.Metrics.incr gate_rejections;
+      Error (Diag.sort fresh)
   end

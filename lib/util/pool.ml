@@ -4,12 +4,17 @@ type t = {
   jobs : int;
   lock : Mutex.t;
   work_available : Condition.t;  (** queue non-empty, or stopping *)
-  queue : (unit -> unit) Queue.t;
+  queue : (int -> unit) Queue.t;  (** tasks receive the worker index *)
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
 }
 
-let rec worker t =
+(* registered once; atomic increments on the task path *)
+let m_tasks = Obs.Metrics.counter "pool.tasks"
+let m_errors = Obs.Metrics.counter "pool.errors"
+let m_busy_us = Obs.Metrics.counter "pool.busy_us"
+
+let rec worker t i =
   Mutex.lock t.lock;
   while Queue.is_empty t.queue && not t.stopping do
     Condition.wait t.work_available t.lock
@@ -18,8 +23,8 @@ let rec worker t =
   else begin
     let task = Queue.pop t.queue in
     Mutex.unlock t.lock;
-    task ();
-    worker t
+    task i;
+    worker t i
   end
 
 (* jobs <= 0 means one worker per effective core *)
@@ -38,7 +43,7 @@ let create ~jobs =
       domains = [];
     }
   in
-  t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t.domains <- List.init jobs (fun i -> Domain.spawn (fun () -> worker t i));
   t
 
 let jobs t = t.jobs
@@ -51,6 +56,33 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
+(* Run one task body with attribution: wall time and worker id land on
+   the "pool.task" span (when tracing is on) and the pool.* metrics.
+   The caller's exception, if any, is returned untouched so [map] can
+   re-raise it exactly as before. *)
+let run_attributed ~task ~worker f x =
+  Obs.Span.with_span "pool.task"
+    ~attrs:[ ("task", Obs.Span.Int task); ("worker", Obs.Span.Int worker) ]
+    (fun span ->
+      let start = Obs.Clock.now_us () in
+      let r =
+        try Ok (f x)
+        with e -> Error (worker, e, Printexc.get_raw_backtrace ())
+      in
+      let wall_us = Obs.Clock.now_us () - start in
+      Obs.Metrics.incr m_tasks;
+      Obs.Metrics.add m_busy_us wall_us;
+      (match span with
+      | None -> ()
+      | Some s ->
+        Obs.Span.add_attr s "wall_us" (Obs.Span.Int wall_us);
+        (match r with
+        | Ok _ -> ()
+        | Error (_, e, _) ->
+          Obs.Span.add_attr s "error" (Obs.Span.Str (Printexc.to_string e))));
+      (match r with Error _ -> Obs.Metrics.incr m_errors | Ok _ -> ());
+      r)
+
 let map t f items =
   let inputs = Array.of_list items in
   let n = Array.length inputs in
@@ -61,11 +93,8 @@ let map t f items =
     let batch_done = Condition.create () in
     Array.iteri
       (fun i x ->
-        let task () =
-          let r =
-            try Ok (f x)
-            with e -> Error (e, Printexc.get_raw_backtrace ())
-          in
+        let task worker =
+          let r = run_attributed ~task:i ~worker f x in
           Mutex.lock t.lock;
           results.(i) <- Some r;
           decr remaining;
@@ -78,6 +107,8 @@ let map t f items =
           invalid_arg "Pool.map: pool is shut down"
         end;
         Queue.push task t.queue;
+        Obs.Metrics.max_gauge "pool.queue_depth.peak"
+          (float_of_int (Queue.length t.queue));
         Condition.signal t.work_available;
         Mutex.unlock t.lock)
       inputs;
@@ -90,7 +121,10 @@ let map t f items =
       (Array.map
          (function
            | Some (Ok v) -> v
-           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | Some (Error (_worker, e, bt)) ->
+             (* the worker id was already attributed on the task's span
+                and metrics; the caller sees the original exception *)
+             Printexc.raise_with_backtrace e bt
            | None -> assert false)
          results)
   end
@@ -101,5 +135,12 @@ let with_pool ~jobs f =
 
 let parallel_map ~jobs f items =
   let jobs = resolve_jobs jobs in
-  if jobs <= 1 then List.map f items
+  if jobs <= 1 then
+    (* sequential fallback: same attribution, worker 0, no domains *)
+    List.mapi
+      (fun i x ->
+        match run_attributed ~task:i ~worker:0 f x with
+        | Ok v -> v
+        | Error (_, e, bt) -> Printexc.raise_with_backtrace e bt)
+      items
   else with_pool ~jobs (fun t -> map t f items)

@@ -25,7 +25,13 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f items] runs [f] on every item across the pool and returns
     the results in input order.  If any [f] raised, the first such
     exception (in input order) is re-raised after all tasks of this
-    batch have finished.  Safe to call from several threads at once. *)
+    batch have finished.  Safe to call from several threads at once.
+
+    Every task is attributed: a ["pool.task"] span (when
+    [Obs.Span.enabled]) carries the task index, the worker-domain index
+    that ran it, its wall time and any exception text, and the
+    [pool.tasks] / [pool.errors] / [pool.busy_us] counters plus the
+    [pool.queue_depth.peak] gauge are always maintained. *)
 
 val shutdown : t -> unit
 (** Waits for queued work to drain, then joins all workers.  The pool

@@ -1,0 +1,10 @@
+(** Driver for the observability test suite (the [@obs] alias, pulled
+    into [dune runtest]).
+
+    With [GOLDEN_REGEN=<absolute dir>] set, rewrites the golden explain
+    snapshot into that directory instead of running the suite. *)
+
+let () =
+  match Sys.getenv_opt "GOLDEN_REGEN" with
+  | Some dir -> Test_obs.regen_goldens dir
+  | None -> Alcotest.run "catt-obs" Test_obs.tests

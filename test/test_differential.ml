@@ -93,7 +93,7 @@ let init_value i = float_of_int ((i * 7 + 3) land 31)
 (* small on-chip memory so random kernels actually contend in the L1D *)
 let cfg = Config.scaled ~num_sms:2 ~onchip_bytes:(16 * 1024) ()
 
-let run_case case ~sched ~throttle ~bypass ~profile =
+let run_case ?(timeline = false) case ~sched ~throttle ~bypass ~profile =
   let kernel = Minicuda.Parser.parse_kernel case.src in
   let prog = Gpusim.Codegen.compile_kernel kernel in
   let dev = Gpu.create cfg in
@@ -101,6 +101,9 @@ let run_case case ~sched ~throttle ~bypass ~profile =
     (fun (name, len) -> Gpu.upload dev name (Array.init len init_value))
     case.arrays;
   let collector = if profile then Some (Profile.Collector.create ()) else None in
+  (match collector with
+  | Some c when timeline -> Profile.Collector.enable_timeline c
+  | _ -> ());
   let launch =
     Gpu.default_launch ~sched ~runtime_throttle:throttle
       ~bypass_arrays:(if bypass then [ case.bypassable ] else [])
@@ -171,6 +174,45 @@ let prop_profiling_pure =
           QCheck.Test.fail_reportf "accounting identity violated: %s" msg));
       true)
 
+(* span tracing and the opt-in per-SM timeline must be observationally
+   pure too: a fully instrumented run (spans enabled, timeline attached)
+   produces bit-identical stats and final memory to a bare run *)
+let prop_tracing_pure =
+  QCheck.Test.make ~name:"traced run == untraced run (stats + memory)"
+    ~count:20 arbitrary (fun (case, sched, throttle, bypass) ->
+      let stats_bare, mem_bare, _ =
+        run_case case ~sched ~throttle ~bypass ~profile:false
+      in
+      let was = !Obs.Span.enabled in
+      Obs.Span.enabled := true;
+      let stats_traced, mem_traced, collector =
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Span.enabled := was;
+            Obs.Span.reset ())
+          (fun () ->
+            run_case ~timeline:true case ~sched ~throttle ~bypass ~profile:true)
+      in
+      if stats_bare <> stats_traced then
+        QCheck.Test.fail_reportf
+          "stats diverged under tracing:\nbare:   %s\ntraced: %s" stats_bare
+          stats_traced;
+      List.iter2
+        (fun (name, a) (_, b) ->
+          if a <> b then
+            QCheck.Test.fail_reportf "final memory of %s diverged under tracing"
+              name)
+        mem_bare mem_traced;
+      (match collector with
+      | None -> QCheck.Test.fail_report "traced run returned no collector"
+      | Some c -> (
+        match Profile.Collector.timeline c with
+        | None -> QCheck.Test.fail_report "timeline was not enabled"
+        | Some tl ->
+          if Profile.Timeline.length tl = 0 && Profile.Timeline.dropped tl = 0
+          then QCheck.Test.fail_report "timeline attached but recorded nothing"));
+      true)
+
 (* repeated profiled runs of the same configuration also agree with each
    other — the collector aggregation itself is deterministic *)
 let prop_profiling_deterministic =
@@ -239,6 +281,7 @@ let tests =
     ( "differential",
       [
         QCheck_alcotest.to_alcotest prop_profiling_pure;
+        QCheck_alcotest.to_alcotest prop_tracing_pure;
         QCheck_alcotest.to_alcotest prop_profiling_deterministic;
         Alcotest.test_case "golden grid bit-identity" `Slow test_golden_grid;
       ] );

@@ -1,0 +1,482 @@
+(** Observability test suite (the [@obs] alias, pulled into
+    [dune runtest]): span nesting/ordering invariants, Perfetto export
+    well-formedness, metrics and manifest round-trips, pool task
+    attribution, timeline coalescing, cache counters, and the golden
+    [explain] provenance snapshot for ATAX.
+
+    Golden snapshots live in [test/golden_profiles/*.json]; regenerate
+    after an intentional format change with
+
+      dune build test/obs_check.exe && \
+      GOLDEN_REGEN=$PWD/test/golden_profiles _build/default/test/obs_check.exe *)
+
+module Json = Gpu_util.Json
+module Span = Obs.Span
+module Metrics = Obs.Metrics
+module Trace_event = Obs.Trace_event
+module Timeline = Profile.Timeline
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* every span test restores the disabled default and drains the sink,
+   so suites can run in any order *)
+let with_tracing f =
+  let was = !Span.enabled in
+  Span.enabled := true;
+  Span.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Span.enabled := was;
+      Span.reset ())
+    f
+
+let by_name spans name =
+  match List.find_opt (fun (s : Span.t) -> s.Span.name = name) spans with
+  | Some s -> s
+  | None -> Alcotest.failf "no finished span named %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_disabled () =
+  let was = !Span.enabled in
+  Span.enabled := false;
+  Fun.protect
+    ~finally:(fun () -> Span.enabled := was)
+    (fun () ->
+      Span.reset ();
+      check "enter is a no-op while off" true (Span.enter "nope" = None);
+      check "with_span passes None while off" true
+        (Span.with_span "nope" (fun s -> s = None));
+      check_int "sink untouched" 0 (List.length (Span.finished ())))
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      Span.with_span "outer" (fun _ ->
+          Span.with_span "inner" (fun _ -> ());
+          Span.with_span "inner2" (fun _ -> ()));
+      Span.with_span "sibling" (fun _ -> ());
+      let spans = Span.finished () in
+      check_int "all four collected" 4 (List.length spans);
+      List.iter
+        (fun (s : Span.t) ->
+          check ("closed: " ^ s.Span.name) true (s.Span.end_us >= s.Span.start_us))
+        spans;
+      (* oldest first on start time *)
+      ignore
+        (List.fold_left
+           (fun prev (s : Span.t) ->
+             check "ordered oldest first" true (prev <= s.Span.start_us);
+             s.Span.start_us)
+           min_int spans);
+      let outer = by_name spans "outer"
+      and inner = by_name spans "inner"
+      and inner2 = by_name spans "inner2"
+      and sibling = by_name spans "sibling" in
+      check "outer is a root" true (outer.Span.parent = None);
+      check "sibling is a root" true (sibling.Span.parent = None);
+      check "inner nests under outer" true
+        (inner.Span.parent = Some outer.Span.id);
+      check "inner2 nests under outer" true
+        (inner2.Span.parent = Some outer.Span.id);
+      check "inner contained in time" true
+        (outer.Span.start_us <= inner.Span.start_us
+        && inner.Span.end_us <= outer.Span.end_us);
+      check "sibling does not nest" true
+        (sibling.Span.start_us >= outer.Span.end_us))
+
+let test_span_attrs () =
+  with_tracing (fun () ->
+      match Span.enter "s" ~attrs:[ ("a", Span.Int 1); ("b", Span.Str "x") ] with
+      | None -> Alcotest.fail "enter returned None while enabled"
+      | Some s ->
+        Span.add_attr s "c" (Span.Bool true);
+        Span.add_attr s "d" (Span.Float 2.5);
+        Span.finish s;
+        Span.finish s (* idempotent *);
+        check_int "double finish collects once" 1
+          (List.length (Span.finished ()));
+        Alcotest.(check (list string))
+          "attrs in insertion order" [ "a"; "b"; "c"; "d" ]
+          (List.map fst (Span.attrs s)))
+
+let test_span_error () =
+  with_tracing (fun () ->
+      (match Span.with_span "boom" (fun _ -> failwith "kaput") with
+      | () -> Alcotest.fail "exception did not propagate"
+      | exception Failure m -> check_string "original exception" "kaput" m);
+      match Span.finished () with
+      | [ s ] -> (
+        check "errored span still closed" true (s.Span.end_us >= s.Span.start_us);
+        match List.assoc_opt "error" (Span.attrs s) with
+        | Some (Span.Str msg) ->
+          check "error attr names the exception" true (contains msg "kaput")
+        | _ -> Alcotest.fail "no error attribute on the failed span")
+      | l -> Alcotest.failf "expected 1 finished span, got %d" (List.length l))
+
+let test_clock_monotone () =
+  let prev = ref (Obs.Clock.now_us ()) in
+  for _ = 1 to 1000 do
+    let t = Obs.Clock.now_us () in
+    if t < !prev then Alcotest.failf "clock stepped back: %d -> %d" !prev t;
+    prev := t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto export                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_perfetto_well_formed () =
+  with_tracing (fun () ->
+      Span.with_span "a" (fun _ -> Span.with_span "b" (fun _ -> ()));
+      Span.with_span "c"
+        ~attrs:[ ("k", Span.Str "quotes \" and\nnewlines") ]
+        (fun _ -> ());
+      let tl = Timeline.create () in
+      Timeline.record tl ~sm:0 ~kind:Profile.Stall.Issue ~start:0 ~stop:3;
+      Timeline.record tl ~sm:1 ~kind:Profile.Stall.Mem_wait ~start:2 ~stop:9;
+      Timeline.record tl ~sm:0 ~kind:Profile.Stall.Barrier_wait ~start:5 ~stop:6;
+      let events =
+        (Trace_event.process_name ~pid:1 "host"
+        :: Trace_event.thread_name ~pid:2 ~tid:0 "sm 0"
+        :: Trace_event.of_spans ~pid:1 (Span.finished ()))
+        @ Timeline.to_events tl ~pid:2
+      in
+      let rendered = Trace_event.to_string events in
+      match Json.of_string rendered with
+      | Error msg -> Alcotest.failf "trace JSON does not parse: %s" msg
+      | Ok json ->
+        let evs = Json.to_list (Json.member "traceEvents" json) in
+        check_int "every event rendered" (List.length events) (List.length evs);
+        let last_ts = Hashtbl.create 8 in
+        List.iter
+          (fun e ->
+            ignore (Json.to_str (Json.member "name" e));
+            let ph = Json.to_str (Json.member "ph" e) in
+            check "ph is M or X" true (ph = "M" || ph = "X");
+            let pid = Json.to_int (Json.member "pid" e) in
+            let tid = Json.to_int (Json.member "tid" e) in
+            if ph = "X" then begin
+              let ts = Json.to_int (Json.member "ts" e) in
+              check "ts >= 0" true (ts >= 0);
+              check "dur >= 0" true (Json.to_int (Json.member "dur" e) >= 0);
+              (match Hashtbl.find_opt last_ts (pid, tid) with
+              | Some prev -> check "ts monotone per (pid,tid) track" true (prev <= ts)
+              | None -> ());
+              Hashtbl.replace last_ts (pid, tid) ts
+            end)
+          evs)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics + manifest                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  let c = Metrics.counter "test.obs.counter" in
+  let before = Metrics.value c in
+  Metrics.incr c;
+  Metrics.add c 41;
+  check_int "incr + add" (before + 42) (Metrics.value c);
+  check_int "find-or-register returns the same counter" (before + 42)
+    (Metrics.value (Metrics.counter "test.obs.counter"));
+  Metrics.set_gauge "test.obs.gauge" 2.5;
+  Metrics.set_gauge "test.obs.gauge" 1.5;
+  Metrics.max_gauge "test.obs.peak" 3.;
+  Metrics.max_gauge "test.obs.peak" 2.;
+  let snap = Metrics.snapshot () in
+  ignore
+    (List.fold_left
+       (fun prev (name, _) ->
+         check "snapshot sorted by name" true (prev <= name);
+         name)
+       "" snap);
+  check "set_gauge: last write wins" true
+    (List.assoc_opt "test.obs.gauge" snap = Some (Metrics.Gauge 1.5));
+  check "max_gauge keeps the maximum" true
+    (List.assoc_opt "test.obs.peak" snap = Some (Metrics.Gauge 3.));
+  match List.assoc_opt "process.uptime_us" snap with
+  | Some (Metrics.Count us) -> check "uptime positive" true (us > 0)
+  | _ -> Alcotest.fail "snapshot missing process.uptime_us"
+
+let explain_cfg () = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(32 * 1024) ()
+
+let test_manifest_roundtrip () =
+  let m =
+    Experiments.Manifest.make (explain_cfg ()) ~workload:"ATAX" ~scheme:"CATT"
+      ~seed:7 ~wall_seconds:0.25
+  in
+  let rendered = Json.to_string (Experiments.Manifest.to_json m) in
+  let reparsed =
+    match Json.of_string rendered with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "manifest JSON does not parse: %s" msg
+  in
+  match Experiments.Manifest.of_json reparsed with
+  | Error msg -> Alcotest.failf "manifest does not decode: %s" msg
+  | Ok m' ->
+    check_string "workload" m.Experiments.Manifest.workload
+      m'.Experiments.Manifest.workload;
+    check_string "scheme" m.Experiments.Manifest.scheme
+      m'.Experiments.Manifest.scheme;
+    check_int "seed" m.Experiments.Manifest.seed m'.Experiments.Manifest.seed;
+    check_string "fingerprint" m.Experiments.Manifest.fingerprint
+      m'.Experiments.Manifest.fingerprint;
+    (* reserialization is byte-stable, so the metric floats survived *)
+    check_string "round-trip is lossless" rendered
+      (Json.to_string (Experiments.Manifest.to_json m'))
+
+(* ------------------------------------------------------------------ *)
+(* Pool attribution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let task_spans () =
+  List.filter (fun (s : Span.t) -> s.Span.name = "pool.task") (Span.finished ())
+
+let int_attr (s : Span.t) key =
+  match List.assoc_opt key (Span.attrs s) with
+  | Some (Span.Int i) -> i
+  | _ -> Alcotest.failf "pool.task span without %s attr" key
+
+let test_pool_attribution () =
+  with_tracing (fun () ->
+      let res =
+        Gpu_util.Pool.parallel_map ~jobs:2 (fun x -> x * x) [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list int)) "results in order" [ 1; 4; 9; 16 ] res;
+      let tasks = task_spans () in
+      check_int "one span per task" 4 (List.length tasks);
+      Alcotest.(check (list int))
+        "task indices cover the batch" [ 0; 1; 2; 3 ]
+        (List.sort compare (List.map (fun s -> int_attr s "task") tasks));
+      List.iter
+        (fun s ->
+          let w = int_attr s "worker" in
+          check "worker id in range" true (w >= 0 && w < 2);
+          check "wall time recorded" true (int_attr s "wall_us" >= 0))
+        tasks)
+
+let test_pool_error_attribution () =
+  with_tracing (fun () ->
+      let errors_before = Metrics.value (Metrics.counter "pool.errors") in
+      (try
+         ignore
+           (Gpu_util.Pool.parallel_map ~jobs:2
+              (fun x -> if x = 2 then failwith "task boom" else x)
+              [ 1; 2; 3 ]);
+         Alcotest.fail "exception did not propagate"
+       with Failure m ->
+         check_string "original exception re-raised unchanged" "task boom" m);
+      let errored =
+        List.filter (fun s -> List.mem_assoc "error" (Span.attrs s)) (task_spans ())
+      in
+      check_int "exactly the failing task errored" 1 (List.length errored);
+      check_int "its index is attributed" 1 (int_attr (List.hd errored) "task");
+      check "pool.errors counted" true
+        (Metrics.value (Metrics.counter "pool.errors") > errors_before))
+
+(* ------------------------------------------------------------------ *)
+(* Timeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeline_coalescing () =
+  let tl = Timeline.create () in
+  let mem = Profile.Stall.Mem_wait in
+  Timeline.record tl ~sm:0 ~kind:mem ~start:0 ~stop:4;
+  Timeline.record tl ~sm:0 ~kind:mem ~start:4 ~stop:7;
+  check_int "back-to-back same kind coalesces" 1 (Timeline.length tl);
+  Timeline.record tl ~sm:0 ~kind:Profile.Stall.Issue ~start:7 ~stop:8;
+  check_int "kind change breaks the run" 2 (Timeline.length tl);
+  Timeline.record tl ~sm:0 ~kind:Profile.Stall.Issue ~start:9 ~stop:9;
+  check_int "empty interval ignored" 2 (Timeline.length tl);
+  Timeline.record tl ~sm:1 ~kind:mem ~start:7 ~stop:9;
+  check_int "each SM has its own run" 3 (Timeline.length tl);
+  let coalesced = ref None in
+  Timeline.iter tl (fun iv ->
+      if iv.Timeline.sm = 0 && iv.Timeline.kind = mem then coalesced := Some iv);
+  (match !coalesced with
+  | Some iv ->
+    check_int "coalesced start" 0 iv.Timeline.start;
+    check_int "coalesced stop" 7 iv.Timeline.stop
+  | None -> Alcotest.fail "coalesced interval not stored");
+  let events = Timeline.to_events tl ~pid:3 in
+  check_int "one slice per interval" 3 (List.length events);
+  List.iter
+    (fun (e : Trace_event.event) ->
+      check_string "slice phase" "X" e.Trace_event.ph;
+      check_int "slice pid" 3 e.Trace_event.pid;
+      check "tid is the SM id" true (e.Trace_event.tid = 0 || e.Trace_event.tid = 1);
+      check "cycles map to positive dur" true (e.Trace_event.dur > 0))
+    events
+
+let test_timeline_cap () =
+  let tl = Timeline.create ~cap:2 () in
+  let mem = Profile.Stall.Mem_wait in
+  Timeline.record tl ~sm:0 ~kind:mem ~start:0 ~stop:1;
+  Timeline.record tl ~sm:0 ~kind:Profile.Stall.Issue ~start:2 ~stop:3;
+  Timeline.record tl ~sm:0 ~kind:mem ~start:4 ~stop:5;
+  check_int "stored intervals capped" 2 (Timeline.length tl);
+  check_int "overflow counted, not stored" 1 (Timeline.dropped tl)
+
+(* ------------------------------------------------------------------ *)
+(* Cache counters                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_counters () =
+  let module Cache = Experiments.Cache in
+  let tmp = Filename.temp_file "obs-cache" "" in
+  Sys.remove tmp;
+  let old_dir = !Cache.dir and old_enabled = !Cache.enabled in
+  Cache.dir := tmp;
+  Cache.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.clear ();
+      (try Unix.rmdir tmp with Unix.Unix_error _ | Sys_error _ -> ());
+      Cache.dir := old_dir;
+      Cache.enabled := old_enabled)
+    (fun () ->
+      let cfg = explain_cfg () in
+      let before = Cache.stats () in
+      check "absent entry is a miss" true
+        (Cache.load cfg ~workload:"W" ~scheme:"S" ~seed:1 = None);
+      Cache.store cfg ~workload:"W" ~scheme:"S" ~seed:1
+        (Json.Obj [ ("x", Json.Int 1) ]);
+      (match Cache.load cfg ~workload:"W" ~scheme:"S" ~seed:1 with
+      | Some (Json.Obj [ ("x", Json.Int 1) ]) -> ()
+      | _ -> Alcotest.fail "stored entry did not load back");
+      let file = Cache.path cfg ~workload:"W" ~scheme:"S" ~seed:1 in
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc "{not json");
+      check "corrupt entry is a miss" true
+        (Cache.load cfg ~workload:"W" ~scheme:"S" ~seed:1 = None);
+      let after = Cache.stats () in
+      check_int "hits" (before.Cache.hits + 1) after.Cache.hits;
+      check_int "misses" (before.Cache.misses + 2) after.Cache.misses;
+      check_int "stores" (before.Cache.stores + 1) after.Cache.stores;
+      check_int "evictions" (before.Cache.evictions + 1) after.Cache.evictions)
+
+(* ------------------------------------------------------------------ *)
+(* Decision provenance (explain)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let golden_dir = "golden_profiles"
+let explain_atax_path = Filename.concat golden_dir "explain_atax.json"
+
+let render_explain_atax () =
+  Json.to_string ~pretty:true
+    (Experiments.Explain.workload_to_json (explain_cfg ())
+       (Workloads.Registry.find "ATAX"))
+  ^ "\n"
+
+let test_golden_explain () =
+  if not (Sys.file_exists explain_atax_path) then
+    Alcotest.failf "missing golden %s — regenerate (see header)"
+      explain_atax_path;
+  let golden =
+    In_channel.with_open_bin explain_atax_path In_channel.input_all
+  in
+  check_string "explain ATAX provenance" golden (render_explain_atax ())
+
+(* [catt_cli explain] must report, for every CS kernel, exactly the
+   (N, M) the driver decided — and the recorded candidate sequence must
+   be the real Eq. 9 search: every candidate before the chosen one
+   overflowed the L1D, the chosen one fits. *)
+let test_explain_matches_driver () =
+  let cfg = explain_cfg () in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      List.iter
+        (fun (name, (t : Catt.Driver.t)) ->
+          let ctx = w.Workloads.Workload.name ^ "/" ^ name in
+          let json = Catt.Explain.to_json cfg t in
+          let loops = Json.to_list (Json.member "loops" json) in
+          check_int (ctx ^ " loop count") (List.length t.Catt.Driver.loops)
+            (List.length loops);
+          List.iter2
+            (fun (l : Catt.Driver.loop_decision) lj ->
+              let d = l.Catt.Driver.decision in
+              let dj = Json.member "decision" lj in
+              check_int (ctx ^ " N") d.Catt.Throttle.n
+                (Json.to_int (Json.member "n" dj));
+              check_int (ctx ^ " M") d.Catt.Throttle.m
+                (Json.to_int (Json.member "m" dj));
+              check (ctx ^ " throttled") d.Catt.Throttle.throttled
+                (Json.to_bool (Json.member "throttled" dj));
+              check (ctx ^ " resolved") d.Catt.Throttle.resolved
+                (Json.to_bool (Json.member "resolved" dj));
+              check_int (ctx ^ " candidates serialized")
+                (List.length d.Catt.Throttle.trials)
+                (List.length (Json.to_list (Json.member "candidates" lj)));
+              if d.Catt.Throttle.resolved && d.Catt.Throttle.throttled then
+                match List.rev d.Catt.Throttle.trials with
+                | [] -> Alcotest.failf "%s: throttled with no recorded trials" ctx
+                | chosen :: earlier ->
+                  check (ctx ^ " chosen candidate fits") true
+                    chosen.Catt.Throttle.cand_fits;
+                  check_int (ctx ^ " chosen N is the decision")
+                    d.Catt.Throttle.n chosen.Catt.Throttle.cand_n;
+                  check_int (ctx ^ " chosen M is the decision")
+                    d.Catt.Throttle.m chosen.Catt.Throttle.cand_m;
+                  List.iter
+                    (fun (tr : Catt.Throttle.trial) ->
+                      check (ctx ^ " earlier candidate overflowed") false
+                        tr.Catt.Throttle.cand_fits)
+                    earlier)
+            t.Catt.Driver.loops loops)
+        (Experiments.Explain.analyses cfg w))
+    Workloads.Registry.cs
+
+(* ------------------------------------------------------------------ *)
+(* Suite + regen                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let regen_goldens dir =
+  let path = Filename.concat dir "explain_atax.json" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (render_explain_atax ()));
+  Printf.printf "wrote %s\n" path
+
+let tc = Alcotest.test_case
+
+let tests =
+  [
+    ( "span",
+      [
+        tc "disabled path is inert" `Quick test_span_disabled;
+        tc "nesting and ordering" `Quick test_span_nesting;
+        tc "attrs and idempotent finish" `Quick test_span_attrs;
+        tc "error capture" `Quick test_span_error;
+        tc "clock monotone" `Quick test_clock_monotone;
+      ] );
+    ("perfetto", [ tc "export well-formed" `Quick test_perfetto_well_formed ]);
+    ( "metrics",
+      [
+        tc "registry" `Quick test_metrics_registry;
+        tc "manifest round-trip" `Quick test_manifest_roundtrip;
+      ] );
+    ( "pool",
+      [
+        tc "task attribution" `Quick test_pool_attribution;
+        tc "error attribution" `Quick test_pool_error_attribution;
+      ] );
+    ( "timeline",
+      [
+        tc "coalescing" `Quick test_timeline_coalescing;
+        tc "cap" `Quick test_timeline_cap;
+      ] );
+    ("cache", [ tc "counters" `Quick test_cache_counters ]);
+    ( "explain",
+      [
+        tc "golden ATAX provenance" `Quick test_golden_explain;
+        tc "matches driver over all CS kernels" `Slow
+          test_explain_matches_driver;
+      ] );
+  ]
