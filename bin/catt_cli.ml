@@ -196,7 +196,7 @@ let profile_cmd =
   in
   let run name scheme_str trace_out onchip sms =
     let cfg = config ~onchip_kb:onchip ~sms in
-    match Experiments.Runner.scheme_of_string scheme_str with
+    match Experiments.Scheme.of_string scheme_str with
     | Error msg ->
       prerr_endline msg;
       exit 2
@@ -205,7 +205,9 @@ let profile_cmd =
       let timeline = trace_out <> None in
       if timeline then Obs.Span.enabled := true;
       match
-        Experiments.Runner.run_result ~profile:true ~timeline cfg w scheme
+        Experiments.Runner.exec
+          (Experiments.Runner.Request.make ~profile:true ~timeline cfg w
+             scheme)
       with
       | Error msg ->
         prerr_endline msg;

@@ -1,0 +1,80 @@
+(** The CATT daemon: a long-running multi-tenant throttling service.
+
+    [catt_d serve] reads JSON-lines requests ({!Serve.Protocol}) from
+    stdin — or accepts connections on a Unix-domain socket with
+    [--socket] — dispatches them across a domain pool with bounded
+    admission control, and answers on stdout / the connection.
+
+    SIGTERM and SIGINT flip a stop flag: the request loop drains every
+    in-flight request, joins all worker domains and exits 0 — no
+    orphaned domains, no half-written cache entries (stores are atomic
+    temp-file renames). *)
+
+open Cmdliner
+
+let stop_flag = Atomic.make false
+
+let install_signal_handlers () =
+  let note _ = Atomic.set stop_flag true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle note);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle note);
+  (* a client hanging up mid-response must not kill the daemon *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let serve socket jobs queue_cap cfg no_cache cache_dir =
+  Experiments.Cache.enabled := not no_cache;
+  (match cache_dir with
+  | Some d -> Experiments.Cache.dir := d
+  | None -> ());
+  install_signal_handlers ();
+  let server = Serve.Server.create ~cfg ~jobs ~queue_cap () in
+  let stop () = Atomic.get stop_flag in
+  (match socket with
+  | Some path ->
+    prerr_endline
+      (Printf.sprintf "catt_d: serving on %s (queue cap %d)" path queue_cap);
+    Serve.Server.serve_socket server ~path ~stop
+  | None -> Serve.Server.serve_stdio server ~stop);
+  Serve.Server.shutdown server;
+  0
+
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"serve connections on a Unix-domain socket instead of stdio")
+
+let queue_cap =
+  Arg.(
+    value & opt int 16
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:
+          "admission-control cap on in-flight requests; beyond it requests \
+           are refused with an $(i,overloaded) response")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"root of the persistent result cache (tenants shard below it)")
+
+let jobs =
+  Arg.(
+    value & opt int 4
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"worker domains handling requests (0 = one per core)")
+
+let serve_cmd =
+  let doc = "serve analyze/explain/simulate/stats requests as JSON lines" in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket $ jobs $ queue_cap $ Cli_common.config
+      $ Cli_common.no_cache $ cache_dir)
+
+let () =
+  let doc = "CATT throttling daemon" in
+  let info = Cmd.info "catt_d" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ serve_cmd ]))

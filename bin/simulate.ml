@@ -6,17 +6,17 @@
 
 open Cmdliner
 
-let scheme_conv : Experiments.Runner.scheme Arg.conv =
+let scheme_conv : Experiments.Scheme.t Arg.conv =
   let parse s =
-    match Experiments.Runner.scheme_of_string s with
+    match Experiments.Scheme.of_string s with
     | Ok scheme -> Ok scheme
     | Error msg -> (
       (* also accept the bare NxM / N,M shorthand for fixed factors *)
       match Cli_common.pair_of_string s with
-      | Ok (n, m) -> Ok (Experiments.Runner.Fixed (n, m))
+      | Ok (n, m) -> Ok (Experiments.Scheme.Fixed (n, m))
       | Error _ -> Error (`Msg msg))
   in
-  let print fmt s = Format.pp_print_string fmt (Experiments.Runner.scheme_label s) in
+  let print fmt s = Format.pp_print_string fmt (Experiments.Scheme.label s) in
   Arg.conv (parse, print)
 
 let print_sweep ~jobs cfg w =

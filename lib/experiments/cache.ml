@@ -127,8 +127,18 @@ let sanitize label =
       | _ -> '-')
     label
 
-let path cfg ~workload ~scheme ~seed =
-  Filename.concat !dir
+(** Tenants shard by subdirectory only: the content-addressed key (and
+    hence the file name) is tenant-independent, so two tenants that run
+    the same cell end up with bit-identical files in separate shards —
+    isolation without divergence. *)
+let shard_dir ?tenant () =
+  match tenant with
+  | None -> !dir
+  | Some t -> Filename.concat !dir (sanitize t)
+
+let path ?tenant cfg ~workload ~scheme ~seed =
+  Filename.concat
+    (shard_dir ?tenant ())
     (Printf.sprintf "%s-%s-%s.json" (sanitize workload) (sanitize scheme)
        (key cfg ~workload ~scheme ~seed))
 
@@ -148,10 +158,10 @@ let read_file file =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load cfg ~workload ~scheme ~seed =
+let load ?tenant cfg ~workload ~scheme ~seed =
   if not !enabled then None
   else
-    let file = path cfg ~workload ~scheme ~seed in
+    let file = path ?tenant cfg ~workload ~scheme ~seed in
     if not (Sys.file_exists file) then begin
       Obs.Metrics.incr m_misses;
       None
@@ -167,10 +177,10 @@ let load cfg ~workload ~scheme ~seed =
         Obs.Metrics.incr m_evictions;
         None
 
-let store cfg ~workload ~scheme ~seed json =
+let store ?tenant cfg ~workload ~scheme ~seed json =
   if !enabled then begin
     Obs.Metrics.incr m_stores;
-    let file = path cfg ~workload ~scheme ~seed in
+    let file = path ?tenant cfg ~workload ~scheme ~seed in
     mkdir_p (Filename.dirname file);
     let tmp =
       Printf.sprintf "%s.%d.%d.tmp" file (Unix.getpid ())
@@ -186,9 +196,19 @@ let store cfg ~workload ~scheme ~seed json =
   end
 
 let clear () =
+  let clear_one d =
+    if Sys.file_exists d && Sys.is_directory d then
+      Array.iter
+        (fun entry ->
+          if Filename.check_suffix entry ".json" then
+            try Sys.remove (Filename.concat d entry) with Sys_error _ -> ())
+        (Sys.readdir d)
+  in
+  clear_one !dir;
+  (* tenant shards are one level deep *)
   if Sys.file_exists !dir && Sys.is_directory !dir then
     Array.iter
       (fun entry ->
-        if Filename.check_suffix entry ".json" then
-          try Sys.remove (Filename.concat !dir entry) with Sys_error _ -> ())
+        let sub = Filename.concat !dir entry in
+        if Sys.is_directory sub then clear_one sub)
       (Sys.readdir !dir)

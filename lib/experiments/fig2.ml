@@ -4,7 +4,13 @@
     are coalesced — the phase changes are what per-loop throttling exploits. *)
 
 let series cfg (w : Workloads.Workload.t) =
-  let run = Runner.run ~trace:true cfg w Runner.Baseline in
+  let run =
+    match
+      Runner.exec (Runner.Request.make ~trace:true cfg w Runner.Baseline)
+    with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
   List.filter_map
     (fun (ks : Runner.kernel_stats) ->
       match ks.Runner.trace with

@@ -49,9 +49,10 @@ let digest_memory dev =
 let digest_cell cfg (w : Workloads.Workload.t) scheme =
   let mem = ref "" in
   match
-    Runner.run_uncached ~profile:true
-      ~on_device:(fun dev -> mem := Digest.to_hex (digest_memory dev))
-      cfg w scheme
+    Runner.exec_uncached
+      (Runner.Request.make ~profile:true
+         ~on_device:(fun dev -> mem := Digest.to_hex (digest_memory dev))
+         cfg w scheme)
   with
   | Error msg -> Printf.sprintf "ERROR:%s" msg
   | Ok r ->

@@ -61,7 +61,13 @@ let bundle_of_json json =
     this artifact keeps its own cache entries under [scheme_label]. *)
 let profiles cfg (w : Workloads.Workload.t) =
   let recompute () =
-    let r = Runner.run ~profile:true cfg w Runner.Baseline in
+    let r =
+      match
+        Runner.exec (Runner.Request.make ~profile:true cfg w Runner.Baseline)
+      with
+      | Ok r -> r
+      | Error msg -> failwith msg
+    in
     let pairs =
       List.filter_map
         (fun (ks : Runner.kernel_stats) ->

@@ -18,7 +18,10 @@ module Gpu = Gpusim.Gpu
 
 let seed = 42
 
-type scheme =
+(** Re-exported from {!Scheme} so [Runner.Baseline] etc. keep working;
+    the single definition lives there, shared with CLI flags, the serve
+    wire protocol, and cache keys. *)
+type scheme = Scheme.t =
   | Baseline
   | Catt
   | Fixed of int * int
@@ -28,36 +31,8 @@ type scheme =
   | Swl of int
   | Bypass
 
-let scheme_label = function
-  | Baseline -> "baseline"
-  | Catt -> "CATT"
-  | Fixed (n, m) -> Printf.sprintf "fixed(N=%d,M=%d)" n m
-  | Dynamic -> "dynamic"
-  | CcwsSched -> "ccws"
-  | DawsSched -> "daws"
-  | Swl k -> Printf.sprintf "swl(%d)" k
-  | Bypass -> "bypass"
-
-(** Inverse of {!scheme_label} (case-insensitive on the fixed names), so
-    persisted results and CLI arguments round-trip through the label. *)
-let scheme_of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "baseline" -> Ok Baseline
-  | "catt" -> Ok Catt
-  | "dynamic" -> Ok Dynamic
-  | "ccws" -> Ok CcwsSched
-  | "daws" -> Ok DawsSched
-  | "bypass" -> Ok Bypass
-  | lower -> (
-    try Scanf.sscanf lower "fixed(n=%d,m=%d)%!" (fun n m -> Ok (Fixed (n, m)))
-    with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
-      try Scanf.sscanf lower "swl(%d)%!" (fun k -> Ok (Swl k))
-      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
-        Error
-          (Printf.sprintf
-             "unknown scheme %S (expected baseline, CATT, fixed(N=..,M=..), \
-              dynamic, ccws, daws, swl(..) or bypass)"
-             s)))
+let scheme_label = Scheme.label
+let scheme_of_string = Scheme.of_string
 
 type kernel_stats = {
   kernel_name : string;
@@ -80,6 +55,47 @@ type app_run = {
       (** provenance of a simulated (not memo-served) run; persisted
           with the cache entry but never part of the simulated payload *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Requests: the one description of "run this cell like so"            *)
+(* ------------------------------------------------------------------ *)
+
+(** A single record describing one execution of a (config, workload,
+    scheme) cell — the sim flags that used to be triplicated optional
+    arguments on [run] / [run_result] / [run_uncached] live here once.
+    Build one with {!Request.make} and hand it to {!exec}; the legacy
+    entry points are now flag-free thin wrappers. *)
+module Request = struct
+  type t = {
+    cfg : Config.t;
+    workload : Workloads.Workload.t;
+    scheme : Scheme.t;
+    trace : bool;  (** collect per-kernel access traces (bypasses cache) *)
+    profile : bool;  (** attach a {!Profile.Collector} per kernel *)
+    timeline : bool;  (** with [profile], also record the cycle timeline *)
+    tenant : string option;
+        (** disk-cache shard; [None] uses the shared top-level cache *)
+    on_device : (Gpu.device -> unit) option;
+        (** observe the final device state before it is dropped *)
+  }
+
+  let make ?(trace = false) ?(profile = false) ?(timeline = false) ?tenant
+      ?on_device cfg workload scheme =
+    { cfg; workload; scheme; trace; profile; timeline; tenant; on_device }
+
+  (** Trace/profile/timeline payloads and device observers are never
+      persisted, so such requests always simulate. *)
+  let bypasses_cache r =
+    r.trace || r.profile || r.timeline || Option.is_some r.on_device
+end
+
+(** Where {!exec_with_source} found the result. *)
+type source = Memo | Disk | Simulated
+
+let source_label = function
+  | Memo -> "memo"
+  | Disk -> "cache hit"
+  | Simulated -> "cache miss"
 
 (* ------------------------------------------------------------------ *)
 (* Per-kernel preparation under a scheme                               *)
@@ -261,8 +277,51 @@ let geometry_of_kernel (w : Workloads.Workload.t) name =
    cells/sec throughput counts *)
 let m_cells = Obs.Metrics.counter "sim.cells"
 
-let run_uncached ?(trace = false) ?(profile = false) ?(timeline = false)
-    ?on_device cfg (w : Workloads.Workload.t) scheme =
+(** Prepare every kernel of [w] under [scheme], in source order. *)
+let prepare_all cfg (w : Workloads.Workload.t) scheme =
+  let prepared =
+    List.fold_left
+      (fun acc (name, kernel) ->
+        match acc with
+        | Error _ -> acc
+        | Ok ps ->
+          let geo = geometry_of_kernel w name in
+          let p =
+            match scheme with
+            | Baseline | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass ->
+              Ok (prepare_baseline cfg kernel geo)
+            | Catt -> prepare_catt cfg kernel geo
+            | Fixed (n, m) -> prepare_fixed cfg kernel geo ~n ~m
+          in
+          (match p with
+          | Ok p -> Ok ((name, p) :: ps)
+          | Error msg ->
+            Error
+              (Printf.sprintf "%s, kernel %s, scheme %s:\n%s"
+                 w.Workloads.Workload.name name (scheme_label scheme) msg)))
+      (Ok [])
+      (Workloads.Workload.kernels w)
+  in
+  Result.map List.rev prepared
+
+(* repeated launches of one kernel aggregate into a single entry, with
+   cycles summed (Stats.accumulate alone takes the max) *)
+let note_kernel acc ~name ~tlp ~trace ~profile stats =
+  match List.assoc_opt name !acc with
+  | Some ks ->
+    ks.stats.Gpusim.Stats.cycles <-
+      ks.stats.Gpusim.Stats.cycles + stats.Gpusim.Stats.cycles;
+    let cycles = ks.stats.Gpusim.Stats.cycles in
+    Gpusim.Stats.accumulate ~into:ks.stats stats;
+    ks.stats.Gpusim.Stats.cycles <- cycles
+  | None ->
+    acc := !acc @ [ (name, { kernel_name = name; stats; tlp; trace; profile }) ]
+
+let exec_uncached (req : Request.t) =
+  let { Request.cfg; workload = w; scheme; trace; profile; timeline; tenant = _;
+        on_device } =
+    req
+  in
   Obs.Span.with_span "runner.simulate"
     ~attrs:
       [
@@ -271,7 +330,6 @@ let run_uncached ?(trace = false) ?(profile = false) ?(timeline = false)
       ]
   @@ fun _ ->
   let started = Unix.gettimeofday () in
-  let kernels = Workloads.Workload.kernels w in
   (* one collector per kernel name: repeated launches of the same kernel
      aggregate into it, matching how stats accumulate *)
   let collectors : (string, Profile.Collector.t) Hashtbl.t = Hashtbl.create 4 in
@@ -287,33 +345,9 @@ let run_uncached ?(trace = false) ?(profile = false) ?(timeline = false)
           Hashtbl.add collectors name c;
           c)
   in
-  let geometry_of_kernel name = geometry_of_kernel w name in
-  let prepared =
-    List.fold_left
-      (fun acc (name, kernel) ->
-        match acc with
-        | Error _ -> acc
-        | Ok ps ->
-          let geo = geometry_of_kernel name in
-          let p =
-            match scheme with
-            | Baseline | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass ->
-              Ok (prepare_baseline cfg kernel geo)
-            | Catt -> prepare_catt cfg kernel geo
-            | Fixed (n, m) -> prepare_fixed cfg kernel geo ~n ~m
-          in
-          (match p with
-          | Ok p -> Ok ((name, p) :: ps)
-          | Error msg ->
-            Error
-              (Printf.sprintf "%s, kernel %s, scheme %s:\n%s"
-                 w.Workloads.Workload.name name (scheme_label scheme) msg)))
-      (Ok []) kernels
-  in
-  match prepared with
+  match prepare_all cfg w scheme with
   | Error _ as e -> e
-  | Ok rev_prepared ->
-  let prepared = List.rev rev_prepared in
+  | Ok prepared ->
   let dev = Gpu.create cfg in
   w.Workloads.Workload.setup dev (Gpu_util.Rng.create seed);
   let acc : (string * kernel_stats) list ref = ref [] in
@@ -340,25 +374,10 @@ let run_uncached ?(trace = false) ?(profile = false) ?(timeline = false)
           l.args
       in
       let stats, tr = Gpu.launch dev launch in
-      match List.assoc_opt l.kernel_name !acc with
-      | Some ks ->
-        ks.stats.Gpusim.Stats.cycles <- ks.stats.Gpusim.Stats.cycles + stats.Gpusim.Stats.cycles;
-        let cycles = ks.stats.Gpusim.Stats.cycles in
-        Gpusim.Stats.accumulate ~into:ks.stats stats;
-        ks.stats.Gpusim.Stats.cycles <- cycles
-      | None ->
-        acc :=
-          !acc
-          @ [
-              ( l.kernel_name,
-                {
-                  kernel_name = l.kernel_name;
-                  stats;
-                  tlp = p.prepared_tlp;
-                  trace = (if trace then Some tr else None);
-                  profile = collector_for l.kernel_name;
-                } );
-            ])
+      note_kernel acc ~name:l.kernel_name ~tlp:p.prepared_tlp
+        ~trace:(if trace then Some tr else None)
+        ~profile:(collector_for l.kernel_name)
+        stats)
     w.Workloads.Workload.launches;
   let kernels_stats = List.map snd !acc in
   (* observe the final device state (e.g. digest the memory image for the
@@ -499,9 +518,15 @@ let run_of_json cfg (w : Workloads.Workload.t) scheme json =
 let memo : (string, app_run) Hashtbl.t = Hashtbl.create 64
 let memo_lock = Mutex.create ()
 
-let memo_key cfg (w : Workloads.Workload.t) scheme =
-  Cache.key cfg ~workload:w.Workloads.Workload.name
-    ~scheme:(scheme_label scheme) ~seed
+(* the in-process memo is tenant-qualified like the disk shards: tenant
+   B's first request must not be short-circuited by tenant A's memo entry,
+   or B's shard would never be populated *)
+let memo_key ?tenant cfg (w : Workloads.Workload.t) scheme =
+  let base =
+    Cache.key cfg ~workload:w.Workloads.Workload.name
+      ~scheme:(scheme_label scheme) ~seed
+  in
+  match tenant with None -> base | Some t -> base ^ "|tenant=" ^ t
 
 let progress : bool ref = ref false
 (** When set, one line per simulated or cache-loaded run goes to stderr. *)
@@ -527,9 +552,14 @@ let with_lock f =
     same key may both simulate — {!run_many} deduplicates keys up front,
     so this stays simple and lock-free during the simulation itself.
     Preparation failures (occupancy refusals, sanitizer diagnostics) come
-    back as [Error] with the located report and are never cached. *)
-let run_result ?(trace = false) ?(profile = false) ?(timeline = false) cfg w
-    scheme =
+    back as [Error] with the located report and are never cached.
+    The second component says where the result came from — the serve
+    layer uses it for per-tenant hit/miss attribution. *)
+let exec_with_source (req : Request.t) =
+  let w = req.Request.workload
+  and cfg = req.Request.cfg
+  and scheme = req.Request.scheme
+  and tenant = req.Request.tenant in
   Obs.Span.with_span "runner.run"
     ~attrs:
       [
@@ -542,21 +572,21 @@ let run_result ?(trace = false) ?(profile = false) ?(timeline = false) cfg w
       (fun s -> Obs.Span.add_attr s "source" (Obs.Span.Str src))
       run_span
   in
-  if trace || profile || timeline then begin
+  if Request.bypasses_cache req then begin
     note_source "simulated (uncached)";
-    run_uncached ~trace ~profile ~timeline cfg w scheme
+    Result.map (fun r -> (r, Simulated)) (exec_uncached req)
   end
   else begin
-    let key = memo_key cfg w scheme in
+    let key = memo_key ?tenant cfg w scheme in
     match with_lock (fun () -> Hashtbl.find_opt memo key) with
     | Some r ->
       note_source "memo";
-      Ok r
+      Ok (r, Memo)
     | None -> (
       let workload = w.Workloads.Workload.name
       and label = scheme_label scheme in
       let from_disk =
-        match Cache.load cfg ~workload ~scheme:label ~seed with
+        match Cache.load ?tenant cfg ~workload ~scheme:label ~seed with
         | None -> None
         | Some json -> (
           match run_of_json cfg w scheme json with
@@ -569,29 +599,147 @@ let run_result ?(trace = false) ?(profile = false) ?(timeline = false) cfg w
       in
       let computed =
         match from_disk with
-        | Some r -> Ok (r, "cache hit")
+        | Some r -> Ok (r, Disk)
         | None -> (
-          match run_uncached cfg w scheme with
+          match exec_uncached req with
           | Error _ as e -> e
           | Ok r ->
-            Cache.store cfg ~workload ~scheme:label ~seed (run_to_json r);
-            Ok (r, "cache miss"))
+            Cache.store ?tenant cfg ~workload ~scheme:label ~seed
+              (run_to_json r);
+            Ok (r, Simulated))
       in
       match computed with
       | Error _ as e -> e
       | Ok (r, source) ->
         with_lock (fun () -> Hashtbl.replace memo key r);
-        note_source source;
-        log_run source r;
-        Ok r)
+        note_source (source_label source);
+        log_run (source_label source) r;
+        Ok (r, source))
   end
+
+(** The single entry point every caller funnels through. *)
+let exec req = Result.map fst (exec_with_source req)
+
+(* --- legacy entry points: flag-free thin wrappers over [exec] -------- *)
+
+let run_result cfg w scheme = exec (Request.make cfg w scheme)
+
+let run_uncached cfg w scheme = exec_uncached (Request.make cfg w scheme)
 
 (** {!run_result}, unwrapped: the one place a preparation failure turns
     into an exception, carrying the full located diagnostic report. *)
-let run ?(trace = false) ?(profile = false) ?(timeline = false) cfg w scheme =
-  match run_result ~trace ~profile ~timeline cfg w scheme with
+let run cfg w scheme =
+  match run_result cfg w scheme with
   | Ok r -> r
   | Error msg -> failwith msg
+
+(* ------------------------------------------------------------------ *)
+(* Co-resident pairs (CIAO direction: two kernels, one SM partition)   *)
+(* ------------------------------------------------------------------ *)
+
+(** Run two workloads co-resident on one simulated GPU: launches are
+    zipped in order, each common position co-scheduled through
+    {!Gpu.launch_pair} (half-SM partitions, one shared L1D/L2/DRAM),
+    and whichever workload has launches left over finishes solo on the
+    then-idle machine.  Both CPU oracles still verify, and every counter
+    stays attributed to its kernel.  Only compile-time schemes are
+    accepted ({!Scheme.is_static}); results are never cached — the pair
+    interference depends on both members, which the per-cell cache key
+    cannot express. *)
+let run_co_resident cfg (wa : Workloads.Workload.t) scheme_a
+    (wb : Workloads.Workload.t) scheme_b =
+  let check_static w s =
+    if not (Scheme.is_static s) then
+      Error
+        (Printf.sprintf
+           "co-resident mode requires a compile-time scheme; %s requested %s"
+           w.Workloads.Workload.name (scheme_label s))
+    else Ok ()
+  in
+  match (check_static wa scheme_a, check_static wb scheme_b) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (), Ok () -> (
+    match (prepare_all cfg wa scheme_a, prepare_all cfg wb scheme_b) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok prep_a, Ok prep_b -> (
+      Obs.Span.with_span "runner.co_resident"
+        ~attrs:
+          [
+            ("workload_a", Obs.Span.Str wa.Workloads.Workload.name);
+            ("workload_b", Obs.Span.Str wb.Workloads.Workload.name);
+          ]
+      @@ fun _ ->
+      let dev_a = Gpu.create cfg in
+      let dev_b = Gpu.create_shared_l2 dev_a in
+      wa.Workloads.Workload.setup dev_a (Gpu_util.Rng.create seed);
+      wb.Workloads.Workload.setup dev_b (Gpu_util.Rng.create seed);
+      let mk_launch w prepared scheme (l : Workloads.Workload.kernel_launch) =
+        let p = List.assoc l.kernel_name prepared in
+        ( Gpu.default_launch ?smem_carveout:p.carveout
+            ~bypass_arrays:
+              (if scheme = Bypass then
+                 Catt.Bypass.divergent_arrays cfg
+                   (Workloads.Workload.find_kernel w l.kernel_name)
+                   (Workloads.Workload.geometry_of l)
+               else [])
+            ~prog:p.prog ~grid:l.grid ~block:l.block l.args,
+          p.prepared_tlp )
+      in
+      let acc_a : (string * kernel_stats) list ref = ref [] in
+      let acc_b : (string * kernel_stats) list ref = ref [] in
+      let note acc (l : Workloads.Workload.kernel_launch) tlp stats =
+        note_kernel acc ~name:l.kernel_name ~tlp ~trace:None ~profile:None
+          stats
+      in
+      try
+        let rec go las lbs =
+          match (las, lbs) with
+          | [], [] -> ()
+          | la :: ras, lb :: rbs ->
+            let launch_a, tlp_a = mk_launch wa prep_a scheme_a la in
+            let launch_b, tlp_b = mk_launch wb prep_b scheme_b lb in
+            let stats_a, stats_b =
+              Gpu.launch_pair dev_a launch_a dev_b launch_b
+            in
+            note acc_a la tlp_a stats_a;
+            note acc_b lb tlp_b stats_b;
+            go ras rbs
+          | la :: ras, [] ->
+            let launch_a, tlp_a = mk_launch wa prep_a scheme_a la in
+            let stats, _ = Gpu.launch dev_a launch_a in
+            note acc_a la tlp_a stats;
+            go ras []
+          | [], lb :: rbs ->
+            let launch_b, tlp_b = mk_launch wb prep_b scheme_b lb in
+            let stats, _ = Gpu.launch dev_b launch_b in
+            note acc_b lb tlp_b stats;
+            go [] rbs
+        in
+        go wa.Workloads.Workload.launches wb.Workloads.Workload.launches;
+        Obs.Metrics.incr m_cells;
+        let mk_run (w : Workloads.Workload.t) scheme prepared acc dev =
+          let kernels_stats = List.map snd !acc in
+          {
+            workload = w.Workloads.Workload.name;
+            scheme;
+            kernels = kernels_stats;
+            total_cycles =
+              List.fold_left
+                (fun t ks -> t + ks.stats.Gpusim.Stats.cycles)
+                0 kernels_stats;
+            verified = w.Workloads.Workload.verify dev;
+            catt_analyses =
+              List.filter_map
+                (fun (name, p) ->
+                  match p.analysis with Some a -> Some (name, a) | None -> None)
+                prepared;
+            manifest = None;
+          }
+        in
+        Ok
+          ( mk_run wa scheme_a prep_a acc_a dev_a,
+            mk_run wb scheme_b prep_b acc_b dev_b )
+      with Gpu.Launch_error msg -> Error msg))
 
 (** Fan a (config, workload, scheme) grid out across a domain pool.
     Results come back element-wise in input order, identical to what the

@@ -39,3 +39,19 @@ let max_tbs_per_sm cfg ~tb_threads ~num_regs ~shared_bytes ~smem_carveout =
 
 let warps_per_tb (cfg : Config.t) ~tb_threads =
   (tb_threads + cfg.warp_size - 1) / cfg.warp_size
+
+(** Occupancy for one of [parts] kernels co-resident on a spatially
+    partitioned SM (the CIAO-style sharing of {!Gpu.launch_pair}): the
+    kernel keeps its own shared-memory carveout, so Eq. 1 is undivided,
+    while the register file, warp slots and TB slots are split evenly
+    between the partitions.  A result of 0 means the kernel does not fit
+    in its partition — callers must refuse the co-schedule rather than
+    round up. *)
+let partitioned_max_tbs_per_sm cfg ~parts ~tb_threads ~num_regs ~shared_bytes
+    ~smem_carveout =
+  if parts < 1 then
+    invalid_arg "Cta_scheduler.partitioned_max_tbs_per_sm: parts < 1";
+  let l = limits cfg ~tb_threads ~num_regs ~shared_bytes ~smem_carveout in
+  min
+    (min l.by_shared (l.by_registers / parts))
+    (min (l.by_warp_slots / parts) (l.by_tb_slots / parts))

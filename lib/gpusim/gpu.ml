@@ -19,6 +19,14 @@ let create cfg =
 
 let config dev = dev.cfg
 
+(** A second device that shares this one's L2 (and config) but owns a
+    fresh global-memory namespace, so a co-resident workload's array
+    names cannot collide with the first one's.  Made for {!launch_pair};
+    either device works standalone too (the shared L2 then simply stays
+    warm across their launches, like two streams on one GPU). *)
+let create_shared_l2 dev =
+  { cfg = dev.cfg; memory = Hashtbl.create 16; l2 = dev.l2 }
+
 let alloc dev name len =
   if Hashtbl.mem dev.memory name then launch_error "array %s already allocated" name;
   if len <= 0 then launch_error "array %s: non-positive length %d" name len;
@@ -133,8 +141,10 @@ let occupancy dev l =
 
 (* Bind launch arguments: build the id-indexed global array table with
    line-aligned, non-overlapping base addresses, and the scalar register
-   preload list. *)
-let bind_args dev l =
+   preload list.  [base] is where the first array lands — [launch_pair]
+   binds its second kernel after the first one's top address, so the two
+   kernels' working sets occupy disjoint cache-visible ranges. *)
+let bind_args_from dev ~base l =
   let prog = l.prog in
   let expected = List.length prog.Bytecode.args in
   let got = List.length l.args in
@@ -144,7 +154,7 @@ let bind_args dev l =
   let num_ids = List.length prog.Bytecode.array_ids in
   let arrays = Array.make num_ids None in
   let scalars = ref [] in
-  let next_base = ref dev.cfg.Config.line_bytes in
+  let next_base = ref base in
   let align n =
     let line = dev.cfg.Config.line_bytes in
     (n + line - 1) / line * line
@@ -166,7 +176,26 @@ let bind_args dev l =
       | Bytecode.Scalar_arg param, Arr _ ->
         launch_error "argument %s: expected a scalar, got an array" param)
     prog.Bytecode.args l.args;
-  (arrays, !scalars)
+  (arrays, !scalars, !next_base)
+
+let bind_args dev l =
+  let arrays, scalars, _ =
+    bind_args_from dev ~base:dev.cfg.Config.line_bytes l
+  in
+  (arrays, scalars)
+
+let bypass_flags l =
+  let num_ids = List.length l.prog.Bytecode.array_ids in
+  let flags = Array.make num_ids false in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name l.prog.Bytecode.array_ids with
+      | Some id -> flags.(id) <- true
+      | None ->
+        launch_error "bypass_arrays: kernel %s has no array %s"
+          l.prog.Bytecode.name name)
+    l.bypass_arrays;
+  flags
 
 (* process-wide launch accounting (always on; see Obs.Metrics) *)
 let m_launches = Obs.Metrics.counter "gpu.launches"
@@ -215,18 +244,7 @@ let launch dev l =
       trace;
       l2 = dev.l2;
       dram_free = ref 0;
-      bypass =
-        (let num_ids = List.length l.prog.Bytecode.array_ids in
-         let flags = Array.make num_ids false in
-         List.iter
-           (fun name ->
-             match List.assoc_opt name l.prog.Bytecode.array_ids with
-             | Some id -> flags.(id) <- true
-             | None ->
-               launch_error "bypass_arrays: kernel %s has no array %s"
-                 l.prog.Bytecode.name name)
-           l.bypass_arrays;
-         flags);
+      bypass = bypass_flags l;
       prof = l.profile;
     }
   in
@@ -354,3 +372,198 @@ let launch dev l =
     (fun s -> Obs.Span.add_attr s "cycles" (Obs.Span.Int stats.Stats.cycles))
     launch_span;
   (stats, trace)
+
+(* ------------------------------------------------------------------ *)
+(* Co-resident launches (CIAO-style spatial sharing)                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Two kernels co-scheduled on the same SMs, each in a half partition:
+    register file, warp slots and TB slots split evenly
+    ({!Cta_scheduler.partitioned_max_tbs_per_sm}), each kernel keeping
+    its own shared-memory carveout, with the remaining on-chip bytes a
+    single L1D the two contend for.  Both kernels also share the L2 and
+    the DRAM ports, so the interference regime CIAO targets — one
+    kernel's misses evicting the other's working set — shows up in the
+    per-kernel counters, which stay fully attributed (each context
+    charges its own {!Stats.t}).
+
+    Restrictions: both launches must come from devices created by
+    {!create_shared_l2} off one another (disjoint memory namespaces,
+    one L2), use compile-time schemes only ([runtime_throttle = `None] —
+    the runtime controllers carry per-SM state that cannot be attributed
+    to one kernel), and request neither traces nor profiles. *)
+let launch_pair dev_a la dev_b lb =
+  if dev_a == dev_b then
+    launch_error
+      "launch_pair: the kernels need separate devices (create_shared_l2)";
+  if dev_a.l2 != dev_b.l2 then
+    launch_error "launch_pair: devices must share an L2 (create_shared_l2)";
+  if dev_a.cfg <> dev_b.cfg then
+    launch_error "launch_pair: devices must share one configuration";
+  let check_simple which l =
+    (match l.runtime_throttle with
+    | `None -> ()
+    | `Dyncta | `Ccws | `Daws | `Swl _ ->
+      launch_error
+        "launch_pair: kernel %s (%s) uses runtime throttling; co-resident \
+         mode supports compile-time schemes only"
+        l.prog.Bytecode.name which);
+    if l.trace then
+      launch_error "launch_pair: tracing is not supported (kernel %s)"
+        l.prog.Bytecode.name;
+    if Option.is_some l.profile then
+      launch_error "launch_pair: profiling is not supported (kernel %s)"
+        l.prog.Bytecode.name
+  in
+  check_simple "A" la;
+  check_simple "B" lb;
+  let cfg = dev_a.cfg in
+  Obs.Span.with_span "gpu.launch_pair"
+    ~attrs:
+      [
+        ("kernel_a", Obs.Span.Str la.prog.Bytecode.name);
+        ("kernel_b", Obs.Span.Str lb.prog.Bytecode.name);
+      ]
+  @@ fun _ ->
+  Cache.settle dev_a.l2;
+  let gxa, gya, bxa, bya = geometry la in
+  let gxb, gyb, bxb, byb = geometry lb in
+  let carve_a = resolve_carveout dev_a la in
+  let carve_b = resolve_carveout dev_b lb in
+  let l1_bytes = cfg.Config.onchip_bytes - carve_a - carve_b in
+  if l1_bytes <= 0 then
+    launch_error
+      "launch_pair: carveouts %dB + %dB leave no L1D of the %dB on-chip \
+       memory"
+      carve_a carve_b cfg.Config.onchip_bytes;
+  let part_tbs which l carve ~tb_threads =
+    let tbs =
+      Cta_scheduler.partitioned_max_tbs_per_sm cfg ~parts:2 ~tb_threads
+        ~num_regs:l.prog.Bytecode.num_regs
+        ~shared_bytes:l.prog.Bytecode.shared_bytes ~smem_carveout:carve
+    in
+    if tbs <= 0 then
+      launch_error
+        "launch_pair: kernel %s (%s) has zero occupancy in its half-SM \
+         partition"
+        l.prog.Bytecode.name which;
+    tbs
+  in
+  let max_tbs_a = part_tbs "A" la carve_a ~tb_threads:(bxa * bya) in
+  let max_tbs_b = part_tbs "B" lb carve_b ~tb_threads:(bxb * byb) in
+  (* disjoint cache-visible address ranges: B binds after A's top address *)
+  let arrays_a, scalars_a, top_a =
+    bind_args_from dev_a ~base:cfg.Config.line_bytes la
+  in
+  let arrays_b, scalars_b, _ = bind_args_from dev_b ~base:top_a lb in
+  let dram_free = ref 0 in
+  let make_job dev l arrays scalars ~gx ~gy ~bx ~by stats =
+    let tb_threads = bx * by in
+    {
+      Sm.cfg;
+      prog = l.prog;
+      arrays;
+      shared_specs =
+        List.map (fun (_, id, size) -> (id, size)) l.prog.Bytecode.shared_arrays;
+      scalar_values = scalars;
+      grid_x = gx;
+      grid_y = gy;
+      block_x = bx;
+      block_y = by;
+      tb_threads;
+      warps_per_tb = Cta_scheduler.warps_per_tb cfg ~tb_threads;
+      sched = l.sched;
+      stats;
+      trace = Trace.disabled;
+      l2 = dev.l2;
+      dram_free;
+      bypass = bypass_flags l;
+      prof = None;
+    }
+  in
+  let stats_a = Stats.create () and stats_b = Stats.create () in
+  let job_a =
+    make_job dev_a la arrays_a scalars_a ~gx:gxa ~gy:gya ~bx:bxa ~by:bya
+      stats_a
+  in
+  let job_b =
+    make_job dev_b lb arrays_b scalars_b ~gx:gxb ~gy:gyb ~bx:bxb ~by:byb
+      stats_b
+  in
+  let num_sms = cfg.Config.num_sms in
+  let sms_a = Array.init num_sms (fun i -> Sm.create job_a i ~l1_bytes) in
+  let sms_b =
+    Array.init num_sms (fun i ->
+        Sm.create ~l1:sms_a.(i).Sm.l1 job_b i ~l1_bytes)
+  in
+  let total_a = gxa * gya and total_b = gxb * gyb in
+  let next_a = ref 0 and next_b = ref 0 in
+  let refill max_tbs next_tb total sm =
+    while sm.Sm.resident_tbs < max_tbs && !next_tb < total do
+      Sm.launch_tb sm !next_tb;
+      incr next_tb
+    done
+  in
+  let distribute sms max_tbs next_tb total =
+    let continue_rr = ref true in
+    while !continue_rr && !next_tb < total do
+      continue_rr := false;
+      Array.iter
+        (fun sm ->
+          if sm.Sm.resident_tbs < max_tbs && !next_tb < total then begin
+            Sm.launch_tb sm !next_tb;
+            incr next_tb;
+            continue_rr := true
+          end)
+        sms
+    done
+  in
+  distribute sms_a max_tbs_a next_a total_a;
+  distribute sms_b max_tbs_b next_b total_b;
+  (* one event loop over the 2N contexts (A's first — ties break toward
+     A, deterministically), same argmin structure as [launch]: stepping
+     one context cannot change another's cached next-event time *)
+  let n_ctx = 2 * num_sms in
+  let ctx k = if k < num_sms then sms_a.(k) else sms_b.(k - num_sms) in
+  let next_at = Array.make n_ctx max_int in
+  let refresh k =
+    let sm = ctx k in
+    if Sm.has_warps sm then begin
+      let t = Sm.next_event sm in
+      if t = max_int then
+        Sm.sim_error "kernel %s: barrier deadlock on SM %d"
+          sm.Sm.job.Sm.prog.Bytecode.name sm.Sm.id;
+      next_at.(k) <- t
+    end
+    else next_at.(k) <- max_int
+  in
+  for k = 0 to n_ctx - 1 do
+    refresh k
+  done;
+  let running = ref true in
+  while !running do
+    let best = ref (-1) in
+    let best_at = ref max_int in
+    for k = 0 to n_ctx - 1 do
+      if next_at.(k) < !best_at then begin
+        best := k;
+        best_at := next_at.(k)
+      end
+    done;
+    if !best < 0 then running := false
+    else begin
+      let sm = ctx !best in
+      ignore (Sm.step_at sm ~t:!best_at);
+      if !best < num_sms then refill max_tbs_a next_a total_a sm
+      else refill max_tbs_b next_b total_b sm;
+      refresh !best
+    end
+  done;
+  assert (!next_a = total_a && !next_b = total_b);
+  stats_a.Stats.cycles <-
+    Array.fold_left (fun acc sm -> max acc sm.Sm.now) 0 sms_a;
+  stats_b.Stats.cycles <-
+    Array.fold_left (fun acc sm -> max acc sm.Sm.now) 0 sms_b;
+  Obs.Metrics.add m_launches 2;
+  Obs.Metrics.add m_sim_cycles (stats_a.Stats.cycles + stats_b.Stats.cycles);
+  (stats_a, stats_b)

@@ -17,6 +17,11 @@ type device
 val create : Config.t -> device
 val config : device -> Config.t
 
+val create_shared_l2 : device -> device
+(** A second device sharing this one's config and L2 but owning a fresh
+    global-memory namespace — the co-resident workload's arrays cannot
+    collide with the first one's.  Intended for {!launch_pair}. *)
+
 val alloc : device -> string -> int -> unit
 (** [alloc dev name len] creates a zero-filled device array.  Raises
     {!Launch_error} if the name is taken. *)
@@ -90,3 +95,14 @@ val launch : device -> launch -> Stats.t * Trace.t
 (** Runs to completion.  Raises {!Launch_error} for bad argument lists and
     {!Sm.Sim_error} for runtime faults (out-of-bounds, division by zero,
     barrier deadlock). *)
+
+val launch_pair : device -> launch -> device -> launch -> Stats.t * Stats.t
+(** [launch_pair dev_a la dev_b lb] co-schedules two kernels on the same
+    SMs, each in a half partition (registers, warp slots and TB slots
+    split evenly; each kernel keeps its own shared-memory carveout), with
+    the remaining on-chip bytes one L1D both contend for — plus the
+    shared L2 and DRAM ports.  Per-kernel counters stay fully attributed.
+    [dev_b] must come from [create_shared_l2 dev_a] (or vice versa); both
+    launches must use compile-time schemes ([runtime_throttle = `None])
+    and request neither traces nor profiles.  Raises {!Launch_error}
+    when a kernel does not fit its partition. *)

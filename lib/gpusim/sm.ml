@@ -167,15 +167,21 @@ let make_dummy_warp () =
     daws_hold = [];
   }
 
-let create ?dyn ?ccws ?daws ?swl job id ~l1_bytes =
+(* [?l1] shares an existing L1D instead of creating one: co-resident
+   kernel contexts on the same physical SM ({!Gpu.launch_pair}) contend
+   for one cache, which is exactly the interference being modeled. *)
+let create ?dyn ?ccws ?daws ?swl ?l1 job id ~l1_bytes =
   let ws = job.cfg.Config.warp_size in
   let dw = make_dummy_warp () in
   {
     id;
     job;
     l1 =
-      Cache.create ~bytes:l1_bytes ~assoc:job.cfg.Config.l1d_assoc
-        ~line_bytes:job.cfg.Config.line_bytes ~mshrs:job.cfg.Config.l1d_mshrs;
+      (match l1 with
+      | Some shared -> shared
+      | None ->
+        Cache.create ~bytes:l1_bytes ~assoc:job.cfg.Config.l1d_assoc
+          ~line_bytes:job.cfg.Config.line_bytes ~mshrs:job.cfg.Config.l1d_mshrs);
     now = 0;
     lsu_free = 0;
     warps = Array.make 16 dw;

@@ -1,0 +1,431 @@
+(** The long-running request loop behind [catt_d serve].
+
+    Architecture (DESIGN.md §13): one acceptor thread (the caller of
+    {!serve_stdio} / {!serve_socket}) reads JSON-lines requests and
+    {!post}s them onto the shared {!Gpu_util.Pool}; worker domains run
+    the handler and write each response line under a writer mutex, so
+    responses may be delivered out of order — clients correlate by the
+    echoed [id].
+
+    Admission control is a queue-depth cap on in-flight requests
+    (queued + running).  A request that would exceed the cap is refused
+    immediately with an [overloaded] envelope — it never reaches the
+    pool, costs no simulation work, and is counted per tenant.  This
+    bounds both memory and tail latency: the deepest backlog a request
+    can sit behind is [queue_cap - 1] others.
+
+    Tenancy: the [tenant] request field selects the {!Experiments.Cache}
+    shard results persist to and the {!Tenant} metrics bucket surfaced
+    by the [stats] request.  Tenants share the process-wide workload
+    registry and pool — isolation is of results and accounting, not
+    performance.
+
+    Connections on the socket are served one at a time (requests within
+    a connection still fan out across the pool); concurrent connections
+    are future work. *)
+
+module Json = Gpu_util.Json
+module Runner = Experiments.Runner
+module Scheme = Experiments.Scheme
+module Pool = Gpu_util.Pool
+
+(** [Ok (payload, cached)]: [cached] marks results served from the
+    runner's memo or a disk shard — it decides hit/miss attribution. *)
+type outcome = (Json.t * bool, Protocol.error_code * string) result
+
+type handler = Protocol.request -> outcome
+
+type t = {
+  cfg : Gpusim.Config.t;
+  queue_cap : int;
+  pool : Pool.t;
+  in_flight : int Atomic.t;
+  handler : handler;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Default request handler (the business logic)                        *)
+(* ------------------------------------------------------------------ *)
+
+let find_workload name =
+  try Ok (Workloads.Registry.find name)
+  with Invalid_argument msg -> Error (Protocol.Not_found, msg)
+
+let run_summary (r : Runner.app_run) =
+  Json.Obj
+    [
+      ("workload", Json.String r.Runner.workload);
+      ("scheme", Json.String (Scheme.label r.Runner.scheme));
+      ("total_cycles", Json.Int r.Runner.total_cycles);
+      ( "verified",
+        match r.Runner.verified with
+        | Ok () -> Json.Bool true
+        | Error _ -> Json.Bool false );
+      ( "kernels",
+        Json.List
+          (List.map
+             (fun (ks : Runner.kernel_stats) ->
+               Json.Obj
+                 [
+                   ("kernel", Json.String ks.Runner.kernel_name);
+                   ("cycles", Json.Int ks.Runner.stats.Gpusim.Stats.cycles);
+                   ( "instructions",
+                     Json.Int ks.Runner.stats.Gpusim.Stats.instructions );
+                   ( "l1_hit_rate",
+                     Json.Float (Gpusim.Stats.l1_hit_rate ks.Runner.stats) );
+                   ( "tlp",
+                     Json.List
+                       [
+                         Json.Int (fst ks.Runner.tlp);
+                         Json.Int (snd ks.Runner.tlp);
+                       ] );
+                 ])
+             r.Runner.kernels) );
+    ]
+
+let analysis_to_json (name, (a : Catt.Driver.t)) =
+  Json.Obj
+    [
+      ("kernel", Json.String name);
+      ("final_carveout", Json.Int a.Catt.Driver.final_carveout);
+      ( "baseline_tlp",
+        Json.List
+          [
+            Json.Int (fst a.Catt.Driver.baseline_tlp);
+            Json.Int (snd a.Catt.Driver.baseline_tlp);
+          ] );
+      ("resident_tbs", Json.Int a.Catt.Driver.resident_tbs);
+      ("gate_degraded", Json.Bool a.Catt.Driver.gate_degraded);
+      ("analysis_seconds", Json.Float a.Catt.Driver.analysis_seconds);
+      ( "loops",
+        Json.List
+          (List.map
+             (fun (l : Catt.Driver.loop_decision) ->
+               let d = l.Catt.Driver.decision in
+               Json.Obj
+                 [
+                   ( "req_per_warp",
+                     Json.Int l.Catt.Driver.footprint.Catt.Footprint.req_per_warp
+                   );
+                   ( "has_locality",
+                     Json.Bool
+                       l.Catt.Driver.footprint.Catt.Footprint.has_locality );
+                   ("throttled", Json.Bool d.Catt.Throttle.throttled);
+                   ("n", Json.Int d.Catt.Throttle.n);
+                   ("m", Json.Int d.Catt.Throttle.m);
+                   ( "active_warps_per_tb",
+                     Json.Int d.Catt.Throttle.active_warps_per_tb );
+                   ("active_tbs", Json.Int d.Catt.Throttle.active_tbs);
+                 ])
+             a.Catt.Driver.loops) );
+    ]
+
+let handle_analyze cfg name : outcome =
+  match find_workload name with
+  | Error _ as e -> e
+  | Ok w -> (
+    match Runner.analyses_for cfg w Scheme.Catt with
+    | [] -> Error (Protocol.Internal, "no kernel could be analyzed")
+    | analyses ->
+      Ok
+        ( Json.Obj
+            [
+              ("workload", Json.String w.Workloads.Workload.name);
+              ("kernels", Json.List (List.map analysis_to_json analyses));
+            ],
+          false ))
+
+let handle_explain cfg name : outcome =
+  match find_workload name with
+  | Error _ as e -> e
+  | Ok w ->
+    Ok
+      ( Json.Obj
+          [
+            ("report", Experiments.Explain.workload_to_json cfg w);
+            ("rendered", Json.String (Experiments.Explain.render cfg w));
+          ],
+        false )
+
+let handle_simulate cfg tenant (b : Protocol.simulate_body) : outcome =
+  match find_workload b.Protocol.workload with
+  | Error _ as e -> e
+  | Ok w -> (
+    match b.Protocol.co_resident with
+    | None -> (
+      match
+        Runner.exec_with_source (Runner.Request.make ~tenant cfg w b.Protocol.scheme)
+      with
+      | Error msg -> Error (Protocol.Bad_request, msg)
+      | Ok (r, source) ->
+        let cached =
+          match source with
+          | Runner.Memo | Runner.Disk -> true
+          | Runner.Simulated -> false
+        in
+        Ok (run_summary r, cached))
+    | Some (name_b, scheme_b) -> (
+      match find_workload name_b with
+      | Error _ as e -> e
+      | Ok wb -> (
+        match Runner.run_co_resident cfg w b.Protocol.scheme wb scheme_b with
+        | Error msg -> Error (Protocol.Bad_request, msg)
+        | Ok (ra, rb) ->
+          (* co-resident interference depends on both members; never
+             cached, so always a miss *)
+          Ok
+            ( Json.Obj
+                [
+                  ("co_resident", Json.Bool true);
+                  ("a", run_summary ra);
+                  ("b", run_summary rb);
+                ],
+              false ))))
+
+let handle_stats () : outcome =
+  let c = Experiments.Cache.stats () in
+  Ok
+    ( Json.Obj
+        [
+          ("tenants", Tenant.all_to_json ());
+          ( "cache",
+            Json.Obj
+              [
+                ("hits", Json.Int c.Experiments.Cache.hits);
+                ("misses", Json.Int c.Experiments.Cache.misses);
+                ("stores", Json.Int c.Experiments.Cache.stores);
+                ("evictions", Json.Int c.Experiments.Cache.evictions);
+              ] );
+        ],
+      false )
+
+let default_handler cfg (req : Protocol.request) : outcome =
+  match req.Protocol.kind with
+  | Protocol.Analyze name -> handle_analyze cfg name
+  | Protocol.Explain name -> handle_explain cfg name
+  | Protocol.Simulate body -> handle_simulate cfg req.Protocol.tenant body
+  | Protocol.Stats -> handle_stats ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle and dispatch                                              *)
+(* ------------------------------------------------------------------ *)
+
+let create ?handler ~cfg ~jobs ~queue_cap () =
+  if queue_cap < 1 then invalid_arg "Server.create: queue_cap must be >= 1";
+  let handler =
+    match handler with Some h -> h | None -> default_handler cfg
+  in
+  {
+    cfg;
+    queue_cap;
+    pool = Pool.create ~jobs;
+    in_flight = Atomic.make 0;
+    handler;
+  }
+
+let config t = t.cfg
+let in_flight t = Atomic.get t.in_flight
+
+let m_requests = Obs.Metrics.counter "serve.requests"
+let m_overloaded = Obs.Metrics.counter "serve.overloaded"
+
+(** Dispatch one request.  [respond] runs on a worker domain for
+    admitted requests and synchronously on the caller for refused ones;
+    it must be safe to call from any domain. *)
+let post t (req : Protocol.request) ~respond =
+  Obs.Metrics.incr m_requests;
+  let n = Atomic.fetch_and_add t.in_flight 1 in
+  if n >= t.queue_cap then begin
+    ignore (Atomic.fetch_and_add t.in_flight (-1));
+    Obs.Metrics.incr m_overloaded;
+    Tenant.note
+      (Tenant.find_or_create req.Protocol.tenant)
+      Tenant.Overloaded ~latency_us:0;
+    respond
+      {
+        Protocol.resp_id = req.Protocol.id;
+        resp_tenant = req.Protocol.tenant;
+        result =
+          Error
+            ( Protocol.Overloaded,
+              Printf.sprintf "%d requests in flight at cap %d; retry later" n
+                t.queue_cap );
+      };
+    `Rejected
+  end
+  else begin
+    Pool.submit t.pool (fun () ->
+        Fun.protect
+          ~finally:(fun () -> ignore (Atomic.fetch_and_add t.in_flight (-1)))
+          (fun () ->
+            let start = Obs.Clock.now_us () in
+            let result =
+              try t.handler req
+              with e -> Error (Protocol.Internal, Printexc.to_string e)
+            in
+            let latency_us = Obs.Clock.now_us () - start in
+            let tenant = Tenant.find_or_create req.Protocol.tenant in
+            (match result with
+            | Ok (_, cached) ->
+              Tenant.note tenant
+                (if cached then Tenant.Hit else Tenant.Miss)
+                ~latency_us
+            | Error _ -> Tenant.note tenant Tenant.Failed ~latency_us);
+            respond
+              {
+                Protocol.resp_id = req.Protocol.id;
+                resp_tenant = req.Protocol.tenant;
+                result = Result.map fst result;
+              }));
+    `Dispatched
+  end
+
+(** Block until no request is queued or running. *)
+let drain t =
+  while Atomic.get t.in_flight > 0 do
+    Unix.sleepf 0.002
+  done
+
+(** Drain, then join every worker domain.  After this returns the
+    process holds no domains and no queued work — exiting cleanly is the
+    no-orphaned-domains guarantee the smoke test asserts. *)
+let shutdown t =
+  drain t;
+  Pool.shutdown t.pool
+
+(* ------------------------------------------------------------------ *)
+(* JSON-lines serving                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A line reader over a raw fd.  Buffered channels would block through
+   signals (OCaml retries EINTR internally); reading via [select] with a
+   short timeout keeps the [stop] flag responsive, which is how SIGTERM
+   turns into a clean drain instead of a killed process. *)
+type reader = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  chunk : Bytes.t;
+  mutable eof : bool;
+}
+
+let reader fd = { fd; rbuf = Buffer.create 4096; chunk = Bytes.create 4096; eof = false }
+
+let take_line r =
+  let s = Buffer.contents r.rbuf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear r.rbuf;
+    Buffer.add_substring r.rbuf s (i + 1) (String.length s - i - 1);
+    Some (String.sub s 0 i)
+
+let rec next_line r ~stop =
+  if stop () then `Stopped
+  else
+    match take_line r with
+    | Some l -> `Line l
+    | None ->
+      if r.eof then
+        if Buffer.length r.rbuf > 0 then begin
+          let l = Buffer.contents r.rbuf in
+          Buffer.clear r.rbuf;
+          `Line l
+        end
+        else `Eof
+      else (
+        match Unix.select [ r.fd ] [] [] 0.2 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line r ~stop
+        | [], _, _ -> next_line r ~stop
+        | _ -> (
+          match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line r ~stop
+          | 0 ->
+            r.eof <- true;
+            next_line r ~stop
+          | n ->
+            Buffer.add_subbytes r.rbuf r.chunk 0 n;
+            next_line r ~stop))
+
+(* responses from different worker domains interleave line-atomically *)
+let write_line lock fd line =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      try
+        let b = Bytes.of_string (line ^ "\n") in
+        let len = Bytes.length b in
+        let pos = ref 0 in
+        while !pos < len do
+          match Unix.write fd b !pos (len - !pos) with
+          | n -> pos := !pos + n
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done
+      with Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+        (* client went away; the response has nowhere to go *)
+        ())
+
+(** Serve JSON-lines requests from [in_fd], answering on [out_fd], until
+    EOF or [stop ()].  In-flight work is drained before returning, so
+    every admitted request gets its response written (unless the client
+    disconnected). *)
+let serve_fd t ~in_fd ~out_fd ~stop =
+  let r = reader in_fd in
+  let out_lock = Mutex.create () in
+  let respond resp = write_line out_lock out_fd (Protocol.response_to_line resp) in
+  let rec loop () =
+    match next_line r ~stop with
+    | `Stopped | `Eof -> ()
+    | `Line line ->
+      (if String.trim line <> "" then
+         match Protocol.request_of_line line with
+         | Error msg ->
+           (* still correlate when the id is salvageable (e.g. a request
+              refused only for its schema_version) *)
+           let resp_id, resp_tenant = Protocol.salvage_identity line in
+           respond
+             {
+               Protocol.resp_id;
+               resp_tenant;
+               result = Error (Protocol.Bad_request, msg);
+             }
+         | Ok req -> ignore (post t req ~respond));
+      loop ()
+  in
+  loop ();
+  drain t
+
+let serve_stdio t ~stop =
+  serve_fd t ~in_fd:Unix.stdin ~out_fd:Unix.stdout ~stop
+
+(** Accept loop on a Unix-domain socket at [path] (replacing any stale
+    socket file).  Connections are served sequentially; requests within
+    a connection fan out across the pool.  The socket file is removed on
+    return. *)
+let serve_socket t ~path ~stop =
+  (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 8;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close srv with Unix.Unix_error (_, _, _) -> ());
+      try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      let rec accept_loop () =
+        if stop () then ()
+        else
+          match Unix.select [ srv ] [] [] 0.2 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | [], _, _ -> accept_loop ()
+          | _ -> (
+            match Unix.accept srv with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+            | conn, _ ->
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close conn with Unix.Unix_error (_, _, _) -> ())
+                (fun () -> serve_fd t ~in_fd:conn ~out_fd:conn ~stop);
+              accept_loop ())
+      in
+      accept_loop ())

@@ -1,0 +1,166 @@
+(** Per-tenant accounting for the serve loop.
+
+    Every admitted request is classified into exactly one of
+    {hit, miss, failed} — [requests = hits + misses + errors] holds as an
+    invariant (the soak test checks it), with [overloaded] a sub-count of
+    [errors].  "Hit" means served from the runner's memo or disk shard;
+    non-simulate requests (analyze/explain/stats) recompute every time
+    and count as misses.  Latencies are recorded per request and
+    summarized as nearest-rank p50/p99.
+
+    All mutation goes through one mutex per tenant plus one for the
+    registry — request volumes are tiny next to simulation work, so
+    contention is irrelevant. *)
+
+module Json = Gpu_util.Json
+
+type t = {
+  name : string;
+  lock : Mutex.t;
+  mutable requests : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable errors : int;
+  mutable overloaded : int;  (** subset of [errors] *)
+  mutable lat_us : int array;  (** first [n_lat] entries are live *)
+  mutable n_lat : int;
+}
+
+type outcome =
+  | Hit  (** served from the runner's memo or this tenant's disk shard *)
+  | Miss  (** computed fresh (simulated, analyzed, …) *)
+  | Failed  (** any error envelope except [Overloaded] *)
+  | Overloaded  (** refused by admission control *)
+
+let create name =
+  {
+    name;
+    lock = Mutex.create ();
+    requests = 0;
+    hits = 0;
+    misses = 0;
+    errors = 0;
+    overloaded = 0;
+    lat_us = Array.make 64 0;
+    n_lat = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let note t outcome ~latency_us =
+  with_lock t @@ fun () ->
+  t.requests <- t.requests + 1;
+  (match outcome with
+  | Hit -> t.hits <- t.hits + 1
+  | Miss -> t.misses <- t.misses + 1
+  | Failed -> t.errors <- t.errors + 1
+  | Overloaded ->
+    t.errors <- t.errors + 1;
+    t.overloaded <- t.overloaded + 1);
+  if t.n_lat = Array.length t.lat_us then begin
+    let bigger = Array.make (2 * t.n_lat) 0 in
+    Array.blit t.lat_us 0 bigger 0 t.n_lat;
+    t.lat_us <- bigger
+  end;
+  t.lat_us.(t.n_lat) <- latency_us;
+  t.n_lat <- t.n_lat + 1
+
+(* nearest-rank percentile over the recorded latencies *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+type snapshot = {
+  snap_name : string;
+  snap_requests : int;
+  snap_hits : int;
+  snap_misses : int;
+  snap_errors : int;
+  snap_overloaded : int;
+  snap_hit_rate : float;  (** hits / (hits + misses) *)
+  snap_p50_us : int;
+  snap_p99_us : int;
+}
+
+let snapshot t =
+  with_lock t @@ fun () ->
+  let sorted = Array.sub t.lat_us 0 t.n_lat in
+  Array.sort compare sorted;
+  let lookups = t.hits + t.misses in
+  {
+    snap_name = t.name;
+    snap_requests = t.requests;
+    snap_hits = t.hits;
+    snap_misses = t.misses;
+    snap_errors = t.errors;
+    snap_overloaded = t.overloaded;
+    snap_hit_rate =
+      (if lookups = 0 then 0. else float_of_int t.hits /. float_of_int lookups);
+    snap_p50_us = percentile sorted 50.;
+    snap_p99_us = percentile sorted 99.;
+  }
+
+let snapshot_to_json s =
+  Json.Obj
+    [
+      ("tenant", Json.String s.snap_name);
+      ("requests", Json.Int s.snap_requests);
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int s.snap_hits);
+            ("misses", Json.Int s.snap_misses);
+            ("hit_rate", Json.Float s.snap_hit_rate);
+          ] );
+      ("errors", Json.Int s.snap_errors);
+      ("overloaded", Json.Int s.snap_overloaded);
+      ( "latency_us",
+        Json.Obj
+          [
+            ("p50", Json.Int s.snap_p50_us);
+            ("p99", Json.Int s.snap_p99_us);
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+let registry_lock = Mutex.create ()
+
+let find_or_create name =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some t -> t
+      | None ->
+        let t = create name in
+        Hashtbl.add registry name t;
+        t)
+
+let all () =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      List.sort
+        (fun a b -> String.compare a.name b.name)
+        (Hashtbl.fold (fun _ t acc -> t :: acc) registry []))
+
+let all_to_json () =
+  Json.List (List.map (fun t -> snapshot_to_json (snapshot t)) (all ()))
+
+(** Drop every tenant — test isolation only. *)
+let reset () =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () -> Hashtbl.reset registry)

@@ -83,6 +83,23 @@ let run_attributed ~task ~worker f x =
       (match r with Error _ -> Obs.Metrics.incr m_errors | Ok _ -> ());
       r)
 
+(* monotone submission counter: [submit] tasks get distinct span ids *)
+let submitted = Atomic.make 0
+
+let submit t f =
+  let task_id = Atomic.fetch_and_add submitted 1 in
+  let task worker = ignore (run_attributed ~task:task_id ~worker f ()) in
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Obs.Metrics.max_gauge "pool.queue_depth.peak"
+    (float_of_int (Queue.length t.queue));
+  Condition.signal t.work_available;
+  Mutex.unlock t.lock
+
 let map t f items =
   let inputs = Array.of_list items in
   let n = Array.length inputs in

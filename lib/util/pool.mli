@@ -33,6 +33,14 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     [pool.tasks] / [pool.errors] / [pool.busy_us] counters plus the
     [pool.queue_depth.peak] gauge are always maintained. *)
 
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue one task and return immediately.  The task
+    runs with the same attribution as {!map} tasks; an exception it
+    raises is recorded on the span/metrics and otherwise dropped, so
+    tasks that must report failure should carry their own channel (the
+    serve layer writes an error response).  Raises [Invalid_argument]
+    after {!shutdown}. *)
+
 val shutdown : t -> unit
 (** Waits for queued work to drain, then joins all workers.  The pool
     must not be used afterwards.  Idempotent. *)

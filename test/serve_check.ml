@@ -1,0 +1,153 @@
+(** End-to-end smoke for the daemon binary, run under the [@serve]
+    alias (and hence [dune runtest]): boot [catt_d serve] on a
+    Unix-domain socket, send one request of each kind over the socket,
+    check every response, then SIGTERM it and insist on a clean exit 0 —
+    the no-orphaned-domains guarantee.
+
+    Usage: serve_check CATT_D_BINARY *)
+
+module Json = Gpu_util.Json
+module Scheme = Experiments.Scheme
+module Protocol = Serve.Protocol
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n%!" name
+  end
+
+let fatal fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("serve_check: " ^ msg);
+      exit 1)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+
+let wait_for ?(timeout = 20.0) what cond =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if cond () then ()
+    else if Unix.gettimeofday () > deadline then fatal "timed out waiting for %s" what
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let requests =
+  [
+    {|{"schema_version":1,"id":"sim","tenant":"smoke","kind":"simulate","workload":"ATAX","scheme":"baseline"}|};
+    {|{"schema_version":1,"id":"co","tenant":"smoke","kind":"simulate","workload":"ATAX","scheme":"baseline","co_resident":{"workload":"MVT","scheme":"baseline"}}|};
+    {|{"schema_version":1,"id":"an","tenant":"smoke","kind":"analyze","workload":"ATAX"}|};
+    {|{"schema_version":1,"id":"ex","tenant":"smoke","kind":"explain","workload":"MVT"}|};
+    {|{"schema_version":1,"id":"st","tenant":"smoke","kind":"stats"}|};
+  ]
+
+let read_responses fd n =
+  let buf = Buffer.create 8192 in
+  let chunk = Bytes.create 8192 in
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let lines () =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  let rec go () =
+    if List.length (lines ()) >= n then lines ()
+    else if Unix.gettimeofday () > deadline then
+      fatal "timed out waiting for %d responses (got %d)" n
+        (List.length (lines ()))
+    else
+      match Unix.select [ fd ] [] [] 0.5 with
+      | [], _, _ -> go ()
+      | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> fatal "server closed the connection early"
+        | got ->
+          Buffer.add_subbytes buf chunk 0 got;
+          go ())
+  in
+  go ()
+
+let () =
+  if Array.length Sys.argv < 2 then fatal "usage: serve_check CATT_D_BINARY";
+  let binary = Sys.argv.(1) in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "catt-serve-smoke-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let sock = Filename.concat dir "catt_d.sock" in
+  let pid =
+    Unix.create_process binary
+      [|
+        binary; "serve"; "--socket"; sock; "--jobs"; "2"; "--queue-cap"; "8";
+        "--sms"; "2"; "--no-cache";
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* belt and braces: if anything above failed, don't leak the daemon *)
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid) with Unix.Unix_error _ -> ());
+      (try Unix.unlink sock with Unix.Unix_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      wait_for "the socket to appear" (fun () -> Sys.file_exists sock);
+      check "server booted and bound its socket" true;
+      let conn = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect conn (Unix.ADDR_UNIX sock);
+      let payload = String.concat "\n" requests ^ "\n" in
+      let b = Bytes.of_string payload in
+      let sent = Unix.write conn b 0 (Bytes.length b) in
+      check "all requests written" (sent = Bytes.length b);
+      let responses =
+        List.map
+          (fun line ->
+            match Protocol.response_of_json (Result.get_ok (Json.of_string line)) with
+            | Ok r -> r
+            | Error msg -> fatal "bad response %S: %s" line msg)
+          (read_responses conn (List.length requests))
+      in
+      Unix.close conn;
+      check "one response per request"
+        (List.length responses = List.length requests);
+      List.iter
+        (fun id ->
+          match
+            List.find_opt (fun r -> r.Protocol.resp_id = id) responses
+          with
+          | Some { Protocol.result = Ok _; _ } -> check ("request " ^ id ^ " ok") true
+          | Some { Protocol.result = Error (_, msg); _ } ->
+            check (Printf.sprintf "request %s ok (error: %s)" id msg) false
+          | None -> check ("request " ^ id ^ " answered") false)
+        [ "sim"; "co"; "an"; "ex"; "st" ];
+      (* clean shutdown: SIGTERM must drain, join every domain, exit 0 *)
+      Unix.kill pid Sys.sigterm;
+      let status = ref None in
+      wait_for "the daemon to exit" (fun () ->
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> false
+          | _, s ->
+            status := Some s;
+            true);
+      (match !status with
+      | Some (Unix.WEXITED 0) -> check "SIGTERM exits 0 (no orphaned domains)" true
+      | Some (Unix.WEXITED n) ->
+        check (Printf.sprintf "SIGTERM exits 0 (got exit %d)" n) false
+      | Some (Unix.WSIGNALED n) ->
+        check (Printf.sprintf "SIGTERM exits 0 (killed by signal %d)" n) false
+      | Some (Unix.WSTOPPED _) | None -> check "SIGTERM exits 0" false);
+      check "socket file removed on shutdown" (not (Sys.file_exists sock));
+      if !failures > 0 then begin
+        Printf.printf "serve_check: %d failure(s)\n%!" !failures;
+        exit 1
+      end;
+      print_endline "serve_check: all checks passed")

@@ -65,8 +65,17 @@ let test_configs () =
     (Experiments.Configs.small_l1d ()).Gpusim.Config.onchip_bytes
 
 let test_trace_runs_are_uncached () =
-  let a = Experiments.Runner.run ~trace:true cfg fast_workload Experiments.Runner.Baseline in
-  let b = Experiments.Runner.run ~trace:true cfg fast_workload Experiments.Runner.Baseline in
+  let traced () =
+    match
+      Experiments.Runner.exec
+        (Experiments.Runner.Request.make ~trace:true cfg fast_workload
+           Experiments.Runner.Baseline)
+    with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  let a = traced () in
+  let b = traced () in
   Alcotest.(check bool) "not memoized" true (a != b);
   (* trace data must be present *)
   Alcotest.(check bool) "has traces" true

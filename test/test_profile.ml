@@ -206,7 +206,15 @@ let golden_cfg = Config.scaled ~num_sms:2 ()
 
 let workload_bundle name =
   let w = Workloads.Registry.find name in
-  let run = Experiments.Runner.run ~profile:true golden_cfg w Experiments.Runner.Baseline in
+  let run =
+    match
+      Experiments.Runner.exec
+        (Experiments.Runner.Request.make ~profile:true golden_cfg w
+           Experiments.Runner.Baseline)
+    with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
   let pairs =
     List.filter_map
       (fun k ->

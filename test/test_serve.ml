@@ -1,0 +1,670 @@
+(** Tests for the [catt_d serve] stack: the versioned wire protocol, the
+    admission-controlled dispatch loop, per-tenant cache sharding and
+    metrics, the JSON-lines framing, and the co-resident pair mode the
+    [simulate] request exposes.
+
+    The subprocess smoke (boot the real binary on a socket, one request
+    of each kind, clean SIGTERM shutdown) lives in [serve_check.ml]
+    under the [@serve] alias; everything here runs in-process. *)
+
+module Json = Gpu_util.Json
+module Scheme = Experiments.Scheme
+module Runner = Experiments.Runner
+module Cache = Experiments.Cache
+module Protocol = Serve.Protocol
+module Tenant = Serve.Tenant
+module Server = Serve.Server
+
+let small_cfg = Gpusim.Config.scaled ~num_sms:2 ()
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: schemes and round-trips                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheme_roundtrip () =
+  List.iter
+    (fun s ->
+      match Scheme.of_string (Scheme.label s) with
+      | Ok s' ->
+        Alcotest.(check string)
+          (Scheme.label s ^ " round-trips")
+          (Scheme.label s) (Scheme.label s')
+      | Error msg -> Alcotest.fail msg)
+    (Scheme.samples @ [ Scheme.Fixed (8, 3); Scheme.Swl 17 ])
+
+let request = Alcotest.testable (Fmt.of_to_string Protocol.request_to_line) ( = )
+
+let roundtrip (r : Protocol.request) =
+  match Protocol.request_of_line (Protocol.request_to_line r) with
+  | Ok r' -> Alcotest.check request (Protocol.request_to_line r) r r'
+  | Error msg -> Alcotest.fail msg
+
+let test_request_roundtrip_all_kinds () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun kind -> roundtrip { Protocol.id = "r1"; tenant = "acme"; kind })
+        [
+          Protocol.Analyze "ATAX";
+          Protocol.Explain "MVT";
+          Protocol.Stats;
+          Protocol.Simulate
+            { Protocol.workload = "ATAX"; scheme; co_resident = None };
+          Protocol.Simulate
+            {
+              Protocol.workload = "ATAX";
+              scheme;
+              co_resident = Some ("MVT", scheme);
+            };
+        ])
+    Scheme.samples
+
+let gen_scheme =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl Scheme.samples;
+        map2 (fun n m -> Scheme.Fixed (n, m)) (int_range 1 32) (int_range 0 8);
+        map (fun k -> Scheme.Swl k) (int_range 1 64);
+      ])
+
+let gen_name = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 0 12))
+
+let gen_request =
+  QCheck.Gen.(
+    let gen_kind =
+      oneof
+        [
+          map (fun w -> Protocol.Analyze w) gen_name;
+          map (fun w -> Protocol.Explain w) gen_name;
+          return Protocol.Stats;
+          map3
+            (fun w scheme co ->
+              Protocol.Simulate { Protocol.workload = w; scheme; co_resident = co })
+            gen_name gen_scheme
+            (opt (pair gen_name gen_scheme));
+        ]
+    in
+    map3
+      (fun id tenant kind -> { Protocol.id; tenant; kind })
+      gen_name gen_name gen_kind)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"wire request round-trips" ~count:300
+    (QCheck.make ~print:Protocol.request_to_line gen_request)
+    (fun r ->
+      match Protocol.request_of_line (Protocol.request_to_line r) with
+      | Ok r' -> r = r'
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let response = Alcotest.testable (Fmt.of_to_string Protocol.response_to_line) ( = )
+
+let test_response_roundtrip () =
+  let roundtrip (r : Protocol.response) =
+    match Protocol.response_of_json (Protocol.response_to_json r) with
+    | Ok r' -> Alcotest.check response (Protocol.response_to_line r) r r'
+    | Error msg -> Alcotest.fail msg
+  in
+  roundtrip
+    {
+      Protocol.resp_id = "ok-1";
+      resp_tenant = "acme";
+      result = Ok (Json.Obj [ ("total_cycles", Json.Int 42) ]);
+    };
+  List.iter
+    (fun code ->
+      roundtrip
+        {
+          Protocol.resp_id = "err-1";
+          resp_tenant = Protocol.default_tenant;
+          result = Error (code, "because");
+        })
+    [ Protocol.Bad_request; Protocol.Not_found; Protocol.Overloaded;
+      Protocol.Internal ]
+
+let test_unknown_fields_tolerated () =
+  let line =
+    {|{"schema_version":1,"id":"x","tenant":"t","kind":"simulate",
+       "workload":"ATAX","scheme":"CATT","future_flag":true,
+       "co_resident":{"workload":"MVT","scheme":"baseline","hint":9}}|}
+  in
+  match Protocol.request_of_line (String.concat " " (String.split_on_char '\n' line)) with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    Alcotest.check request "extra fields ignored"
+      {
+        Protocol.id = "x";
+        tenant = "t";
+        kind =
+          Protocol.Simulate
+            {
+              Protocol.workload = "ATAX";
+              scheme = Scheme.Catt;
+              co_resident = Some ("MVT", Scheme.Baseline);
+            };
+      }
+      r
+
+let expect_parse_error name line =
+  match Protocol.request_of_line line with
+  | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+  | Error _ -> ()
+
+let test_bad_requests_refused () =
+  expect_parse_error "wrong version"
+    {|{"schema_version":99,"id":"x","kind":"stats"}|};
+  expect_parse_error "missing version" {|{"id":"x","kind":"stats"}|};
+  expect_parse_error "missing kind" {|{"schema_version":1,"id":"x"}|};
+  expect_parse_error "unknown kind"
+    {|{"schema_version":1,"id":"x","kind":"frobnicate"}|};
+  expect_parse_error "missing workload"
+    {|{"schema_version":1,"id":"x","kind":"simulate"}|};
+  expect_parse_error "bad scheme"
+    {|{"schema_version":1,"id":"x","kind":"simulate","workload":"ATAX","scheme":"warp9"}|};
+  expect_parse_error "not json" {|{"schema_version":1,|}
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let collector () =
+  let lock = Mutex.create () in
+  let responses = ref [] in
+  let respond r =
+    Mutex.lock lock;
+    responses := r :: !responses;
+    Mutex.unlock lock
+  in
+  let all () =
+    Mutex.lock lock;
+    let rs = !responses in
+    Mutex.unlock lock;
+    rs
+  in
+  (respond, all)
+
+let stats_req ?(tenant = "adm") id = { Protocol.id; tenant; kind = Protocol.Stats }
+
+(* the cap fills deterministically because in_flight counts queued +
+   running from post time: no worker needs to have started anything for
+   the third post to be refused *)
+let test_admission_refuses_at_cap () =
+  Tenant.reset ();
+  let gate = Atomic.make true in
+  let ran = Atomic.make 0 in
+  let handler (_ : Protocol.request) : Server.outcome =
+    Atomic.incr ran;
+    while Atomic.get gate do
+      Unix.sleepf 0.001
+    done;
+    Ok (Json.Null, false)
+  in
+  let srv = Server.create ~handler ~cfg:small_cfg ~jobs:2 ~queue_cap:2 () in
+  let respond, all = collector () in
+  let d1 = Server.post srv (stats_req "1") ~respond in
+  let d2 = Server.post srv (stats_req "2") ~respond in
+  let d3 = Server.post srv (stats_req "3") ~respond in
+  Alcotest.(check bool) "first admitted" true (d1 = `Dispatched);
+  Alcotest.(check bool) "second admitted" true (d2 = `Dispatched);
+  Alcotest.(check bool) "third refused" true (d3 = `Rejected);
+  (* the refusal is synchronous: its envelope is already here while the
+     admitted two are still gated *)
+  (match List.find_opt (fun r -> r.Protocol.resp_id = "3") (all ()) with
+  | Some { Protocol.result = Error (Protocol.Overloaded, _); _ } -> ()
+  | Some _ -> Alcotest.fail "refusal must carry the overloaded code"
+  | None -> Alcotest.fail "refusal must respond synchronously");
+  Atomic.set gate false;
+  Server.shutdown srv;
+  Alcotest.(check int) "handler never saw the refused request" 2
+    (Atomic.get ran);
+  Alcotest.(check int) "every request answered" 3 (List.length (all ()));
+  let s = Tenant.snapshot (Tenant.find_or_create "adm") in
+  Alcotest.(check int) "requests" 3 s.Tenant.snap_requests;
+  Alcotest.(check int) "misses" 2 s.Tenant.snap_misses;
+  Alcotest.(check int) "errors" 1 s.Tenant.snap_errors;
+  Alcotest.(check int) "overloaded" 1 s.Tenant.snap_overloaded
+
+(* ------------------------------------------------------------------ *)
+(* Tenant isolation: separate shards, bit-equal results                *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_cache name f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "catt-serve-%s-%d" name (Unix.getpid ()))
+  in
+  let old_dir = !Cache.dir and old_enabled = !Cache.enabled in
+  Cache.dir := dir;
+  Cache.enabled := true;
+  Runner.clear_memo ();
+  Fun.protect
+    ~finally:(fun () ->
+      Runner.clear_memo ();
+      Cache.clear ();
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+      Cache.dir := old_dir;
+      Cache.enabled := old_enabled)
+    (fun () -> f ())
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* the manifest rides inside the entry but is provenance (wall time,
+   metrics snapshot), not payload; the payload must digest identically *)
+let payload_of_entry path =
+  match Json.of_string (read_file path) with
+  | Ok (Json.Obj fields) ->
+    Json.to_string (Json.Obj (List.filter (fun (k, _) -> k <> "manifest") fields))
+  | Ok _ | Error _ -> Alcotest.failf "unreadable cache entry %s" path
+
+let test_tenant_shards_bit_equal () =
+  with_temp_cache "shards" @@ fun () ->
+  let cfg = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(16 * 1024) () in
+  let w = Workloads.Registry.find "ATAX" in
+  let run tenant =
+    match Runner.exec (Runner.Request.make ~tenant cfg w Scheme.Baseline) with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
+  let ra = run "alpha" in
+  let rb = run "beta" in
+  Alcotest.(check int) "same cycles" ra.Runner.total_cycles rb.Runner.total_cycles;
+  Alcotest.(check bool) "same kernel counters" true (ra.Runner.kernels = rb.Runner.kernels);
+  let da = Cache.shard_dir ~tenant:"alpha" () in
+  let db = Cache.shard_dir ~tenant:"beta" () in
+  Alcotest.(check bool) "shards are distinct directories" false (da = db);
+  Alcotest.(check bool) "shards live under the cache root" true
+    (Filename.dirname da = !Cache.dir && Filename.dirname db = !Cache.dir);
+  let path tenant =
+    Cache.path ~tenant cfg ~workload:w.Workloads.Workload.name
+      ~scheme:(Scheme.label Scheme.Baseline) ~seed:Runner.seed
+  in
+  let pa = path "alpha" and pb = path "beta" in
+  Alcotest.(check bool) "alpha entry exists" true (Sys.file_exists pa);
+  Alcotest.(check bool) "beta entry exists" true (Sys.file_exists pb);
+  Alcotest.(check string) "content-addressed names agree across shards"
+    (Filename.basename pa) (Filename.basename pb);
+  Alcotest.(check string) "payloads bit-equal across shards"
+    (payload_of_entry pa) (payload_of_entry pb)
+
+(* a second request by the same tenant is served from the memo and the
+   server attributes it as a cache hit; the first was a miss *)
+let test_simulate_hit_miss_attribution () =
+  with_temp_cache "attrib" @@ fun () ->
+  Tenant.reset ();
+  let cfg = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(16 * 1024) () in
+  let srv = Server.create ~cfg ~jobs:1 ~queue_cap:4 () in
+  let respond, all = collector () in
+  let sim id =
+    {
+      Protocol.id;
+      tenant = "hm";
+      kind =
+        Protocol.Simulate
+          { Protocol.workload = "ATAX"; scheme = Scheme.Baseline; co_resident = None };
+    }
+  in
+  ignore (Server.post srv (sim "cold") ~respond);
+  Server.drain srv;
+  ignore (Server.post srv (sim "warm") ~respond);
+  Server.shutdown srv;
+  Alcotest.(check int) "both answered" 2 (List.length (all ()));
+  List.iter
+    (fun r ->
+      match r.Protocol.result with
+      | Ok _ -> ()
+      | Error (_, msg) -> Alcotest.failf "%s failed: %s" r.Protocol.resp_id msg)
+    (all ());
+  let s = Tenant.snapshot (Tenant.find_or_create "hm") in
+  Alcotest.(check int) "one miss (cold)" 1 s.Tenant.snap_misses;
+  Alcotest.(check int) "one hit (warm, memo)" 1 s.Tenant.snap_hits;
+  Alcotest.(check int) "no errors" 0 s.Tenant.snap_errors
+
+(* ------------------------------------------------------------------ *)
+(* Soak: 200 mixed requests, two tenants, jobs 4, cap engaged          *)
+(* ------------------------------------------------------------------ *)
+
+let test_soak_mixed_200 () =
+  with_temp_cache "soak" @@ fun () ->
+  Tenant.reset ();
+  let cfg = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(16 * 1024) () in
+  let gate = Atomic.make true in
+  let handler req : Server.outcome =
+    while Atomic.get gate do
+      Unix.sleepf 0.001
+    done;
+    Server.default_handler cfg req
+  in
+  let queue_cap = 3 in
+  let srv = Server.create ~handler ~cfg ~jobs:4 ~queue_cap () in
+  let respond, all = collector () in
+  let tenants = [| "acme"; "zeta" |] in
+  let kind_of i =
+    match i mod 8 with
+    | 0 | 1 | 2 ->
+      Protocol.Simulate
+        { Protocol.workload = "ATAX"; scheme = Scheme.Baseline; co_resident = None }
+    | 3 ->
+      Protocol.Simulate
+        { Protocol.workload = "MVT"; scheme = Scheme.Catt; co_resident = None }
+    | 4 -> Protocol.Analyze "ATAX"
+    | 5 -> Protocol.Explain "MVT"
+    | 6 -> Protocol.Stats
+    | _ -> Protocol.Analyze "no-such-workload"  (* a counted failure *)
+  in
+  let total = 200 in
+  let posted = ref 0 in
+  (* the tenant index must not be correlated with [kind_of]'s period 8,
+     or one tenant would receive every failing request; the extra [i / 8]
+     term alternates the phase each cycle *)
+  let tenant_of i = tenants.((i + (i / 8)) mod Array.length tenants) in
+  let post i =
+    incr posted;
+    ignore
+      (Server.post srv
+         {
+           Protocol.id = string_of_int i;
+           tenant = tenant_of i;
+           kind = kind_of i;
+         }
+         ~respond)
+  in
+  (* phase 1 — handler gated shut: the first [queue_cap] posts fill the
+     queue, the next is refused.  Admission provably engaged. *)
+  for i = 0 to queue_cap do
+    post i
+  done;
+  let refused =
+    List.filter
+      (fun r ->
+        match r.Protocol.result with
+        | Error (Protocol.Overloaded, _) -> true
+        | _ -> false)
+      (all ())
+  in
+  Alcotest.(check int) "cap engaged while gated" 1 (List.length refused);
+  (* phase 2 — open the gate and pour the rest through the pool.  The
+     poster applies backpressure (waits for a free slot) so each of the
+     200 logical requests is posted exactly once and the cache actually
+     warms up; without it the burst would be refused wholesale. *)
+  Atomic.set gate false;
+  for i = queue_cap + 1 to total - 1 do
+    while Server.in_flight srv >= queue_cap do
+      Unix.sleepf 0.001
+    done;
+    post i
+  done;
+  Server.drain srv;
+  Server.shutdown srv;
+  Alcotest.(check int) "posted the full soak" total !posted;
+  Alcotest.(check int) "every request answered exactly once" total
+    (List.length (all ()));
+  let ids = List.sort_uniq compare (List.map (fun r -> r.Protocol.resp_id) (all ())) in
+  Alcotest.(check int) "response ids distinct" total (List.length ids);
+  (* per-tenant ledger: every request is exactly one of hit/miss/error *)
+  let snaps = List.map Tenant.snapshot (Tenant.all ()) in
+  Alcotest.(check int) "two tenants seen" (Array.length tenants)
+    (List.length snaps);
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (s.Tenant.snap_name ^ ": requests = hits + misses + errors")
+        s.Tenant.snap_requests
+        (s.Tenant.snap_hits + s.Tenant.snap_misses + s.Tenant.snap_errors);
+      Alcotest.(check bool)
+        (s.Tenant.snap_name ^ ": saw hits")
+        true (s.Tenant.snap_hits > 0);
+      Alcotest.(check bool)
+        (s.Tenant.snap_name ^ ": saw misses")
+        true (s.Tenant.snap_misses > 0);
+      Alcotest.(check bool)
+        (s.Tenant.snap_name ^ ": saw errors")
+        true (s.Tenant.snap_errors > 0))
+    snaps;
+  Alcotest.(check int) "tenant ledgers cover the soak" total
+    (List.fold_left (fun acc s -> acc + s.Tenant.snap_requests) 0 snaps);
+  Alcotest.(check bool) "overload recorded in a ledger" true
+    (List.exists (fun s -> s.Tenant.snap_overloaded > 0) snaps)
+
+(* ------------------------------------------------------------------ *)
+(* JSON-lines framing over a pipe                                      *)
+(* ------------------------------------------------------------------ *)
+
+let read_lines fd n =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let lines =
+      List.filter
+        (fun l -> String.trim l <> "")
+        (String.split_on_char '\n' (Buffer.contents buf))
+    in
+    if List.length lines >= n then lines
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> lines
+      | got ->
+        Buffer.add_subbytes buf chunk 0 got;
+        go ()
+  in
+  go ()
+
+let test_serve_fd_pipe () =
+  with_temp_cache "pipe" @@ fun () ->
+  Tenant.reset ();
+  let cfg = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(16 * 1024) () in
+  let srv = Server.create ~cfg ~jobs:2 ~queue_cap:8 () in
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  let lines =
+    [
+      Protocol.request_to_line
+        {
+          Protocol.id = "sim";
+          tenant = "pipe";
+          kind =
+            Protocol.Simulate
+              {
+                Protocol.workload = "ATAX";
+                scheme = Scheme.Baseline;
+                co_resident = None;
+              };
+        };
+      {|{"schema_version":1,"id":"st","tenant":"pipe","kind":"stats"}|};
+      {|{"schema_version":99,"id":"old","tenant":"pipe","kind":"stats"}|};
+      "this is not json";
+    ]
+  in
+  let payload = String.concat "\n" lines ^ "\n" in
+  let b = Bytes.of_string payload in
+  ignore (Unix.write in_w b 0 (Bytes.length b));
+  Unix.close in_w;
+  (* EOF-terminated: serve_fd drains in-flight work before returning *)
+  Server.serve_fd srv ~in_fd:in_r ~out_fd:out_w ~stop:(fun () -> false);
+  Server.shutdown srv;
+  Unix.close out_w;
+  let responses =
+    List.map
+      (fun l ->
+        match Json.of_string l with
+        | Ok j -> (
+          match Protocol.response_of_json j with
+          | Ok r -> r
+          | Error msg -> Alcotest.failf "bad response %s: %s" l msg)
+        | Error msg -> Alcotest.failf "unparseable line %s: %s" l msg)
+      (read_lines out_r 4)
+  in
+  Unix.close out_r;
+  Unix.close in_r;
+  Alcotest.(check int) "four responses" 4 (List.length responses);
+  let find id = List.find_opt (fun r -> r.Protocol.resp_id = id) responses in
+  (match find "sim" with
+  | Some { Protocol.result = Ok payload; _ } ->
+    Alcotest.(check string) "simulate echoes the workload" "ATAX"
+      (Json.to_str (Json.member "workload" payload))
+  | _ -> Alcotest.fail "simulate response missing or failed");
+  (match find "st" with
+  | Some { Protocol.result = Ok payload; _ } ->
+    Alcotest.(check bool) "stats lists tenants" true
+      (match Json.member "tenants" payload with
+      | Json.List _ -> true
+      | _ -> false)
+  | _ -> Alcotest.fail "stats response missing or failed");
+  (match find "old" with
+  | Some { Protocol.result = Error (Protocol.Bad_request, _); _ } -> ()
+  | _ ->
+    Alcotest.fail
+      "version refusal must still echo the salvageable request id");
+  match find "" with
+  | Some { Protocol.result = Error (Protocol.Bad_request, _); _ } -> ()
+  | _ -> Alcotest.fail "garbage line must yield a bad_request envelope"
+
+(* ------------------------------------------------------------------ *)
+(* Co-resident pairs                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let co_pair scheme_a scheme_b =
+  let wa = Workloads.Registry.find "ATAX" in
+  let wb = Workloads.Registry.find "MVT" in
+  Runner.run_co_resident small_cfg wa scheme_a wb scheme_b
+
+(* Co-residency perturbs timing (cycles, hit rates) but must not change
+   what each kernel *does*: instruction and L1-access counts stay equal
+   to the solo run, and both oracles still pass.  (Hit rates are NOT
+   monotone — halving the partition can reduce self-thrashing.) *)
+let test_co_resident_attribution () =
+  match co_pair Scheme.Baseline Scheme.Baseline with
+  | Error msg -> Alcotest.fail msg
+  | Ok (ra, rb) ->
+    Alcotest.(check bool) "A verified" true (ra.Runner.verified = Ok ());
+    Alcotest.(check bool) "B verified" true (rb.Runner.verified = Ok ());
+    Alcotest.(check bool) "A progressed" true (ra.Runner.total_cycles > 0);
+    Alcotest.(check bool) "B progressed" true (rb.Runner.total_cycles > 0);
+    let solo w =
+      match
+        Runner.exec_uncached
+          (Runner.Request.make small_cfg (Workloads.Registry.find w)
+             Scheme.Baseline)
+      with
+      | Ok r -> r
+      | Error msg -> Alcotest.fail msg
+    in
+    let check_counts name (solo : Runner.app_run) (co : Runner.app_run) =
+      List.iter2
+        (fun (s : Runner.kernel_stats) (c : Runner.kernel_stats) ->
+          Alcotest.(check string)
+            (name ^ " kernel order preserved")
+            s.Runner.kernel_name c.Runner.kernel_name;
+          Alcotest.(check int)
+            (name ^ "/" ^ s.Runner.kernel_name ^ " instructions attributed")
+            s.Runner.stats.Gpusim.Stats.instructions
+            c.Runner.stats.Gpusim.Stats.instructions;
+          Alcotest.(check int)
+            (name ^ "/" ^ s.Runner.kernel_name ^ " l1 accesses attributed")
+            s.Runner.stats.Gpusim.Stats.l1_accesses
+            c.Runner.stats.Gpusim.Stats.l1_accesses)
+        solo.Runner.kernels co.Runner.kernels
+    in
+    check_counts "ATAX" (solo "ATAX") ra;
+    check_counts "MVT" (solo "MVT") rb
+
+let test_co_resident_deterministic () =
+  match (co_pair Scheme.Catt Scheme.Baseline, co_pair Scheme.Catt Scheme.Baseline)
+  with
+  | Ok (a1, b1), Ok (a2, b2) ->
+    Alcotest.(check int) "A cycles repeat" a1.Runner.total_cycles
+      a2.Runner.total_cycles;
+    Alcotest.(check int) "B cycles repeat" b1.Runner.total_cycles
+      b2.Runner.total_cycles;
+    Alcotest.(check bool) "A counters repeat" true
+      (a1.Runner.kernels = a2.Runner.kernels);
+    Alcotest.(check bool) "B counters repeat" true
+      (b1.Runner.kernels = b2.Runner.kernels)
+  | Error msg, _ | _, Error msg -> Alcotest.fail msg
+
+let test_co_resident_refuses_runtime_schemes () =
+  List.iter
+    (fun scheme ->
+      match co_pair scheme Scheme.Baseline with
+      | Error _ -> ()
+      | Ok _ ->
+        Alcotest.failf "%s must be refused in co-resident mode"
+          (Scheme.label scheme))
+    [ Scheme.Dynamic; Scheme.CcwsSched; Scheme.DawsSched; Scheme.Swl 4 ]
+
+(* the full handler path: a co-resident simulate request over the wire *)
+let test_co_resident_request () =
+  let req =
+    {
+      Protocol.id = "co";
+      tenant = "pair";
+      kind =
+        Protocol.Simulate
+          {
+            Protocol.workload = "ATAX";
+            scheme = Scheme.Baseline;
+            co_resident = Some ("MVT", Scheme.Baseline);
+          };
+    }
+  in
+  match Server.default_handler small_cfg req with
+  | Error (_, msg) -> Alcotest.fail msg
+  | Ok (payload, cached) ->
+    Alcotest.(check bool) "never served from cache" false cached;
+    Alcotest.(check bool) "flagged co-resident" true
+      (match Json.member_opt "co_resident" payload with
+      | Some (Json.Bool true) -> true
+      | _ -> false);
+    List.iter
+      (fun (side, workload) ->
+        match Json.member_opt side payload with
+        | Some j ->
+          Alcotest.(check string)
+            (side ^ " attributed")
+            workload
+            (Json.to_str (Json.member "workload" j));
+          Alcotest.(check bool)
+            (side ^ " verified")
+            true
+            (Json.member "verified" j = Json.Bool true)
+        | None -> Alcotest.failf "missing %s summary" side)
+      [ ("a", "ATAX"); ("b", "MVT") ]
+
+let tests =
+  [
+    ( "serve.protocol",
+      [
+        Alcotest.test_case "scheme labels round-trip" `Quick
+          test_scheme_roundtrip;
+        Alcotest.test_case "requests round-trip (all kinds)" `Quick
+          test_request_roundtrip_all_kinds;
+        QCheck_alcotest.to_alcotest prop_request_roundtrip;
+        Alcotest.test_case "responses round-trip" `Quick
+          test_response_roundtrip;
+        Alcotest.test_case "unknown fields tolerated" `Quick
+          test_unknown_fields_tolerated;
+        Alcotest.test_case "malformed requests refused" `Quick
+          test_bad_requests_refused;
+      ] );
+    ( "serve.server",
+      [
+        Alcotest.test_case "admission refuses at cap" `Quick
+          test_admission_refuses_at_cap;
+        Alcotest.test_case "tenant shards are bit-equal" `Quick
+          test_tenant_shards_bit_equal;
+        Alcotest.test_case "hit/miss attribution" `Quick
+          test_simulate_hit_miss_attribution;
+        Alcotest.test_case "200-request mixed soak" `Slow test_soak_mixed_200;
+        Alcotest.test_case "json-lines over a pipe" `Quick test_serve_fd_pipe;
+      ] );
+    ( "serve.co_resident",
+      [
+        Alcotest.test_case "counters attributed per kernel" `Quick
+          test_co_resident_attribution;
+        Alcotest.test_case "pair runs are deterministic" `Quick
+          test_co_resident_deterministic;
+        Alcotest.test_case "runtime schemes refused" `Quick
+          test_co_resident_refuses_runtime_schemes;
+        Alcotest.test_case "wire request end-to-end" `Quick
+          test_co_resident_request;
+      ] );
+  ]
