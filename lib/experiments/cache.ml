@@ -127,6 +127,25 @@ let sanitize label =
       | _ -> '-')
     label
 
+(* Tenant names arrive over the wire ([catt_d serve]) and are untrusted:
+   used verbatim, a tenant of ".." would shard to the cache root's
+   *parent* and "." would alias the shared top-level cache.  The shard
+   component therefore admits only [A-Za-z0-9_-]; every other byte
+   (including '.' and '/') is replaced, and whenever the replacement
+   changes the name — or the name is empty — a short hash of the raw
+   name is appended so distinct tenants cannot collide after mapping. *)
+let tenant_component t =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+        | _ -> '-')
+      t
+  in
+  if mapped = t && t <> "" then mapped
+  else mapped ^ "-" ^ String.sub (Digest.to_hex (Digest.string t)) 0 8
+
 (** Tenants shard by subdirectory only: the content-addressed key (and
     hence the file name) is tenant-independent, so two tenants that run
     the same cell end up with bit-identical files in separate shards —
@@ -134,7 +153,7 @@ let sanitize label =
 let shard_dir ?tenant () =
   match tenant with
   | None -> !dir
-  | Some t -> Filename.concat !dir (sanitize t)
+  | Some t -> Filename.concat !dir (tenant_component t)
 
 let path ?tenant cfg ~workload ~scheme ~seed =
   Filename.concat

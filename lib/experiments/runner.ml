@@ -641,7 +641,9 @@ let run cfg w scheme =
     zipped in order, each common position co-scheduled through
     {!Gpu.launch_pair} (half-SM partitions, one shared L1D/L2/DRAM),
     and whichever workload has launches left over finishes solo on the
-    then-idle machine.  Both CPU oracles still verify, and every counter
+    then-idle machine — under the same disjoint address split as the
+    pair phase, so the warm shared L2 can never serve it the other
+    kernel's lines.  Both CPU oracles still verify, and every counter
     stays attributed to its kernel.  Only compile-time schemes are
     accepted ({!Scheme.is_static}); results are never cached — the pair
     interference depends on both members, which the per-cell cache key
@@ -692,6 +694,21 @@ let run_co_resident cfg (wa : Workloads.Workload.t) scheme_a
           stats
       in
       try
+        (* one fixed address split for the whole sequence: A binds from
+           the default base, B from above the top address of A's largest
+           launch.  The shared L2 stays warm across launches, so solo
+           tail launches (unequal launch counts) must keep the same
+           disjoint layout as the pair phase — otherwise the solo kernel
+           would alias the other kernel's still-resident lines and
+           collect spurious hits. *)
+        let base_b =
+          List.fold_left
+            (fun acc la ->
+              let launch_a, _ = mk_launch wa prep_a scheme_a la in
+              max acc
+                (Gpu.args_top dev_a ~base:cfg.Config.line_bytes launch_a))
+            cfg.Config.line_bytes wa.Workloads.Workload.launches
+        in
         let rec go las lbs =
           match (las, lbs) with
           | [], [] -> ()
@@ -699,7 +716,8 @@ let run_co_resident cfg (wa : Workloads.Workload.t) scheme_a
             let launch_a, tlp_a = mk_launch wa prep_a scheme_a la in
             let launch_b, tlp_b = mk_launch wb prep_b scheme_b lb in
             let stats_a, stats_b =
-              Gpu.launch_pair dev_a launch_a dev_b launch_b
+              Gpu.launch_pair ~args_base_b:base_b dev_a launch_a dev_b
+                launch_b
             in
             note acc_a la tlp_a stats_a;
             note acc_b lb tlp_b stats_b;
@@ -711,7 +729,7 @@ let run_co_resident cfg (wa : Workloads.Workload.t) scheme_a
             go ras []
           | [], lb :: rbs ->
             let launch_b, tlp_b = mk_launch wb prep_b scheme_b lb in
-            let stats, _ = Gpu.launch dev_b launch_b in
+            let stats, _ = Gpu.launch ~args_base:base_b dev_b launch_b in
             note acc_b lb tlp_b stats;
             go [] rbs
         in

@@ -178,11 +178,12 @@ let bind_args_from dev ~base l =
     prog.Bytecode.args l.args;
   (arrays, !scalars, !next_base)
 
-let bind_args dev l =
-  let arrays, scalars, _ =
-    bind_args_from dev ~base:dev.cfg.Config.line_bytes l
-  in
-  (arrays, scalars)
+(* The exclusive top address [bind_args_from] would reach — layout
+   planning only, nothing is bound.  Lets callers place a second
+   kernel's working set above every launch of the first one. *)
+let args_top dev ~base l =
+  let _, _, top = bind_args_from dev ~base l in
+  top
 
 let bypass_flags l =
   let num_ids = List.length l.prog.Bytecode.array_ids in
@@ -201,7 +202,7 @@ let bypass_flags l =
 let m_launches = Obs.Metrics.counter "gpu.launches"
 let m_sim_cycles = Obs.Metrics.counter "gpu.sim_cycles"
 
-let launch dev l =
+let launch ?args_base dev l =
   Obs.Span.with_span "gpu.launch"
     ~attrs:
       [
@@ -217,7 +218,10 @@ let launch dev l =
   let gx, gy, bx, by = geometry l in
   let carveout = resolve_carveout dev l in
   let max_tbs = occupancy dev l in
-  let arrays, scalar_values = bind_args dev l in
+  let base =
+    match args_base with Some b -> b | None -> dev.cfg.Config.line_bytes
+  in
+  let arrays, scalar_values, _ = bind_args_from dev ~base l in
   let tb_threads = bx * by in
   let warps_per_tb = Cta_scheduler.warps_per_tb dev.cfg ~tb_threads in
   let stats = Stats.create () in
@@ -392,7 +396,7 @@ let launch dev l =
     one L2), use compile-time schemes only ([runtime_throttle = `None] —
     the runtime controllers carry per-SM state that cannot be attributed
     to one kernel), and request neither traces nor profiles. *)
-let launch_pair dev_a la dev_b lb =
+let launch_pair ?args_base_b dev_a la dev_b lb =
   if dev_a == dev_b then
     launch_error
       "launch_pair: the kernels need separate devices (create_shared_l2)";
@@ -451,11 +455,17 @@ let launch_pair dev_a la dev_b lb =
   in
   let max_tbs_a = part_tbs "A" la carve_a ~tb_threads:(bxa * bya) in
   let max_tbs_b = part_tbs "B" lb carve_b ~tb_threads:(bxb * byb) in
-  (* disjoint cache-visible address ranges: B binds after A's top address *)
+  (* disjoint cache-visible address ranges: B binds after A's top address
+     (or at the caller-chosen [args_base_b], clamped to stay above it —
+     callers interleaving pair and solo launches pass a fixed base so B's
+     arrays keep stable addresses across the whole sequence) *)
   let arrays_a, scalars_a, top_a =
     bind_args_from dev_a ~base:cfg.Config.line_bytes la
   in
-  let arrays_b, scalars_b, _ = bind_args_from dev_b ~base:top_a lb in
+  let base_b =
+    match args_base_b with Some b -> max b top_a | None -> top_a
+  in
+  let arrays_b, scalars_b, _ = bind_args_from dev_b ~base:base_b lb in
   let dram_free = ref 0 in
   let make_job dev l arrays scalars ~gx ~gy ~bx ~by stats =
     let tb_threads = bx * by in

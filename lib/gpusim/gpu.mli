@@ -91,17 +91,32 @@ val occupancy : device -> launch -> int
 (** Resident TBs per SM (Eq. 3) for this launch.  Raises {!Launch_error}
     on an unlaunchable configuration. *)
 
-val launch : device -> launch -> Stats.t * Trace.t
-(** Runs to completion.  Raises {!Launch_error} for bad argument lists and
-    {!Sm.Sim_error} for runtime faults (out-of-bounds, division by zero,
-    barrier deadlock). *)
+val args_top : device -> base:int -> launch -> int
+(** The exclusive top address the launch's arrays would occupy when bound
+    from [base] (the same line-aligned layout {!launch} uses).  Binds
+    nothing — layout planning for co-resident sequences.  Raises
+    {!Launch_error} on a bad argument list. *)
 
-val launch_pair : device -> launch -> device -> launch -> Stats.t * Stats.t
+val launch : ?args_base:int -> device -> launch -> Stats.t * Trace.t
+(** Runs to completion.  Arrays bind line-aligned starting at
+    [args_base] (default: one line past address 0 — the layout every solo
+    run uses); co-resident drivers pass the base a previous
+    {!launch_pair} placed this kernel at, keeping its address range
+    disjoint from the partner's still-warm lines in the shared L2.
+    Raises {!Launch_error} for bad argument lists and {!Sm.Sim_error} for
+    runtime faults (out-of-bounds, division by zero, barrier deadlock). *)
+
+val launch_pair :
+  ?args_base_b:int -> device -> launch -> device -> launch -> Stats.t * Stats.t
 (** [launch_pair dev_a la dev_b lb] co-schedules two kernels on the same
     SMs, each in a half partition (registers, warp slots and TB slots
     split evenly; each kernel keeps its own shared-memory carveout), with
     the remaining on-chip bytes one L1D both contend for — plus the
     shared L2 and DRAM ports.  Per-kernel counters stay fully attributed.
+    B's arrays bind above A's top address, or at [args_base_b] when given
+    (clamped to stay above A) — pass a fixed base, e.g. the maximum
+    {!args_top} over A's launches, so B's addresses stay stable across a
+    launch sequence and disjoint from A's even in solo tail launches.
     [dev_b] must come from [create_shared_l2 dev_a] (or vice versa); both
     launches must use compile-time schemes ([runtime_throttle = `None])
     and request neither traces nor profiles.  Raises {!Launch_error}

@@ -54,7 +54,7 @@ let init t ~num_sms ~l1_sets ~line_bytes ~arrays ~locs =
 let site t pc = if pc >= 0 && pc < Array.length t.locs then t.locs.(pc) else (0, 0)
 
 (* Which array owns a cache line?  Bases are line-aligned with a one-line
-   gap between consecutive arrays (see [Gpu.bind_args]), so the line's
+   gap between consecutive arrays (see [Gpu.bind_args_from]), so the line's
    first byte falls inside exactly one array's [base, base+bytes) span. *)
 let array_of_line t line =
   let byte = line * t.line_bytes in

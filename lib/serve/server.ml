@@ -238,9 +238,9 @@ let post t (req : Protocol.request) ~respond =
   if n >= t.queue_cap then begin
     ignore (Atomic.fetch_and_add t.in_flight (-1));
     Obs.Metrics.incr m_overloaded;
-    Tenant.note
-      (Tenant.find_or_create req.Protocol.tenant)
-      Tenant.Overloaded ~latency_us:0;
+    (* counted, but no latency sample: a refusal is not a served request,
+       and a zero would drag p50/p99 down exactly when service degrades *)
+    Tenant.note (Tenant.find_or_create req.Protocol.tenant) Tenant.Overloaded;
     respond
       {
         Protocol.resp_id = req.Protocol.id;
@@ -267,10 +267,9 @@ let post t (req : Protocol.request) ~respond =
             let tenant = Tenant.find_or_create req.Protocol.tenant in
             (match result with
             | Ok (_, cached) ->
-              Tenant.note tenant
+              Tenant.note ~latency_us tenant
                 (if cached then Tenant.Hit else Tenant.Miss)
-                ~latency_us
-            | Error _ -> Tenant.note tenant Tenant.Failed ~latency_us);
+            | Error _ -> Tenant.note ~latency_us tenant Tenant.Failed);
             respond
               {
                 Protocol.resp_id = req.Protocol.id;

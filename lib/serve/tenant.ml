@@ -5,14 +5,22 @@
     invariant (the soak test checks it), with [overloaded] a sub-count of
     [errors].  "Hit" means served from the runner's memo or disk shard;
     non-simulate requests (analyze/explain/stats) recompute every time
-    and count as misses.  Latencies are recorded per request and
-    summarized as nearest-rank p50/p99.
+    and count as misses.  Latencies are recorded only for requests that
+    were actually handled (admission refusals carry no latency — a zero
+    sample would drag the percentiles down exactly when service is
+    degraded), kept in a bounded ring of the most recent {!lat_window}
+    samples, and summarized as nearest-rank p50/p99 over that window —
+    so a long-running daemon's memory and stats cost stay flat.
 
     All mutation goes through one mutex per tenant plus one for the
     registry — request volumes are tiny next to simulation work, so
     contention is irrelevant. *)
 
 module Json = Gpu_util.Json
+
+let lat_window = 4096
+(** Size of the per-tenant latency ring: percentiles describe the most
+    recent [lat_window] handled requests, not all history. *)
 
 type t = {
   name : string;
@@ -22,8 +30,9 @@ type t = {
   mutable misses : int;
   mutable errors : int;
   mutable overloaded : int;  (** subset of [errors] *)
-  mutable lat_us : int array;  (** first [n_lat] entries are live *)
-  mutable n_lat : int;
+  lat_us : int array;  (** ring of [lat_window] entries *)
+  mutable n_lat : int;  (** latencies ever recorded; [min n_lat lat_window]
+                            entries of [lat_us] are live *)
 }
 
 type outcome =
@@ -41,7 +50,7 @@ let create name =
     misses = 0;
     errors = 0;
     overloaded = 0;
-    lat_us = Array.make 64 0;
+    lat_us = Array.make lat_window 0;
     n_lat = 0;
   }
 
@@ -49,7 +58,10 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let note t outcome ~latency_us =
+(** Record one request.  Pass [latency_us] only for requests that were
+    actually handled; refusals (e.g. {!Overloaded}) are counted but
+    leave the latency series untouched. *)
+let note ?latency_us t outcome =
   with_lock t @@ fun () ->
   t.requests <- t.requests + 1;
   (match outcome with
@@ -59,13 +71,11 @@ let note t outcome ~latency_us =
   | Overloaded ->
     t.errors <- t.errors + 1;
     t.overloaded <- t.overloaded + 1);
-  if t.n_lat = Array.length t.lat_us then begin
-    let bigger = Array.make (2 * t.n_lat) 0 in
-    Array.blit t.lat_us 0 bigger 0 t.n_lat;
-    t.lat_us <- bigger
-  end;
-  t.lat_us.(t.n_lat) <- latency_us;
-  t.n_lat <- t.n_lat + 1
+  match latency_us with
+  | None -> ()
+  | Some us ->
+    t.lat_us.(t.n_lat mod lat_window) <- us;
+    t.n_lat <- t.n_lat + 1
 
 (* nearest-rank percentile over the recorded latencies *)
 let percentile sorted p =
@@ -89,7 +99,9 @@ type snapshot = {
 
 let snapshot t =
   with_lock t @@ fun () ->
-  let sorted = Array.sub t.lat_us 0 t.n_lat in
+  (* before the ring wraps, entries [0, n_lat) are live in write order;
+     after, every slot is — order is irrelevant to a percentile *)
+  let sorted = Array.sub t.lat_us 0 (min t.n_lat lat_window) in
   Array.sort compare sorted;
   let lookups = t.hits + t.misses in
   {

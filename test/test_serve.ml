@@ -286,6 +286,38 @@ let test_tenant_shards_bit_equal () =
   Alcotest.(check string) "payloads bit-equal across shards"
     (payload_of_entry pa) (payload_of_entry pb)
 
+(* tenant names are untrusted wire input: whatever the client sends, the
+   shard must be a real subdirectory of the cache root — ".." must not
+   escape it and "." must not alias the shared top-level cache — and
+   distinct raw names must never collapse onto one shard *)
+let test_tenant_shard_component_safe () =
+  let root = !Cache.dir in
+  let safe_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> true
+    | _ -> false
+  in
+  List.iter
+    (fun tenant ->
+      let d = Cache.shard_dir ~tenant () in
+      let component = Filename.basename d in
+      Alcotest.(check string)
+        (Printf.sprintf "%S shards directly under the cache root" tenant)
+        root (Filename.dirname d);
+      Alcotest.(check bool)
+        (Printf.sprintf "%S does not alias the shared cache" tenant)
+        true
+        (d <> root && component <> "." && component <> "..");
+      Alcotest.(check bool)
+        (Printf.sprintf "%S maps to [A-Za-z0-9_-]+ only" tenant)
+        true
+        (component <> "" && String.for_all safe_char component))
+    [ ".."; "."; ""; "..."; "a/../../b"; "../../etc/passwd"; "a.b"; "x:y" ];
+  let shard t = Cache.shard_dir ~tenant:t () in
+  Alcotest.(check bool) "remapped names stay distinct" true
+    (shard "a.b" <> shard "a-b"
+    && shard "a.b" <> shard "a:b"
+    && shard ".." <> shard ".")
+
 (* a second request by the same tenant is served from the memo and the
    server attributes it as a cache hit; the first was a miss *)
 let test_simulate_hit_miss_attribution () =
@@ -318,6 +350,39 @@ let test_simulate_hit_miss_attribution () =
   Alcotest.(check int) "one miss (cold)" 1 s.Tenant.snap_misses;
   Alcotest.(check int) "one hit (warm, memo)" 1 s.Tenant.snap_hits;
   Alcotest.(check int) "no errors" 0 s.Tenant.snap_errors
+
+(* refusals are counted but must not contribute latency samples: a
+   throttled tenant's p50/p99 describe the requests that were served,
+   not zeros for the ones that were not *)
+let test_latency_excludes_refusals () =
+  Tenant.reset ();
+  let t = Tenant.find_or_create "lat" in
+  Tenant.note t Tenant.Overloaded;
+  Tenant.note ~latency_us:100 t Tenant.Miss;
+  Tenant.note ~latency_us:200 t Tenant.Hit;
+  Tenant.note t Tenant.Overloaded;
+  let s = Tenant.snapshot t in
+  Alcotest.(check int) "refusals still counted" 2 s.Tenant.snap_overloaded;
+  Alcotest.(check int) "requests include refusals" 4 s.Tenant.snap_requests;
+  Alcotest.(check int) "p50 sees handled requests only" 100 s.Tenant.snap_p50_us;
+  Alcotest.(check int) "p99 sees handled requests only" 200 s.Tenant.snap_p99_us
+
+(* the latency store is a fixed ring: a long-running daemon keeps the
+   most recent [lat_window] samples, not the whole history *)
+let test_latency_ring_bounded () =
+  Tenant.reset ();
+  let t = Tenant.find_or_create "ring" in
+  for _ = 1 to Tenant.lat_window do
+    Tenant.note ~latency_us:1_000_000 t Tenant.Miss
+  done;
+  for _ = 1 to Tenant.lat_window do
+    Tenant.note ~latency_us:7 t Tenant.Hit
+  done;
+  Alcotest.(check int) "store stays bounded" Tenant.lat_window
+    (Array.length t.Tenant.lat_us);
+  let s = Tenant.snapshot t in
+  Alcotest.(check int) "p50 covers the window only" 7 s.Tenant.snap_p50_us;
+  Alcotest.(check int) "p99 covers the window only" 7 s.Tenant.snap_p99_us
 
 (* ------------------------------------------------------------------ *)
 (* Soak: 200 mixed requests, two tenants, jobs 4, cap engaged          *)
@@ -581,6 +646,48 @@ let test_co_resident_deterministic () =
       (b1.Runner.kernels = b2.Runner.kernels)
   | Error msg, _ | _, Error msg -> Alcotest.fail msg
 
+(* unequal launch counts: GEMM has one launch, ATAX two, so ATAX's
+   second kernel runs as a solo tail on the still-warm shared L2.  The
+   tail keeps the pair phase's disjoint address split — it must never
+   collect hits on GEMM's resident lines — so attribution still matches
+   the solo run and the whole sequence stays deterministic. *)
+let test_co_resident_unequal_tail () =
+  let wa = Workloads.Registry.find "GEMM" in
+  let wb = Workloads.Registry.find "ATAX" in
+  let pair () =
+    Runner.run_co_resident small_cfg wa Scheme.Baseline wb Scheme.Baseline
+  in
+  match (pair (), pair ()) with
+  | Error msg, _ | _, Error msg -> Alcotest.fail msg
+  | Ok (ra, rb), Ok (ra2, rb2) ->
+    Alcotest.(check bool) "A verified" true (ra.Runner.verified = Ok ());
+    Alcotest.(check bool) "B verified" true (rb.Runner.verified = Ok ());
+    Alcotest.(check bool) "A repeats" true
+      (ra.Runner.kernels = ra2.Runner.kernels);
+    Alcotest.(check bool) "B repeats" true
+      (rb.Runner.kernels = rb2.Runner.kernels);
+    Alcotest.(check int) "B ran both kernels" 2 (List.length rb.Runner.kernels);
+    let solo =
+      match
+        Runner.exec_uncached (Runner.Request.make small_cfg wb Scheme.Baseline)
+      with
+      | Ok r -> r
+      | Error msg -> Alcotest.fail msg
+    in
+    List.iter2
+      (fun (s : Runner.kernel_stats) (c : Runner.kernel_stats) ->
+        Alcotest.(check string) "kernel order preserved" s.Runner.kernel_name
+          c.Runner.kernel_name;
+        Alcotest.(check int)
+          (s.Runner.kernel_name ^ " instructions attributed")
+          s.Runner.stats.Gpusim.Stats.instructions
+          c.Runner.stats.Gpusim.Stats.instructions;
+        Alcotest.(check int)
+          (s.Runner.kernel_name ^ " l1 accesses attributed")
+          s.Runner.stats.Gpusim.Stats.l1_accesses
+          c.Runner.stats.Gpusim.Stats.l1_accesses)
+      solo.Runner.kernels rb.Runner.kernels
+
 let test_co_resident_refuses_runtime_schemes () =
   List.iter
     (fun scheme ->
@@ -651,8 +758,14 @@ let tests =
           test_admission_refuses_at_cap;
         Alcotest.test_case "tenant shards are bit-equal" `Quick
           test_tenant_shards_bit_equal;
+        Alcotest.test_case "tenant shard component is traversal-safe" `Quick
+          test_tenant_shard_component_safe;
         Alcotest.test_case "hit/miss attribution" `Quick
           test_simulate_hit_miss_attribution;
+        Alcotest.test_case "latency excludes refusals" `Quick
+          test_latency_excludes_refusals;
+        Alcotest.test_case "latency ring is bounded" `Quick
+          test_latency_ring_bounded;
         Alcotest.test_case "200-request mixed soak" `Slow test_soak_mixed_200;
         Alcotest.test_case "json-lines over a pipe" `Quick test_serve_fd_pipe;
       ] );
@@ -662,6 +775,8 @@ let tests =
           test_co_resident_attribution;
         Alcotest.test_case "pair runs are deterministic" `Quick
           test_co_resident_deterministic;
+        Alcotest.test_case "unequal launch counts keep a disjoint tail" `Quick
+          test_co_resident_unequal_tail;
         Alcotest.test_case "runtime schemes refused" `Quick
           test_co_resident_refuses_runtime_schemes;
         Alcotest.test_case "wire request end-to-end" `Quick
