@@ -12,6 +12,11 @@
                                                     optional Perfetto timeline export)
       catt_cli explain  WORKLOAD [--json] [--onchip KB] [--sms N]
                                                    (CATT decision provenance)
+      catt_cli lint     TARGET [--json] [--grid ...] [--block ...]
+                        [--onchip KB] [--sms N]
+                                                   (static cache-behavior lint;
+                                                    TARGET is a source file or a
+                                                    registered workload)
 *)
 
 open Cmdliner
@@ -182,7 +187,7 @@ let profile_cmd =
       & info [ "scheme" ] ~docv:"SCHEME"
           ~doc:
             "execution scheme to profile: baseline, CATT, fixed(N=..,M=..), \
-             dynamic, ccws, daws, swl(..) or bypass")
+             dynamic, ccws, daws, swl(..), bypass or catt-sa")
   in
   let trace_out_arg =
     Arg.(
@@ -266,6 +271,64 @@ let explain_cmd =
     Term.(
       const run $ workload_arg $ json_arg $ Cli_common.onchip $ Cli_common.sms)
 
+let lint_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "mini-CUDA source file, or a registered workload name (each \
+             kernel linted under its recorded launch geometry)")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"emit the diagnostics as deterministic JSON instead of text")
+  in
+  let run target as_json (gx, gy) (bx, by) onchip sms =
+    let cfg = config ~onchip_kb:onchip ~sms in
+    let targets =
+      if Sys.file_exists target then
+        let geo =
+          { Catt.Analysis.grid_x = gx; grid_y = gy; block_x = bx; block_y = by }
+        in
+        List.map (fun k -> (geo, k)) (kernels_of target)
+      else
+        let w = find_workload target in
+        List.map
+          (fun (name, k) ->
+            (Experiments.Runner.geometry_of_kernel w name, k))
+          (Workloads.Workload.kernels w)
+    in
+    let diags =
+      List.concat_map
+        (fun (geo, kernel) ->
+          Staticmodel.Lint.run
+            (Experiments.Lint_all.machine_of cfg)
+            ?occupancy:(Experiments.Lint_all.hint_of cfg geo kernel)
+            geo kernel)
+        targets
+    in
+    if as_json then
+      print_endline
+        (Gpu_util.Json.to_string ~pretty:true
+           (Staticmodel.Lint.list_to_json diags))
+    else if diags = [] then print_endline "no diagnostics"
+    else List.iter (fun d -> print_endline (Staticmodel.Lint.to_string d)) diags
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "run the static cache-behavior lint: uncoalesced global accesses, \
+          shared-memory bank conflicts, loop-invariant global loads, \
+          occupancy limiters and over-capacity working sets, ranked by \
+          severity with source positions")
+    Term.(
+      const run $ target_arg $ json_arg $ grid_arg $ block_arg
+      $ Cli_common.onchip $ Cli_common.sms)
+
 let bench_cmd =
   let module Bench = Experiments.Bench_core in
   let baseline_arg =
@@ -347,5 +410,5 @@ let () =
        (Cmd.group ~default info
           [
             analyze_cmd; transform_cmd; check_cmd; disasm_cmd; profile_cmd;
-            explain_cmd; bench_cmd;
+            explain_cmd; lint_cmd; bench_cmd;
           ]))

@@ -37,6 +37,10 @@ type loop_report = {
       (** body reaches [__syncthreads()]: such loops are never warp-split *)
 }
 
+val same_index : Affine.value -> Affine.value -> bool
+(** Equality on the affine domain: two [Unknown]s compare equal (one
+    irregular request stream per array), affine forms structurally. *)
+
 val analyze_kernel :
   Minicuda.Ast.kernel -> geometry -> loop_report list
 (** Reports for each top-level loop, in source order.  The kernel must

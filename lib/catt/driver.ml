@@ -72,7 +72,7 @@ let escalate cfg ~tb_threads ~num_regs ~shared_bytes ~line_bytes ~warps_per_tb
   in
   attempt first_m
 
-let analyze (cfg : Gpusim.Config.t) (kernel : Ast.kernel)
+let analyze ?(model = `Eq8) (cfg : Gpusim.Config.t) (kernel : Ast.kernel)
     (geometry : Analysis.geometry) =
   Obs.Span.with_span "catt.analyze"
     ~attrs:[ ("kernel", Obs.Span.Str kernel.Ast.kernel_name) ]
@@ -94,11 +94,22 @@ let analyze (cfg : Gpusim.Config.t) (kernel : Ast.kernel)
     let tbs = occ.Occupancy.tbs_per_sm in
     let footprints =
       Obs.Span.with_span "catt.footprint" (fun fp_span ->
+        let block_x = geometry.Analysis.block_x in
+        let reports = Analysis.analyze_kernel kernel geometry in
         let fps =
-          List.map
-            (Footprint.of_loop ~line_bytes ~warp_size
-               ~block_x:geometry.Analysis.block_x)
-            (Analysis.analyze_kernel kernel geometry)
+          match model with
+          | `Eq8 ->
+            List.map (Footprint.of_loop ~line_bytes ~warp_size ~block_x) reports
+          | `Sa ->
+            (* one interval/reuse pass per kernel; loops joined by id *)
+            let sa = Staticmodel.Gaccess.analyze kernel geometry in
+            List.map
+              (fun (r : Analysis.loop_report) ->
+                Footprint.of_loop_sa ~line_bytes ~warp_size ~block_x
+                  ~tbs:occ.Occupancy.tbs_per_sm
+                  (Staticmodel.Gaccess.find_loop sa ~loop_id:r.Analysis.loop_id)
+                  r)
+              reports
         in
         Option.iter
           (fun s -> Obs.Span.add_attr s "loops" (Obs.Span.Int (List.length fps)))

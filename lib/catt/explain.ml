@@ -53,13 +53,23 @@ let loop_json (cfg : Gpusim.Config.t) (t : Driver.t) (l : Driver.loop_decision)
   let sel_w, sel_t =
     Driver.selected_tlp t ~loop_id:loop.Analysis.loop_id
   in
+  (* only the sharpened (catt-sa) model produces a shared tier; the field
+     stays out of plain Eq. 8 output so pinned explains remain stable *)
+  let shared =
+    if fp.Footprint.shared_lines > 0 then
+      [ ("shared_lines", Json.Int fp.Footprint.shared_lines) ]
+    else []
+  in
   Json.Obj
-    [
-      ("loop_id", Json.Int loop.Analysis.loop_id);
-      ("iterator", Json.String loop.Analysis.loop_var);
-      ("has_barrier", Json.Bool loop.Analysis.has_barrier);
-      ("accesses", Json.List (List.map access_json fp.Footprint.summaries));
-      ("req_lines_per_warp", Json.Int fp.Footprint.req_per_warp);
+    ([
+       ("loop_id", Json.Int loop.Analysis.loop_id);
+       ("iterator", Json.String loop.Analysis.loop_var);
+       ("has_barrier", Json.Bool loop.Analysis.has_barrier);
+       ("accesses", Json.List (List.map access_json fp.Footprint.summaries));
+       ("req_lines_per_warp", Json.Int fp.Footprint.req_per_warp);
+     ]
+    @ shared
+    @ [
       ("has_locality", Json.Bool fp.Footprint.has_locality);
       ("any_irregular", Json.Bool fp.Footprint.any_irregular);
       ( "footprint_full_tlp_bytes",
@@ -78,7 +88,7 @@ let loop_json (cfg : Gpusim.Config.t) (t : Driver.t) (l : Driver.loop_decision)
             ("active_tbs", Json.Int d.Throttle.active_tbs);
           ] );
       ("selected_tlp", Json.List [ Json.Int sel_w; Json.Int sel_t ]);
-    ]
+    ])
 
 let to_json (cfg : Gpusim.Config.t) (t : Driver.t) =
   let occ = t.Driver.occupancy in
@@ -156,6 +166,11 @@ let render_loop (cfg : Gpusim.Config.t) (t : Driver.t)
        "    Eq.8 @ full TLP: %d lines/warp x %d warps x %d B = %s\n"
        fp.Footprint.req_per_warp full_warps line_bytes
        (kb (Footprint.size_req_bytes ~line_bytes fp ~concurrent_warps:full_warps)));
+  if fp.Footprint.shared_lines > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "    + shared tier (once per SM): %d lines = %s\n"
+         fp.Footprint.shared_lines
+         (kb (fp.Footprint.shared_lines * line_bytes)));
   if d.Throttle.trials = [] then
     Buffer.add_string buf
       (if not fp.Footprint.has_locality then

@@ -9,6 +9,7 @@ type loop_footprint = {
   loop : Analysis.loop_report;
   summaries : access_summary list;
   req_per_warp : int;
+  shared_lines : int;
   has_locality : bool;
   any_irregular : bool;
 }
@@ -55,6 +56,34 @@ let has_reuse ~line_bytes (access : Analysis.access) =
     in
     abs coeff * elem_bytes <= line_bytes
 
+(* One loop body touching the same (array, index) several times — a
+   read-modify-write, or a value used twice — is one request stream, not
+   several: Eq. 8 must count those lines once.  [Analysis.record] already
+   merges duplicates while collecting, so this is a safety net for
+   reports built by other producers (tests, external tools). *)
+let dedupe_accesses (accesses : Analysis.access list) =
+  let same (a : Analysis.access) (b : Analysis.access) =
+    a.Analysis.array = b.Analysis.array
+    && Analysis.same_index a.Analysis.index b.Analysis.index
+  in
+  let rec merge seen = function
+    | [] -> List.rev seen
+    | (a : Analysis.access) :: rest ->
+      let seen =
+        match List.partition (same a) seen with
+        | [], _ -> a :: seen
+        | dup :: _, others ->
+          {
+            dup with
+            Analysis.is_load = dup.Analysis.is_load || a.Analysis.is_load;
+            is_store = dup.Analysis.is_store || a.Analysis.is_store;
+          }
+          :: others
+      in
+      merge seen rest
+  in
+  merge [] accesses
+
 let of_loop ~line_bytes ~warp_size ~block_x (loop : Analysis.loop_report) =
   let summaries =
     List.map
@@ -65,17 +94,75 @@ let of_loop ~line_bytes ~warp_size ~block_x (loop : Analysis.loop_report) =
           has_reuse = has_reuse ~line_bytes access;
           irregular = access.Analysis.index = Affine.Unknown;
         })
-      loop.Analysis.accesses
+      (dedupe_accesses loop.Analysis.accesses)
   in
   {
     loop;
     summaries;
     req_per_warp = List.fold_left (fun acc s -> acc + s.req_warp) 0 summaries;
+    shared_lines = 0;
     has_locality = List.exists (fun s -> s.has_reuse) summaries;
     any_irregular = List.exists (fun s -> s.irregular) summaries;
   }
 
-let size_req_lines fp ~concurrent_warps = fp.req_per_warp * concurrent_warps
+(* ------------------------------------------------------------------ *)
+(* Sharpened footprints (catt-sa)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Bridge a staticmodel access record back into the [Analysis.access]
+   shape so downstream consumers (explain, reports) need no new cases. *)
+let access_of_gaccess (g : Staticmodel.Gaccess.gaccess) : Analysis.access =
+  {
+    Analysis.array = g.Staticmodel.Gaccess.garray;
+    index = g.Staticmodel.Gaccess.gindex;
+    is_load = g.Staticmodel.Gaccess.gload;
+    is_store = g.Staticmodel.Gaccess.gstore;
+    innermost_iter = g.Staticmodel.Gaccess.ginnermost;
+  }
+
+(** Eq. 8 with the {!Staticmodel.Reuse} refinements: cross-access line
+    unions, inter-warp sharing tiers and interval-bounded irregular
+    accesses.  [shared_lines] holds the once-per-SM tier (TB-tier entries
+    folded in at [tbs] residency); [req_per_warp] only the truly per-warp
+    lines.  Falls back to {!of_loop} when [sa] carries no matching data.
+
+    [has_locality] comes from the symbolic reuse classifier: invariant
+    and intra-line-stride accesses reuse their lines, and so does an
+    irregular access confined to a finite interval (pigeonhole). *)
+let of_loop_sa ~line_bytes ~warp_size ~block_x ~tbs
+    (sa : Staticmodel.Gaccess.loop_info option) (loop : Analysis.loop_report) =
+  match sa with
+  | None -> of_loop ~line_bytes ~warp_size ~block_x loop
+  | Some li ->
+    let gaccs = li.Staticmodel.Gaccess.gaccesses in
+    let summaries =
+      List.map
+        (fun (g : Staticmodel.Gaccess.gaccess) ->
+          let kind = Staticmodel.Reuse.classify ~line_bytes g in
+          {
+            access = access_of_gaccess g;
+            req_warp =
+              Staticmodel.Reuse.standalone_lines ~line_bytes ~warp_size
+                ~block_x g;
+            has_reuse = Staticmodel.Reuse.has_reuse kind;
+            irregular = g.Staticmodel.Gaccess.gindex = Affine.Unknown;
+          })
+        gaccs
+    in
+    let ll =
+      Staticmodel.Reuse.loop_lines ~line_bytes ~warp_size ~block_x ~tbs gaccs
+    in
+    {
+      loop;
+      summaries;
+      req_per_warp = ll.Staticmodel.Reuse.per_warp;
+      shared_lines = ll.Staticmodel.Reuse.shared;
+      has_locality = List.exists (fun s -> s.has_reuse) summaries;
+      any_irregular = List.exists (fun s -> s.irregular) summaries;
+    }
+
+let size_req_lines fp ~concurrent_warps =
+  (fp.req_per_warp * concurrent_warps) + fp.shared_lines
 
 let size_req_bytes ~line_bytes fp ~concurrent_warps =
   size_req_lines fp ~concurrent_warps * line_bytes

@@ -21,6 +21,10 @@ type loop_footprint = {
   loop : Analysis.loop_report;
   summaries : access_summary list;
   req_per_warp : int;  (** Σ over off-chip instructions of [req_warp] *)
+  shared_lines : int;
+      (** lines counted once per SM regardless of warp count — inter-warp
+          shared tiers of the sharpened model; always [0] under the plain
+          Eq. 8 constructor {!of_loop} *)
   has_locality : bool;  (** some access has cross-iteration reuse *)
   any_irregular : bool;
 }
@@ -32,6 +36,10 @@ val req_warp :
 val has_reuse : line_bytes:int -> Analysis.access -> bool
 (** Eq. 6 on the access's innermost enclosing iterator. *)
 
+val dedupe_accesses : Analysis.access list -> Analysis.access list
+(** Merge accesses with equal (array, index) — a read-modify-write is one
+    request stream — before summing Eq. 8.  First-occurrence order. *)
+
 val of_loop :
   line_bytes:int ->
   warp_size:int ->
@@ -39,8 +47,22 @@ val of_loop :
   Analysis.loop_report ->
   loop_footprint
 
+val of_loop_sa :
+  line_bytes:int ->
+  warp_size:int ->
+  block_x:int ->
+  tbs:int ->
+  Staticmodel.Gaccess.loop_info option ->
+  Analysis.loop_report ->
+  loop_footprint
+(** The sharpened (catt-sa) footprint: cross-access line unions,
+    inter-warp sharing tiers (TB-tier folded in at [tbs] residency) and
+    interval-bounded irregular accesses, built from the {!Staticmodel}
+    report for the same loop.  [None] falls back to {!of_loop}. *)
+
 val size_req_lines : loop_footprint -> concurrent_warps:int -> int
-(** Eq. 8: lines touched by all concurrently active warps on an SM. *)
+(** Eq. 8: lines touched by all concurrently active warps on an SM, plus
+    the once-per-SM [shared_lines] tier. *)
 
 val size_req_bytes :
   line_bytes:int -> loop_footprint -> concurrent_warps:int -> int

@@ -1,0 +1,79 @@
+(** lint-all artifact: the static kernel lint ({!Staticmodel.Lint}) run
+    over every registered workload's kernels, under both L1D
+    configurations.
+
+    The machine description and the occupancy hint (for the capacity
+    check) come from the same {!Configs} / {!Catt.Occupancy} pipeline the
+    runner uses, so the diagnostics describe exactly the launches the
+    experiments simulate.  Output is deterministic — workloads in
+    registry order, kernels in source order, diagnostics in the lint's
+    severity/kind/position order — and pinned as a golden. *)
+
+let machine_of (cfg : Gpusim.Config.t) : Staticmodel.Lint.machine =
+  {
+    Staticmodel.Lint.line_bytes = cfg.Gpusim.Config.line_bytes;
+    warp_size = cfg.Gpusim.Config.warp_size;
+    banks = Staticmodel.Lint.default_banks;
+    num_sms = cfg.Gpusim.Config.num_sms;
+  }
+
+let hint_of (cfg : Gpusim.Config.t) (geo : Catt.Analysis.geometry) kernel =
+  let prog = Gpusim.Codegen.compile_kernel kernel in
+  match
+    Catt.Occupancy.configure cfg
+      ~grid_tbs:(geo.Catt.Analysis.grid_x * geo.Catt.Analysis.grid_y)
+      ~tb_threads:(geo.Catt.Analysis.block_x * geo.Catt.Analysis.block_y)
+      ~num_regs:prog.Gpusim.Bytecode.num_regs
+      ~shared_bytes:prog.Gpusim.Bytecode.shared_bytes ()
+  with
+  | Error _ -> None
+  | Ok occ ->
+    Some
+      {
+        Staticmodel.Lint.concurrent_warps = occ.Catt.Occupancy.concurrent_warps;
+        tbs_per_sm = occ.Catt.Occupancy.tbs_per_sm;
+        l1d_bytes = occ.Catt.Occupancy.l1d_bytes;
+      }
+
+(** Every kernel's diagnostics under [cfg]:
+    [(workload, kernel, diags)], workloads in registry order. *)
+let diagnostics cfg =
+  List.concat_map
+    (fun (w : Workloads.Workload.t) ->
+      List.map
+        (fun (name, kernel) ->
+          let geo = Runner.geometry_of_kernel w name in
+          let diags =
+            Staticmodel.Lint.run (machine_of cfg)
+              ?occupancy:(hint_of cfg geo kernel)
+              geo kernel
+          in
+          (w.Workloads.Workload.name, name, diags))
+        (Workloads.Workload.kernels w))
+    Workloads.Registry.all
+
+let render_config cfg buf =
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "---- %s ----\n\n" (Configs.label cfg);
+  let total = ref 0 in
+  List.iter
+    (fun (wname, _, diags) ->
+      if diags = [] then ()
+      else begin
+        total := !total + List.length diags;
+        List.iter
+          (fun d ->
+            out "%s/%s\n" wname (Staticmodel.Lint.to_string d))
+          diags
+      end)
+    (diagnostics cfg);
+  out "\n%d diagnostic(s)\n" !total
+
+let render () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    "Static kernel lint over every registered workload\n\n";
+  render_config (Configs.max_l1d ()) buf;
+  Buffer.add_char buf '\n';
+  render_config (Configs.small_l1d ()) buf;
+  Buffer.contents buf

@@ -128,6 +128,8 @@ type row = {
   loop_id : int;
   loop_var : string;
   static_lines : int;  (** Eq. 8 [size_req_lines] at baseline concurrency *)
+  sa_lines : int;
+      (** the sharpened (catt-sa) [size_req_lines] at the same concurrency *)
   loads : int;  (** measured L1D load transactions in the loop's span *)
   miss_rate : float;
 }
@@ -153,6 +155,7 @@ let kernel_rows cfg (w : Workloads.Workload.t) name collector =
     let cw = occ.Catt.Occupancy.concurrent_warps in
     let spans = loop_spans kernel in
     let reports = Catt.Analysis.analyze_kernel kernel geo in
+    let sa = Staticmodel.Gaccess.analyze kernel geo in
     List.filter_map
       (fun (report : Catt.Analysis.loop_report) ->
         match List.assoc_opt report.Catt.Analysis.loop_id spans with
@@ -162,6 +165,15 @@ let kernel_rows cfg (w : Workloads.Workload.t) name collector =
             Catt.Footprint.of_loop ~line_bytes:cfg.Gpusim.Config.line_bytes
               ~warp_size:cfg.Gpusim.Config.warp_size
               ~block_x:geo.Catt.Analysis.block_x report
+          in
+          let fp_sa =
+            Catt.Footprint.of_loop_sa ~line_bytes:cfg.Gpusim.Config.line_bytes
+              ~warp_size:cfg.Gpusim.Config.warp_size
+              ~block_x:geo.Catt.Analysis.block_x
+              ~tbs:occ.Catt.Occupancy.tbs_per_sm
+              (Staticmodel.Gaccess.find_loop sa
+                 ~loop_id:report.Catt.Analysis.loop_id)
+              report
           in
           let loads, misses =
             List.fold_left
@@ -180,6 +192,8 @@ let kernel_rows cfg (w : Workloads.Workload.t) name collector =
               loop_id = report.Catt.Analysis.loop_id;
               loop_var = report.Catt.Analysis.loop_var;
               static_lines = Catt.Footprint.size_req_lines fp ~concurrent_warps:cw;
+              sa_lines =
+                Catt.Footprint.size_req_lines fp_sa ~concurrent_warps:cw;
               loads;
               miss_rate =
                 (if loads = 0 then 0.0
@@ -199,36 +213,41 @@ let rows cfg =
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let spearman_of rows =
+let spearman_by proj rows =
   let usable = List.filter (fun r -> r.loads > 0) rows in
   if List.length usable < 2 then None
   else
-    let xs = Array.of_list (List.map (fun r -> float_of_int r.static_lines) usable)
+    let xs = Array.of_list (List.map (fun r -> float_of_int (proj r)) usable)
     and ys = Array.of_list (List.map (fun r -> r.miss_rate) usable) in
     Some (Gpu_util.Stats.spearman xs ys, List.length usable)
+
+let spearman_of rows = spearman_by (fun r -> r.static_lines) rows
+let spearman_sa rows = spearman_by (fun r -> r.sa_lines) rows
 
 let render () =
   let cfg = Configs.max_l1d () in
   let rows = rows cfg in
   let buf = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  out "Eq. 8 static footprint vs measured L1D miss rate (baseline, %s)\n\n"
+  out "Static footprints vs measured L1D miss rate (baseline, %s)\n\n"
     (Configs.label cfg);
-  out "%-10s %-14s %-6s %-10s %12s %10s %8s\n" "workload" "kernel" "loop"
-    "loop-var" "static-lines" "loads" "miss%";
+  out "%-10s %-14s %-6s %-10s %12s %10s %10s %8s\n" "workload" "kernel" "loop"
+    "loop-var" "static-lines" "sa-lines" "loads" "miss%";
   List.iter
     (fun r ->
-      out "%-10s %-14s %-6d %-10s %12d %10d %8.1f\n" r.workload r.kernel
-        r.loop_id r.loop_var r.static_lines r.loads (100.0 *. r.miss_rate))
+      out "%-10s %-14s %-6d %-10s %12d %10d %10d %8.1f\n" r.workload r.kernel
+        r.loop_id r.loop_var r.static_lines r.sa_lines r.loads
+        (100.0 *. r.miss_rate))
     rows;
   out "\n";
-  (match spearman_of rows with
-  | Some (rs, n) ->
+  (match (spearman_of rows, spearman_sa rows) with
+  | Some (rs, n), Some (rs_sa, _) ->
     out
-      "Spearman rank correlation, static footprint vs measured miss rate: \
-       r_s = %.3f over %d loops with measured loads\n"
-      rs n
-  | None -> out "Not enough profiled loops for a rank correlation.\n");
+      "Spearman rank correlation vs measured miss rate over %d loops with \
+       measured loads:\n  Eq. 8 static footprint:     r_s = %+.3f\n  catt-sa \
+       sharpened footprint: r_s = %+.3f\n"
+      n rs rs_sa
+  | _ -> out "Not enough profiled loops for a rank correlation.\n");
   (* per-workload correlations, where a workload has enough loops *)
   let by_workload =
     List.sort_uniq compare (List.map (fun r -> r.workload) rows)
@@ -236,13 +255,19 @@ let render () =
   let per_w =
     List.filter_map
       (fun wname ->
-        match spearman_of (List.filter (fun r -> r.workload = wname) rows) with
-        | Some (rs, n) when n >= 3 -> Some (wname, rs, n)
+        let wrows = List.filter (fun r -> r.workload = wname) rows in
+        match (spearman_of wrows, spearman_sa wrows) with
+        | Some (rs, n), Some (rs_sa, _) when n >= 3 -> Some (wname, rs, rs_sa, n)
         | _ -> None)
       by_workload
   in
   if per_w <> [] then begin
-    out "\nPer-workload rank correlation (workloads with >= 3 measured loops):\n";
-    List.iter (fun (wname, rs, n) -> out "  %-10s r_s = %+.3f (%d loops)\n" wname rs n) per_w
+    out
+      "\nPer-workload rank correlation (workloads with >= 3 measured loops):\n";
+    List.iter
+      (fun (wname, rs, rs_sa, n) ->
+        out "  %-10s eq8 r_s = %+.3f   catt-sa r_s = %+.3f (%d loops)\n" wname
+          rs rs_sa n)
+      per_w
   end;
   Buffer.contents buf

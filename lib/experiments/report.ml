@@ -37,6 +37,11 @@ let artifacts =
       title = "Profiler: Eq. 8 footprint vs measured L1D miss rate";
       render = Profile_all.render;
     };
+    {
+      id = "lint-all";
+      title = "Static kernel lint: every workload, both L1D configs";
+      render = Lint_all.render;
+    };
   ]
 
 let find id = List.find_opt (fun a -> a.id = id) artifacts

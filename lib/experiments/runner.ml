@@ -30,6 +30,7 @@ type scheme = Scheme.t =
   | DawsSched
   | Swl of int
   | Bypass
+  | CattSa
 
 let scheme_label = Scheme.label
 let scheme_of_string = Scheme.of_string
@@ -219,8 +220,8 @@ let prepare_fixed cfg kernel geo ~n ~m =
         analysis = None;
       }
 
-let prepare_catt cfg kernel geo =
-  match Catt.Driver.analyze cfg kernel geo with
+let prepare_catt ?model cfg kernel geo =
+  match Catt.Driver.analyze ?model cfg kernel geo with
   | Error _ as e -> e
   | Ok t ->
     let transformed = t.Catt.Driver.transformed in
@@ -291,6 +292,7 @@ let prepare_all cfg (w : Workloads.Workload.t) scheme =
             | Baseline | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass ->
               Ok (prepare_baseline cfg kernel geo)
             | Catt -> prepare_catt cfg kernel geo
+            | CattSa -> prepare_catt ~model:`Sa cfg kernel geo
             | Fixed (n, m) -> prepare_fixed cfg kernel geo ~n ~m
           in
           (match p with
@@ -362,7 +364,7 @@ let exec_uncached (req : Request.t) =
             | CcwsSched -> `Ccws
             | DawsSched -> `Daws
             | Swl k -> `Swl k
-            | Baseline | Catt | Fixed _ | Bypass -> `None)
+            | Baseline | Catt | CattSa | Fixed _ | Bypass -> `None)
           ~bypass_arrays:
             (if scheme = Bypass then
                Catt.Bypass.divergent_arrays cfg
@@ -448,14 +450,19 @@ let run_to_json (r : app_run) =
     ]
 
 let analyses_for cfg (w : Workloads.Workload.t) scheme =
-  match scheme with
-  | Catt ->
+  let collect model =
     List.filter_map
       (fun (name, kernel) ->
-        match Catt.Driver.analyze cfg kernel (geometry_of_kernel w name) with
+        match
+          Catt.Driver.analyze ~model cfg kernel (geometry_of_kernel w name)
+        with
         | Ok t -> Some (name, t)
         | Error _ -> None)
       (Workloads.Workload.kernels w)
+  in
+  match scheme with
+  | Catt -> collect `Eq8
+  | CattSa -> collect `Sa
   | Baseline | Fixed _ | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass -> []
 
 let run_of_json cfg (w : Workloads.Workload.t) scheme json =

@@ -15,6 +15,7 @@ type t =
   | DawsSched
   | Swl of int  (** static warp limiting at k warps per SM *)
   | Bypass
+  | CattSa  (** CATT with the sharpened interval/reuse footprint (Eq. 8') *)
 
 let label = function
   | Baseline -> "baseline"
@@ -25,6 +26,7 @@ let label = function
   | DawsSched -> "daws"
   | Swl k -> Printf.sprintf "swl(%d)" k
   | Bypass -> "bypass"
+  | CattSa -> "catt-sa"
 
 (** Total inverse of {!label} (case-insensitive on the fixed names). *)
 let of_string s : (t, string) result =
@@ -35,6 +37,7 @@ let of_string s : (t, string) result =
   | "ccws" -> Ok CcwsSched
   | "daws" -> Ok DawsSched
   | "bypass" -> Ok Bypass
+  | "catt-sa" -> Ok CattSa
   | lower -> (
     try Scanf.sscanf lower "fixed(n=%d,m=%d)%!" (fun n m -> Ok (Fixed (n, m)))
     with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
@@ -43,7 +46,7 @@ let of_string s : (t, string) result =
         Error
           (Printf.sprintf
              "unknown scheme %S (expected baseline, CATT, fixed(N=..,M=..), \
-              dynamic, ccws, daws, swl(..) or bypass)"
+              dynamic, ccws, daws, swl(..), bypass or catt-sa)"
              s)))
 
 (** Exhaustiveness guard, in the spirit of [Cache.config_fingerprint]: a
@@ -60,17 +63,21 @@ let sample_of = function
   | DawsSched -> DawsSched
   | Swl _ -> Swl 4
   | Bypass -> Bypass
+  | CattSa -> CattSa
 
 (** One representative of every constructor — the corpus the round-trip
     property tests (and the serve protocol tests) iterate over. *)
 let samples =
   List.map sample_of
-    [ Baseline; Catt; Fixed (0, 0); Dynamic; CcwsSched; DawsSched; Swl 0; Bypass ]
+    [
+      Baseline; Catt; Fixed (0, 0); Dynamic; CcwsSched; DawsSched; Swl 0;
+      Bypass; CattSa;
+    ]
 
 (** Whether the scheme's throttling decision is made entirely at compile
     time.  Runtime-throttled schemes carry per-SM scheduler state that the
     co-resident pair mode cannot attribute to one kernel, so [launch_pair]
     only accepts static schemes. *)
 let is_static = function
-  | Baseline | Catt | Fixed _ | Bypass -> true
+  | Baseline | Catt | Fixed _ | Bypass | CattSa -> true
   | Dynamic | CcwsSched | DawsSched | Swl _ -> false

@@ -42,6 +42,49 @@ let contains i n =
 let all_lt i n = match i.hi with Some h -> h < n | None -> false
 let all_ge i n = match i.lo with Some l -> l >= n | None -> false
 
+let meet a b =
+  {
+    lo = (match (a.lo, b.lo) with
+         | Some x, Some y -> Some (max x y)
+         | (Some _ as l), None | None, (Some _ as l) -> l
+         | None, None -> None);
+    hi = (match (a.hi, b.hi) with
+         | Some x, Some y -> Some (min x y)
+         | (Some _ as h), None | None, (Some _ as h) -> h
+         | None, None -> None);
+  }
+
+(* number of integer points, when both ends are known *)
+let count i =
+  match (i.lo, i.hi) with
+  | Some l, Some h -> Some (max 0 (h - l + 1))
+  | _ -> None
+
+(* Division by a non-zero constant with C/OCaml truncation-toward-zero
+   semantics.  For a fixed divisor sign, [fun v -> v / k] is monotone
+   (non-decreasing for k > 0, non-increasing for k < 0), so mapping the
+   ends is exact on the endpoints and sound inside. *)
+let div_const i k =
+  if k = 0 then top
+  else if k > 0 then
+    { lo = Option.map (fun v -> v / k) i.lo; hi = Option.map (fun v -> v / k) i.hi }
+  else
+    { lo = Option.map (fun v -> v / k) i.hi; hi = Option.map (fun v -> v / k) i.lo }
+
+(* Remainder by a non-zero constant (C semantics: sign of the dividend).
+   When the interval is already reduced it passes through unchanged; a
+   provably non-negative dividend lands in [0, |k|-1], anything else in
+   [-(|k|-1), |k|-1]. *)
+let mod_const i k =
+  if k = 0 then top
+  else
+    let k = abs k in
+    match (i.lo, i.hi) with
+    | Some l, Some h when l >= 0 && h < k -> i
+    | _ ->
+      let nonneg = match i.lo with Some l -> l >= 0 | None -> false in
+      if nonneg then make 0 (k - 1) else make (-(k - 1)) (k - 1)
+
 let to_string i =
   let b = function Some n -> string_of_int n | None -> "inf" in
   Printf.sprintf "[%s, %s]" (b i.lo) (b i.hi)

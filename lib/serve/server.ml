@@ -20,9 +20,11 @@
     registry and pool — isolation is of results and accounting, not
     performance.
 
-    Connections on the socket are served one at a time (requests within
-    a connection still fan out across the pool); concurrent connections
-    are future work. *)
+    Connections on the socket are concurrent: the acceptor spawns one
+    thread per accepted connection, each running its own {!serve_fd}
+    read loop, so a slow client cannot starve another.  Requests from
+    every connection still fan out across the one shared pool, under the
+    one process-wide admission cap. *)
 
 module Json = Gpu_util.Json
 module Runner = Experiments.Runner
@@ -398,19 +400,30 @@ let serve_stdio t ~stop =
   serve_fd t ~in_fd:Unix.stdin ~out_fd:Unix.stdout ~stop
 
 (** Accept loop on a Unix-domain socket at [path] (replacing any stale
-    socket file).  Connections are served sequentially; requests within
-    a connection fan out across the pool.  The socket file is removed on
-    return. *)
+    socket file).  Each accepted connection is served on its own thread,
+    so a slow or idle client never blocks another client's requests; the
+    per-connection requests still fan out across the shared pool, and
+    the admission cap bounds total in-flight work across all
+    connections.  Every connection thread is joined before returning, so
+    in-flight responses drain; the socket file is removed on return. *)
 let serve_socket t ~path ~stop =
   (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind srv (Unix.ADDR_UNIX path);
   Unix.listen srv 8;
+  let conns : Thread.t list ref = ref [] in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close srv with Unix.Unix_error (_, _, _) -> ());
-      try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+      (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+      List.iter Thread.join !conns)
     (fun () ->
+      let serve_conn conn =
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close conn with Unix.Unix_error (_, _, _) -> ())
+          (fun () -> serve_fd t ~in_fd:conn ~out_fd:conn ~stop)
+      in
       let rec accept_loop () =
         if stop () then ()
         else
@@ -421,10 +434,7 @@ let serve_socket t ~path ~stop =
             match Unix.accept srv with
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
             | conn, _ ->
-              Fun.protect
-                ~finally:(fun () ->
-                  try Unix.close conn with Unix.Unix_error (_, _, _) -> ())
-                (fun () -> serve_fd t ~in_fd:conn ~out_fd:conn ~stop);
+              conns := Thread.create serve_conn conn :: !conns;
               accept_loop ())
       in
       accept_loop ())

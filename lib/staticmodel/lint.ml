@@ -1,0 +1,361 @@
+(** Static kernel lint: located, severity-ranked diagnostics for the
+    memory-system anti-patterns the static model can prove from the AST
+    and launch geometry alone.
+
+    Catalog (see DESIGN.md §14 for one minicuda example per entry):
+
+    - {b uncoalesced global access} — an affine index whose lane
+      enumeration touches more than half a warp's worth of lines;
+    - {b shared-memory bank conflict} — a warp's lanes hit more distinct
+      words in one bank than an even spread would require (the
+      "avoidable" test), under a conservative [banks = 16] model: two
+      addresses congruent mod 32 are congruent mod 16, so any conflict
+      reported here also serializes on 32-bank hardware;
+    - {b loop-invariant global load} — a load whose address has a zero
+      coefficient on its innermost enclosing iterator: hoistable to a
+      register;
+    - {b occupancy limiter} — a launch that cannot fill the device (fewer
+      blocks than SMs) or pads warps (block size not a multiple of the
+      warp size);
+    - {b working set over capacity} — only when an occupancy hint is
+      supplied: a loop whose sharpened Eq. 8 footprint exceeds the L1D at
+      full TLP, i.e. a throttling candidate.
+
+    The lint deliberately has no dependency on [Catt]; callers that want
+    the capacity check pass the configured occupancy in. *)
+
+module Ast = Minicuda.Ast
+module Geom = Sanitize.Geom
+module Walk = Sanitize.Walk
+module Affine = Sanitize.Affine
+module Json = Gpu_util.Json
+
+type severity = High | Medium | Low
+
+type kind =
+  | Uncoalesced
+  | Bank_conflict
+  | Invariant_load
+  | Occupancy_limit
+  | Capacity
+
+type diag = {
+  dkind : kind;
+  dsev : severity;
+  dkernel : string;
+  dloc : Ast.loc;
+  darray : string option;
+  dmsg : string;
+}
+
+(** Device description needed by the purely static checks. *)
+type machine = {
+  line_bytes : int;
+  warp_size : int;
+  banks : int;  (** shared-memory banks; 16 is the conservative default *)
+  num_sms : int;
+}
+
+let default_banks = 16
+
+(** Configured occupancy, for the capacity check. *)
+type occupancy_hint = {
+  concurrent_warps : int;
+  tbs_per_sm : int;
+  l1d_bytes : int;
+}
+
+let severity_to_string = function
+  | High -> "high"
+  | Medium -> "medium"
+  | Low -> "low"
+
+let kind_to_string = function
+  | Uncoalesced -> "uncoalesced-global-access"
+  | Bank_conflict -> "shared-memory-bank-conflict"
+  | Invariant_load -> "loop-invariant-global-load"
+  | Occupancy_limit -> "occupancy-limiter"
+  | Capacity -> "working-set-over-capacity"
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let uncoalesced m ~block_x kname (accs : Gaccess.gaccess list) =
+  List.filter_map
+    (fun (acc : Gaccess.gaccess) ->
+      match acc.Gaccess.gindex with
+      | Affine.Unknown -> None
+      | Affine.Affine a ->
+        let lines =
+          List.length
+            (Reuse.lane_lines ~line_bytes:m.line_bytes ~warp_size:m.warp_size
+               ~block_x a)
+        in
+        if lines * 2 > m.warp_size then
+          let sev = if lines >= m.warp_size then High else Medium in
+          Some
+            {
+              dkind = Uncoalesced;
+              dsev = sev;
+              dkernel = kname;
+              dloc = acc.Gaccess.gloc;
+              darray = Some acc.Gaccess.garray;
+              dmsg =
+                Printf.sprintf
+                  "one warp's load of %s[%s] touches %d cache lines (ideal \
+                   %d): threads with consecutive ids should access \
+                   consecutive elements"
+                  acc.Gaccess.garray
+                  (Affine.to_string a)
+                  lines
+                  (((m.warp_size * Reuse.elem_bytes) + m.line_bytes - 1)
+                  / m.line_bytes);
+            }
+        else None)
+    accs
+
+let invariant_loads kname (sa : Gaccess.t) =
+  List.concat_map
+    (fun (li : Gaccess.loop_info) ->
+      List.filter_map
+        (fun (acc : Gaccess.gaccess) ->
+          match (acc.Gaccess.gindex, acc.Gaccess.ginnermost) with
+          | Affine.Affine a, Some it
+            when acc.Gaccess.gload && (not acc.Gaccess.gstore)
+                 && Affine.coeff_of_iter a it = 0 ->
+            Some
+              {
+                dkind = Invariant_load;
+                dsev = Medium;
+                dkernel = kname;
+                dloc = acc.Gaccess.gloc;
+                darray = Some acc.Gaccess.garray;
+                dmsg =
+                  Printf.sprintf
+                    "load of %s[%s] does not depend on loop variable `%s`: \
+                     hoist it into a register above the loop"
+                    acc.Gaccess.garray (Affine.to_string a) it;
+              }
+          | _ -> None)
+        li.Gaccess.gaccesses)
+    sa.Gaccess.loops
+
+(* Exact per-warp enumeration of shared-memory bank usage.  Same-word
+   lanes broadcast for free, so conflicts count distinct words per bank;
+   a warp asking for [w] distinct words cannot do better than
+   [ceil(w / banks)] cycles, and only a spread worse than that is
+   "avoidable" and worth flagging. *)
+let bank_conflicts m (geo : Geom.t) kname (walk : Walk.result) =
+  let threads = Geom.threads_per_block geo in
+  let warps = (threads + m.warp_size - 1) / m.warp_size in
+  let worst (a : Affine.t) =
+    let worst_factor = ref 0 and worst_unavoid = ref 0 in
+    for w = 0 to warps - 1 do
+      let base = w * m.warp_size in
+      let lanes = min m.warp_size (threads - base) in
+      let words =
+        List.sort_uniq compare
+          (List.init lanes (fun lane ->
+               Affine.eval_lane a ~bdim_x:geo.Geom.block_x ~lane
+                 ~base_linear_tid:base))
+      in
+      let per_bank = Hashtbl.create 16 in
+      List.iter
+        (fun word ->
+          let b = ((word mod m.banks) + m.banks) mod m.banks in
+          Hashtbl.replace per_bank b
+            (1 + try Hashtbl.find per_bank b with Not_found -> 0))
+        words;
+      let factor = Hashtbl.fold (fun _ n acc -> max n acc) per_bank 0 in
+      let unavoidable = (List.length words + m.banks - 1) / m.banks in
+      if factor - unavoidable > !worst_factor - !worst_unavoid then begin
+        worst_factor := factor;
+        worst_unavoid := unavoidable
+      end
+    done;
+    (!worst_factor, !worst_unavoid)
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (acc : Walk.access) ->
+      match acc.Walk.idx with
+      | Affine.Unknown -> None
+      | Affine.Affine a ->
+        let factor, unavoidable = worst a in
+        if factor > unavoidable && not (Hashtbl.mem seen (acc.Walk.arr, acc.Walk.aloc))
+        then begin
+          Hashtbl.replace seen (acc.Walk.arr, acc.Walk.aloc) ();
+          Some
+            {
+              dkind = Bank_conflict;
+              dsev = (if factor >= 2 * unavoidable then High else Medium);
+              dkernel = kname;
+              dloc = acc.Walk.aloc;
+              darray = Some acc.Walk.arr;
+              dmsg =
+                Printf.sprintf
+                  "%d-way bank conflict on %s[%s] (%d would be unavoidable \
+                   for this warp): pad the leading dimension by one element"
+                  factor acc.Walk.arr (Affine.to_string a) unavoidable;
+            }
+        end
+        else None)
+    walk.Walk.accesses
+
+let occupancy_limits m (geo : Geom.t) kname =
+  let blocks = Geom.blocks geo in
+  let threads = Geom.threads_per_block geo in
+  let under_grid =
+    if blocks < m.num_sms then
+      [
+        {
+          dkind = Occupancy_limit;
+          dsev = Medium;
+          dkernel = kname;
+          dloc = Ast.dummy_loc;
+          darray = None;
+          dmsg =
+            Printf.sprintf
+              "grid launches %d block(s) on a %d-SM device: %d SM(s) stay \
+               idle for the whole kernel"
+              blocks m.num_sms (m.num_sms - blocks);
+        };
+      ]
+    else []
+  in
+  let partial_warp =
+    if threads mod m.warp_size <> 0 then
+      [
+        {
+          dkind = Occupancy_limit;
+          dsev = Low;
+          dkernel = kname;
+          dloc = Ast.dummy_loc;
+          darray = None;
+          dmsg =
+            Printf.sprintf
+              "block of %d threads is not a multiple of the warp size %d: \
+               the last warp runs %d empty lane(s)"
+              threads m.warp_size
+              (m.warp_size - (threads mod m.warp_size));
+        };
+      ]
+    else []
+  in
+  under_grid @ partial_warp
+
+let capacity m ~block_x (hint : occupancy_hint) kname (sa : Gaccess.t) =
+  List.filter_map
+    (fun (li : Gaccess.loop_info) ->
+      if li.Gaccess.gaccesses = [] then None
+      else
+        let ll =
+          Reuse.loop_lines ~line_bytes:m.line_bytes ~warp_size:m.warp_size
+            ~block_x ~tbs:hint.tbs_per_sm li.Gaccess.gaccesses
+        in
+        let lines =
+          (ll.Reuse.per_warp * hint.concurrent_warps) + ll.Reuse.shared
+        in
+        let bytes = lines * m.line_bytes in
+        if bytes > hint.l1d_bytes then
+          Some
+            {
+              dkind = Capacity;
+              dsev = Low;
+              dkernel = kname;
+              dloc = Ast.dummy_loc;
+              darray = None;
+              dmsg =
+                Printf.sprintf
+                  "loop %d (over `%s`) has a ~%d KB working set at full \
+                   occupancy (%d warps) vs %d KB of L1D: a thread-throttling \
+                   candidate"
+                  li.Gaccess.gloop_id li.Gaccess.gloop_var
+                  ((bytes + 1023) / 1024)
+                  hint.concurrent_warps
+                  (hint.l1d_bytes / 1024);
+            }
+        else None)
+    sa.Gaccess.loops
+
+(* ------------------------------------------------------------------ *)
+(* Entry point + rendering                                             *)
+(* ------------------------------------------------------------------ *)
+
+let severity_rank = function High -> 0 | Medium -> 1 | Low -> 2
+
+let kind_rank = function
+  | Uncoalesced -> 0
+  | Bank_conflict -> 1
+  | Invariant_load -> 2
+  | Occupancy_limit -> 3
+  | Capacity -> 4
+
+let compare_diag a b =
+  let c = compare (severity_rank a.dsev) (severity_rank b.dsev) in
+  if c <> 0 then c
+  else
+    let c = compare (kind_rank a.dkind) (kind_rank b.dkind) in
+    if c <> 0 then c
+    else
+      let c = compare (a.dloc.Ast.line, a.dloc.Ast.col) (b.dloc.Ast.line, b.dloc.Ast.col) in
+      if c <> 0 then c else compare a.dmsg b.dmsg
+
+(** Run every check on one kernel under one launch geometry.  Results are
+    deduplicated and sorted by severity, then kind, then source
+    position. *)
+let run (m : machine) ?occupancy (geo : Geom.t) (k : Ast.kernel) : diag list =
+  let kname = k.Ast.kernel_name in
+  let sa = Gaccess.analyze k geo in
+  let all_globals =
+    sa.Gaccess.straight
+    @ List.concat_map (fun li -> li.Gaccess.gaccesses) sa.Gaccess.loops
+  in
+  let walk = Walk.run geo k in
+  let diags =
+    uncoalesced m ~block_x:geo.Geom.block_x kname all_globals
+    @ bank_conflicts m geo kname walk
+    @ invariant_loads kname sa
+    @ occupancy_limits m geo kname
+    @ (match occupancy with
+      | Some hint -> capacity m ~block_x:geo.Geom.block_x hint kname sa
+      | None -> [])
+  in
+  (* two accesses merged by the walker can still yield textually equal
+     diagnostics (e.g. a load and a store at one site); keep one *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let key = (d.dkind, d.dloc, d.darray, d.dmsg) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    (List.sort compare_diag diags)
+
+let to_string d =
+  let pos =
+    if d.dloc = Ast.dummy_loc then "" else Printf.sprintf ":%d:%d" d.dloc.Ast.line d.dloc.Ast.col
+  in
+  Printf.sprintf "%s%s: %s %s: %s" d.dkernel pos
+    (severity_to_string d.dsev)
+    (kind_to_string d.dkind)
+    d.dmsg
+
+let to_json d : Json.t =
+  Json.Obj
+    ([
+       ("kernel", Json.String d.dkernel);
+       ("line", Json.Int d.dloc.Ast.line);
+       ("col", Json.Int d.dloc.Ast.col);
+       ("severity", Json.String (severity_to_string d.dsev));
+       ("kind", Json.String (kind_to_string d.dkind));
+     ]
+    @ (match d.darray with
+      | Some a -> [ ("array", Json.String a) ]
+      | None -> [])
+    @ [ ("message", Json.String d.dmsg) ])
+
+let list_to_json diags = Json.List (List.map to_json diags)

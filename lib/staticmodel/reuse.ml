@@ -1,0 +1,201 @@
+(** Static reuse / working-set analysis over {!Gaccess} reports.
+
+    Three refinements over the single-coefficient Eq. 7 model:
+
+    + {b cross-access aliasing}: accesses to the same array whose affine
+      forms differ only in the constant (a stencil's [A[i-1]]/[A[i]]/
+      [A[i+1]], a packed struct's [s[8i+0..7]]) share lines, so their
+      lane line sets are unioned instead of summed;
+    + {b inter-warp sharing tiers}: an index with no [threadIdx] term is
+      the same for every warp of a thread block (counted once per TB, not
+      once per warp), and with no [blockIdx] term either it is the same
+      for every TB on the SM (counted once);
+    + {b interval sharpening of Unknown}: a data-dependent index with a
+      finite range can only ever touch the lines spanned by that range —
+      an SM-wide bound, far below [warp_size × concurrent_warps] for
+      small tables — and a block-uniform Unknown index is one line per TB
+      at any instant, not [warp_size] lines per warp.
+
+    All counts are per-iteration (instantaneous working set), matching
+    Eq. 8's footprint-at-a-moment reading; the classifier below covers
+    the across-iteration axis. *)
+
+module Affine = Sanitize.Affine
+module Interval = Sanitize.Interval
+
+let elem_bytes = 4
+
+(* floor toward -inf so negative offsets don't merge spuriously *)
+let fdiv a b = if a >= 0 || a mod b = 0 then a / b else (a / b) - 1
+let line_of ~line_bytes byte = fdiv byte line_bytes
+
+(** Number of cache lines the byte image of an index interval can span;
+    [None] when either end is unbounded. *)
+let span_lines ~line_bytes (itv : Interval.t) : int option =
+  match (itv.Interval.lo, itv.Interval.hi) with
+  | Some lo, Some hi when lo <= hi ->
+    Some
+      (line_of ~line_bytes ((hi * elem_bytes) + elem_bytes - 1)
+       - line_of ~line_bytes (lo * elem_bytes)
+       + 1)
+  | Some _, Some _ -> Some 0
+  | _ -> None
+
+(** The distinct lines one warp (warp 0 of block 0, iteration 0) touches
+    through an affine index — the sorted line list, so cross-access unions
+    can share entries.  Only lane-to-lane distances matter, as in
+    {!Catt.Footprint.req_warp}. *)
+let lane_lines ~line_bytes ~warp_size ~block_x (a : Affine.t) : int list =
+  List.sort_uniq compare
+    (List.init warp_size (fun lane ->
+         line_of ~line_bytes
+           (Affine.eval_lane a ~bdim_x:block_x ~lane ~base_linear_tid:0
+            * elem_bytes)))
+
+(** Conservative interval bound on [lane_lines]: the index range of one
+    warp's lanes, mapped to a line span.  Always ≥ the exact enumeration
+    (every lane address lies inside the interval), which is the QCheck
+    soundness property. *)
+let lane_lines_bound ~line_bytes ~warp_size ~block_x (a : Affine.t) : int =
+  let lanes_x = min block_x warp_size in
+  let lanes_y = (warp_size - 1) / block_x in
+  let itv =
+    Interval.add
+      (Interval.point a.Affine.const)
+      (Interval.add
+         (Interval.scale a.Affine.c_tx (Interval.make 0 (lanes_x - 1)))
+         (Interval.scale a.Affine.c_ty (Interval.make 0 lanes_y)))
+  in
+  match span_lines ~line_bytes itv with Some n -> n | None -> warp_size
+
+(* ------------------------------------------------------------------ *)
+(* Reuse-distance classification                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Symbolic reuse class of one access with respect to its innermost
+    enclosing iterator — the replacement for the single-coefficient
+    [has_reuse] test. *)
+type kind =
+  | Invariant  (** same address every iteration: register-level reuse *)
+  | Spatial of int
+      (** stride ≤ line: consecutive iterations hit the fetched line *)
+  | Streaming of int  (** stride > line: a new line every iteration *)
+  | Irregular_bounded of int
+      (** data-dependent but confined to [n] lines: revisits by pigeonhole *)
+  | Irregular  (** data-dependent, unbounded *)
+
+let classify ~line_bytes (acc : Gaccess.gaccess) : kind =
+  match acc.Gaccess.gindex with
+  | Affine.Unknown -> (
+    match span_lines ~line_bytes acc.Gaccess.gitv with
+    | Some n -> Irregular_bounded n
+    | None -> Irregular)
+  | Affine.Affine a -> (
+    let c =
+      match acc.Gaccess.ginnermost with
+      | None -> 0
+      | Some it -> Affine.coeff_of_iter a it
+    in
+    if c = 0 then Invariant
+    else if abs c * elem_bytes <= line_bytes then Spatial c
+    else Streaming c)
+
+(** Whether a fetched line is worth keeping: invariant and spatial
+    accesses reuse it on the next iteration, and a bounded irregular
+    access revisits its (finite) working set.  Streaming beyond a line
+    and unbounded irregular accesses never come back. *)
+let has_reuse kind =
+  match kind with
+  | Invariant | Spatial _ | Irregular_bounded _ -> true
+  | Streaming _ | Irregular -> false
+
+let kind_to_string = function
+  | Invariant -> "invariant"
+  | Spatial c -> Printf.sprintf "spatial(stride=%d)" c
+  | Streaming c -> Printf.sprintf "streaming(stride=%d)" c
+  | Irregular_bounded n -> Printf.sprintf "irregular(<=%d lines)" n
+  | Irregular -> "irregular"
+
+(* ------------------------------------------------------------------ *)
+(* Loop working sets                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Which residency level multiplies an access's line count in Eq. 8. *)
+type tier = Per_warp | Tb_shared | Sm_shared
+
+let tier_of (a : Affine.t) =
+  if a.Affine.c_tx <> 0 || a.Affine.c_ty <> 0 then Per_warp
+  else if a.Affine.c_bx <> 0 || a.Affine.c_by <> 0 then Tb_shared
+  else Sm_shared
+
+(** Per-access sharpened standalone line count (for reports): the exact
+    per-warp enumeration for affine indices; for Unknown, the interval
+    bound capped at a full warp, or one line when block-uniform. *)
+let standalone_lines ~line_bytes ~warp_size ~block_x (acc : Gaccess.gaccess) =
+  match acc.Gaccess.gindex with
+  | Affine.Affine a -> List.length (lane_lines ~line_bytes ~warp_size ~block_x a)
+  | Affine.Unknown ->
+    if acc.Gaccess.guniform then 1
+    else (
+      match span_lines ~line_bytes acc.Gaccess.gitv with
+      | Some n -> min warp_size (max 1 n)
+      | None -> warp_size)
+
+type loop_lines = {
+  per_warp : int;  (** lines multiplied by concurrent warps in Eq. 8 *)
+  shared : int;
+      (** lines counted once per SM (TB-tier entries already folded in at
+          [tbs] residency — slightly conservative under TB throttling,
+          which only shrinks the true count) *)
+}
+
+(** Instantaneous distinct-line working set of one loop:
+    [per_warp × concurrent_warps + shared]. *)
+let loop_lines ~line_bytes ~warp_size ~block_x ~tbs
+    (accs : Gaccess.gaccess list) : loop_lines =
+  let tbs = max 1 tbs in
+  (* group affine accesses that differ only modulo the constant *)
+  let shape (a : Affine.t) = { a with Affine.const = 0 } in
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  let unknowns = ref [] in
+  List.iter
+    (fun (acc : Gaccess.gaccess) ->
+      match acc.Gaccess.gindex with
+      | Affine.Affine a ->
+        let key = (acc.Gaccess.garray, shape a) in
+        if not (Hashtbl.mem groups key) then order := key :: !order;
+        Hashtbl.replace groups key
+          (a :: (try Hashtbl.find groups key with Not_found -> []))
+      | Affine.Unknown -> unknowns := acc :: !unknowns)
+    accs;
+  let per_warp = ref 0 and shared = ref 0 in
+  List.iter
+    (fun ((_, shp) as key) ->
+      let members = Hashtbl.find groups key in
+      (* union of the member lane line sets: the cross-access aliasing *)
+      let union =
+        List.length
+          (List.sort_uniq compare
+             (List.concat_map (lane_lines ~line_bytes ~warp_size ~block_x)
+                members))
+      in
+      match tier_of shp with
+      | Per_warp -> per_warp := !per_warp + union
+      | Tb_shared -> shared := !shared + (union * tbs)
+      | Sm_shared -> shared := !shared + union)
+    (List.rev !order);
+  List.iter
+    (fun (acc : Gaccess.gaccess) ->
+      let span = span_lines ~line_bytes acc.Gaccess.gitv in
+      if acc.Gaccess.guniform then
+        (* one line per TB at any instant; the span is an SM-wide cap *)
+        shared := !shared + (match span with Some s -> min (max 1 s) tbs | None -> tbs)
+      else
+        match span with
+        | Some s when s <= warp_size ->
+          (* the whole access is confined to s lines SM-wide *)
+          shared := !shared + max 1 s
+        | _ -> per_warp := !per_warp + warp_size)
+    (List.rev !unknowns);
+  { per_warp = !per_warp; shared = !shared }

@@ -1,0 +1,189 @@
+(** Value-range (interval) evaluation of minicuda expressions.
+
+    The affine domain ({!Sanitize.Affine}) is exact but partial: modulo,
+    non-constant division, loads and joins all collapse to [Unknown], and
+    [Unknown] costs the footprint model a full warp of lines per access.
+    This module layers an interval environment on top of the
+    affine/uniformity context so that data-dependent-but-bounded values —
+    [x % 8], [n / 32], a guarded table index — keep a finite range even
+    after their affine form is lost.
+
+    The lattice per variable is the product (affine form option ×
+    interval); the affine half is handled by {!Sanitize.Uniformity} (its
+    interval is derived on demand from launch geometry and live iterator
+    ranges via [range_of_affine]), and [ranges] below only tracks
+    variables whose affine form is [Unknown].  Joins hull, loops kill
+    assigned variables (a one-step widening to top — ranges here never
+    grow along a chain longer than the program, so termination is by
+    construction), and guards refine by interval meet. *)
+
+module Ast = Minicuda.Ast
+module U = Sanitize.Uniformity
+module Interval = Sanitize.Interval
+module Affine = Sanitize.Affine
+
+type ctx = {
+  u : U.ctx;  (** affine + uniformity environment, live iterator ranges *)
+  ranges : (string * Interval.t) list;
+      (** intervals for variables whose affine form is [Unknown]; absence
+          means top *)
+}
+
+let init geo = { u = U.init geo; ranges = [] }
+let with_u ctx u = { ctx with u }
+
+let drop_range ctx name =
+  if List.mem_assoc name ctx.ranges then
+    { ctx with ranges = List.remove_assoc name ctx.ranges }
+  else ctx
+
+let bind_range ctx name (r : Interval.t) =
+  if r = Interval.top then drop_range ctx name
+  else { ctx with ranges = (name, r) :: List.remove_assoc name ctx.ranges }
+
+let point_of (i : Interval.t) =
+  match (i.Interval.lo, i.Interval.hi) with
+  | Some l, Some h when l = h -> Some l
+  | _ -> None
+
+(** Interval of [e] in [ctx]: affine forms go through the geometry-aware
+    [range_of_affine]; everything else by structural interval arithmetic
+    over the [ranges] environment. *)
+let rec range ctx (e : Ast.expr) : Interval.t =
+  match (U.eval ctx.u e).U.value with
+  | Affine.Affine a -> U.range_of_affine ctx.u a
+  | Affine.Unknown -> range_raw ctx e
+
+and range_raw ctx (e : Ast.expr) : Interval.t =
+  match e with
+  | Ast.Int_lit n -> Interval.point n
+  | Ast.Var name -> (
+    match List.assoc_opt name ctx.ranges with
+    | Some r -> r
+    | None -> Interval.top)
+  | Ast.Binop (Ast.Add, a, b) -> Interval.add (range ctx a) (range ctx b)
+  | Ast.Binop (Ast.Sub, a, b) ->
+    Interval.add (range ctx a) (Interval.scale (-1) (range ctx b))
+  | Ast.Binop (Ast.Mul, a, b) -> (
+    let ra = range ctx a and rb = range ctx b in
+    match (point_of ra, point_of rb) with
+    | Some k, _ -> Interval.scale k rb
+    | _, Some k -> Interval.scale k ra
+    | None, None -> Interval.top)
+  | Ast.Binop (Ast.Div, a, b) -> (
+    match point_of (range ctx b) with
+    | Some k when k <> 0 -> Interval.div_const (range ctx a) k
+    | _ -> Interval.top)
+  | Ast.Binop (Ast.Mod, a, b) -> (
+    match point_of (range ctx b) with
+    | Some k when k <> 0 -> Interval.mod_const (range ctx a) k
+    | _ -> Interval.top)
+  | Ast.Unop (Ast.Neg, a) -> Interval.scale (-1) (range ctx a)
+  | Ast.Cast (Ast.Int, a) -> range ctx a
+  | Ast.Ternary (_, a, b) -> Interval.hull (range ctx a) (range ctx b)
+  | _ -> Interval.top
+
+(* ------------------------------------------------------------------ *)
+(* Guard refinement                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Refinement only applies to variables whose affine form is Unknown: an
+   affine variable's range is derived from the affine form, and narrowing
+   it independently could disagree with later affine evaluation. *)
+let refinable ctx name =
+  match (U.lookup ctx.u name).U.value with
+  | Affine.Unknown -> true
+  | Affine.Affine _ -> false
+
+let refine_var ctx name op (bound : Interval.t) =
+  if not (refinable ctx name) then ctx
+  else
+    let cur =
+      match List.assoc_opt name ctx.ranges with
+      | Some r -> r
+      | None -> Interval.top
+    in
+    let constrain =
+      match op with
+      (* name < bound  ⇒  name ≤ max(bound) - 1 *)
+      | Ast.Lt ->
+        { Interval.lo = None; hi = Option.map (fun h -> h - 1) bound.Interval.hi }
+      | Ast.Le -> { Interval.lo = None; hi = bound.Interval.hi }
+      | Ast.Gt ->
+        { Interval.lo = Option.map (fun l -> l + 1) bound.Interval.lo; hi = None }
+      | Ast.Ge -> { Interval.lo = bound.Interval.lo; hi = None }
+      | Ast.Eq -> bound
+      | _ -> Interval.top
+    in
+    let met = Interval.meet cur constrain in
+    (* an empty meet means the branch is dead; keep the last sound value *)
+    if Interval.is_empty met then ctx else bind_range ctx name met
+
+let flip = function
+  | Ast.Lt -> Ast.Gt
+  | Ast.Le -> Ast.Ge
+  | Ast.Gt -> Ast.Lt
+  | Ast.Ge -> Ast.Le
+  | op -> op
+
+let negate = function
+  | Ast.Lt -> Some Ast.Ge
+  | Ast.Le -> Some Ast.Gt
+  | Ast.Gt -> Some Ast.Le
+  | Ast.Ge -> Some Ast.Lt
+  | Ast.Eq -> Some Ast.Ne
+  | Ast.Ne -> Some Ast.Eq
+  | _ -> None
+
+(** Refine [ctx] under the assumption that [cond] holds. *)
+let rec assume ctx (cond : Ast.expr) : ctx =
+  match cond with
+  | Ast.Binop (Ast.And, a, b) -> assume (assume ctx a) b
+  | Ast.Unop (Ast.Not, a) -> assume_not ctx a
+  | Ast.Binop (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq) as op), Ast.Var x, e2)
+    ->
+    refine_var ctx x op (range ctx e2)
+  | Ast.Binop (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq) as op), e1, Ast.Var x)
+    ->
+    refine_var ctx x (flip op) (range ctx e1)
+  | _ -> ctx
+
+(** Refine [ctx] under the assumption that [cond] is false. *)
+and assume_not ctx (cond : Ast.expr) : ctx =
+  match cond with
+  | Ast.Binop (Ast.Or, a, b) -> assume_not (assume_not ctx a) b
+  | Ast.Unop (Ast.Not, a) -> assume ctx a
+  | Ast.Binop (op, a, b) -> (
+    match negate op with Some op' -> assume ctx (Ast.Binop (op', a, b)) | None -> ctx)
+  | _ -> ctx
+
+(* ------------------------------------------------------------------ *)
+(* Joins and kills                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Join the interval halves of two branch exits.  Only names known on
+    both sides survive (hulled); a name refined or assigned in a single
+    arm decays to top at the join. *)
+let join_ranges (a : ctx) (b : ctx) : (string * Interval.t) list =
+  List.filter_map
+    (fun (name, ra) ->
+      match List.assoc_opt name b.ranges with
+      | Some rb ->
+        let h = Interval.hull ra rb in
+        if h = Interval.top then None else Some (name, h)
+      | None -> None)
+    a.ranges
+
+(** Variables assigned anywhere in [body] lose their interval (one-step
+    widening to top), mirroring {!Sanitize.Walk.kill_assigned}. *)
+let kill_ranges ranges body =
+  let assigned =
+    Ast.fold_block
+      (fun acc s ->
+        match s.Ast.sk with
+        | Ast.Assign (Ast.Lvar name, _, _) -> name :: acc
+        | Ast.For { loop_var; declares = false; _ } -> loop_var :: acc
+        | _ -> acc)
+      [] body
+  in
+  List.filter (fun (name, _) -> not (List.mem name assigned)) ranges

@@ -1,0 +1,65 @@
+(** Driver for the [@lint] alias (pulled into [dune runtest]): pins the
+    lint-all artifact against its golden and asserts the coverage floor —
+    across the registered workloads the lint must flag at least one
+    uncoalesced global access, one shared-memory bank conflict and one
+    loop-invariant global load.
+
+    With [GOLDEN_REGEN=<absolute dir>] set, rewrites the golden instead:
+
+      GOLDEN_REGEN=$PWD/test/golden_profiles _build/default/test/lint_check.exe *)
+
+module Lint = Staticmodel.Lint
+module Lint_all = Experiments.Lint_all
+
+let golden_name = "lint_all.txt"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden () =
+  let path = Filename.concat "golden_profiles" golden_name in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "missing golden %s — regenerate (see header comment)" path;
+  Alcotest.(check string) "lint-all artifact matches golden snapshot"
+    (read_file path) (Lint_all.render ())
+
+let check_coverage_floor () =
+  let diags =
+    List.concat_map
+      (fun (_, _, ds) -> ds)
+      (Lint_all.diagnostics (Experiments.Configs.max_l1d ()))
+  in
+  let count k =
+    List.length (List.filter (fun d -> d.Lint.dkind = k) diags)
+  in
+  List.iter
+    (fun (kind, label) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "at least one %s across the workloads" label)
+        true (count kind >= 1))
+    [
+      (Lint.Uncoalesced, "uncoalesced global access");
+      (Lint.Bank_conflict, "shared-memory bank conflict");
+      (Lint.Invariant_load, "loop-invariant global load");
+    ]
+
+let () =
+  match Sys.getenv_opt "GOLDEN_REGEN" with
+  | Some dir ->
+    let path = Filename.concat dir golden_name in
+    let oc = open_out_bin path in
+    output_string oc (Lint_all.render ());
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  | None ->
+    Alcotest.run "catt-lint"
+      [
+        ( "lint-all",
+          [
+            Alcotest.test_case "golden pinned" `Quick check_golden;
+            Alcotest.test_case "coverage floor" `Quick check_coverage_floor;
+          ] );
+      ]

@@ -299,6 +299,7 @@ let fp_with_req ?(reuse = true) req_per_warp =
       { Analysis.loop_id = 0; loop_var = "j"; accesses = []; has_barrier = false };
     summaries = [ summary ];
     req_per_warp;
+    shared_lines = 0;
     has_locality = reuse;
     any_irregular = false;
   }

@@ -49,7 +49,7 @@ let test_scheme_labels () =
     (Experiments.Runner.scheme_label (Experiments.Runner.Fixed (4, 1)))
 
 let test_report_registry () =
-  Alcotest.(check int) "thirteen artifacts" 13 (List.length Experiments.Report.artifacts);
+  Alcotest.(check int) "fourteen artifacts" 14 (List.length Experiments.Report.artifacts);
   List.iter
     (fun id ->
       match Experiments.Report.find id with

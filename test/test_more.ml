@@ -249,6 +249,7 @@ let test_throttle_non_power_of_two_warps () =
         { Catt.Analysis.loop_id = 0; loop_var = "j"; accesses = []; has_barrier = false };
       summaries = [ summary ];
       req_per_warp = 60;
+      shared_lines = 0;
       has_locality = true;
       any_irregular = false;
     }

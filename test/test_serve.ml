@@ -584,6 +584,113 @@ let test_serve_fd_pipe () =
   | _ -> Alcotest.fail "garbage line must yield a bad_request envelope"
 
 (* ------------------------------------------------------------------ *)
+(* Socket: two interleaved clients                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* read one response line with a deadline, so a regression to the old
+   one-connection-at-a-time accept loop fails the assertion instead of
+   hanging the suite *)
+let read_line_deadline fd ~seconds =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 256 in
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec go () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | Some i -> Some (String.sub (Buffer.contents buf) 0 i)
+    | None ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0. then None
+      else (
+        match Unix.select [ fd ] [] [] left with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | [], _, _ -> None
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | got ->
+            Buffer.add_subbytes buf chunk 0 got;
+            go ()))
+  in
+  go ()
+
+(* an idle client holding its connection open must not starve a later
+   client: each accepted connection runs on its own thread (PR 7's
+   serve_socket), so the second client's request round-trips while the
+   first sits silent, and the first is still served afterwards *)
+let test_socket_two_clients () =
+  with_temp_cache "two-clients" @@ fun () ->
+  Tenant.reset ();
+  let cfg = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(16 * 1024) () in
+  let srv = Server.create ~cfg ~jobs:2 ~queue_cap:8 () in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "catt-serve-two-%d.sock" (Unix.getpid ()))
+  in
+  let stop = Atomic.make false in
+  let acceptor =
+    Thread.create
+      (fun () ->
+        Server.serve_socket srv ~path ~stop:(fun () -> Atomic.get stop))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join acceptor;
+      Server.shutdown srv;
+      try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      let rec wait_sock n =
+        if n = 0 then Alcotest.fail "socket never appeared"
+        else if not (Sys.file_exists path) then (
+          Unix.sleepf 0.01;
+          wait_sock (n - 1))
+      in
+      wait_sock 500;
+      let connect () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      in
+      let send fd id =
+        let line =
+          Protocol.request_to_line
+            { Protocol.id; tenant = "two"; kind = Protocol.Stats }
+          ^ "\n"
+        in
+        let b = Bytes.of_string line in
+        ignore (Unix.write fd b 0 (Bytes.length b))
+      in
+      let expect_stats fd id =
+        match read_line_deadline fd ~seconds:10. with
+        | None -> Alcotest.failf "no response for %s within the deadline" id
+        | Some line -> (
+          match Json.of_string line with
+          | Error msg -> Alcotest.failf "unparseable response %s: %s" line msg
+          | Ok j -> (
+            match Protocol.response_of_json j with
+            | Error msg -> Alcotest.failf "bad response envelope: %s" msg
+            | Ok r ->
+              Alcotest.(check string) (id ^ " correlated") id r.Protocol.resp_id;
+              (match r.Protocol.result with
+              | Ok _ -> ()
+              | Error (_, msg) -> Alcotest.failf "%s failed: %s" id msg)))
+      in
+      let c1 = connect () in
+      let c2 = connect () in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close c1 with Unix.Unix_error (_, _, _) -> ());
+          try Unix.close c2 with Unix.Unix_error (_, _, _) -> ())
+        (fun () ->
+          (* client 1 stays idle; client 2, accepted later, must round-trip *)
+          send c2 "second";
+          expect_stats c2 "second";
+          (* the idle client's connection is still live and served *)
+          send c1 "first";
+          expect_stats c1 "first"))
+
+(* ------------------------------------------------------------------ *)
 (* Co-resident pairs                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -768,6 +875,8 @@ let tests =
           test_latency_ring_bounded;
         Alcotest.test_case "200-request mixed soak" `Slow test_soak_mixed_200;
         Alcotest.test_case "json-lines over a pipe" `Quick test_serve_fd_pipe;
+        Alcotest.test_case "two socket clients served concurrently" `Quick
+          test_socket_two_clients;
       ] );
     ( "serve.co_resident",
       [
