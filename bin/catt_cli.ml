@@ -6,6 +6,9 @@
       catt_cli transform FILE --grid … --block …   (prints transformed source)
       catt_cli check    FILE --grid … --block … [--strict]   (kernel sanitizer)
       catt_cli disasm   FILE                       (SASS-lite dump)
+      catt_cli run      WORKLOAD [--scheme S] [--onchip KB] [--sms N]
+                                                   (simulate under a scheme and print
+                                                    per-kernel counters + verification)
       catt_cli profile  WORKLOAD [--scheme S] [--onchip KB] [--sms N]
                         [--trace-out trace.json]
                                                    (cycle accounting + L1D heat maps,
@@ -180,15 +183,70 @@ let write_trace ~path (r : Experiments.Runner.app_run) =
   Obs.Trace_event.write ~path (host @ sim);
   Printf.printf "wrote %s (open in chrome://tracing or ui.perfetto.dev)\n" path
 
-let profile_cmd =
-  let scheme_arg =
-    Arg.(
-      value & opt string "baseline"
-      & info [ "scheme" ] ~docv:"SCHEME"
-          ~doc:
-            "execution scheme to profile: baseline, CATT, fixed(N=..,M=..), \
-             dynamic, ccws, daws, swl(..), bypass or catt-sa")
+let scheme_arg ~doing =
+  Arg.(
+    value & opt string "baseline"
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          (Printf.sprintf
+             "execution scheme to %s: baseline, CATT, fixed(N=..,M=..), \
+              dynamic, ccws, daws, swl(..), bypass, catt-sa, ciao or ata"
+             doing))
+
+(* simulate-and-verify from the same Runner path the experiment grids
+   use: the counters printed here are the ones the golden grid digests *)
+let run_cmd =
+  let run name scheme_str onchip sms =
+    let cfg = config ~onchip_kb:onchip ~sms in
+    match Experiments.Scheme.of_string scheme_str with
+    | Error msg ->
+      prerr_endline msg;
+      exit 2
+    | Ok scheme -> (
+      let w = find_workload name in
+      match Experiments.Runner.exec (Experiments.Runner.Request.make cfg w scheme) with
+      | Error msg ->
+        prerr_endline msg;
+        exit 1
+      | Ok r ->
+        Printf.printf "%s under %s (%s): %d cycles total\n"
+          r.Experiments.Runner.workload
+          (Experiments.Runner.scheme_label scheme)
+          (Experiments.Configs.label cfg)
+          r.Experiments.Runner.total_cycles;
+        List.iter
+          (fun (ks : Experiments.Runner.kernel_stats) ->
+            Printf.printf "  %-20s TLP (%2d,%2d)  %s\n"
+              ks.Experiments.Runner.kernel_name
+              (fst ks.Experiments.Runner.tlp)
+              (snd ks.Experiments.Runner.tlp)
+              (Format.asprintf "%a" Gpusim.Stats.pp ks.Experiments.Runner.stats);
+            let s = ks.Experiments.Runner.stats in
+            if s.Gpusim.Stats.bypass_transactions > 0 then
+              Printf.printf "  %-20s bypassed-by-policy=%d\n" ""
+                s.Gpusim.Stats.bypass_transactions;
+            if s.Gpusim.Stats.ata_tag_hits > 0 then
+              Printf.printf "  %-20s ata-tag-hits=%d ata-promotions=%d\n" ""
+                s.Gpusim.Stats.ata_tag_hits s.Gpusim.Stats.ata_promotions)
+          r.Experiments.Runner.kernels;
+        match r.Experiments.Runner.verified with
+        | Ok () -> print_endline "verification: OK"
+        | Error msg ->
+          Printf.printf "verification: FAILED (%s)\n" msg;
+          exit 1)
   in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "simulate a registered workload under a scheme and print per-kernel \
+          counters (including the CIAO bypassed-by-policy and ATA tag-array \
+          counters when non-zero), then check the CPU oracle")
+    Term.(
+      const run $ workload_arg $ scheme_arg ~doing:"run" $ Cli_common.onchip
+      $ Cli_common.sms)
+
+let profile_cmd =
+  let scheme_arg = scheme_arg ~doing:"profile" in
   let trace_out_arg =
     Arg.(
       value
@@ -409,6 +467,6 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            analyze_cmd; transform_cmd; check_cmd; disasm_cmd; profile_cmd;
-            explain_cmd; lint_cmd; bench_cmd;
+            analyze_cmd; transform_cmd; check_cmd; disasm_cmd; run_cmd;
+            profile_cmd; explain_cmd; lint_cmd; bench_cmd;
           ]))

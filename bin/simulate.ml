@@ -90,7 +90,9 @@ let () =
       value
       & opt scheme_conv Experiments.Runner.Baseline
       & info [ "scheme" ] ~docv:"S"
-          ~doc:"baseline, catt, dynamic, ccws, daws, bypass, swl(K), or NxM")
+          ~doc:
+            "baseline, catt, dynamic, ccws, daws, bypass, catt-sa, ciao, \
+             ata, swl(K), or NxM")
   in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"list workloads and exit") in
   let sweep =

@@ -64,6 +64,11 @@ let gated_schemes =
     ("grid/baseline", Runner.Baseline);
     ("grid/catt", Runner.Catt);
     ("grid/dynamic", Runner.Dynamic);
+    (* the interference-aware hardware schemes ride the hottest simulator
+       paths (a monitor call per L1D transaction / shadow-tag scans per
+       miss), so their grid throughput is gated like the others' *)
+    ("grid/ciao", Runner.Ciao);
+    ("grid/ata", Runner.Ata);
   ]
 
 let measure_gated ?(workloads = Workloads.Registry.all) (name, scheme) =

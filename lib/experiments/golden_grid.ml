@@ -19,7 +19,8 @@ module Json = Gpu_util.Json
 
 (** One scheme per simulator control path: plain GTO, CATT's transformed
     kernels (carveout + splits), the uniform fixed throttle, each runtime
-    throttling controller, and L1D bypass. *)
+    throttling controller, L1D bypass, and the interference-aware
+    hardware schemes (CIAO bypassing, ATA-Cache). *)
 let schemes =
   [
     Runner.Baseline;
@@ -30,6 +31,8 @@ let schemes =
     Runner.DawsSched;
     Runner.Swl 4;
     Runner.Bypass;
+    Runner.Ciao;
+    Runner.Ata;
   ]
 
 let cell_key (w : Workloads.Workload.t) scheme =
@@ -46,6 +49,24 @@ let digest_memory dev =
     (Gpusim.Gpu.arrays dev);
   Digest.bytes (Buffer.to_bytes buf)
 
+(** The cell digest of an already-profiled run plus its memory digest —
+    shared by {!digest_cell} and the [@schemes] checker, which reuses one
+    profiled run for both the purity comparison and the golden pinning. *)
+let digest_of_run ~mem (r : Runner.app_run) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (ks : Runner.kernel_stats) ->
+      Buffer.add_string buf ks.Runner.kernel_name;
+      Buffer.add_string buf
+        (Json.to_string (Gpusim.Stats.to_json ks.Runner.stats));
+      match ks.Runner.profile with
+      | Some c ->
+        Buffer.add_string buf (Json.to_string (Profile.Collector.to_json c))
+      | None -> ())
+    r.Runner.kernels;
+  Buffer.add_string buf mem;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let digest_cell cfg (w : Workloads.Workload.t) scheme =
   let mem = ref "" in
   match
@@ -55,20 +76,7 @@ let digest_cell cfg (w : Workloads.Workload.t) scheme =
          cfg w scheme)
   with
   | Error msg -> Printf.sprintf "ERROR:%s" msg
-  | Ok r ->
-    let buf = Buffer.create 4096 in
-    List.iter
-      (fun (ks : Runner.kernel_stats) ->
-        Buffer.add_string buf ks.Runner.kernel_name;
-        Buffer.add_string buf
-          (Json.to_string (Gpusim.Stats.to_json ks.Runner.stats));
-        match ks.Runner.profile with
-        | Some c ->
-          Buffer.add_string buf (Json.to_string (Profile.Collector.to_json c))
-        | None -> ())
-      r.Runner.kernels;
-    Buffer.add_string buf !mem;
-    Digest.to_hex (Digest.string (Buffer.contents buf))
+  | Ok r -> digest_of_run ~mem:!mem r
 
 let cells () =
   List.concat_map

@@ -31,6 +31,8 @@ type scheme = Scheme.t =
   | Swl of int
   | Bypass
   | CattSa
+  | Ciao
+  | Ata
 
 let scheme_label = Scheme.label
 let scheme_of_string = Scheme.of_string
@@ -289,7 +291,8 @@ let prepare_all cfg (w : Workloads.Workload.t) scheme =
           let geo = geometry_of_kernel w name in
           let p =
             match scheme with
-            | Baseline | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass ->
+            | Baseline | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass
+            | Ciao | Ata ->
               Ok (prepare_baseline cfg kernel geo)
             | Catt -> prepare_catt cfg kernel geo
             | CattSa -> prepare_catt ~model:`Sa cfg kernel geo
@@ -364,6 +367,8 @@ let exec_uncached (req : Request.t) =
             | CcwsSched -> `Ccws
             | DawsSched -> `Daws
             | Swl k -> `Swl k
+            | Ciao -> `Ciao
+            | Ata -> `Ata
             | Baseline | Catt | CattSa | Fixed _ | Bypass -> `None)
           ~bypass_arrays:
             (if scheme = Bypass then
@@ -463,7 +468,9 @@ let analyses_for cfg (w : Workloads.Workload.t) scheme =
   match scheme with
   | Catt -> collect `Eq8
   | CattSa -> collect `Sa
-  | Baseline | Fixed _ | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass -> []
+  | Baseline | Fixed _ | Dynamic | CcwsSched | DawsSched | Swl _ | Bypass
+  | Ciao | Ata ->
+    []
 
 let run_of_json cfg (w : Workloads.Workload.t) scheme json =
   Json.decode

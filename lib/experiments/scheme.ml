@@ -16,6 +16,8 @@ type t =
   | Swl of int  (** static warp limiting at k warps per SM *)
   | Bypass
   | CattSa  (** CATT with the sharpened interval/reuse footprint (Eq. 8') *)
+  | Ciao  (** interference-aware selective bypassing/throttling (CIAO) *)
+  | Ata  (** aggregated-tag-array L1D: promote to data storage on reuse *)
 
 let label = function
   | Baseline -> "baseline"
@@ -27,6 +29,8 @@ let label = function
   | Swl k -> Printf.sprintf "swl(%d)" k
   | Bypass -> "bypass"
   | CattSa -> "catt-sa"
+  | Ciao -> "ciao"
+  | Ata -> "ata"
 
 (** Total inverse of {!label} (case-insensitive on the fixed names). *)
 let of_string s : (t, string) result =
@@ -38,6 +42,8 @@ let of_string s : (t, string) result =
   | "daws" -> Ok DawsSched
   | "bypass" -> Ok Bypass
   | "catt-sa" -> Ok CattSa
+  | "ciao" -> Ok Ciao
+  | "ata" -> Ok Ata
   | lower -> (
     try Scanf.sscanf lower "fixed(n=%d,m=%d)%!" (fun n m -> Ok (Fixed (n, m)))
     with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
@@ -46,7 +52,7 @@ let of_string s : (t, string) result =
         Error
           (Printf.sprintf
              "unknown scheme %S (expected baseline, CATT, fixed(N=..,M=..), \
-              dynamic, ccws, daws, swl(..), bypass or catt-sa)"
+              dynamic, ccws, daws, swl(..), bypass, catt-sa, ciao or ata)"
              s)))
 
 (** Exhaustiveness guard, in the spirit of [Cache.config_fingerprint]: a
@@ -64,6 +70,8 @@ let sample_of = function
   | Swl _ -> Swl 4
   | Bypass -> Bypass
   | CattSa -> CattSa
+  | Ciao -> Ciao
+  | Ata -> Ata
 
 (** One representative of every constructor — the corpus the round-trip
     property tests (and the serve protocol tests) iterate over. *)
@@ -71,7 +79,7 @@ let samples =
   List.map sample_of
     [
       Baseline; Catt; Fixed (0, 0); Dynamic; CcwsSched; DawsSched; Swl 0;
-      Bypass; CattSa;
+      Bypass; CattSa; Ciao; Ata;
     ]
 
 (** Whether the scheme's throttling decision is made entirely at compile
@@ -80,4 +88,4 @@ let samples =
     only accepts static schemes. *)
 let is_static = function
   | Baseline | Catt | Fixed _ | Bypass | CattSa -> true
-  | Dynamic | CcwsSched | DawsSched | Swl _ -> false
+  | Dynamic | CcwsSched | DawsSched | Swl _ | Ciao | Ata -> false

@@ -14,7 +14,8 @@ let create cfg =
     memory = Hashtbl.create 16;
     l2 =
       Cache.create ~bytes:cfg.Config.l2_bytes ~assoc:cfg.Config.l2_assoc
-        ~line_bytes:cfg.Config.line_bytes ~mshrs:(cfg.Config.l1d_mshrs * cfg.Config.num_sms);
+        ~line_bytes:cfg.Config.line_bytes
+        ~mshrs:(cfg.Config.l1d_mshrs * cfg.Config.num_sms) ();
   }
 
 let config dev = dev.cfg
@@ -58,10 +59,12 @@ type launch = {
   smem_carveout : int option;
   sched : Sm.sched;
   trace : bool;
-  runtime_throttle : [ `None | `Dyncta | `Ccws | `Daws | `Swl of int ];
+  runtime_throttle :
+    [ `None | `Dyncta | `Ccws | `Daws | `Swl of int | `Ciao | `Ata ];
       (** run-time throttling baselines (Section 2.2 ablations): the
-          DYNCTA-style TB-cap hill climber or the CCWS-style lost-locality
-          warp scheduler *)
+          DYNCTA-style TB-cap hill climber, the CCWS-style lost-locality
+          warp scheduler, the CIAO interference-aware bypass/throttle
+          monitor, or the ATA-Cache aggregated-tag-array L1D *)
   bypass_arrays : string list;
       (** arrays whose loads skip the L1D — the cache-bypassing alternative
           (Section 2.2) used by the ablation benches *)
@@ -273,7 +276,18 @@ let launch ?args_base dev l =
             job i ~l1_bytes
         | `Swl limit ->
           if limit < 1 then launch_error "static warp limit must be >= 1";
-          Sm.create ~swl:limit job i ~l1_bytes)
+          Sm.create ~swl:limit job i ~l1_bytes
+        | `Ciao ->
+          Sm.create ~ciao:(Interference.create ()) job i ~l1_bytes
+        | `Ata ->
+          (* the same L1D geometry plus two shadow tag-only ways per set *)
+          Sm.create
+            ~l1:
+              (Cache.create ~ata_ways:2 ~bytes:l1_bytes
+                 ~assoc:dev.cfg.Config.l1d_assoc
+                 ~line_bytes:dev.cfg.Config.line_bytes
+                 ~mshrs:dev.cfg.Config.l1d_mshrs ())
+            job i ~l1_bytes)
   in
   (match l.profile with
   | Some p ->
@@ -407,7 +421,7 @@ let launch_pair ?args_base_b dev_a la dev_b lb =
   let check_simple which l =
     (match l.runtime_throttle with
     | `None -> ()
-    | `Dyncta | `Ccws | `Daws | `Swl _ ->
+    | `Dyncta | `Ccws | `Daws | `Swl _ | `Ciao | `Ata ->
       launch_error
         "launch_pair: kernel %s (%s) uses runtime throttling; co-resident \
          mode supports compile-time schemes only"

@@ -55,12 +55,18 @@ type launch = {
           smallest configurable option fitting the kernel's static usage *)
   sched : Sm.sched;
   trace : bool;  (** record the Fig. 2 off-chip access trace on SM 0 *)
-  runtime_throttle : [ `None | `Dyncta | `Ccws | `Daws | `Swl of int ];
-      (** scheduler-level throttling baselines the paper's Section 2.2
-          surveys: {!Dynamic_throttle} (DYNCTA-like TB capping), {!Ccws}
-          (lost-locality warp scheduling), {!Daws} (proactive footprint
-          prediction), or [`Swl k] — static warp limiting, whose best
-          offline choice is the CCWS paper's Best-SWL *)
+  runtime_throttle :
+    [ `None | `Dyncta | `Ccws | `Daws | `Swl of int | `Ciao | `Ata ];
+      (** scheduler-level and cache-level mitigation baselines: the
+          Section 2.2 ablations — {!Dynamic_throttle} (DYNCTA-like TB
+          capping), {!Ccws} (lost-locality warp scheduling), {!Daws}
+          (proactive footprint prediction), [`Swl k] (static warp
+          limiting, whose best offline choice is the CCWS paper's
+          Best-SWL) — plus the interference-aware hardware schemes:
+          [`Ciao] ({!Interference} — per-warp victim attribution driving
+          selective L1D bypassing with a throttling fallback) and [`Ata]
+          (an aggregated-tag-array L1D that admits a line to data storage
+          only on proven reuse; see {!Cache.ata_admit}) *)
   bypass_arrays : string list;
       (** arrays whose loads skip the L1D entirely — models the selective
           cache-bypassing alternative of Section 2.2 for ablations *)
@@ -75,7 +81,8 @@ val default_launch :
   ?smem_carveout:int ->
   ?sched:Sm.sched ->
   ?trace:bool ->
-  ?runtime_throttle:[ `None | `Dyncta | `Ccws | `Daws | `Swl of int ] ->
+  ?runtime_throttle:
+    [ `None | `Dyncta | `Ccws | `Daws | `Swl of int | `Ciao | `Ata ] ->
   ?bypass_arrays:string list ->
   ?profile:Profile.Collector.t ->
   prog:Bytecode.program ->

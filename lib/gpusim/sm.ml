@@ -134,6 +134,9 @@ type t = {
   daws : Daws.t option;  (* DAWS-like proactive footprint predictor *)
   swl : int option;  (* static warp limit (Best-SWL baseline): schedulable
                         warps per SM, fixed for the whole launch *)
+  ciao : Interference.t option;
+      (* CIAO interference monitor: flagged warps' loads bypass the L1D
+         (or, under NoC/DRAM pressure, leave the scheduler pool) *)
 }
 
 let dummy_tb =
@@ -170,7 +173,7 @@ let make_dummy_warp () =
 (* [?l1] shares an existing L1D instead of creating one: co-resident
    kernel contexts on the same physical SM ({!Gpu.launch_pair}) contend
    for one cache, which is exactly the interference being modeled. *)
-let create ?dyn ?ccws ?daws ?swl ?l1 job id ~l1_bytes =
+let create ?dyn ?ccws ?daws ?swl ?ciao ?l1 job id ~l1_bytes =
   let ws = job.cfg.Config.warp_size in
   let dw = make_dummy_warp () in
   {
@@ -181,7 +184,8 @@ let create ?dyn ?ccws ?daws ?swl ?l1 job id ~l1_bytes =
       | Some shared -> shared
       | None ->
         Cache.create ~bytes:l1_bytes ~assoc:job.cfg.Config.l1d_assoc
-          ~line_bytes:job.cfg.Config.line_bytes ~mshrs:job.cfg.Config.l1d_mshrs);
+          ~line_bytes:job.cfg.Config.line_bytes ~mshrs:job.cfg.Config.l1d_mshrs
+          ());
     now = 0;
     lsu_free = 0;
     warps = Array.make 16 dw;
@@ -206,11 +210,14 @@ let create ?dyn ?ccws ?daws ?swl ?l1 job id ~l1_bytes =
     x_next_pc = 0;
     x_ready = 0;
     throttled =
-      (match (dyn, ccws, swl) with None, None, None -> false | _ -> true);
+      (match (dyn, ccws, swl, ciao) with
+      | None, None, None, None -> false
+      | _ -> true);
     dyn;
     ccws;
     daws;
     swl;
+    ciao;
   }
 
 (* ---------------------------------------------------------------- *)
@@ -425,6 +432,16 @@ let issue_load_transaction ~bypass sm warp ~arr_id line =
   (* one transaction per LSU slot; throughput > 1 shortens the slot to 0
      every lsu_throughput-th transaction, approximating wider LSUs *)
   sm.lsu_free <- issue + 1;
+  (* the CIAO monitor sees every would-be L1D transaction and may redirect
+     it around the cache; its bypasses share the ablation path (and its
+     counters — [bypass_transactions] is the bypassed-by-policy count) *)
+  let bypass =
+    bypass
+    ||
+    match sm.ciao with
+    | Some ci -> Interference.on_access ci ~warp_id:warp.age ~line
+    | None -> false
+  in
   if bypass then begin
     stats.Stats.bypass_transactions <- stats.Stats.bypass_transactions + 1;
     (match sm.job.prof with
@@ -456,14 +473,41 @@ let issue_load_transaction ~bypass sm warp ~arr_id line =
       | None -> ());
       let miss_at = Cache.miss_issue sm.l1 ~now:issue in
       let ready = l2_arrival sm ~now:miss_at ~line in
-      (match sm.job.prof with
-      | Some p ->
+      (match Cache.ata_admit sm.l1 ~line with
+      | Cache.Ata_fill ->
+        (* the plain-cache fill sequence, bit for bit *)
+        (match sm.ciao with
+        | Some ci ->
+          let victim = Cache.evict_victim sm.l1 ~line in
+          if victim <> -1 then
+            Interference.on_evict ci ~filler:warp.age ~victim_line:victim
+        | None -> ());
+        (match sm.job.prof with
+        | Some p ->
+          let victim = Cache.evict_victim sm.l1 ~line in
+          if victim <> -1 then
+            Profile.Collector.record_evict p ~arr_id ~pc:warp.pc
+              ~set:(Cache.set_index sm.l1 line) ~victim_line:victim
+        | None -> ());
+        Cache.fill sm.l1 ~line ~ready
+      | Cache.Ata_promote ->
+        (* proven reuse: the line earns data storage; the displaced
+           victim's tag drops into the shadow array *)
+        stats.Stats.ata_tag_hits <- stats.Stats.ata_tag_hits + 1;
+        stats.Stats.ata_promotions <- stats.Stats.ata_promotions + 1;
         let victim = Cache.evict_victim sm.l1 ~line in
-        if victim <> -1 then
-          Profile.Collector.record_evict p ~arr_id ~pc:warp.pc
-            ~set:(Cache.set_index sm.l1 line) ~victim_line:victim
-      | None -> ());
-      Cache.fill sm.l1 ~line ~ready;
+        (match sm.job.prof with
+        | Some p ->
+          if victim <> -1 then
+            Profile.Collector.record_evict p ~arr_id ~pc:warp.pc
+              ~set:(Cache.set_index sm.l1 line) ~victim_line:victim
+        | None -> ());
+        Cache.fill sm.l1 ~line ~ready;
+        if victim <> -1 then Cache.ata_note sm.l1 ~line:victim
+      | Cache.Ata_defer ->
+        (* first conflict touch: served from L2, nothing displaced; the
+           miss still holds an MSHR until the data lands *)
+        Cache.note_inflight sm.l1 ~ready);
       (match sm.job.prof with
       | Some p ->
         Profile.Collector.record_l1 p ~arr_id ~pc:warp.pc
@@ -1091,8 +1135,28 @@ let pool_add sm w =
 let fill_pool sm =
   sm.pool_gen <- sm.pool_gen + 1;
   sm.n_pool <- 0;
-  match (sm.ccws, sm.dyn, sm.swl) with
-  | Some ccws, _, _ ->
+  match (sm.ciao, sm.ccws, sm.dyn, sm.swl) with
+  | Some ci, _, _, _ ->
+    (* CIAO throttle fallback: flagged warps leave the pool (the drain
+       rule still overrides).  If exclusion would park every live warp —
+       e.g. a single flagged warp is all that remains — admit everyone
+       rather than deadlock the SM. *)
+    let live = ref false in
+    for i = 0 to sm.n_warps - 1 do
+      let w = sm.warps.(i) in
+      if (not (Interference.throttle_excluded ci ~warp_id:w.age)) || draining w.tb
+      then begin
+        pool_add sm w;
+        if not w.finished then live := true
+      end
+    done;
+    if not !live then begin
+      sm.n_pool <- 0;
+      for i = 0 to sm.n_warps - 1 do
+        pool_add sm sm.warps.(i)
+      done
+    end
+  | None, Some ccws, _, _ ->
     (* list-shaped on purpose: Ccws.allowed ranks scores over a list; this
        path only runs under the CCWS ablation *)
     let ages = ref [] in
@@ -1105,7 +1169,7 @@ let fill_pool sm =
       let w = sm.warps.(i) in
       if List.mem w.age ids || draining w.tb then pool_add sm w
     done
-  | None, Some dyn, _ ->
+  | None, None, Some dyn, _ ->
     let cap = Dynamic_throttle.cap dyn in
     let seen = ref 0 in
     for i = 0 to sm.n_warps - 1 do
@@ -1120,7 +1184,7 @@ let fill_pool sm =
         pool_add sm w
       end
     done
-  | None, None, Some limit ->
+  | None, None, None, Some limit ->
     (* static warp limiting: the oldest [limit] live warps, in age order *)
     let admitted = ref 0 in
     for i = 0 to sm.n_warps - 1 do
@@ -1132,7 +1196,7 @@ let fill_pool sm =
         end
         else if draining w.tb then pool_add sm w
     done
-  | None, None, None ->
+  | None, None, None, None ->
     for i = 0 to sm.n_warps - 1 do
       pool_add sm sm.warps.(i)
     done

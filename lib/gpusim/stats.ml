@@ -31,6 +31,11 @@ type t = {
   mutable barrier_idle_cycles : int;
       (** cycles an SM had no issuable warp while some warp was parked at a
           barrier — the cost the warp-level throttling transform pays *)
+  mutable ata_tag_hits : int;
+      (** L1D misses whose tag was found in the aggregated tag array
+          (ATA-Cache scheme only; zero everywhere else) *)
+  mutable ata_promotions : int;
+      (** shadow-tagged lines promoted into data storage on proven reuse *)
 }
 
 let create () =
@@ -55,6 +60,8 @@ let create () =
     issued_instructions = 0;
     mem_idle_cycles = 0;
     barrier_idle_cycles = 0;
+    ata_tag_hits = 0;
+    ata_promotions = 0;
   }
 
 (** L1D hit rate over load transactions.  Pending hits count as hits: the
@@ -89,7 +96,9 @@ let accumulate ~into src =
   into.max_resident_warps <- max into.max_resident_warps src.max_resident_warps;
   into.issued_instructions <- into.issued_instructions + src.issued_instructions;
   into.mem_idle_cycles <- into.mem_idle_cycles + src.mem_idle_cycles;
-  into.barrier_idle_cycles <- into.barrier_idle_cycles + src.barrier_idle_cycles
+  into.barrier_idle_cycles <- into.barrier_idle_cycles + src.barrier_idle_cycles;
+  into.ata_tag_hits <- into.ata_tag_hits + src.ata_tag_hits;
+  into.ata_promotions <- into.ata_promotions + src.ata_promotions
 
 (* field list shared by [to_json]/[of_json] so the two cannot drift *)
 let int_fields : (string * (t -> int) * (t -> int -> unit)) list =
@@ -134,9 +143,25 @@ let int_fields : (string * (t -> int) * (t -> int -> unit)) list =
       fun t v -> t.barrier_idle_cycles <- v );
   ]
 
+(* Scheme-specific counters, serialized only when non-zero and decoded
+   leniently: every run of the other schemes keeps the exact JSON text it
+   produced before these fields existed, so the golden-grid digests and
+   pre-ATA cache entries stay bit-identical. *)
+let sparse_int_fields : (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("ata_tag_hits", (fun t -> t.ata_tag_hits), fun t v -> t.ata_tag_hits <- v);
+    ( "ata_promotions",
+      (fun t -> t.ata_promotions),
+      fun t v -> t.ata_promotions <- v );
+  ]
+
 let to_json t =
   Gpu_util.Json.Obj
-    (List.map (fun (name, get, _) -> (name, Gpu_util.Json.Int (get t))) int_fields)
+    (List.map (fun (name, get, _) -> (name, Gpu_util.Json.Int (get t))) int_fields
+    @ List.filter_map
+        (fun (name, get, _) ->
+          if get t <> 0 then Some (name, Gpu_util.Json.Int (get t)) else None)
+        sparse_int_fields)
 
 let of_json json =
   Gpu_util.Json.decode
@@ -146,6 +171,12 @@ let of_json json =
         (fun (name, _, set) ->
           set t (Gpu_util.Json.to_int (Gpu_util.Json.member name json)))
         int_fields;
+      List.iter
+        (fun (name, _, set) ->
+          match Gpu_util.Json.member_opt name json with
+          | Some v -> set t (Gpu_util.Json.to_int v)
+          | None -> ())
+        sparse_int_fields;
       t)
     json
 

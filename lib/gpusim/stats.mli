@@ -30,6 +30,11 @@ type t = {
   mutable barrier_idle_cycles : int;
       (** cycles an SM idled with a warp parked at a barrier — the price
           the warp-level throttling transform pays *)
+  mutable ata_tag_hits : int;
+      (** L1D misses whose tag was found in the aggregated tag array
+          (ATA-Cache scheme only; zero everywhere else) *)
+  mutable ata_promotions : int;
+      (** shadow-tagged lines promoted into data storage on proven reuse *)
 }
 
 val create : unit -> t
@@ -45,10 +50,12 @@ val accumulate : into:t -> t -> unit
 
 val to_json : t -> Gpu_util.Json.t
 (** Flat object of every counter — the persistent result cache's wire
-    format. *)
+    format.  Scheme-specific counters (the [ata_*] fields) are emitted
+    only when non-zero, so the JSON text of every other scheme's run is
+    unchanged from before they existed. *)
 
 val of_json : Gpu_util.Json.t -> (t, string) result
 (** Inverse of {!to_json}; [Error] names the first missing or mistyped
-    field. *)
+    field.  Absent scheme-specific counters decode as zero. *)
 
 val pp : Format.formatter -> t -> unit

@@ -132,7 +132,9 @@ let gen =
         ]
     in
     let sched = oneofl [ Gpusim.Sm.Gto; Gpusim.Sm.Lrr ] in
-    let throttle = oneofl [ `None; `Dyncta; `Ccws; `Daws; `Swl 2 ] in
+    let throttle =
+      oneofl [ `None; `Dyncta; `Ccws; `Daws; `Swl 2; `Ciao; `Ata ]
+    in
     quad shape sched throttle bool)
 
 let print_cfg (case, sched, throttle, bypass) =
@@ -143,7 +145,9 @@ let print_cfg (case, sched, throttle, bypass) =
     | `Dyncta -> "dyncta"
     | `Ccws -> "ccws"
     | `Daws -> "daws"
-    | `Swl k -> Printf.sprintf "swl%d" k)
+    | `Swl k -> Printf.sprintf "swl%d" k
+    | `Ciao -> "ciao"
+    | `Ata -> "ata")
     bypass
 
 let arbitrary = QCheck.make ~print:print_cfg gen

@@ -48,6 +48,29 @@ let test_scheme_labels () =
   Alcotest.(check string) "fixed" "fixed(N=4,M=1)"
     (Experiments.Runner.scheme_label (Experiments.Runner.Fixed (4, 1)))
 
+(* Two distinct schemes must never alias one persistent-cache entry.
+   [Cache.key] embeds the scheme label, so this holds iff labels are
+   pairwise distinct across the whole [Scheme.samples] corpus — the same
+   corpus the round-trip property iterates, so a new constructor lands
+   here automatically (via the [sample_of] exhaustiveness guard). *)
+let test_cache_keys_distinct () =
+  let keys =
+    List.map
+      (fun s ->
+        ( Experiments.Scheme.label s,
+          Experiments.Cache.key cfg ~workload:"ATAX"
+            ~scheme:(Experiments.Scheme.label s) ~seed:42 ))
+      Experiments.Scheme.samples
+  in
+  List.iteri
+    (fun i (li, ki) ->
+      List.iteri
+        (fun j (lj, kj) ->
+          if i < j && ki = kj then
+            Alcotest.failf "schemes %s and %s share cache key %s" li lj ki)
+        keys)
+    keys
+
 let test_report_registry () =
   Alcotest.(check int) "fourteen artifacts" 14 (List.length Experiments.Report.artifacts);
   List.iter
@@ -98,6 +121,8 @@ let tests =
         Alcotest.test_case "BFTT minimizes" `Quick test_bftt_is_minimum_of_sweep;
         Alcotest.test_case "scheme labels" `Quick test_scheme_labels;
         Alcotest.test_case "trace runs uncached" `Quick test_trace_runs_are_uncached;
+        Alcotest.test_case "cache keys distinct per scheme" `Quick
+          test_cache_keys_distinct;
       ] );
     ( "experiments.report",
       [

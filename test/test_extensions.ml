@@ -332,7 +332,7 @@ let test_variants_empty_rejected () =
 (* ------------------------- cache settle ---------------------------- *)
 
 let test_cache_settle_keeps_contents () =
-  let c = Gpusim.Cache.create ~bytes:(4 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:4 in
+  let c = Gpusim.Cache.create ~bytes:(4 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:4 () in
   let miss ~issue = issue + 1000 in
   ignore (Gpusim.Cache.access c ~now:0 ~line:3 ~miss_ready:miss);
   (* in flight until cycle 1000; a new kernel starts its clock at 0 *)
@@ -342,7 +342,7 @@ let test_cache_settle_keeps_contents () =
   Alcotest.(check int) "available immediately" 0 ready
 
 let test_cache_settle_frees_mshrs () =
-  let c = Gpusim.Cache.create ~bytes:(64 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:2 in
+  let c = Gpusim.Cache.create ~bytes:(64 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:2 () in
   let miss ~issue = issue + 1000000 in
   ignore (Gpusim.Cache.access c ~now:0 ~line:1 ~miss_ready:miss);
   ignore (Gpusim.Cache.access c ~now:0 ~line:2 ~miss_ready:miss);

@@ -14,7 +14,7 @@ module Gpu = Gpusim.Gpu
 let no_mem = fun ~issue -> issue + 100
 
 let test_cache_miss_then_hit () =
-  let c = Cache.create ~bytes:(4 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:8 in
+  let c = Cache.create ~bytes:(4 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:8 () in
   let _, o1 = Cache.access c ~now:0 ~line:5 ~miss_ready:no_mem in
   Alcotest.(check bool) "first is miss" true (o1 = Cache.Miss);
   let t2, o2 = Cache.access c ~now:200 ~line:5 ~miss_ready:no_mem in
@@ -22,7 +22,7 @@ let test_cache_miss_then_hit () =
   Alcotest.(check int) "hit at now" 200 t2
 
 let test_cache_pending_hit () =
-  let c = Cache.create ~bytes:(4 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:8 in
+  let c = Cache.create ~bytes:(4 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:8 () in
   let ready, _ = Cache.access c ~now:0 ~line:7 ~miss_ready:no_mem in
   Alcotest.(check int) "fill at 100" 100 ready;
   let t, o = Cache.access c ~now:50 ~line:7 ~miss_ready:no_mem in
@@ -31,7 +31,7 @@ let test_cache_pending_hit () =
 
 let test_cache_lru_eviction () =
   (* one-set cache: 2 ways *)
-  let c = Cache.create ~bytes:256 ~assoc:2 ~line_bytes:128 ~mshrs:8 in
+  let c = Cache.create ~bytes:256 ~assoc:2 ~line_bytes:128 ~mshrs:8 () in
   Alcotest.(check int) "single set" 1 (Cache.sets c);
   ignore (Cache.access c ~now:0 ~line:1 ~miss_ready:no_mem);
   ignore (Cache.access c ~now:1 ~line:2 ~miss_ready:no_mem);
@@ -42,7 +42,7 @@ let test_cache_lru_eviction () =
   Alcotest.(check bool) "line 2 evicted" false (Cache.contains c ~line:2)
 
 let test_cache_mshr_stall () =
-  let c = Cache.create ~bytes:(64 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:2 in
+  let c = Cache.create ~bytes:(64 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:2 () in
   let r1, _ = Cache.access c ~now:0 ~line:10 ~miss_ready:no_mem in
   let r2, _ = Cache.access c ~now:0 ~line:20 ~miss_ready:no_mem in
   Alcotest.(check int) "r1" 100 r1;
@@ -52,14 +52,14 @@ let test_cache_mshr_stall () =
   Alcotest.(check int) "r3 delayed" 200 r3
 
 let test_cache_write_no_allocate () =
-  let c = Cache.create ~bytes:(4 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:8 in
+  let c = Cache.create ~bytes:(4 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:8 () in
   Alcotest.(check bool) "absent write" false (Cache.write_update c ~now:0 ~line:9);
   Alcotest.(check bool) "still absent" false (Cache.contains c ~line:9);
   ignore (Cache.access c ~now:0 ~line:9 ~miss_ready:no_mem);
   Alcotest.(check bool) "present write" true (Cache.write_update c ~now:1 ~line:9)
 
 let test_cache_flush () =
-  let c = Cache.create ~bytes:(4 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:8 in
+  let c = Cache.create ~bytes:(4 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:8 () in
   ignore (Cache.access c ~now:0 ~line:3 ~miss_ready:no_mem);
   Cache.flush c;
   Alcotest.(check bool) "gone after flush" false (Cache.contains c ~line:3)
@@ -68,7 +68,7 @@ let prop_cache_capacity =
   QCheck.Test.make ~name:"working set <= ways per set never re-misses" ~count:100
     QCheck.(int_range 0 1000)
     (fun start ->
-      let c = Cache.create ~bytes:(8 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:16 in
+      let c = Cache.create ~bytes:(8 * 1024) ~assoc:4 ~line_bytes:128 ~mshrs:16 () in
       (* four lines that map to the same set under any hashing still fit *)
       let lines = [ start; start + 1; start + 2; start + 3 ] in
       List.iter (fun l -> ignore (Cache.access c ~now:0 ~line:l ~miss_ready:no_mem)) lines;

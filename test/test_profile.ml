@@ -65,7 +65,7 @@ let test_spearman () =
 (* ------------------------------------------------------------------ *)
 
 (* one set, four ways *)
-let tiny_cache () = Cache.create ~bytes:(4 * 128) ~assoc:4 ~line_bytes:128 ~mshrs:8
+let tiny_cache () = Cache.create ~bytes:(4 * 128) ~assoc:4 ~line_bytes:128 ~mshrs:8 ()
 
 let test_conflict_eviction () =
   let c = tiny_cache () in

@@ -803,7 +803,12 @@ let test_co_resident_refuses_runtime_schemes () =
       | Ok _ ->
         Alcotest.failf "%s must be refused in co-resident mode"
           (Scheme.label scheme))
-    [ Scheme.Dynamic; Scheme.CcwsSched; Scheme.DawsSched; Scheme.Swl 4 ]
+    [
+      Scheme.Dynamic; Scheme.CcwsSched; Scheme.DawsSched; Scheme.Swl 4;
+      (* the interference-aware hardware schemes carry per-SM monitor /
+         shadow-tag state that cannot be attributed to one kernel *)
+      Scheme.Ciao; Scheme.Ata;
+    ]
 
 (* the full handler path: a co-resident simulate request over the wire *)
 let test_co_resident_request () =
