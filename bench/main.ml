@@ -318,7 +318,11 @@ let run jobs json =
   match json with
   | None -> run_benchmarks jobs
   | Some path ->
-    let r = Experiments.Bench_core.collect ~jobs () in
+    let r =
+      Experiments.Bench_core.collect ~jobs
+        ~extra:[ (fun () -> Serve.Bench.stage ()) ]
+        ()
+    in
     Experiments.Bench_core.write_json path r;
     List.iter
       (fun (s : Experiments.Bench_core.stage) ->

@@ -13,7 +13,14 @@ let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
 let () =
   let workloads = List.map Workloads.Registry.find [ "ATAX"; "BT" ] in
-  let r = Bench.collect ~workloads ~jobs:1 () in
+  let r =
+    (* a small pipelined-serve batch rides along so the serve stage's
+       plumbing (pipe feeding, response draining, memo warm-up) is
+       exercised on every `dune runtest`, not only in full bench runs *)
+    Bench.collect ~workloads ~jobs:1
+      ~extra:[ Serve.Bench.stage ~requests:64 ]
+      ()
+  in
   if r.Bench.gated = [] then fail "no gated stages measured";
   List.iter
     (fun (s : Bench.stage) ->

@@ -404,10 +404,13 @@ let bench_cmd =
             "re-measure the gated stages and exit non-zero when any stage \
              regresses more than 10% below the committed cells/sec")
   in
+  (* the serve stage lives above Bench_core in the dependency order, so
+     it is composed into both the measurement and the retry path here *)
+  let extra = [ (fun () -> Serve.Bench.stage ()) ] in
   let run baseline check jobs =
     if not check then begin
       (* without --check, just measure and print (no gate, no file write) *)
-      let r = Bench.collect ~jobs () in
+      let r = Bench.collect ~jobs ~extra () in
       List.iter
         (fun (s : Bench.stage) ->
           Printf.printf "  %-16s %8.2f cells/sec  %12.0f minor words/cell\n"
@@ -436,11 +439,12 @@ let bench_cmd =
             Printf.eprintf "%s: %s\n" baseline msg;
             exit 2)
       in
-      let measured = Bench.stages () in
+      let measured = Bench.stages () @ List.map (fun f -> f ()) extra in
       let remeasure name =
         Printf.printf "  %-16s re-measuring (ruling out timing noise)\n%!"
           name;
-        Bench.remeasure_gated name
+        if name = Serve.Bench.stage_name then Some (Serve.Bench.stage ())
+        else Bench.remeasure_gated name
       in
       let verdicts =
         Bench.check_with_retry ~committed ~measured ~remeasure ()

@@ -21,13 +21,13 @@ let install_signal_handlers () =
   (* a client hanging up mid-response must not kill the daemon *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
-let serve socket jobs queue_cap cfg no_cache cache_dir =
+let serve socket jobs queue_cap tenant_quota cfg no_cache cache_dir =
   Experiments.Cache.enabled := not no_cache;
   (match cache_dir with
   | Some d -> Experiments.Cache.dir := d
   | None -> ());
   install_signal_handlers ();
-  let server = Serve.Server.create ~cfg ~jobs ~queue_cap () in
+  let server = Serve.Server.create ~cfg ~jobs ~queue_cap ~tenant_quota () in
   let stop () = Atomic.get stop_flag in
   (match socket with
   | Some path ->
@@ -53,6 +53,16 @@ let queue_cap =
           "admission-control cap on in-flight requests; beyond it requests \
            are refused with an $(i,overloaded) response")
 
+let tenant_quota =
+  Arg.(
+    value & opt int 0
+    & info [ "tenant-quota" ] ~docv:"N"
+        ~doc:
+          "max in-flight requests per tenant, under the global queue cap; \
+           beyond it a tenant's requests are refused with an \
+           $(i,overloaded) response and ledgered as $(i,quota_refusals) \
+           (0 = unlimited)")
+
 let cache_dir =
   Arg.(
     value
@@ -71,8 +81,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
-      const serve $ socket $ jobs $ queue_cap $ Cli_common.config
-      $ Cli_common.no_cache $ cache_dir)
+      const serve $ socket $ jobs $ queue_cap $ tenant_quota
+      $ Cli_common.config $ Cli_common.no_cache $ cache_dir)
 
 let () =
   let doc = "CATT throttling daemon" in

@@ -34,9 +34,14 @@ type stage = {
 
 let measure ~name ~cells f =
   let s0 = Gc.quick_stat () in
+  (* [quick_stat]'s minor_words only advances at collection boundaries;
+     [minor_words ()] reads the allocation pointer, so stages too small
+     to trigger a minor GC still report a real rate *)
+  let m0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   f ();
   let seconds = Unix.gettimeofday () -. t0 in
+  let m1 = Gc.minor_words () in
   let s1 = Gc.quick_stat () in
   let per_cell words = words /. float_of_int (max 1 cells) in
   {
@@ -44,7 +49,7 @@ let measure ~name ~cells f =
     cells;
     seconds;
     cells_per_sec = float_of_int cells /. seconds;
-    minor_words_per_cell = per_cell (s1.Gc.minor_words -. s0.Gc.minor_words);
+    minor_words_per_cell = per_cell (m1 -. m0);
     major_words_per_cell =
       per_cell
         (s1.Gc.major_words -. s0.Gc.major_words
@@ -243,10 +248,13 @@ type report = {
   obs : profiler_overhead;  (** span tracing off (A/A) vs on *)
 }
 
-let collect ?workloads ?(jobs = 0) () =
+(** [extra] is thunks for gated stages that live *above* this library in
+    the dependency order (e.g. [Serve.Bench.stage]) — callers compose
+    them in so the gate and the committed baseline still cover them. *)
+let collect ?workloads ?(extra = []) ?(jobs = 0) () =
   {
     jobs = (if jobs <= 0 then Domain.recommended_domain_count () else jobs);
-    gated = stages ?workloads ();
+    gated = stages ?workloads () @ List.map (fun f -> f ()) extra;
     pool = pool_stages ?workloads ();
     profiler = profiler_overhead ();
     obs = obs_overhead ();

@@ -92,13 +92,17 @@ module Request = struct
     r.trace || r.profile || r.timeline || Option.is_some r.on_device
 end
 
-(** Where {!exec_with_source} found the result. *)
-type source = Memo | Disk | Simulated
+(** Where {!exec_with_source} found the result.  [Coalesced] marks a
+    request that joined an identical in-flight computation (the
+    single-flight table) and received the leader's result without
+    simulating — served without simulation work, like a memo hit. *)
+type source = Memo | Disk | Simulated | Coalesced
 
 let source_label = function
   | Memo -> "memo"
   | Disk -> "cache hit"
   | Simulated -> "cache miss"
+  | Coalesced -> "coalesced"
 
 (* ------------------------------------------------------------------ *)
 (* Per-kernel preparation under a scheme                               *)
@@ -530,17 +534,51 @@ let run_of_json cfg (w : Workloads.Workload.t) scheme json =
 (* ------------------------------------------------------------------ *)
 
 let memo : (string, app_run) Hashtbl.t = Hashtbl.create 64
+
+let pair_memo : (string, app_run * app_run) Hashtbl.t = Hashtbl.create 8
+(** co-resident cells, keyed like {!memo} but over the normalized pair *)
+
 let memo_lock = Mutex.create ()
 
 (* the in-process memo is tenant-qualified like the disk shards: tenant
    B's first request must not be short-circuited by tenant A's memo entry,
    or B's shard would never be populated *)
-let memo_key ?tenant cfg (w : Workloads.Workload.t) scheme =
-  let base =
-    Cache.key cfg ~workload:w.Workloads.Workload.name
-      ~scheme:(scheme_label scheme) ~seed
-  in
+let memo_key_raw ?tenant cfg ~workload ~scheme =
+  let base = Cache.key cfg ~workload ~scheme ~seed in
   match tenant with None -> base | Some t -> base ^ "|tenant=" ^ t
+
+let memo_key ?tenant cfg (w : Workloads.Workload.t) scheme =
+  memo_key_raw ?tenant cfg ~workload:w.Workloads.Workload.name
+    ~scheme:(scheme_label scheme)
+
+(* ------------------------------------------------------------------ *)
+(* Single-flight: dedup of identical in-flight cells                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Keyed by the tenant-INDEPENDENT cache key: results are deterministic
+   per cell, so concurrent identical requests from different tenants can
+   share one simulation — each follower still adopts the result into its
+   own memo entry and disk shard, so per-tenant isolation of stored
+   results survives coalescing. *)
+let cell_flights : (app_run * source, string) result Gpu_util.Single_flight.t =
+  Gpu_util.Single_flight.create ()
+
+let pair_flights :
+    ((app_run * app_run) * source, string) result Gpu_util.Single_flight.t =
+  Gpu_util.Single_flight.create ()
+
+let m_coalesced = Obs.Metrics.counter "runner.coalesced"
+(** Requests that joined an in-flight identical computation. *)
+
+let coalesced_total () = Obs.Metrics.value m_coalesced
+
+(** Cells actually simulated ({!exec_uncached} completions, co-resident
+    pairs included) — the denominator the dedup proof counts. *)
+let simulated_total () = Obs.Metrics.value m_cells
+
+let flights_in_progress () =
+  Gpu_util.Single_flight.in_flight cell_flights
+  + Gpu_util.Single_flight.in_flight pair_flights
 
 let progress : bool ref = ref false
 (** When set, one line per simulated or cache-loaded run goes to stderr. *)
@@ -550,6 +588,7 @@ let progress : bool ref = ref false
 let clear_memo () =
   Mutex.lock memo_lock;
   Hashtbl.reset memo;
+  Hashtbl.reset pair_memo;
   Mutex.unlock memo_lock
 
 let log_run source (r : app_run) =
@@ -561,14 +600,18 @@ let with_lock f =
   Mutex.lock memo_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock memo_lock) f
 
-(** Compute one run: in-process memo, then the disk cache, then a real
-    simulation (persisted on completion).  Two workers racing on the
-    same key may both simulate — {!run_many} deduplicates keys up front,
-    so this stays simple and lock-free during the simulation itself.
-    Preparation failures (occupancy refusals, sanitizer diagnostics) come
-    back as [Error] with the located report and are never cached.
-    The second component says where the result came from — the serve
-    layer uses it for per-tenant hit/miss attribution. *)
+(** Compute one run: in-process memo, then the single-flight table, then
+    the disk cache, then a real simulation (persisted on completion).
+    Concurrent identical cells — pool workers racing on the same
+    (config, workload, scheme), from any tenant — coalesce: exactly one
+    leader simulates, every follower blocks on the flight entry and
+    receives the leader's result as [Coalesced], adopting it into its
+    own tenant's memo entry and disk shard.  Preparation failures
+    (occupancy refusals, sanitizer diagnostics) come back as [Error]
+    with the located report, are fanned out to every waiter, and are
+    never cached.  The second component says where the result came
+    from — the serve layer uses it for per-tenant hit/miss
+    attribution. *)
 let exec_with_source (req : Request.t) =
   let w = req.Request.workload
   and cfg = req.Request.cfg
@@ -599,19 +642,23 @@ let exec_with_source (req : Request.t) =
     | None -> (
       let workload = w.Workloads.Workload.name
       and label = scheme_label scheme in
-      let from_disk =
-        match Cache.load ?tenant cfg ~workload ~scheme:label ~seed with
-        | None -> None
-        | Some json -> (
-          match run_of_json cfg w scheme json with
-          | Ok r -> Some r
-          | Error _ ->
-            (* stale or corrupt entry: recompute.  Cache.load counted a
-               hit for the successful parse, but the entry is unusable *)
-            Cache.note_evicted ();
-            None)
-      in
-      let computed =
+      let adopt r = with_lock (fun () -> Hashtbl.replace memo key r) in
+      (* the flight key is tenant-independent: identical cells coalesce
+         across tenants, attribution and storage stay per tenant *)
+      let flight_key = memo_key cfg w scheme in
+      let compute () =
+        let from_disk =
+          match Cache.load ?tenant cfg ~workload ~scheme:label ~seed with
+          | None -> None
+          | Some json -> (
+            match run_of_json cfg w scheme json with
+            | Ok r -> Some r
+            | Error _ ->
+              (* stale or corrupt entry: recompute.  Cache.load counted a
+                 hit for the successful parse, but the entry is unusable *)
+              Cache.note_evicted ();
+              None)
+        in
         match from_disk with
         | Some r -> Ok (r, Disk)
         | None -> (
@@ -622,13 +669,26 @@ let exec_with_source (req : Request.t) =
               (run_to_json r);
             Ok (r, Simulated))
       in
-      match computed with
-      | Error _ as e -> e
-      | Ok (r, source) ->
-        with_lock (fun () -> Hashtbl.replace memo key r);
+      match Gpu_util.Single_flight.run cell_flights flight_key compute with
+      | `Led (Error _ as e) -> e
+      | `Joined (Error _ as e) ->
+        Obs.Metrics.incr m_coalesced;
+        e
+      | `Led (Ok (r, source)) ->
+        adopt r;
         note_source (source_label source);
         log_run (source_label source) r;
-        Ok (r, source))
+        Ok (r, source)
+      | `Joined (Ok (r, _)) ->
+        Obs.Metrics.incr m_coalesced;
+        (* fan-out: this request did no simulation work, but its tenant
+           still gets its own shard entry (so the next cold process hits
+           disk) and its own memo entry *)
+        Cache.store ?tenant cfg ~workload ~scheme:label ~seed (run_to_json r);
+        adopt r;
+        note_source (source_label Coalesced);
+        log_run (source_label Coalesced) r;
+        Ok (r, Coalesced))
   end
 
 (** The single entry point every caller funnels through. *)
@@ -659,10 +719,10 @@ let run cfg w scheme =
     pair phase, so the warm shared L2 can never serve it the other
     kernel's lines.  Both CPU oracles still verify, and every counter
     stays attributed to its kernel.  Only compile-time schemes are
-    accepted ({!Scheme.is_static}); results are never cached — the pair
-    interference depends on both members, which the per-cell cache key
-    cannot express. *)
-let run_co_resident cfg (wa : Workloads.Workload.t) scheme_a
+    accepted ({!Scheme.is_static}).  This entry point always simulates;
+    {!run_co_resident} layers the pair-aware cache (memo, disk shard,
+    single flight) on top. *)
+let run_co_resident_uncached cfg (wa : Workloads.Workload.t) scheme_a
     (wb : Workloads.Workload.t) scheme_b =
   let check_static w s =
     if not (Scheme.is_static s) then
@@ -772,6 +832,139 @@ let run_co_resident cfg (wa : Workloads.Workload.t) scheme_a
           ( mk_run wa scheme_a prep_a acc_a dev_a,
             mk_run wb scheme_b prep_b acc_b dev_b )
       with Gpu.Launch_error msg -> Error msg))
+
+(* --- pair-aware caching --------------------------------------------- *)
+
+(* bump when the pair layout (or launch_pair semantics) changes *)
+let pair_cache_format_version = 1
+
+let pair_to_json (ra, rb) =
+  Json.Obj
+    [
+      ("version", Json.Int pair_cache_format_version);
+      ("a", run_to_json ra);
+      ("b", run_to_json rb);
+    ]
+
+let pair_of_json cfg (w1 : Workloads.Workload.t) s1 (w2 : Workloads.Workload.t)
+    s2 json =
+  match
+    Json.decode
+      (fun j ->
+        if Json.to_int (Json.member "version" j) <> pair_cache_format_version
+        then raise (Json.Type_error "stale pair cache format");
+        (Json.member "a" j, Json.member "b" j))
+      json
+  with
+  | Error _ as e -> e
+  | Ok (ja, jb) -> (
+    match (run_of_json cfg w1 s1 ja, run_of_json cfg w2 s2 jb) with
+    | Ok ra, Ok rb -> Ok (ra, rb)
+    | Error msg, _ | _, Error msg -> Error msg)
+
+(** The canonical (order-normalized) identity of a co-resident cell: the
+    pair is a *set* of two (workload, scheme) members, so (A, B) and
+    (B, A) address the same cache entry.  Returns the members in
+    canonical order, the cache labels, and whether the caller's order
+    was swapped to get there — lookups swap attribution back on the way
+    out. *)
+let pair_identity (wa : Workloads.Workload.t) sa (wb : Workloads.Workload.t) sb
+    =
+  let member (w : Workloads.Workload.t) s =
+    w.Workloads.Workload.name ^ "+" ^ scheme_label s
+  in
+  let swap = member wb sb < member wa sa in
+  let (w1, s1), (w2, s2) =
+    if swap then ((wb, sb), (wa, sa)) else ((wa, sa), (wb, sb))
+  in
+  let workload_label =
+    w1.Workloads.Workload.name ^ "+" ^ w2.Workloads.Workload.name
+  in
+  let scheme_pair_label =
+    Printf.sprintf "co(%s,%s)" (scheme_label s1) (scheme_label s2)
+  in
+  ((w1, s1), (w2, s2), workload_label, scheme_pair_label, swap)
+
+(** Cached co-resident execution: memo, then single flight around the
+    disk shard and the simulation, exactly like {!exec_with_source} for
+    single cells.  The cache key fingerprints BOTH members
+    (order-normalized), so co-resident results persist to disk shards
+    and count as hits; a lookup with the members swapped finds the same
+    entry and swaps per-kernel attribution back to the caller's order.
+    Simulation always runs in canonical member order, so (A, B) and
+    (B, A) return bit-identical per-kernel counters on miss as well as
+    on hit. *)
+let run_co_resident_with_source ?tenant cfg (wa : Workloads.Workload.t)
+    scheme_a (wb : Workloads.Workload.t) scheme_b =
+  let check_static (w : Workloads.Workload.t) s =
+    if not (Scheme.is_static s) then
+      Error
+        (Printf.sprintf
+           "co-resident mode requires a compile-time scheme; %s requested %s"
+           w.Workloads.Workload.name (scheme_label s))
+    else Ok ()
+  in
+  match (check_static wa scheme_a, check_static wb scheme_b) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (), Ok () -> (
+    let (w1, s1), (w2, s2), workload_label, scheme_pair_label, swap =
+      pair_identity wa scheme_a wb scheme_b
+    in
+    let orient (r1, r2) = if swap then (r2, r1) else (r1, r2) in
+    let key =
+      memo_key_raw ?tenant cfg ~workload:workload_label
+        ~scheme:scheme_pair_label
+    in
+    match with_lock (fun () -> Hashtbl.find_opt pair_memo key) with
+    | Some pr -> Ok (orient pr, Memo)
+    | None -> (
+      let adopt pr = with_lock (fun () -> Hashtbl.replace pair_memo key pr) in
+      let store pr =
+        Cache.store ?tenant cfg ~workload:workload_label
+          ~scheme:scheme_pair_label ~seed (pair_to_json pr)
+      in
+      let flight_key =
+        memo_key_raw cfg ~workload:workload_label ~scheme:scheme_pair_label
+      in
+      let compute () =
+        let from_disk =
+          match
+            Cache.load ?tenant cfg ~workload:workload_label
+              ~scheme:scheme_pair_label ~seed
+          with
+          | None -> None
+          | Some json -> (
+            match pair_of_json cfg w1 s1 w2 s2 json with
+            | Ok pr -> Some pr
+            | Error _ ->
+              Cache.note_evicted ();
+              None)
+        in
+        match from_disk with
+        | Some pr -> Ok (pr, Disk)
+        | None -> (
+          match run_co_resident_uncached cfg w1 s1 w2 s2 with
+          | Error _ as e -> e
+          | Ok pr ->
+            store pr;
+            Ok (pr, Simulated))
+      in
+      match Gpu_util.Single_flight.run pair_flights flight_key compute with
+      | `Led (Error _ as e) -> e
+      | `Joined (Error _ as e) ->
+        Obs.Metrics.incr m_coalesced;
+        e
+      | `Led (Ok (pr, source)) ->
+        adopt pr;
+        Ok (orient pr, source)
+      | `Joined (Ok (pr, _)) ->
+        Obs.Metrics.incr m_coalesced;
+        store pr;
+        adopt pr;
+        Ok (orient pr, Coalesced)))
+
+let run_co_resident cfg wa scheme_a wb scheme_b =
+  Result.map fst (run_co_resident_with_source cfg wa scheme_a wb scheme_b)
 
 (** Fan a (config, workload, scheme) grid out across a domain pool.
     Results come back element-wise in input order, identical to what the

@@ -1,0 +1,116 @@
+(** The [serve/pipelined] throughput stage: requests/sec through
+    {!Server.serve_fd} over a pipe, on a warm cache.
+
+    The feeder writes a whole batch of identical [simulate] requests as
+    one buffer — the pipelined shape — so the timed region measures the
+    serve loop itself: line scanning, JSON parsing, admission, pool
+    dispatch, tenant accounting and response writing.  It does not
+    measure simulation: the single cell every request names is simulated
+    once in an untimed warm-up batch, so the timed batch is all memo
+    hits.  Gated next to the grid stages, so a serve-loop regression
+    (say, a read buffer that goes quadratic in the batch size) fails
+    [catt_cli bench --check] exactly like a simulator one.
+
+    Lives here rather than in {!Experiments.Bench_core} because the
+    dependency points the other way — serve is built on experiments —
+    so callers (the CLI gate, [bench/main], the smoke test) compose this
+    stage into the gated list via [Bench_core.collect ~extra]. *)
+
+module Json = Gpu_util.Json
+
+let stage_name = "serve/pipelined"
+
+let request_line i =
+  Json.to_string
+    (Protocol.request_to_json
+       {
+         Protocol.id = Printf.sprintf "bench-%d" i;
+         tenant = "bench";
+         kind =
+           Protocol.Simulate
+             {
+               Protocol.workload = "ATAX";
+               scheme = Experiments.Scheme.Baseline;
+               co_resident = None;
+             };
+       })
+
+(* write [payload] in one stream from a feeder thread, then close —
+   serve_fd's EOF signal *)
+let feed fd payload =
+  let b = Bytes.of_string payload in
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  (try
+     while !pos < len do
+       match Unix.write fd b !pos (len - !pos) with
+       | n -> pos := !pos + n
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     done
+   with Unix.Unix_error (Unix.EPIPE, _, _) -> ());
+  Unix.close fd
+
+(** Push [requests] pipelined requests through [server] over a pipe pair
+    and wait for every response.  Raises if any response goes missing —
+    a bench that silently under-counts would gate on garbage. *)
+let run_batch server ~requests =
+  let in_r, in_w = Unix.pipe ~cloexec:false () in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let payload =
+    String.concat "" (List.init requests (fun i -> request_line i ^ "\n"))
+  in
+  let feeder = Thread.create (fun () -> feed in_w payload) () in
+  let seen = ref 0 in
+  let drainer =
+    Thread.create
+      (fun () ->
+        let ic = Unix.in_channel_of_descr out_r in
+        (try
+           while !seen < requests do
+             ignore (input_line ic);
+             incr seen
+           done
+         with End_of_file -> ());
+        close_in ic)
+      ()
+  in
+  Server.serve_fd server ~in_fd:in_r ~out_fd:out_w ~stop:(fun () -> false);
+  Thread.join feeder;
+  (* serve_fd drained this connection, so every response is written; EOF
+     unblocks the drainer if any went missing *)
+  Unix.close out_w;
+  Thread.join drainer;
+  Unix.close in_r;
+  if !seen <> requests then
+    failwith
+      (Printf.sprintf "serve bench: %d responses for %d requests" !seen
+         requests)
+
+let stage ?(requests = 1024) ?(reps = 3) () =
+  let cfg = Experiments.Configs.max_l1d () in
+  (* keep the bench free of disk-cache side effects; the in-process memo
+     is what makes the timed batch warm *)
+  let was_enabled = !Experiments.Cache.enabled in
+  Experiments.Cache.enabled := false;
+  Fun.protect
+    ~finally:(fun () -> Experiments.Cache.enabled := was_enabled)
+    (fun () ->
+      let server = Server.create ~cfg ~jobs:2 ~queue_cap:requests () in
+      run_batch server ~requests:4 (* warm-up: simulate the cell once *);
+      (* best of [reps] batches: a millisecond-scale stage is at the
+         mercy of the scheduler, and noise only ever slows it down *)
+      let best = ref None in
+      for _ = 1 to max 1 reps do
+        let st =
+          Experiments.Bench_core.measure ~name:stage_name ~cells:requests
+            (fun () -> run_batch server ~requests)
+        in
+        match !best with
+        | Some (b : Experiments.Bench_core.stage)
+          when b.Experiments.Bench_core.cells_per_sec
+               >= st.Experiments.Bench_core.cells_per_sec ->
+          ()
+        | _ -> best := Some st
+      done;
+      Server.shutdown server;
+      Option.get !best)

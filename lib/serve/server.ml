@@ -7,12 +7,21 @@
     responses may be delivered out of order — clients correlate by the
     echoed [id].
 
-    Admission control is a queue-depth cap on in-flight requests
-    (queued + running).  A request that would exceed the cap is refused
-    immediately with an [overloaded] envelope — it never reaches the
-    pool, costs no simulation work, and is counted per tenant.  This
-    bounds both memory and tail latency: the deepest backlog a request
-    can sit behind is [queue_cap - 1] others.
+    Admission control is two nested caps, both checked at post time and
+    both refusing with an [overloaded] envelope that never reaches the
+    pool and costs no simulation work.  The global cap is a queue-depth
+    bound on in-flight requests (queued + running), which bounds memory
+    and tail latency: the deepest backlog a request can sit behind is
+    [queue_cap - 1] others.  Under it, an optional per-tenant quota
+    ([~tenant_quota]) bounds any one tenant's in-flight share, so a
+    burst from one tenant cannot occupy the whole queue; quota refusals
+    are ledgered separately ([quota_refusals]) from global-cap refusals
+    ([overloaded]).
+
+    Identical concurrent [simulate] cells coalesce in the runner's
+    single-flight table: one simulation, every response fanned out from
+    the one result, with each tenant still attributed its own hit/miss
+    and its own cache-shard entry.
 
     Tenancy: the [tenant] request field selects the {!Experiments.Cache}
     shard results persist to and the {!Tenant} metrics bucket surfaced
@@ -40,8 +49,19 @@ type handler = Protocol.request -> outcome
 type t = {
   cfg : Gpusim.Config.t;
   queue_cap : int;
+  tenant_quota : int option;
+      (** max in-flight requests per tenant, under the global cap *)
   pool : Pool.t;
   in_flight : int Atomic.t;
+  tenant_lock : Mutex.t;
+  tenant_inflight : (string, int ref) Hashtbl.t;
+      (** live in-flight count per tenant; entries are removed at zero so
+          the table stays bounded by currently-active tenants *)
+  live_conns : int Atomic.t;
+      (** connection threads currently serving (socket mode) *)
+  tracked_conns : int Atomic.t;
+      (** connection threads held for the shutdown join — live ones plus
+          finished ones not yet reaped; the reap test pins this *)
   handler : handler;
 }
 
@@ -162,7 +182,7 @@ let handle_simulate cfg tenant (b : Protocol.simulate_body) : outcome =
       | Ok (r, source) ->
         let cached =
           match source with
-          | Runner.Memo | Runner.Disk -> true
+          | Runner.Memo | Runner.Disk | Runner.Coalesced -> true
           | Runner.Simulated -> false
         in
         Ok (run_summary r, cached))
@@ -170,11 +190,19 @@ let handle_simulate cfg tenant (b : Protocol.simulate_body) : outcome =
       match find_workload name_b with
       | Error _ as e -> e
       | Ok wb -> (
-        match Runner.run_co_resident cfg w b.Protocol.scheme wb scheme_b with
+        match
+          Runner.run_co_resident_with_source ~tenant cfg w b.Protocol.scheme wb
+            scheme_b
+        with
         | Error msg -> Error (Protocol.Bad_request, msg)
-        | Ok (ra, rb) ->
-          (* co-resident interference depends on both members; never
-             cached, so always a miss *)
+        | Ok ((ra, rb), source) ->
+          (* pair results are cached under an order-normalized key, so a
+             repeat — even with the members swapped — is a hit *)
+          let cached =
+            match source with
+            | Runner.Memo | Runner.Disk | Runner.Coalesced -> true
+            | Runner.Simulated -> false
+          in
           Ok
             ( Json.Obj
                 [
@@ -182,7 +210,7 @@ let handle_simulate cfg tenant (b : Protocol.simulate_body) : outcome =
                   ("a", run_summary ra);
                   ("b", run_summary rb);
                 ],
-              false ))))
+              cached ))))
 
 let handle_stats () : outcome =
   let c = Experiments.Cache.stats () in
@@ -212,24 +240,83 @@ let default_handler cfg (req : Protocol.request) : outcome =
 (* Lifecycle and dispatch                                              *)
 (* ------------------------------------------------------------------ *)
 
-let create ?handler ~cfg ~jobs ~queue_cap () =
+(** [tenant_quota] is the max in-flight requests any one tenant may hold
+    under the global cap; [0] (the default) means unlimited. *)
+let create ?handler ?(tenant_quota = 0) ~cfg ~jobs ~queue_cap () =
   if queue_cap < 1 then invalid_arg "Server.create: queue_cap must be >= 1";
+  if tenant_quota < 0 then
+    invalid_arg "Server.create: tenant_quota must be >= 0";
   let handler =
     match handler with Some h -> h | None -> default_handler cfg
   in
   {
     cfg;
     queue_cap;
+    tenant_quota = (if tenant_quota = 0 then None else Some tenant_quota);
     pool = Pool.create ~jobs;
     in_flight = Atomic.make 0;
+    tenant_lock = Mutex.create ();
+    tenant_inflight = Hashtbl.create 8;
+    live_conns = Atomic.make 0;
+    tracked_conns = Atomic.make 0;
     handler;
   }
 
 let config t = t.cfg
 let in_flight t = Atomic.get t.in_flight
 
+let live_connections t = Atomic.get t.live_conns
+let tracked_connections t = Atomic.get t.tracked_conns
+
 let m_requests = Obs.Metrics.counter "serve.requests"
 let m_overloaded = Obs.Metrics.counter "serve.overloaded"
+let m_quota_refused = Obs.Metrics.counter "serve.quota_refused"
+
+(* Claim an in-flight slot for [name] under the per-tenant quota.
+   Returns [false] when the tenant is already at its quota.  Entries are
+   created on first use and removed at zero by {!tenant_release}, so the
+   table stays bounded by currently-active tenants, not by every tenant
+   name ever seen. *)
+let tenant_acquire t name =
+  match t.tenant_quota with
+  | None -> true
+  | Some quota ->
+    Mutex.lock t.tenant_lock;
+    let r =
+      match Hashtbl.find_opt t.tenant_inflight name with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.add t.tenant_inflight name r;
+        r
+    in
+    let ok = !r < quota in
+    if ok then incr r;
+    Mutex.unlock t.tenant_lock;
+    ok
+
+let tenant_release t name =
+  match t.tenant_quota with
+  | None -> ()
+  | Some _ ->
+    Mutex.lock t.tenant_lock;
+    (match Hashtbl.find_opt t.tenant_inflight name with
+    | None -> ()
+    | Some r ->
+      decr r;
+      if !r <= 0 then Hashtbl.remove t.tenant_inflight name);
+    Mutex.unlock t.tenant_lock
+
+(** Live in-flight count for [name] — test visibility. *)
+let tenant_in_flight t name =
+  Mutex.lock t.tenant_lock;
+  let n =
+    match Hashtbl.find_opt t.tenant_inflight name with
+    | Some r -> !r
+    | None -> 0
+  in
+  Mutex.unlock t.tenant_lock;
+  n
 
 (** Dispatch one request.  [respond] runs on a worker domain for
     admitted requests and synchronously on the caller for refused ones;
@@ -255,10 +342,36 @@ let post t (req : Protocol.request) ~respond =
       };
     `Rejected
   end
+  else if not (tenant_acquire t req.Protocol.tenant) then begin
+    (* under the global cap but over this tenant's own share: refuse with
+       the same wire envelope (clients need one retry path), ledgered
+       separately so operators can tell noisy-tenant pushback from
+       genuine saturation *)
+    ignore (Atomic.fetch_and_add t.in_flight (-1));
+    Obs.Metrics.incr m_quota_refused;
+    Tenant.note
+      (Tenant.find_or_create req.Protocol.tenant)
+      Tenant.Quota_refused;
+    respond
+      {
+        Protocol.resp_id = req.Protocol.id;
+        resp_tenant = req.Protocol.tenant;
+        result =
+          Error
+            ( Protocol.Overloaded,
+              Printf.sprintf
+                "tenant %S at its in-flight quota (%d); retry later"
+                req.Protocol.tenant
+                (Option.value t.tenant_quota ~default:0) );
+      };
+    `Rejected
+  end
   else begin
     Pool.submit t.pool (fun () ->
         Fun.protect
-          ~finally:(fun () -> ignore (Atomic.fetch_and_add t.in_flight (-1)))
+          ~finally:(fun () ->
+            tenant_release t req.Protocol.tenant;
+            ignore (Atomic.fetch_and_add t.in_flight (-1)))
           (fun () ->
             let start = Obs.Clock.now_us () in
             let result =
@@ -304,21 +417,59 @@ let shutdown t =
    turns into a clean drain instead of a killed process. *)
 type reader = {
   fd : Unix.file_descr;
-  rbuf : Buffer.t;
-  chunk : Bytes.t;
+  mutable buf : Bytes.t;  (** bytes [\[pos, len)] are buffered input *)
+  mutable pos : int;  (** start of the unconsumed region *)
+  mutable len : int;  (** end of the valid region *)
+  mutable scanned : int;
+      (** bytes [\[pos, scanned)] are known newline-free, so each byte is
+          scanned once across the reader's lifetime — a pipelined burst
+          of K requests in one buffer costs O(bytes), where re-scanning
+          (or re-materializing the buffer as a string per line) would be
+          O(bytes * K) *)
   mutable eof : bool;
 }
 
-let reader fd = { fd; rbuf = Buffer.create 4096; chunk = Bytes.create 4096; eof = false }
+let reader fd =
+  { fd; buf = Bytes.create 4096; pos = 0; len = 0; scanned = 0; eof = false }
 
 let take_line r =
-  let s = Buffer.contents r.rbuf in
-  match String.index_opt s '\n' with
-  | None -> None
-  | Some i ->
-    Buffer.clear r.rbuf;
-    Buffer.add_substring r.rbuf s (i + 1) (String.length s - i - 1);
-    Some (String.sub s 0 i)
+  let i = ref r.scanned in
+  while !i < r.len && Bytes.get r.buf !i <> '\n' do
+    incr i
+  done;
+  if !i >= r.len then begin
+    r.scanned <- r.len;
+    None
+  end
+  else begin
+    let line = Bytes.sub_string r.buf r.pos (!i - r.pos) in
+    r.pos <- !i + 1;
+    r.scanned <- r.pos;
+    if r.pos = r.len then begin
+      (* buffer fully consumed: rewind so it never grows just because
+         lines keep arriving *)
+      r.pos <- 0;
+      r.len <- 0;
+      r.scanned <- 0
+    end;
+    Some line
+  end
+
+(* make room to read: compact the consumed prefix away, or — only when a
+   single line overflows the whole buffer — double it *)
+let make_room r =
+  if r.len = Bytes.length r.buf then
+    if r.pos > 0 then begin
+      Bytes.blit r.buf r.pos r.buf 0 (r.len - r.pos);
+      r.len <- r.len - r.pos;
+      r.scanned <- r.scanned - r.pos;
+      r.pos <- 0
+    end
+    else begin
+      let bigger = Bytes.create (2 * Bytes.length r.buf) in
+      Bytes.blit r.buf 0 bigger 0 r.len;
+      r.buf <- bigger
+    end
 
 let rec next_line r ~stop =
   if stop () then `Stopped
@@ -327,9 +478,12 @@ let rec next_line r ~stop =
     | Some l -> `Line l
     | None ->
       if r.eof then
-        if Buffer.length r.rbuf > 0 then begin
-          let l = Buffer.contents r.rbuf in
-          Buffer.clear r.rbuf;
+        if r.len > r.pos then begin
+          (* unterminated final line *)
+          let l = Bytes.sub_string r.buf r.pos (r.len - r.pos) in
+          r.pos <- 0;
+          r.len <- 0;
+          r.scanned <- 0;
           `Line l
         end
         else `Eof
@@ -338,13 +492,14 @@ let rec next_line r ~stop =
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line r ~stop
         | [], _, _ -> next_line r ~stop
         | _ -> (
-          match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+          make_room r;
+          match Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) with
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line r ~stop
           | 0 ->
             r.eof <- true;
             next_line r ~stop
           | n ->
-            Buffer.add_subbytes r.rbuf r.chunk 0 n;
+            r.len <- r.len + n;
             next_line r ~stop))
 
 (* responses from different worker domains interleave line-atomically *)
@@ -367,13 +522,25 @@ let write_line lock fd line =
         ())
 
 (** Serve JSON-lines requests from [in_fd], answering on [out_fd], until
-    EOF or [stop ()].  In-flight work is drained before returning, so
-    every admitted request gets its response written (unless the client
-    disconnected). *)
+    EOF or [stop ()].  This connection's in-flight work — and only this
+    connection's — is drained before returning, so every admitted
+    request gets its response written (unless the client disconnected)
+    without one client's EOF blocking on every other connection's
+    backlog. *)
 let serve_fd t ~in_fd ~out_fd ~stop =
   let r = reader in_fd in
   let out_lock = Mutex.create () in
   let respond resp = write_line out_lock out_fd (Protocol.response_to_line resp) in
+  (* responses this connection still owes; posted requests respond
+     exactly once (refusals synchronously, admissions from a worker), and
+     the decrement rides the respond call itself so it survives a failed
+     write *)
+  let outstanding = Atomic.make 0 in
+  let respond_counted resp =
+    Fun.protect
+      ~finally:(fun () -> ignore (Atomic.fetch_and_add outstanding (-1)))
+      (fun () -> respond resp)
+  in
   let rec loop () =
     match next_line r ~stop with
     | `Stopped | `Eof -> ()
@@ -390,11 +557,15 @@ let serve_fd t ~in_fd ~out_fd ~stop =
                resp_tenant;
                result = Error (Protocol.Bad_request, msg);
              }
-         | Ok req -> ignore (post t req ~respond));
+         | Ok req ->
+           Atomic.incr outstanding;
+           ignore (post t req ~respond:respond_counted));
       loop ()
   in
   loop ();
-  drain t
+  while Atomic.get outstanding > 0 do
+    Unix.sleepf 0.002
+  done
 
 let serve_stdio t ~stop =
   serve_fd t ~in_fd:Unix.stdin ~out_fd:Unix.stdout ~stop
@@ -404,24 +575,43 @@ let serve_stdio t ~stop =
     so a slow or idle client never blocks another client's requests; the
     per-connection requests still fan out across the shared pool, and
     the admission cap bounds total in-flight work across all
-    connections.  Every connection thread is joined before returning, so
-    in-flight responses drain; the socket file is removed on return. *)
+    connections.  Finished connection threads are reaped (joined and
+    dropped) as the accept loop turns, so a long-lived daemon's memory is
+    bounded by *concurrent* connections, not by every connection ever
+    accepted; the stragglers are joined before returning, so in-flight
+    responses drain, and the socket file is removed on return. *)
 let serve_socket t ~path ~stop =
   (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind srv (Unix.ADDR_UNIX path);
   Unix.listen srv 8;
-  let conns : Thread.t list ref = ref [] in
+  (* each entry pairs the thread with a finished flag its connection sets
+     on the way out: a set flag means join will not block.  Only the
+     accept thread touches the list itself. *)
+  let conns : (Thread.t * bool Atomic.t) list ref = ref [] in
+  let note_tracked () = Atomic.set t.tracked_conns (List.length !conns) in
+  let reap () =
+    let live, finished =
+      List.partition (fun (_, fin) -> not (Atomic.get fin)) !conns
+    in
+    List.iter (fun (th, _) -> Thread.join th) finished;
+    conns := live;
+    note_tracked ()
+  in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close srv with Unix.Unix_error (_, _, _) -> ());
       (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
-      List.iter Thread.join !conns)
+      List.iter (fun (th, _) -> Thread.join th) !conns;
+      conns := [];
+      note_tracked ())
     (fun () ->
-      let serve_conn conn =
+      let serve_conn (conn, fin) =
         Fun.protect
           ~finally:(fun () ->
-            try Unix.close conn with Unix.Unix_error (_, _, _) -> ())
+            (try Unix.close conn with Unix.Unix_error (_, _, _) -> ());
+            ignore (Atomic.fetch_and_add t.live_conns (-1));
+            Atomic.set fin true)
           (fun () -> serve_fd t ~in_fd:conn ~out_fd:conn ~stop)
       in
       let rec accept_loop () =
@@ -429,12 +619,18 @@ let serve_socket t ~path ~stop =
         else
           match Unix.select [ srv ] [] [] 0.2 with
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-          | [], _, _ -> accept_loop ()
+          | [], _, _ ->
+            reap ();
+            accept_loop ()
           | _ -> (
             match Unix.accept srv with
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
             | conn, _ ->
-              conns := Thread.create serve_conn conn :: !conns;
+              reap ();
+              let fin = Atomic.make false in
+              Atomic.incr t.live_conns;
+              conns := (Thread.create serve_conn (conn, fin), fin) :: !conns;
+              note_tracked ();
               accept_loop ())
       in
       accept_loop ())

@@ -2,8 +2,9 @@
 
     Every admitted request is classified into exactly one of
     {hit, miss, failed} — [requests = hits + misses + errors] holds as an
-    invariant (the soak test checks it), with [overloaded] a sub-count of
-    [errors].  "Hit" means served from the runner's memo or disk shard;
+    invariant (the soak test checks it), with [overloaded] (global-cap
+    refusals) and [quota_refusals] (per-tenant quota refusals) disjoint
+    sub-counts of [errors].  "Hit" means served from the runner's memo or disk shard;
     non-simulate requests (analyze/explain/stats) recompute every time
     and count as misses.  Latencies are recorded only for requests that
     were actually handled (admission refusals carry no latency — a zero
@@ -29,7 +30,10 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable errors : int;
-  mutable overloaded : int;  (** subset of [errors] *)
+  mutable overloaded : int;  (** subset of [errors]: global-cap refusals *)
+  mutable quota_refusals : int;
+      (** subset of [errors]: refused by this tenant's own in-flight
+          quota, disjoint from [overloaded] *)
   lat_us : int array;  (** ring of [lat_window] entries *)
   mutable n_lat : int;  (** latencies ever recorded; [min n_lat lat_window]
                             entries of [lat_us] are live *)
@@ -38,8 +42,9 @@ type t = {
 type outcome =
   | Hit  (** served from the runner's memo or this tenant's disk shard *)
   | Miss  (** computed fresh (simulated, analyzed, …) *)
-  | Failed  (** any error envelope except [Overloaded] *)
-  | Overloaded  (** refused by admission control *)
+  | Failed  (** any error envelope except the admission refusals *)
+  | Overloaded  (** refused by the global admission cap *)
+  | Quota_refused  (** refused by this tenant's own in-flight quota *)
 
 let create name =
   {
@@ -50,6 +55,7 @@ let create name =
     misses = 0;
     errors = 0;
     overloaded = 0;
+    quota_refusals = 0;
     lat_us = Array.make lat_window 0;
     n_lat = 0;
   }
@@ -70,7 +76,10 @@ let note ?latency_us t outcome =
   | Failed -> t.errors <- t.errors + 1
   | Overloaded ->
     t.errors <- t.errors + 1;
-    t.overloaded <- t.overloaded + 1);
+    t.overloaded <- t.overloaded + 1
+  | Quota_refused ->
+    t.errors <- t.errors + 1;
+    t.quota_refusals <- t.quota_refusals + 1);
   match latency_us with
   | None -> ()
   | Some us ->
@@ -92,6 +101,7 @@ type snapshot = {
   snap_misses : int;
   snap_errors : int;
   snap_overloaded : int;
+  snap_quota_refusals : int;
   snap_hit_rate : float;  (** hits / (hits + misses) *)
   snap_p50_us : int;
   snap_p99_us : int;
@@ -111,6 +121,7 @@ let snapshot t =
     snap_misses = t.misses;
     snap_errors = t.errors;
     snap_overloaded = t.overloaded;
+    snap_quota_refusals = t.quota_refusals;
     snap_hit_rate =
       (if lookups = 0 then 0. else float_of_int t.hits /. float_of_int lookups);
     snap_p50_us = percentile sorted 50.;
@@ -131,6 +142,7 @@ let snapshot_to_json s =
           ] );
       ("errors", Json.Int s.snap_errors);
       ("overloaded", Json.Int s.snap_overloaded);
+      ("quota_refusals", Json.Int s.snap_quota_refusals);
       ( "latency_us",
         Json.Obj
           [

@@ -1,0 +1,69 @@
+(** Keyed in-flight computation coalescing (see single_flight.mli). *)
+
+type 'v outcome =
+  | Value of 'v
+  | Raised of exn * Printexc.raw_backtrace
+
+type 'v entry = {
+  e_lock : Mutex.t;
+  e_done : Condition.t;
+  mutable e_outcome : 'v outcome option;  (** [None] while the leader runs *)
+}
+
+type 'v t = {
+  lock : Mutex.t;  (** guards [tbl] only; never held while computing *)
+  tbl : (string, 'v entry) Hashtbl.t;
+}
+
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 16 }
+
+let in_flight t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.lock;
+  n
+
+let publish e outcome =
+  Mutex.lock e.e_lock;
+  e.e_outcome <- Some outcome;
+  Condition.broadcast e.e_done;
+  Mutex.unlock e.e_lock
+
+let await e =
+  Mutex.lock e.e_lock;
+  while e.e_outcome = None do
+    Condition.wait e.e_done e.e_lock
+  done;
+  let outcome = Option.get e.e_outcome in
+  Mutex.unlock e.e_lock;
+  outcome
+
+let run t key f =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    (* follower: the leader is computing; wait for its publication.  The
+       entry reference stays valid after removal from the table. *)
+    Mutex.unlock t.lock;
+    (match await e with
+    | Value v -> `Joined v
+    | Raised (exn, bt) -> Printexc.raise_with_backtrace exn bt)
+  | None ->
+    let e =
+      { e_lock = Mutex.create (); e_done = Condition.create (); e_outcome = None }
+    in
+    Hashtbl.add t.tbl key e;
+    Mutex.unlock t.lock;
+    let outcome =
+      try Value (f ()) with exn -> Raised (exn, Printexc.get_raw_backtrace ())
+    in
+    (* publication order: wake the followers first, then retire the entry
+       so later callers start a fresh flight.  Both happen on every path,
+       including a raising thunk — no waiter hangs, no entry leaks. *)
+    publish e outcome;
+    Mutex.lock t.lock;
+    Hashtbl.remove t.tbl key;
+    Mutex.unlock t.lock;
+    (match outcome with
+    | Value v -> `Led v
+    | Raised (exn, bt) -> Printexc.raise_with_backtrace exn bt)

@@ -694,10 +694,13 @@ let test_socket_two_clients () =
 (* Co-resident pairs                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* the uncached entry point: these tests are about what the pair
+   *simulation* does (attribution, determinism, refusals), so the
+   pair-aware cache must not satisfy the second run from the first *)
 let co_pair scheme_a scheme_b =
   let wa = Workloads.Registry.find "ATAX" in
   let wb = Workloads.Registry.find "MVT" in
-  Runner.run_co_resident small_cfg wa scheme_a wb scheme_b
+  Runner.run_co_resident_uncached small_cfg wa scheme_a wb scheme_b
 
 (* Co-residency perturbs timing (cycles, hit rates) but must not change
    what each kernel *does*: instruction and L1-access counts stay equal
@@ -762,7 +765,8 @@ let test_co_resident_unequal_tail () =
   let wa = Workloads.Registry.find "GEMM" in
   let wb = Workloads.Registry.find "ATAX" in
   let pair () =
-    Runner.run_co_resident small_cfg wa Scheme.Baseline wb Scheme.Baseline
+    Runner.run_co_resident_uncached small_cfg wa Scheme.Baseline wb
+      Scheme.Baseline
   in
   match (pair (), pair ()) with
   | Error msg, _ | _, Error msg -> Alcotest.fail msg
@@ -810,25 +814,30 @@ let test_co_resident_refuses_runtime_schemes () =
       Scheme.Ciao; Scheme.Ata;
     ]
 
-(* the full handler path: a co-resident simulate request over the wire *)
+(* the full handler path: a co-resident simulate request over the wire —
+   cold it simulates (a miss), warm it serves from the pair-aware cache
+   (a hit), including with the members swapped *)
 let test_co_resident_request () =
-  let req =
+  with_temp_cache "co-wire" @@ fun () ->
+  let req workload other =
     {
       Protocol.id = "co";
       tenant = "pair";
       kind =
         Protocol.Simulate
           {
-            Protocol.workload = "ATAX";
+            Protocol.workload;
             scheme = Scheme.Baseline;
-            co_resident = Some ("MVT", Scheme.Baseline);
+            co_resident = Some (other, Scheme.Baseline);
           };
     }
   in
-  match Server.default_handler small_cfg req with
-  | Error (_, msg) -> Alcotest.fail msg
-  | Ok (payload, cached) ->
-    Alcotest.(check bool) "never served from cache" false cached;
+  let handle r =
+    match Server.default_handler small_cfg r with
+    | Error (_, msg) -> Alcotest.fail msg
+    | Ok (payload, cached) -> (payload, cached)
+  in
+  let check_payload ~which (payload : Json.t) =
     Alcotest.(check bool) "flagged co-resident" true
       (match Json.member_opt "co_resident" payload with
       | Some (Json.Bool true) -> true
@@ -838,15 +847,463 @@ let test_co_resident_request () =
         match Json.member_opt side payload with
         | Some j ->
           Alcotest.(check string)
-            (side ^ " attributed")
+            (which ^ ": " ^ side ^ " attributed")
             workload
             (Json.to_str (Json.member "workload" j));
           Alcotest.(check bool)
-            (side ^ " verified")
+            (which ^ ": " ^ side ^ " verified")
             true
             (Json.member "verified" j = Json.Bool true)
-        | None -> Alcotest.failf "missing %s summary" side)
-      [ ("a", "ATAX"); ("b", "MVT") ]
+        | None -> Alcotest.failf "%s: missing %s summary" which side)
+      (match which with
+      | "swapped" -> [ ("a", "MVT"); ("b", "ATAX") ]
+      | _ -> [ ("a", "ATAX"); ("b", "MVT") ])
+  in
+  let cold, cold_cached = handle (req "ATAX" "MVT") in
+  check_payload ~which:"cold" cold;
+  Alcotest.(check bool) "cold pair is a miss" false cold_cached;
+  let warm, warm_cached = handle (req "ATAX" "MVT") in
+  check_payload ~which:"warm" warm;
+  Alcotest.(check bool) "repeat pair is a hit" true warm_cached;
+  Alcotest.(check string) "warm payload bit-equal" (Json.to_string cold)
+    (Json.to_string warm);
+  (* the same pair requested in the other order: still a hit, with the
+     per-side attribution swapped back to the caller's order *)
+  let swapped, swapped_cached = handle (req "MVT" "ATAX") in
+  check_payload ~which:"swapped" swapped;
+  Alcotest.(check bool) "swapped pair is a hit" true swapped_cached
+
+(* the runner's pair cache end-to-end: a cold pair simulates and persists
+   to the tenant's disk shard; warm it serves from memo; a cold process
+   (memo cleared) serves it from disk with identical counters; and both
+   member orders address the same entry with attribution swapped *)
+let test_co_resident_cache_roundtrip () =
+  with_temp_cache "pair-cache" @@ fun () ->
+  let wa = Workloads.Registry.find "ATAX" in
+  let wb = Workloads.Registry.find "MVT" in
+  let run ?(swap = false) () =
+    let (x, sx), (y, sy) =
+      if swap then ((wb, Scheme.Catt), (wa, Scheme.Baseline))
+      else ((wa, Scheme.Baseline), (wb, Scheme.Catt))
+    in
+    match Runner.run_co_resident_with_source ~tenant:"pc" small_cfg x sx y sy with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail msg
+  in
+  let sim0 = Runner.simulated_total () in
+  let (ra, rb), src = run () in
+  Alcotest.(check bool) "cold pair simulates" true (src = Runner.Simulated);
+  Alcotest.(check int) "one simulated cell" 1
+    (Runner.simulated_total () - sim0);
+  (* the entry landed in the tenant's shard under the order-normalized
+     pair identity *)
+  let (_, _), (_, _), workload_label, scheme_pair_label, swap =
+    Runner.pair_identity wa Scheme.Baseline wb Scheme.Catt
+  in
+  Alcotest.(check bool) "ATAX+baseline sorts first" false swap;
+  let entry =
+    Cache.path ~tenant:"pc" small_cfg ~workload:workload_label
+      ~scheme:scheme_pair_label ~seed:Runner.seed
+  in
+  Alcotest.(check bool) "pair entry persisted to the shard" true
+    (Sys.file_exists entry);
+  (* warm: memo, no new simulation *)
+  let (ra2, rb2), src2 = run () in
+  Alcotest.(check bool) "warm pair from memo" true (src2 = Runner.Memo);
+  Alcotest.(check bool) "memo counters bit-equal" true
+    (ra.Runner.kernels = ra2.Runner.kernels
+    && rb.Runner.kernels = rb2.Runner.kernels);
+  (* cold process: memo dropped, disk serves the same bits *)
+  Runner.clear_memo ();
+  let (ra3, rb3), src3 = run () in
+  Alcotest.(check bool) "cold process hits disk" true (src3 = Runner.Disk);
+  Alcotest.(check bool) "disk counters bit-equal" true
+    (ra.Runner.kernels = ra3.Runner.kernels
+    && rb.Runner.kernels = rb3.Runner.kernels);
+  (* swapped-order lookup: same entry, attribution swapped back *)
+  let (sb, sa), src4 = run ~swap:true () in
+  Alcotest.(check bool) "swapped lookup is served, not simulated" true
+    (src4 = Runner.Memo || src4 = Runner.Disk);
+  Alcotest.(check string) "swapped side a is MVT" "MVT" sb.Runner.workload;
+  Alcotest.(check string) "swapped side b is ATAX" "ATAX" sa.Runner.workload;
+  Alcotest.(check bool) "swapped counters bit-equal" true
+    (sa.Runner.kernels = ra.Runner.kernels
+    && sb.Runner.kernels = rb.Runner.kernels);
+  Alcotest.(check int) "nothing re-simulated after the cold run" 1
+    (Runner.simulated_total () - sim0)
+
+(* ------------------------------------------------------------------ *)
+(* Request coalescing (single flight) through the server               *)
+(* ------------------------------------------------------------------ *)
+
+(* K concurrent identical simulate requests from K different tenants: a
+   countdown gate holds every request inside the handler until all K have
+   arrived, so they provably race into the runner together.  Exactly one
+   simulation runs (the leader); every other response is fanned out from
+   it; per-tenant attribution and per-tenant shard storage survive. *)
+let test_coalesced_identical_requests () =
+  with_temp_cache "dedup" @@ fun () ->
+  Tenant.reset ();
+  let cfg = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(16 * 1024) () in
+  let k = 4 in
+  let inside = Atomic.make 0 in
+  let handler req : Server.outcome =
+    Atomic.incr inside;
+    while Atomic.get inside < k do
+      Unix.sleepf 0.001
+    done;
+    Server.default_handler cfg req
+  in
+  let srv = Server.create ~handler ~cfg ~jobs:k ~queue_cap:k () in
+  let respond, all = collector () in
+  let sim0 = Runner.simulated_total () in
+  let coal0 = Runner.coalesced_total () in
+  for i = 1 to k do
+    let d =
+      Server.post srv
+        {
+          Protocol.id = Printf.sprintf "r%d" i;
+          tenant = Printf.sprintf "flight%d" i;
+          kind =
+            Protocol.Simulate
+              {
+                Protocol.workload = "ATAX";
+                scheme = Scheme.Baseline;
+                co_resident = None;
+              };
+        }
+        ~respond
+    in
+    Alcotest.(check bool) "admitted" true (d = `Dispatched)
+  done;
+  Server.shutdown srv;
+  Alcotest.(check int) "all inside the handler together" k (Atomic.get inside);
+  Alcotest.(check int) "K responses" k (List.length (all ()));
+  List.iter
+    (fun r ->
+      match r.Protocol.result with
+      | Ok payload ->
+        Alcotest.(check string)
+          (r.Protocol.resp_id ^ " carries the shared result")
+          "ATAX"
+          (Json.to_str (Json.member "workload" payload))
+      | Error (_, msg) -> Alcotest.failf "%s failed: %s" r.Protocol.resp_id msg)
+    (all ());
+  Alcotest.(check int) "exactly one simulation" 1
+    (Runner.simulated_total () - sim0);
+  Alcotest.(check int) "the other K-1 coalesced" (k - 1)
+    (Runner.coalesced_total () - coal0);
+  Alcotest.(check int) "flight table quiescent" 0
+    (Runner.flights_in_progress ());
+  (* attribution: the leader's tenant took the one miss, every follower
+     tenant a hit; each request still counted under its own tenant *)
+  let snaps =
+    List.filter
+      (fun s ->
+        String.length s.Tenant.snap_name >= 6
+        && String.sub s.Tenant.snap_name 0 6 = "flight")
+      (List.map Tenant.snapshot (Tenant.all ()))
+  in
+  Alcotest.(check int) "K tenants ledgered" k (List.length snaps);
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (s.Tenant.snap_name ^ ": one request")
+        1 s.Tenant.snap_requests;
+      Alcotest.(check int) (s.Tenant.snap_name ^ ": no errors") 0
+        s.Tenant.snap_errors)
+    snaps;
+  Alcotest.(check int) "one miss (the leader)" 1
+    (List.fold_left (fun a s -> a + s.Tenant.snap_misses) 0 snaps);
+  Alcotest.(check int) "K-1 hits (the followers)" (k - 1)
+    (List.fold_left (fun a s -> a + s.Tenant.snap_hits) 0 snaps);
+  (* every tenant owns a shard copy — a later cold process for any of
+     them hits disk without re-simulating *)
+  for i = 1 to k do
+    let tenant = Printf.sprintf "flight%d" i in
+    Alcotest.(check bool)
+      (tenant ^ " has its own shard entry")
+      true
+      (Sys.file_exists
+         (Cache.path ~tenant cfg ~workload:"ATAX"
+            ~scheme:(Scheme.label Scheme.Baseline) ~seed:Runner.seed))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Per-tenant quotas                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* with [tenant_quota = 2] and a global cap of 8: the noisy tenant's
+   third concurrent request is refused deterministically while a second
+   tenant still gets in — and the refusal lands in [quota_refusals], not
+   [overloaded] *)
+let test_tenant_quota_refusal () =
+  Tenant.reset ();
+  let gate = Atomic.make true in
+  let handler (_ : Protocol.request) : Server.outcome =
+    while Atomic.get gate do
+      Unix.sleepf 0.001
+    done;
+    Ok (Json.Null, false)
+  in
+  let srv =
+    Server.create ~handler ~cfg:small_cfg ~jobs:4 ~queue_cap:8 ~tenant_quota:2
+      ()
+  in
+  let respond, all = collector () in
+  let d1 = Server.post srv (stats_req ~tenant:"noisy" "n1") ~respond in
+  let d2 = Server.post srv (stats_req ~tenant:"noisy" "n2") ~respond in
+  let d3 = Server.post srv (stats_req ~tenant:"noisy" "n3") ~respond in
+  let d4 = Server.post srv (stats_req ~tenant:"quiet" "q1") ~respond in
+  Alcotest.(check bool) "noisy #1 admitted" true (d1 = `Dispatched);
+  Alcotest.(check bool) "noisy #2 admitted" true (d2 = `Dispatched);
+  Alcotest.(check bool) "noisy #3 refused at quota" true (d3 = `Rejected);
+  Alcotest.(check bool) "quiet unaffected" true (d4 = `Dispatched);
+  Alcotest.(check int) "noisy holds its quota" 2
+    (Server.tenant_in_flight srv "noisy");
+  (* same wire envelope as a global-cap refusal: one client retry path *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match List.find_opt (fun r -> r.Protocol.resp_id = "n3") (all ()) with
+  | Some { Protocol.result = Error (Protocol.Overloaded, msg); _ } ->
+    Alcotest.(check bool) "refusal names the quota" true (contains msg "quota")
+  | Some _ -> Alcotest.fail "quota refusal must use the overloaded envelope"
+  | None -> Alcotest.fail "quota refusal must respond synchronously");
+  Atomic.set gate false;
+  Server.shutdown srv;
+  Alcotest.(check int) "every request answered" 4 (List.length (all ()));
+  (* slots released and the table cleaned on completion *)
+  Alcotest.(check int) "noisy slots released" 0
+    (Server.tenant_in_flight srv "noisy");
+  let noisy = Tenant.snapshot (Tenant.find_or_create "noisy") in
+  let quiet = Tenant.snapshot (Tenant.find_or_create "quiet") in
+  Alcotest.(check int) "noisy requests" 3 noisy.Tenant.snap_requests;
+  Alcotest.(check int) "noisy errors" 1 noisy.Tenant.snap_errors;
+  Alcotest.(check int) "ledgered as quota refusal" 1
+    noisy.Tenant.snap_quota_refusals;
+  Alcotest.(check int) "not as global overload" 0 noisy.Tenant.snap_overloaded;
+  Alcotest.(check int) "quiet clean" 0 quiet.Tenant.snap_errors
+
+(* ------------------------------------------------------------------ *)
+(* serve_fd regression: per-connection drain                           *)
+(* ------------------------------------------------------------------ *)
+
+(* one connection's EOF must not block on another connection's backlog:
+   connection A holds a gated request in flight; connection B sends one
+   fast request and EOF, and its serve_fd must return while A's work is
+   still pending.  (The old global [drain t] deadlocked here.) *)
+let test_serve_fd_per_connection_drain () =
+  Tenant.reset ();
+  let gate = Atomic.make true in
+  let handler (req : Protocol.request) : Server.outcome =
+    (match req.Protocol.kind with
+    | Protocol.Analyze _ ->
+      while Atomic.get gate do
+        Unix.sleepf 0.001
+      done
+    | _ -> ());
+    Ok (Json.Null, false)
+  in
+  let srv = Server.create ~handler ~cfg:small_cfg ~jobs:2 ~queue_cap:4 () in
+  let a_in_r, a_in_w = Unix.pipe () in
+  let a_out_r, a_out_w = Unix.pipe () in
+  let b_in_r, b_in_w = Unix.pipe () in
+  let b_out_r, b_out_w = Unix.pipe () in
+  let ta =
+    Thread.create
+      (fun () ->
+        Server.serve_fd srv ~in_fd:a_in_r ~out_fd:a_out_w
+          ~stop:(fun () -> false))
+      ()
+  in
+  let line r = Protocol.request_to_line r ^ "\n" in
+  let send fd s =
+    let b = Bytes.of_string s in
+    ignore (Unix.write fd b 0 (Bytes.length b))
+  in
+  send a_in_w
+    (line { Protocol.id = "slow"; tenant = "a"; kind = Protocol.Analyze "x" });
+  (* A's request is provably admitted before B shows up *)
+  let rec wait_inflight n =
+    if n = 0 then Alcotest.fail "A's request never got admitted"
+    else if Server.in_flight srv < 1 then (
+      Unix.sleepf 0.01;
+      wait_inflight (n - 1))
+  in
+  wait_inflight 500;
+  send b_in_w
+    (line { Protocol.id = "fast"; tenant = "b"; kind = Protocol.Stats });
+  Unix.close b_in_w;
+  let b_done = Atomic.make false in
+  let tb =
+    Thread.create
+      (fun () ->
+        Server.serve_fd srv ~in_fd:b_in_r ~out_fd:b_out_w
+          ~stop:(fun () -> false);
+        Atomic.set b_done true)
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Atomic.get b_done)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  Alcotest.(check bool) "B returned on EOF while A still busy" true
+    (Atomic.get b_done);
+  Alcotest.(check bool) "A's gated request is still in flight" true
+    (Server.in_flight srv >= 1);
+  (match read_line_deadline b_out_r ~seconds:5. with
+  | Some l ->
+    Alcotest.(check bool) "B got its response before returning" true
+      (match Json.of_string l with
+      | Ok j -> (
+        match Protocol.response_of_json j with
+        | Ok r -> r.Protocol.resp_id = "fast"
+        | Error _ -> false)
+      | Error _ -> false)
+  | None -> Alcotest.fail "B's response missing");
+  Atomic.set gate false;
+  Unix.close a_in_w;
+  Thread.join ta;
+  Thread.join tb;
+  Server.shutdown srv;
+  List.iter Unix.close [ a_in_r; a_out_r; a_out_w; b_in_r; b_out_r; b_out_w ]
+
+(* ------------------------------------------------------------------ *)
+(* serve_socket regression: finished connections are reaped            *)
+(* ------------------------------------------------------------------ *)
+
+(* a long-lived daemon serving many short-lived clients must not
+   accumulate one dead thread per connection ever accepted: after N
+   sequential connect/request/close cycles, the tracked set drains back
+   to zero as the accept loop turns.  (The old loop held every thread
+   until shutdown.) *)
+let test_serve_socket_reaps_connections () =
+  Tenant.reset ();
+  let handler (_ : Protocol.request) : Server.outcome = Ok (Json.Null, false) in
+  let srv = Server.create ~handler ~cfg:small_cfg ~jobs:2 ~queue_cap:8 () in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "catt-serve-reap-%d.sock" (Unix.getpid ()))
+  in
+  let stop = Atomic.make false in
+  let acceptor =
+    Thread.create
+      (fun () ->
+        Server.serve_socket srv ~path ~stop:(fun () -> Atomic.get stop))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join acceptor;
+      Server.shutdown srv;
+      try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      let rec wait_sock n =
+        if n = 0 then Alcotest.fail "socket never appeared"
+        else if not (Sys.file_exists path) then (
+          Unix.sleepf 0.01;
+          wait_sock (n - 1))
+      in
+      wait_sock 500;
+      let n = 8 in
+      for i = 1 to n do
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        let line =
+          Protocol.request_to_line
+            {
+              Protocol.id = Printf.sprintf "c%d" i;
+              tenant = "reap";
+              kind = Protocol.Stats;
+            }
+          ^ "\n"
+        in
+        let b = Bytes.of_string line in
+        ignore (Unix.write fd b 0 (Bytes.length b));
+        (match read_line_deadline fd ~seconds:10. with
+        | Some _ -> ()
+        | None -> Alcotest.failf "no response on connection %d" i);
+        Unix.close fd
+      done;
+      (* every connection thread finishes, and the accept loop's periodic
+         reap (each 0.2s select turn) drops them from the tracked set *)
+      let wait_zero name read =
+        let deadline = Unix.gettimeofday () +. 10. in
+        while read () > 0 && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.02
+        done;
+        Alcotest.(check int) name 0 (read ())
+      in
+      wait_zero "no live connections remain" (fun () ->
+          Server.live_connections srv);
+      wait_zero "finished connections reaped, not accumulated" (fun () ->
+          Server.tracked_connections srv))
+
+(* ------------------------------------------------------------------ *)
+(* Pipelining: many requests, one write                                *)
+(* ------------------------------------------------------------------ *)
+
+(* a client that writes a whole burst of requests in ONE write: the
+   cursor-based reader must tear every line out of the one buffer (the
+   old reader re-materialized the buffer per line — O(n²) across the
+   burst) and every request must be answered exactly once *)
+let test_pipelined_burst_single_write () =
+  Tenant.reset ();
+  let handler (_ : Protocol.request) : Server.outcome = Ok (Json.Null, false) in
+  let k = 100 in
+  let srv = Server.create ~handler ~cfg:small_cfg ~jobs:2 ~queue_cap:k () in
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  let payload =
+    String.concat ""
+      (List.init k (fun i ->
+           Protocol.request_to_line
+             {
+               Protocol.id = Printf.sprintf "p%d" i;
+               tenant = "burst";
+               kind = Protocol.Stats;
+             }
+           ^ "\n"))
+  in
+  (* the last request arrives with no trailing newline: EOF must still
+     flush it as a line *)
+  let payload =
+    payload
+    ^ Protocol.request_to_line
+        { Protocol.id = "tail"; tenant = "burst"; kind = Protocol.Stats }
+  in
+  let b = Bytes.of_string payload in
+  let written = Unix.write in_w b 0 (Bytes.length b) in
+  Alcotest.(check int) "burst fits one write" (Bytes.length b) written;
+  Unix.close in_w;
+  Server.serve_fd srv ~in_fd:in_r ~out_fd:out_w ~stop:(fun () -> false);
+  Server.shutdown srv;
+  Unix.close out_w;
+  let responses = read_lines out_r (k + 1) in
+  Unix.close out_r;
+  Unix.close in_r;
+  Alcotest.(check int) "every request answered" (k + 1)
+    (List.length responses);
+  let ids =
+    List.sort_uniq compare
+      (List.map
+         (fun l ->
+           match Json.of_string l with
+           | Ok j -> (
+             match Protocol.response_of_json j with
+             | Ok r -> r.Protocol.resp_id
+             | Error msg -> Alcotest.failf "bad response %s: %s" l msg)
+           | Error msg -> Alcotest.failf "unparseable line %s: %s" l msg)
+         responses)
+  in
+  Alcotest.(check int) "ids distinct, none dropped or doubled" (k + 1)
+    (List.length ids);
+  Alcotest.(check bool) "unterminated tail answered" true
+    (List.mem "tail" ids)
 
 let tests =
   [
@@ -882,6 +1339,16 @@ let tests =
         Alcotest.test_case "json-lines over a pipe" `Quick test_serve_fd_pipe;
         Alcotest.test_case "two socket clients served concurrently" `Quick
           test_socket_two_clients;
+        Alcotest.test_case "concurrent identical requests coalesce" `Quick
+          test_coalesced_identical_requests;
+        Alcotest.test_case "per-tenant quota refuses deterministically" `Quick
+          test_tenant_quota_refusal;
+        Alcotest.test_case "EOF drains per connection, not globally" `Quick
+          test_serve_fd_per_connection_drain;
+        Alcotest.test_case "finished socket connections are reaped" `Quick
+          test_serve_socket_reaps_connections;
+        Alcotest.test_case "pipelined burst in a single write" `Quick
+          test_pipelined_burst_single_write;
       ] );
     ( "serve.co_resident",
       [
@@ -895,5 +1362,7 @@ let tests =
           test_co_resident_refuses_runtime_schemes;
         Alcotest.test_case "wire request end-to-end" `Quick
           test_co_resident_request;
+        Alcotest.test_case "pair cache round-trips (incl. swapped order)"
+          `Quick test_co_resident_cache_roundtrip;
       ] );
   ]

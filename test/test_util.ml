@@ -154,6 +154,119 @@ let test_series_nonempty () =
   let s = Gpu_util.Ascii_plot.series ~width:20 ~height:5 (Array.init 100 float_of_int) in
   Alcotest.(check int) "5 rows" 5 (List.length (String.split_on_char '\n' s))
 
+(* ------------------------ Single_flight --------------------------- *)
+
+module Sf = Gpu_util.Single_flight
+
+let test_single_flight_solo () =
+  let t = Sf.create () in
+  (match Sf.run t "k" (fun () -> 41 + 1) with
+  | `Led 42 -> ()
+  | `Led n -> Alcotest.failf "leader computed %d" n
+  | `Joined _ -> Alcotest.fail "nothing to join without a concurrent leader");
+  Alcotest.(check int) "no flight left behind" 0 (Sf.in_flight t)
+
+(* a leader that holds its flight open while [k - 1] more callers arrive:
+   the thunk must run exactly once, with every late caller joining *)
+let test_single_flight_coalesces () =
+  let t = Sf.create () in
+  let k = 6 in
+  let release = Atomic.make false in
+  let evals = Atomic.make 0 in
+  let led = Atomic.make 0 and joined = Atomic.make 0 in
+  let entered = Atomic.make 0 in
+  let body () =
+    Atomic.incr entered;
+    match
+      Sf.run t "cell" (fun () ->
+          Atomic.incr evals;
+          while not (Atomic.get release) do
+            Thread.yield ()
+          done;
+          7)
+    with
+    | `Led 7 -> Atomic.incr led
+    | `Joined 7 -> Atomic.incr joined
+    | `Led n | `Joined n -> Alcotest.failf "wrong value %d" n
+  in
+  let leader = Thread.create body () in
+  (* the flight is provably open before any follower starts *)
+  while Sf.in_flight t < 1 do
+    Thread.yield ()
+  done;
+  let followers = List.init (k - 1) (fun _ -> Thread.create body ()) in
+  while Atomic.get entered < k do
+    Thread.yield ()
+  done;
+  Unix.sleepf 0.05 (* let the last follower reach the flight table *);
+  Atomic.set release true;
+  List.iter Thread.join (leader :: followers);
+  Alcotest.(check int) "thunk ran exactly once" 1 (Atomic.get evals);
+  Alcotest.(check int) "one leader" 1 (Atomic.get led);
+  Alcotest.(check int) "the rest joined" (k - 1) (Atomic.get joined);
+  Alcotest.(check int) "entry retired" 0 (Sf.in_flight t)
+
+exception Boom of int
+
+(* a raising leader: the exception reaches the leader AND every waiter,
+   the entry is removed (no leak), and the next call retries fresh *)
+let test_single_flight_error_fanout () =
+  let t = Sf.create () in
+  let release = Atomic.make false in
+  let raised = Atomic.make 0 in
+  let body () =
+    match
+      Sf.run t "cell" (fun () ->
+          while not (Atomic.get release) do
+            Thread.yield ()
+          done;
+          raise (Boom 9))
+    with
+    | exception Boom 9 -> Atomic.incr raised
+    | `Led _ | `Joined _ -> Alcotest.fail "the failure must propagate"
+  in
+  let leader = Thread.create body () in
+  while Sf.in_flight t < 1 do
+    Thread.yield ()
+  done;
+  let follower = Thread.create body () in
+  Unix.sleepf 0.05;
+  Atomic.set release true;
+  Thread.join leader;
+  Thread.join follower;
+  Alcotest.(check int) "both saw the exception" 2 (Atomic.get raised);
+  Alcotest.(check int) "failed entry removed, not cached" 0 (Sf.in_flight t);
+  match Sf.run t "cell" (fun () -> 3) with
+  | `Led 3 -> ()
+  | _ -> Alcotest.fail "a later call must lead a fresh flight"
+
+(* flights on distinct keys are independent: key "b" completes while the
+   leader of key "a" is still computing *)
+let test_single_flight_distinct_keys () =
+  let t = Sf.create () in
+  let release = Atomic.make false in
+  let slow =
+    Thread.create
+      (fun () ->
+        ignore
+          (Sf.run t "a" (fun () ->
+               while not (Atomic.get release) do
+                 Thread.yield ()
+               done;
+               0)))
+      ()
+  in
+  while Sf.in_flight t < 1 do
+    Thread.yield ()
+  done;
+  (match Sf.run t "b" (fun () -> 5) with
+  | `Led 5 -> ()
+  | _ -> Alcotest.fail "key b must not serialize behind key a");
+  Alcotest.(check int) "a still in flight" 1 (Sf.in_flight t);
+  Atomic.set release true;
+  Thread.join slow;
+  Alcotest.(check int) "quiescent" 0 (Sf.in_flight t)
+
 let tests =
   [
     ( "util.rng",
@@ -190,5 +303,15 @@ let tests =
         Alcotest.test_case "bar chart scaling" `Quick test_bar_chart_scales;
         Alcotest.test_case "sparkline extremes" `Quick test_sparkline_extremes;
         Alcotest.test_case "series size" `Quick test_series_nonempty;
+      ] );
+    ( "util.single_flight",
+      [
+        Alcotest.test_case "solo caller leads" `Quick test_single_flight_solo;
+        Alcotest.test_case "concurrent callers coalesce" `Quick
+          test_single_flight_coalesces;
+        Alcotest.test_case "errors fan out and don't cache" `Quick
+          test_single_flight_error_fanout;
+        Alcotest.test_case "distinct keys don't serialize" `Quick
+          test_single_flight_distinct_keys;
       ] );
   ]
