@@ -282,6 +282,22 @@ let obs_overhead_report () =
   Printf.printf "  disabled-obs overhead <= 5%%: %s\n"
     (if o.B.disabled_within_5pct then "PASS" else "FAIL")
 
+(* The same A/A protocol once more, over the pipelined serve loop: the
+   telemetry plane threaded through catt_d (trace-id minting, the
+   access/slow-log guards, per-tenant histogram recording) must cost
+   nothing measurable while tracing and logging are off. *)
+let serve_obs_overhead_report () =
+  let module B = Experiments.Bench_core in
+  let o = Serve.Bench.obs_overhead () in
+  Printf.printf
+    "\nserve obs (tracing + logging) overhead (serve/pipelined, A/A batches):\n";
+  Printf.printf "  disabled A/B batches: %.2f ms -> %.1f%% apart\n"
+    o.B.disabled_ms o.B.disabled_ab_pct;
+  Printf.printf "  tracing + logging on: %.2f ms -> +%.1f%% vs disabled\n"
+    o.B.enabled_ms o.B.enabled_pct;
+  Printf.printf "  disabled-telemetry overhead <= 5%%: %s\n"
+    (if o.B.disabled_within_5pct then "PASS" else "FAIL")
+
 let run_benchmarks jobs =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -308,7 +324,8 @@ let run_benchmarks jobs =
      reports — wall-clock here tracks simulator work, i.e. memory\n\
      transactions, not simulated time)";
   profiler_overhead_report ();
-  obs_overhead_report ()
+  obs_overhead_report ();
+  serve_obs_overhead_report ()
 
 (* --json: skip the bechamel table and emit the machine-readable
    throughput report (cells/sec + allocation rates per stage) that

@@ -450,10 +450,35 @@ let bench_cmd =
         Bench.check_with_retry ~committed ~measured ~remeasure ()
       in
       print_string (Bench.render_verdicts verdicts);
-      if List.for_all (fun v -> v.Bench.ok) verdicts then
-        print_endline "throughput gate: PASS"
-      else begin
+      if not (List.for_all (fun v -> v.Bench.ok) verdicts) then begin
         print_endline "throughput gate: FAIL (>10% below committed baseline)";
+        exit 1
+      end;
+      print_endline "throughput gate: PASS";
+      (* the telemetry plane's disabled path must stay free on the serve
+         loop too: the same A/A protocol, re-measured up to 3 times so a
+         noisy scheduler slice cannot fail the gate on its own *)
+      let rec serve_obs_gate attempt =
+        let o = Serve.Bench.obs_overhead () in
+        Printf.printf
+          "  serve/obs A/A: disabled %.2f ms (%.1f%% apart), enabled %.2f ms \
+           (+%.1f%%)\n\
+           %!"
+          o.Bench.disabled_ms o.Bench.disabled_ab_pct o.Bench.enabled_ms
+          o.Bench.enabled_pct;
+        if o.Bench.disabled_within_5pct then true
+        else if attempt < 3 then begin
+          Printf.printf
+            "  serve/obs A/A above 5%% — re-measuring (attempt %d of 3)\n%!"
+            (attempt + 1);
+          serve_obs_gate (attempt + 1)
+        end
+        else false
+      in
+      if serve_obs_gate 1 then
+        print_endline "serve obs-overhead gate: PASS"
+      else begin
+        print_endline "serve obs-overhead gate: FAIL (disabled A/A > 5%)";
         exit 1
       end
   in

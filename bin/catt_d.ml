@@ -5,12 +5,25 @@
     [--socket] — dispatches them across a domain pool with bounded
     admission control, and answers on stdout / the connection.
 
+    The telemetry plane is opt-in per flag: [--trace-out] arms span
+    tracing and writes one Perfetto file at shutdown (request spans
+    correlated by trace id across server, flight, pool and runner
+    layers), [--access-log] streams one structured JSON line per
+    request, and [--slow-ms] arms a sampled slow-request log.
+
+    [catt_d stats] is the matching admin client: it connects to a
+    serving socket, issues one [stats] request and renders the live
+    envelope — queue gauges, per-tenant ledgers with histogram
+    latency quantiles — as a top-style table ([--watch] refreshes it
+    in place, [--json] emits the raw payload).
+
     SIGTERM and SIGINT flip a stop flag: the request loop drains every
     in-flight request, joins all worker domains and exits 0 — no
     orphaned domains, no half-written cache entries (stores are atomic
     temp-file renames). *)
 
 open Cmdliner
+module Json = Gpu_util.Json
 
 let stop_flag = Atomic.make false
 
@@ -21,13 +34,43 @@ let install_signal_handlers () =
   (* a client hanging up mid-response must not kill the daemon *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
-let serve socket jobs queue_cap tenant_quota cfg no_cache cache_dir =
+(* one Perfetto file for the whole run: the host process row carries a
+   named thread track per domain, so request spans from the acceptor and
+   the worker domains stack under one roof, correlated by the trace_id
+   argument each slice carries *)
+let write_trace path =
+  let spans = Obs.Span.finished () in
+  let tracks =
+    List.sort_uniq compare (List.map (fun s -> s.Obs.Span.track) spans)
+  in
+  let events =
+    (Obs.Trace_event.process_name ~pid:1 "catt_d host"
+    :: List.map
+         (fun tid ->
+           Obs.Trace_event.thread_name ~pid:1 ~tid
+             (Printf.sprintf "domain %d" tid))
+         tracks)
+    @ Obs.Trace_event.of_spans ~pid:1 spans
+  in
+  Obs.Trace_event.write ~path events;
+  prerr_endline
+    (Printf.sprintf "catt_d: wrote %d spans to %s" (List.length spans) path)
+
+let serve socket jobs queue_cap tenant_quota cfg no_cache cache_dir trace_out
+    access_log slow_ms slow_sample =
   Experiments.Cache.enabled := not no_cache;
   (match cache_dir with
   | Some d -> Experiments.Cache.dir := d
   | None -> ());
+  if trace_out <> None then Obs.Span.enabled := true;
+  (match access_log with
+  | Some path -> Obs.Log.open_path path
+  | None -> ());
   install_signal_handlers ();
-  let server = Serve.Server.create ~cfg ~jobs ~queue_cap ~tenant_quota () in
+  let server =
+    Serve.Server.create ~cfg ~jobs ~queue_cap ~tenant_quota ?slow_ms
+      ~slow_sample ()
+  in
   let stop () = Atomic.get stop_flag in
   (match socket with
   | Some path ->
@@ -36,6 +79,8 @@ let serve socket jobs queue_cap tenant_quota cfg no_cache cache_dir =
     Serve.Server.serve_socket server ~path ~stop
   | None -> Serve.Server.serve_stdio server ~stop);
   Serve.Server.shutdown server;
+  (match trace_out with Some path -> write_trace path | None -> ());
+  Obs.Log.close ();
   0
 
 let socket =
@@ -76,15 +121,222 @@ let jobs =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"worker domains handling requests (0 = one per core)")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"PATH"
+        ~doc:
+          "enable span tracing and write a Perfetto (Chrome trace-event) \
+           file at shutdown; request spans carry their trace_id so the \
+           server, single-flight, pool and runner layers correlate")
+
+let access_log =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "access-log" ] ~docv:"PATH"
+        ~doc:
+          "append one structured JSON line per request (tenant, kind, \
+           scheme, source, outcome, queue depth, latency, trace_id)")
+
+let slow_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "arm the slow-request log: requests at or over this latency are \
+           counted and (sampled) written at warn level to the access log")
+
+let slow_sample =
+  Arg.(
+    value & opt int 1
+    & info [ "slow-sample" ] ~docv:"N"
+        ~doc:"write 1 of every N slow requests (with $(b,--slow-ms))")
+
 let serve_cmd =
   let doc = "serve analyze/explain/simulate/stats requests as JSON lines" in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const serve $ socket $ jobs $ queue_cap $ tenant_quota
-      $ Cli_common.config $ Cli_common.no_cache $ cache_dir)
+      $ Cli_common.config $ Cli_common.no_cache $ cache_dir $ trace_out
+      $ access_log $ slow_ms $ slow_sample)
+
+(* ------------------------------------------------------------------ *)
+(* stats: the admin client                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* one connection per snapshot: connect, one request line, one response
+   line — stateless, so --watch survives server restarts *)
+let fetch_stats path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    @@ fun () ->
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+    | () -> (
+      let line =
+        Serve.Protocol.request_to_line
+          {
+            Serve.Protocol.id = "stats";
+            tenant = "admin";
+            trace_id = None;
+            kind = Serve.Protocol.Stats;
+          }
+        ^ "\n"
+      in
+      let b = Bytes.of_string line in
+      let len = Bytes.length b in
+      let pos = ref 0 in
+      while !pos < len do
+        match Unix.write fd b !pos (len - !pos) with
+        | n -> pos := !pos + n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec read_line () =
+        match String.index_opt (Buffer.contents buf) '\n' with
+        | Some i -> Ok (String.sub (Buffer.contents buf) 0 i)
+        | None -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line ()
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Unix.error_message e)
+          | 0 -> Error "connection closed before a response arrived"
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            read_line ())
+      in
+      match read_line () with
+      | Error _ as e -> e
+      | Ok line -> (
+        match Json.of_string line with
+        | Error msg -> Error (Printf.sprintf "unparseable response: %s" msg)
+        | Ok j -> (
+          match Serve.Protocol.response_of_json j with
+          | Error msg -> Error msg
+          | Ok { Serve.Protocol.result = Ok payload; _ } -> Ok payload
+          | Ok { Serve.Protocol.result = Error (code, msg); _ } ->
+            Error
+              (Printf.sprintf "%s: %s"
+                 (Serve.Protocol.error_code_label code)
+                 msg)))))
+
+(* top-style view of the stats envelope: a one-line server header, then
+   one row per tenant with hit rate and histogram latency quantiles *)
+let render_stats payload =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  (match Json.member_opt "server" payload with
+  | Some srv ->
+    let i name = Json.to_int (Json.member name srv) in
+    add "queue %d/%d  flights %d  connections %d  jobs %d" (i "queue_depth")
+      (i "queue_cap")
+      (i "flights_in_progress")
+      (i "live_connections") (i "jobs")
+  | None -> add "(no live server block)");
+  (match Json.member_opt "metrics" payload with
+  | Some metrics -> (
+    match Json.member_opt "process.uptime_us" metrics with
+    | Some (Json.Int us) -> add "  up %.0fs" (float_of_int us /. 1e6)
+    | _ -> ())
+  | None -> ());
+  add "\n\n";
+  add "%-16s %8s %6s %6s %6s %6s %9s %9s\n" "TENANT" "REQ" "HIT%" "ERR"
+    "OVER" "QUOTA" "P50us" "P99us";
+  List.iter
+    (fun t ->
+      let cache = Json.member "cache" t in
+      let lat = Json.member "latency_us" t in
+      add "%-16s %8d %5.1f%% %6d %6d %6d %9d %9d\n"
+        (Json.to_str (Json.member "tenant" t))
+        (Json.to_int (Json.member "requests" t))
+        (100. *. Json.to_float (Json.member "hit_rate" cache))
+        (Json.to_int (Json.member "errors" t))
+        (Json.to_int (Json.member "overloaded" t))
+        (Json.to_int (Json.member "quota_refusals" t))
+        (Json.to_int (Json.member "p50" lat))
+        (Json.to_int (Json.member "p99" lat)))
+    (Json.to_list (Json.member "tenants" payload));
+  Buffer.contents b
+
+let stats socket as_json watch interval =
+  let snapshot () =
+    match fetch_stats socket with
+    | Ok payload ->
+      if as_json then print_endline (Json.to_string payload)
+      else print_string (render_stats payload);
+      true
+    | Error msg ->
+      Printf.printf "catt_d stats: %s\n" msg;
+      false
+  in
+  if not watch then begin
+    if snapshot () then 0
+    else begin
+      flush stdout;
+      1
+    end
+  end
+  else begin
+    install_signal_handlers ();
+    let rec loop () =
+      if Atomic.get stop_flag then 0
+      else begin
+        print_string "\027[2J\027[H";
+        ignore (snapshot () : bool) (* keep watching through restarts *);
+        flush stdout;
+        (try Unix.sleepf interval
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        loop ()
+      end
+    in
+    loop ()
+  end
+
+let stats_socket =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket of the serving daemon")
+
+let stats_json =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"emit the raw stats payload instead of the table")
+
+let stats_watch =
+  Arg.(
+    value & flag
+    & info [ "watch" ]
+        ~doc:"refresh the table in place until interrupted (top-style)")
+
+let stats_interval =
+  Arg.(
+    value & opt float 2.
+    & info [ "interval" ] ~docv:"SECONDS"
+        ~doc:"refresh period with $(b,--watch)")
+
+let stats_cmd =
+  let doc =
+    "query a serving daemon's live stats (tenants, queue, latency \
+     histograms) and render them as a table"
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(
+      const stats $ stats_socket $ stats_json $ stats_watch $ stats_interval)
 
 let () =
   let doc = "CATT throttling daemon" in
   let info = Cmd.info "catt_d" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ serve_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ serve_cmd; stats_cmd ]))

@@ -38,6 +38,15 @@ let make cfg ~workload ~scheme ~seed ~wall_seconds =
 let metric_to_json = function
   | Obs.Metrics.Count n -> Json.Int n
   | Obs.Metrics.Gauge g -> Json.Float g
+  | Obs.Metrics.Hist s ->
+    Json.Obj
+      [
+        ("count", Json.Int s.Obs.Histogram.s_count);
+        ("p50", Json.Int s.Obs.Histogram.s_p50);
+        ("p90", Json.Int s.Obs.Histogram.s_p90);
+        ("p99", Json.Int s.Obs.Histogram.s_p99);
+        ("max", Json.Int s.Obs.Histogram.s_max);
+      ]
 
 let to_json m =
   Json.Obj
@@ -77,6 +86,16 @@ let of_json json =
                   match v with
                   | Json.Int n -> Obs.Metrics.Count n
                   | Json.Float g -> Obs.Metrics.Gauge g
+                  | Json.Obj _ as h ->
+                    Obs.Metrics.Hist
+                      {
+                        Obs.Histogram.s_count =
+                          Json.to_int (Json.member "count" h);
+                        s_p50 = Json.to_int (Json.member "p50" h);
+                        s_p90 = Json.to_int (Json.member "p90" h);
+                        s_p99 = Json.to_int (Json.member "p99" h);
+                        s_max = Json.to_int (Json.member "max" h);
+                      }
                   | _ -> raise (Json.Type_error "metric must be a number") ))
               fields
           | _ -> raise (Json.Type_error "metrics must be an object"));

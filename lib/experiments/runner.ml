@@ -580,6 +580,17 @@ let flights_in_progress () =
   Gpu_util.Single_flight.in_flight cell_flights
   + Gpu_util.Single_flight.in_flight pair_flights
 
+(* live gauge: sampled at Metrics.snapshot time, so the admin plane sees
+   the current dedup pressure, not a stale mirror *)
+let () =
+  Obs.Metrics.gauge_fn "runner.flights_in_progress" (fun () ->
+      float_of_int (flights_in_progress ()))
+
+(* Leaders deposit their trace id on the flight; joiners record it, so a
+   coalesced request's span links to the flight that computed it. *)
+let flight_tag () =
+  match Obs.Span.current_trace_id () with Some tid -> tid | None -> ""
+
 let progress : bool ref = ref false
 (** When set, one line per simulated or cache-loaded run goes to stderr. *)
 
@@ -669,18 +680,30 @@ let exec_with_source (req : Request.t) =
               (run_to_json r);
             Ok (r, Simulated))
       in
-      match Gpu_util.Single_flight.run cell_flights flight_key compute with
+      let note_leader leader_tag =
+        if leader_tag <> "" then
+          Option.iter
+            (fun s ->
+              Obs.Span.add_attr s "leader_trace_id" (Obs.Span.Str leader_tag))
+            run_span
+      in
+      match
+        Gpu_util.Single_flight.run_tagged cell_flights flight_key
+          ~tag:(flight_tag ()) compute
+      with
       | `Led (Error _ as e) -> e
-      | `Joined (Error _ as e) ->
+      | `Joined (leader_tag, (Error _ as e)) ->
         Obs.Metrics.incr m_coalesced;
+        note_leader leader_tag;
         e
       | `Led (Ok (r, source)) ->
         adopt r;
         note_source (source_label source);
         log_run (source_label source) r;
         Ok (r, source)
-      | `Joined (Ok (r, _)) ->
+      | `Joined (leader_tag, Ok (r, _)) ->
         Obs.Metrics.incr m_coalesced;
+        note_leader leader_tag;
         (* fan-out: this request did no simulation work, but its tenant
            still gets its own shard entry (so the next cold process hits
            disk) and its own memo entry *)
@@ -949,15 +972,18 @@ let run_co_resident_with_source ?tenant cfg (wa : Workloads.Workload.t)
             store pr;
             Ok (pr, Simulated))
       in
-      match Gpu_util.Single_flight.run pair_flights flight_key compute with
+      match
+        Gpu_util.Single_flight.run_tagged pair_flights flight_key
+          ~tag:(flight_tag ()) compute
+      with
       | `Led (Error _ as e) -> e
-      | `Joined (Error _ as e) ->
+      | `Joined (_, (Error _ as e)) ->
         Obs.Metrics.incr m_coalesced;
         e
       | `Led (Ok (pr, source)) ->
         adopt pr;
         Ok (orient pr, source)
-      | `Joined (Ok (pr, _)) ->
+      | `Joined (_, Ok (pr, _)) ->
         Obs.Metrics.incr m_coalesced;
         store pr;
         adopt pr;

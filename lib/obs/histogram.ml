@@ -1,0 +1,137 @@
+(** Log-bucketed latency histogram (HDR-style, see histogram.mli).
+
+    Fixed bucket boundaries: values [0, sub) get one exact bucket each;
+    above that, every octave [2^e, 2^(e+1)) is split into [sub] linear
+    sub-buckets, so the relative width of any bucket is at most
+    [1/sub] (12.5% with [sub_bits = 3]).  Because the boundaries are a
+    pure function of the value — no per-instance state — two histograms
+    merge by adding bucket counts, exactly.
+
+    Recording is lock-light: one [Atomic.fetch_and_add] on the bucket,
+    one on the total.  The bucket is bumped *before* the total, so a
+    concurrent reader that snapshots the total first always finds at
+    least that many samples when it walks the buckets — quantile walks
+    terminate without locking writers out. *)
+
+let sub_bits = 3
+let sub = 1 lsl sub_bits  (* 8 linear sub-buckets per octave *)
+
+(* OCaml ints are 63-bit, so the highest set bit of a non-negative value
+   is at position <= 61; 62 leaves headroom *)
+let max_exp = 62
+
+let bucket_count = (sub * (max_exp - sub_bits)) + (2 * sub)
+
+(* position of the highest set bit of [v >= sub] *)
+let msb v =
+  let e = ref 0 and x = ref v in
+  while !x > 1 do
+    x := !x lsr 1;
+    incr e
+  done;
+  !e
+
+let bucket_of v =
+  let v = if v < 0 then 0 else v in
+  if v < sub then v
+  else
+    let e = msb v in
+    (sub * (e - sub_bits)) + (v lsr (e - sub_bits))
+
+(** Inclusive [(lower, upper)] value bounds of bucket [b]. *)
+let bounds b =
+  if b < sub then (b, b)
+  else begin
+    let shift = (b / sub) - 1 in
+    let lo = ((b mod sub) + sub) lsl shift in
+    (lo, lo + (1 lsl shift) - 1)
+  end
+
+type t = {
+  counts : int Atomic.t array;  (** one cell per fixed bucket *)
+  total : int Atomic.t;
+}
+
+let create () =
+  { counts = Array.init bucket_count (fun _ -> Atomic.make 0);
+    total = Atomic.make 0 }
+
+let record t v =
+  ignore (Atomic.fetch_and_add t.counts.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add t.total 1)
+
+let count t = Atomic.get t.total
+
+let clear t =
+  Array.iter (fun c -> Atomic.set c 0) t.counts;
+  Atomic.set t.total 0
+
+let merge a b =
+  let m = create () in
+  for i = 0 to bucket_count - 1 do
+    Atomic.set m.counts.(i) (Atomic.get a.counts.(i) + Atomic.get b.counts.(i))
+  done;
+  Atomic.set m.total (Atomic.get a.total + Atomic.get b.total);
+  m
+
+let quantile_bounds t p =
+  let n = count t in
+  if n = 0 then None
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    let cum = ref 0 and i = ref 0 and found = ref None in
+    while !found = None && !i < bucket_count do
+      cum := !cum + Atomic.get t.counts.(!i);
+      if !cum >= rank then found := Some (bounds !i);
+      incr i
+    done;
+    !found
+  end
+
+let quantile t p =
+  match quantile_bounds t p with None -> 0 | Some (_, hi) -> hi
+
+let max_value t =
+  let rec go i =
+    if i < 0 then 0
+    else if Atomic.get t.counts.(i) > 0 then snd (bounds i)
+    else go (i - 1)
+  in
+  go (bucket_count - 1)
+
+type summary = {
+  s_count : int;
+  s_p50 : int;
+  s_p90 : int;
+  s_p99 : int;
+  s_max : int;
+}
+
+let summary t =
+  {
+    s_count = count t;
+    s_p50 = quantile t 50.;
+    s_p90 = quantile t 90.;
+    s_p99 = quantile t 99.;
+    s_max = max_value t;
+  }
+
+let export t =
+  let acc = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    let c = Atomic.get t.counts.(i) in
+    if c > 0 then acc := (i, c) :: !acc
+  done;
+  !acc
+
+let import pairs =
+  let t = create () in
+  List.iter
+    (fun (i, c) ->
+      if i >= 0 && i < bucket_count && c > 0 then begin
+        Atomic.set t.counts.(i) (Atomic.get t.counts.(i) + c);
+        Atomic.set t.total (Atomic.get t.total + c)
+      end)
+    pairs;
+  t

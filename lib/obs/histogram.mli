@@ -1,0 +1,76 @@
+(** Log-bucketed (HDR-style) histogram of non-negative integers —
+    latencies in microseconds, typically.
+
+    Bucket boundaries are fixed (a pure function of the value, no
+    per-instance configuration): values below {!sub} get one exact
+    bucket each, and every octave above is split into {!sub} linear
+    sub-buckets, bounding any bucket's relative width by [1/sub]
+    (12.5%).  Consequences the tests pin down:
+
+    - two histograms (from different domains, processes, windows) merge
+      by adding bucket counts — associative, commutative, lossless;
+    - a quantile is answered as the exact [(lower, upper)] value bounds
+      of the bucket holding the nearest-rank sample, so the true
+      nearest-rank answer provably lies within the returned bounds;
+    - memory is a fixed {!bucket_count} cells regardless of sample
+      count — a long-running daemon's ledgers stay flat.
+
+    Recording is lock-light (two [Atomic.fetch_and_add]s) and safe from
+    any domain; readers never block writers. *)
+
+type t
+
+val sub : int
+(** Sub-buckets per octave (8). *)
+
+val bucket_count : int
+(** Number of fixed buckets (same for every histogram). *)
+
+val bucket_of : int -> int
+(** Bucket index for a value; negative values clamp to 0. *)
+
+val bounds : int -> int * int
+(** Inclusive [(lower, upper)] value bounds of a bucket index. *)
+
+val create : unit -> t
+val record : t -> int -> unit
+val count : t -> int
+
+val clear : t -> unit
+(** Zero every bucket (tests / {!Metrics.reset}). *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding the bucket-wise sum; both inputs are left
+    untouched. *)
+
+val quantile_bounds : t -> float -> (int * int) option
+(** [quantile_bounds t p] (with [p] in percent, e.g. [99.]) returns the
+    value bounds of the bucket containing the nearest-rank [p]-th
+    percentile sample, or [None] when empty. *)
+
+val quantile : t -> float -> int
+(** The upper bound of {!quantile_bounds} — a conservative single-value
+    answer, at most one bucket width above the exact nearest-rank
+    value.  [0] when empty. *)
+
+val max_value : t -> int
+(** Upper bound of the highest non-empty bucket; [0] when empty. *)
+
+type summary = {
+  s_count : int;
+  s_p50 : int;
+  s_p90 : int;
+  s_p99 : int;
+  s_max : int;
+}
+
+val summary : t -> summary
+
+val export : t -> (int * int) list
+(** Sparse [(bucket, count)] pairs, ascending, non-zero only — the
+    serialization currency (obs sits below the JSON codec, so callers
+    encode this list).  [import (export t)] is an exact copy. *)
+
+val import : (int * int) list -> t
+(** Inverse of {!export}; out-of-range buckets and non-positive counts
+    are ignored. *)

@@ -1,0 +1,96 @@
+(** Structured JSON event log (see log.mli).
+
+    Self-contained JSON emission — obs sits below the Gpu_util.Json
+    codec, so the writer renders lines itself, like Trace_event. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_label = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let enabled = ref false
+let threshold = ref Info
+
+let lock = Mutex.create ()
+let sink : out_channel option ref = ref None
+let owns_sink = ref false
+
+let set_channel ?(close_on_reset = false) oc =
+  Mutex.lock lock;
+  (match !sink with
+  | Some old when !owns_sink -> ( try close_out old with Sys_error _ -> ())
+  | _ -> ());
+  sink := Some oc;
+  owns_sink := close_on_reset;
+  Mutex.unlock lock;
+  enabled := true
+
+let open_path path =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  set_channel ~close_on_reset:true oc
+
+let close () =
+  enabled := false;
+  Mutex.lock lock;
+  (match !sink with
+  | Some oc ->
+      (try flush oc with Sys_error _ -> ());
+      if !owns_sink then ( try close_out oc with Sys_error _ -> ())
+  | None -> ());
+  sink := None;
+  owns_sink := false;
+  Mutex.unlock lock
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_attr buf (k, v) =
+  Buffer.add_string buf ",\"";
+  add_escaped buf k;
+  Buffer.add_string buf "\":";
+  match (v : Span.attr) with
+  | Span.Int i -> Buffer.add_string buf (string_of_int i)
+  | Span.Float f -> Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | Span.Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Span.Str s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+
+let event ?(level = Info) name attrs =
+  if !enabled && level_rank level >= level_rank !threshold then begin
+    let buf = Buffer.create 192 in
+    Buffer.add_string buf "{\"ts_us\":";
+    Buffer.add_string buf (string_of_int (Clock.now_us ()));
+    Buffer.add_string buf ",\"level\":\"";
+    Buffer.add_string buf (level_label level);
+    Buffer.add_string buf "\",\"event\":\"";
+    add_escaped buf name;
+    Buffer.add_char buf '"';
+    List.iter (add_attr buf) attrs;
+    Buffer.add_string buf "}\n";
+    Mutex.lock lock;
+    (match !sink with
+    | Some oc -> (
+        try
+          output_string oc (Buffer.contents buf);
+          flush oc
+        with Sys_error _ -> ())
+    | None -> ());
+    Mutex.unlock lock
+  end

@@ -1,0 +1,40 @@
+(** Leveled, structured JSON event log.
+
+    Off by default: {!enabled} is a single [ref] read on the fast path,
+    so an un-configured daemon pays one branch per call site.  When a
+    sink is attached, each {!event} renders one self-contained JSON
+    line — [{"ts_us":..,"level":"info","event":"serve.access",...}] —
+    and writes it under a process-wide mutex (lines from concurrent
+    domains never interleave), flushing per line so tail -f works.
+
+    Attribute values reuse {!Span.attr}, making span attributes and log
+    fields the same currency. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_label : level -> string
+
+val enabled : bool ref
+(** Off by default; flipped on by {!set_channel} / {!open_path} and off
+    by {!close}.  Callers may also toggle it directly to mute a
+    configured sink. *)
+
+val threshold : level ref
+(** Minimum level actually written (default [Info]). *)
+
+val set_channel : ?close_on_reset:bool -> out_channel -> unit
+(** Attach a sink and enable logging.  [close_on_reset] (default
+    false): the writer owns the channel and closes it on {!close} or
+    when replaced. *)
+
+val open_path : string -> unit
+(** Append-open [path] (0644, created if missing) and attach it as an
+    owned sink. *)
+
+val close : unit -> unit
+(** Flush, detach (closing owned channels), and disable. *)
+
+val event : ?level:level -> string -> (string * Span.attr) list -> unit
+(** [event name attrs] writes one JSON line; no-op when disabled or
+    below {!threshold}.  Write errors are swallowed — telemetry must
+    never take the server down. *)

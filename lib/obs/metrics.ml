@@ -1,5 +1,6 @@
-(** Process-wide metrics registry: named monotonic counters and
-    last-write-wins gauges.
+(** Process-wide metrics registry: named monotonic counters,
+    last-write-wins gauges, sampled gauge callbacks, and log-bucketed
+    histograms.
 
     Counters are lock-free [Atomic.t]s once registered; registration
     itself takes a mutex (rare).  Unlike spans, metrics are always on —
@@ -10,6 +11,7 @@
 type value =
   | Count of int
   | Gauge of float
+  | Hist of Histogram.summary
 
 type counter = int Atomic.t
 
@@ -18,6 +20,12 @@ let registry_lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 
 let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 8
+
+(* live gauges sampled at snapshot time; replace-on-register so a
+   re-created server simply takes over its name *)
+let gauge_fns : (string, unit -> float) Hashtbl.t = Hashtbl.create 8
+
+let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 8
 
 let counter name =
   Mutex.lock registry_lock;
@@ -52,6 +60,24 @@ let max_gauge name v =
   | None -> Hashtbl.add gauges name (ref v));
   Mutex.unlock registry_lock
 
+let gauge_fn name f =
+  Mutex.lock registry_lock;
+  Hashtbl.replace gauge_fns name f;
+  Mutex.unlock registry_lock
+
+let histogram name =
+  Mutex.lock registry_lock;
+  let h =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+      let h = Histogram.create () in
+      Hashtbl.add histograms name h;
+      h
+  in
+  Mutex.unlock registry_lock;
+  h
+
 let snapshot () =
   Mutex.lock registry_lock;
   let entries =
@@ -60,7 +86,18 @@ let snapshot () =
   let entries =
     Hashtbl.fold (fun name r acc -> (name, Gauge !r) :: acc) gauges entries
   in
+  let entries =
+    Hashtbl.fold
+      (fun name h acc -> (name, Hist (Histogram.summary h)) :: acc)
+      histograms entries
+  in
+  (* collect callbacks under the lock, sample them outside it so a
+     callback touching the registry cannot deadlock *)
+  let fns = Hashtbl.fold (fun name f acc -> (name, f) :: acc) gauge_fns [] in
   Mutex.unlock registry_lock;
+  let entries =
+    List.fold_left (fun acc (name, f) -> (name, Gauge (f ())) :: acc) entries fns
+  in
   let entries = ("process.uptime_us", Count (Clock.now_us ())) :: entries in
   List.sort (fun (a, _) (b, _) -> compare a b) entries
 
@@ -68,4 +105,5 @@ let reset () =
   Mutex.lock registry_lock;
   Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
   Hashtbl.iter (fun _ r -> r := 0.) gauges;
+  Hashtbl.iter (fun _ h -> Histogram.clear h) histograms;
   Mutex.unlock registry_lock

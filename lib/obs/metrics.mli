@@ -1,9 +1,13 @@
-(** Process-wide metrics: named monotonic counters and gauges.
+(** Process-wide metrics: named monotonic counters, gauges, sampled
+    gauge callbacks, and log-bucketed histograms.
     Always on (not gated by {!Span.enabled}). *)
 
 type value =
   | Count of int
   | Gauge of float
+  | Hist of Histogram.summary
+      (** Registered histograms appear in snapshots as their quantile
+          summary; hold the {!Histogram.t} handle for exact bounds. *)
 
 type counter
 (** Handle to a registered counter; cache it at module init and use the
@@ -22,9 +26,22 @@ val set_gauge : string -> float -> unit
 val max_gauge : string -> float -> unit
 (** Keep the maximum of all writes (e.g. peak queue depth). *)
 
+val gauge_fn : string -> (unit -> float) -> unit
+(** Register (replacing any previous holder of the name) a callback
+    sampled at {!snapshot} time — for live values that already exist as
+    program state (in-flight counts, connection counts) and would drift
+    if mirrored into a stored gauge.  Callbacks run outside the
+    registry lock and must be cheap and non-raising. *)
+
+val histogram : string -> Histogram.t
+(** Find-or-register a histogram; record into the returned handle with
+    {!Histogram.record}. *)
+
 val snapshot : unit -> (string * value) list
 (** All registered metrics sorted by name, plus a computed
-    ["process.uptime_us"] counter. *)
+    ["process.uptime_us"] counter.  Callback gauges are sampled at this
+    moment. *)
 
 val reset : unit -> unit
-(** Zero every registered counter and gauge (tests). *)
+(** Zero every registered counter, gauge and histogram (tests).
+    Callback gauges are left registered — they reflect live state. *)

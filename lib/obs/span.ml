@@ -41,11 +41,30 @@ let sink_lock = Mutex.create ()
 let stack_key : t list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
+(* trace-id context of the current domain; spans opened while it is set
+   automatically carry a ["trace_id"] attribute *)
+let trace_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_trace_id () = !(Domain.DLS.get trace_key)
+
+let with_trace_id id f =
+  let ctx = Domain.DLS.get trace_key in
+  let saved = !ctx in
+  ctx := Some id;
+  Fun.protect ~finally:(fun () -> ctx := saved) f
+
 let enter ?(attrs = []) name =
   if not !enabled then None
   else begin
     let stack = Domain.DLS.get stack_key in
     let parent = match !stack with [] -> None | s :: _ -> Some s.id in
+    let attrs =
+      match current_trace_id () with
+      | Some tid when not (List.mem_assoc "trace_id" attrs) ->
+          ("trace_id", Str tid) :: attrs
+      | _ -> attrs
+    in
     let span =
       {
         id = Atomic.fetch_and_add next_id 1;

@@ -21,6 +21,18 @@ val enabled : bool ref
 (** Master switch; [false] by default.  While off, [enter] returns
     [None] and [with_span] calls its body with [None]. *)
 
+val current_trace_id : unit -> string option
+(** Trace-id context of the calling domain (set by {!with_trace_id}).
+    Works whether or not tracing is enabled, so request-correlation
+    side channels (logs, single-flight tags) stay live when spans are
+    off. *)
+
+val with_trace_id : string -> (unit -> 'a) -> 'a
+(** [with_trace_id id f] runs [f] with the calling domain's trace-id
+    context set to [id]; every span entered inside automatically gains
+    a ["trace_id"] attribute (unless one was passed explicitly).  The
+    previous context is restored on exit, normal or exceptional. *)
+
 val enter : ?attrs:(string * attr) list -> string -> t option
 (** Open a span on the current domain's stack.  Its parent is the
     innermost span still open on this domain. *)

@@ -26,6 +26,7 @@ let request_line i =
        {
          Protocol.id = Printf.sprintf "bench-%d" i;
          tenant = "bench";
+         trace_id = None;
          kind =
            Protocol.Simulate
              {
@@ -114,3 +115,85 @@ let stage ?(requests = 1024) ?(reps = 3) () =
       done;
       Server.shutdown server;
       Option.get !best)
+
+(* ------------------------------------------------------------------ *)
+(* Obs overhead on the serve path (A/A)                                *)
+(* ------------------------------------------------------------------ *)
+
+(** {!Experiments.Bench_core.obs_overhead}, but over the pipelined serve
+    stage instead of a bare kernel: two interleaved batch families with
+    span tracing *and* structured logging disabled (their median delta
+    bounds the telemetry plane's disabled-path cost — the trace-id
+    minting, the [enabled] guards in the access/slow-log hooks, the
+    histogram records — plus residual noise, the same ≤5% envelope)
+    against batches with tracing on and the access log writing to
+    [/dev/null].  The serve batch runs threads, pipes and a domain pool
+    — far noisier than the single-threaded kernel batch of
+    {!Experiments.Bench_core.obs_overhead} — so the batches are long
+    (2048 requests), GC debt is drained before each timed region, and
+    the A/A order alternates per rep to cancel drift.
+    Span sink and log state are restored afterwards. *)
+let obs_overhead ?(reps = 7) ?(requests = 2048) () =
+  let cfg = Experiments.Configs.max_l1d () in
+  let was_cache = !Experiments.Cache.enabled in
+  let was_spans = !Obs.Span.enabled in
+  let was_log = !Obs.Log.enabled in
+  Experiments.Cache.enabled := false;
+  Fun.protect
+    ~finally:(fun () ->
+      Experiments.Cache.enabled := was_cache;
+      Obs.Log.close ();
+      Obs.Span.enabled := was_spans;
+      Obs.Log.enabled := was_log)
+    (fun () ->
+      (* a real (discarding) sink, so the enabled batch pays the full
+         render-and-write cost per request *)
+      Obs.Log.set_channel ~close_on_reset:true (open_out "/dev/null");
+      Obs.Log.enabled := false;
+      Obs.Span.enabled := false;
+      let server = Server.create ~cfg ~jobs:2 ~queue_cap:requests () in
+      run_batch server ~requests:4 (* warm-up: simulate the cell once *);
+      let time f =
+        (* drain the previous batch's GC debt first: an enabled batch's
+           garbage collected *during* the next disabled batch would bias
+           whichever A/A batch runs first *)
+        Gc.full_major ();
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0
+      in
+      let reps = max 1 reps in
+      let a = Array.make reps 0. in
+      let b = Array.make reps 0. in
+      let en = Array.make reps 0. in
+      for i = 0 to reps - 1 do
+        Obs.Span.enabled := false;
+        Obs.Log.enabled := false;
+        (* alternate A/B order per rep so any residual first-batch bias
+           cancels in the medians *)
+        if i land 1 = 0 then begin
+          a.(i) <- time (fun () -> run_batch server ~requests);
+          b.(i) <- time (fun () -> run_batch server ~requests)
+        end
+        else begin
+          b.(i) <- time (fun () -> run_batch server ~requests);
+          a.(i) <- time (fun () -> run_batch server ~requests)
+        end;
+        Obs.Span.enabled := true;
+        Obs.Log.enabled := true;
+        en.(i) <- time (fun () -> run_batch server ~requests);
+        Obs.Span.enabled := false;
+        Obs.Log.enabled := false;
+        Obs.Span.reset ()
+      done;
+      Server.shutdown server;
+      let med = Gpu_util.Stats.median in
+      let ma = med a and mb = med b and me = med en in
+      let disabled_ab_pct = 100. *. (abs_float (ma -. mb) /. min ma mb) in
+      {
+        Experiments.Bench_core.disabled_ms = 1000. *. min ma mb;
+        disabled_ab_pct;
+        enabled_ms = 1000. *. me;
+        enabled_pct = 100. *. ((me -. min ma mb) /. min ma mb);
+        disabled_within_5pct = disabled_ab_pct <= 5.;
+      })

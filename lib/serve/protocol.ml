@@ -50,6 +50,9 @@ type request = {
   id : string;  (** echoed verbatim in the response; responses may be
                     delivered out of order under concurrency *)
   tenant : string;
+  trace_id : string option;
+      (** optional client-supplied correlation id; when absent the
+          server mints one, so every request is traceable either way *)
   kind : kind;
 }
 
@@ -96,6 +99,10 @@ let request_to_json (r : request) =
       ("tenant", Json.String r.tenant);
       ("kind", Json.String (kind_label r.kind));
     ]
+    @
+    match r.trace_id with
+    | None -> []
+    | Some tid -> [ ("trace_id", Json.String tid) ]
   in
   let params =
     match r.kind with
@@ -214,7 +221,8 @@ let request_of_json j : (request, string) result =
       in
       match kind with
       | Error _ as e -> e
-      | Ok kind -> Ok { id; tenant; kind })
+      | Ok kind ->
+        Ok { id; tenant; trace_id = member_str_opt "trace_id" j; kind })
   with Json.Type_error msg -> Error msg
 
 let response_of_json j : (response, string) result =

@@ -62,7 +62,14 @@ type t = {
   tracked_conns : int Atomic.t;
       (** connection threads held for the shutdown join — live ones plus
           finished ones not yet reaped; the reap test pins this *)
-  handler : handler;
+  slow_ms : float option;
+      (** slow-request log threshold; [None] disables the slow log *)
+  slow_sample : int;  (** log 1 of every [slow_sample] slow requests *)
+  slow_count : int Atomic.t;
+  mutable handler : handler;
+      (** mutable only so [create] can install the default handler with
+          a reference back to the server (the stats plane reports live
+          queue/connection gauges); never reassigned afterwards *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -169,6 +176,24 @@ let handle_explain cfg name : outcome =
           ],
         false )
 
+(* where the result came from (memo / cache hit / cache miss /
+   coalesced), noted in a domain-local slot as the handler runs: the
+   access log wants the ladder's outcome, but stamping it into the
+   payload would break the bit-equality of cached responses (a warm
+   answer must stay byte-identical to the cold one), so it rides beside
+   the payload instead of inside it.  Wrapping handlers inherit it for
+   free — the slot is set on whichever domain runs the request. *)
+let request_source : string option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let note_source source =
+  Domain.DLS.set request_source (Some (Runner.source_label source))
+
+let take_source () =
+  let s = Domain.DLS.get request_source in
+  Domain.DLS.set request_source None;
+  s
+
 let handle_simulate cfg tenant (b : Protocol.simulate_body) : outcome =
   match find_workload b.Protocol.workload with
   | Error _ as e -> e
@@ -185,6 +210,7 @@ let handle_simulate cfg tenant (b : Protocol.simulate_body) : outcome =
           | Runner.Memo | Runner.Disk | Runner.Coalesced -> true
           | Runner.Simulated -> false
         in
+        note_source source;
         Ok (run_summary r, cached))
     | Some (name_b, scheme_b) -> (
       match find_workload name_b with
@@ -203,6 +229,7 @@ let handle_simulate cfg tenant (b : Protocol.simulate_body) : outcome =
             | Runner.Memo | Runner.Disk | Runner.Coalesced -> true
             | Runner.Simulated -> false
           in
+          note_source source;
           Ok
             ( Json.Obj
                 [
@@ -212,55 +239,115 @@ let handle_simulate cfg tenant (b : Protocol.simulate_body) : outcome =
                 ],
               cached ))))
 
-let handle_stats () : outcome =
+let stats_version = 1
+(** Version of the [stats] response envelope (independent of the wire
+    [schema_version]: the envelope can grow fields without a protocol
+    bump, and clients switch on this to know which ones to expect). *)
+
+let metric_value_to_json = function
+  | Obs.Metrics.Count n -> Json.Int n
+  | Obs.Metrics.Gauge g -> Json.Float g
+  | Obs.Metrics.Hist s ->
+    Json.Obj
+      [
+        ("count", Json.Int s.Obs.Histogram.s_count);
+        ("p50", Json.Int s.Obs.Histogram.s_p50);
+        ("p90", Json.Int s.Obs.Histogram.s_p90);
+        ("p99", Json.Int s.Obs.Histogram.s_p99);
+        ("max", Json.Int s.Obs.Histogram.s_max);
+      ]
+
+(** The live admin payload: versioned envelope with per-tenant ledger
+    snapshots (histogram summaries included), process cache counters,
+    the full metrics snapshot, and — when answered by a running server
+    rather than the bare default handler — the server's live gauges. *)
+let handle_stats ?server () : outcome =
   let c = Experiments.Cache.stats () in
+  let server_fields =
+    match server with
+    | None -> []
+    | Some t ->
+      [
+        ( "server",
+          Json.Obj
+            [
+              ("queue_depth", Json.Int (max 0 (Atomic.get t.in_flight)));
+              ("queue_cap", Json.Int t.queue_cap);
+              ( "tenant_quota",
+                Json.Int (Option.value t.tenant_quota ~default:0) );
+              ("jobs", Json.Int (Pool.jobs t.pool));
+              ("flights_in_progress", Json.Int (Runner.flights_in_progress ()));
+              ("live_connections", Json.Int (Atomic.get t.live_conns));
+            ] );
+      ]
+  in
   Ok
     ( Json.Obj
-        [
-          ("tenants", Tenant.all_to_json ());
-          ( "cache",
-            Json.Obj
-              [
-                ("hits", Json.Int c.Experiments.Cache.hits);
-                ("misses", Json.Int c.Experiments.Cache.misses);
-                ("stores", Json.Int c.Experiments.Cache.stores);
-                ("evictions", Json.Int c.Experiments.Cache.evictions);
-              ] );
-        ],
+        ([
+           ("stats_version", Json.Int stats_version);
+           ("tenants", Tenant.all_to_json ());
+           ( "cache",
+             Json.Obj
+               [
+                 ("hits", Json.Int c.Experiments.Cache.hits);
+                 ("misses", Json.Int c.Experiments.Cache.misses);
+                 ("stores", Json.Int c.Experiments.Cache.stores);
+                 ("evictions", Json.Int c.Experiments.Cache.evictions);
+               ] );
+           ( "metrics",
+             Json.Obj
+               (List.map
+                  (fun (name, v) -> (name, metric_value_to_json v))
+                  (Obs.Metrics.snapshot ())) );
+         ]
+        @ server_fields),
       false )
 
-let default_handler cfg (req : Protocol.request) : outcome =
+let default_handler ?server cfg (req : Protocol.request) : outcome =
   match req.Protocol.kind with
   | Protocol.Analyze name -> handle_analyze cfg name
   | Protocol.Explain name -> handle_explain cfg name
   | Protocol.Simulate body -> handle_simulate cfg req.Protocol.tenant body
-  | Protocol.Stats -> handle_stats ()
+  | Protocol.Stats -> handle_stats ?server ()
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle and dispatch                                              *)
 (* ------------------------------------------------------------------ *)
 
 (** [tenant_quota] is the max in-flight requests any one tenant may hold
-    under the global cap; [0] (the default) means unlimited. *)
-let create ?handler ?(tenant_quota = 0) ~cfg ~jobs ~queue_cap () =
+    under the global cap; [0] (the default) means unlimited.  [slow_ms]
+    arms the slow-request log; 1 of every [slow_sample] requests over
+    the threshold is written (sampling keeps a pathological workload
+    from turning the log into the bottleneck). *)
+let create ?handler ?(tenant_quota = 0) ?slow_ms ?(slow_sample = 1) ~cfg ~jobs
+    ~queue_cap () =
   if queue_cap < 1 then invalid_arg "Server.create: queue_cap must be >= 1";
   if tenant_quota < 0 then
     invalid_arg "Server.create: tenant_quota must be >= 0";
-  let handler =
-    match handler with Some h -> h | None -> default_handler cfg
+  if slow_sample < 1 then invalid_arg "Server.create: slow_sample must be >= 1";
+  let t =
+    {
+      cfg;
+      queue_cap;
+      tenant_quota = (if tenant_quota = 0 then None else Some tenant_quota);
+      pool = Pool.create ~jobs;
+      in_flight = Atomic.make 0;
+      tenant_lock = Mutex.create ();
+      tenant_inflight = Hashtbl.create 8;
+      live_conns = Atomic.make 0;
+      tracked_conns = Atomic.make 0;
+      slow_ms;
+      slow_sample;
+      slow_count = Atomic.make 0;
+      handler = (fun _ -> Error (Protocol.Internal, "handler not installed"));
+    }
   in
-  {
-    cfg;
-    queue_cap;
-    tenant_quota = (if tenant_quota = 0 then None else Some tenant_quota);
-    pool = Pool.create ~jobs;
-    in_flight = Atomic.make 0;
-    tenant_lock = Mutex.create ();
-    tenant_inflight = Hashtbl.create 8;
-    live_conns = Atomic.make 0;
-    tracked_conns = Atomic.make 0;
-    handler;
-  }
+  t.handler <-
+    (match handler with Some h -> h | None -> default_handler ~server:t cfg);
+  (* live gauges, sampled at snapshot time (a stored mirror would drift) *)
+  Obs.Metrics.gauge_fn "serve.live_connections" (fun () ->
+      float_of_int (Atomic.get t.live_conns));
+  t
 
 let config t = t.cfg
 let in_flight t = Atomic.get t.in_flight
@@ -271,6 +358,63 @@ let tracked_connections t = Atomic.get t.tracked_conns
 let m_requests = Obs.Metrics.counter "serve.requests"
 let m_overloaded = Obs.Metrics.counter "serve.overloaded"
 let m_quota_refused = Obs.Metrics.counter "serve.quota_refused"
+let m_slow = Obs.Metrics.counter "serve.slow_requests"
+
+(* current depth, not just the peak the pool gauge keeps: bumped on
+   admission and restored on completion *and* on both refusal paths *)
+let note_queue_depth t =
+  Obs.Metrics.set_gauge "serve.queue_depth"
+    (float_of_int (max 0 (Atomic.get t.in_flight)))
+
+let trace_counter = Atomic.make 0
+
+(* pid-qualified so ids from a client and a server (or two servers
+   behind one trace file) cannot collide *)
+let mint_trace_id () =
+  Printf.sprintf "req-%d-%d" (Unix.getpid ())
+    (Atomic.fetch_and_add trace_counter 1)
+
+let scheme_of_req (req : Protocol.request) =
+  match req.Protocol.kind with
+  | Protocol.Simulate b -> Scheme.label b.Protocol.scheme
+  | _ -> "-"
+
+let access_log t (req : Protocol.request) ~trace_id ~outcome ~source
+    ~latency_us =
+  if !Obs.Log.enabled then
+    Obs.Log.event "serve.access"
+      [
+        ("id", Obs.Span.Str req.Protocol.id);
+        ("tenant", Obs.Span.Str req.Protocol.tenant);
+        ("kind", Obs.Span.Str (Protocol.kind_label req.Protocol.kind));
+        ("scheme", Obs.Span.Str (scheme_of_req req));
+        ("source", Obs.Span.Str source);
+        ("outcome", Obs.Span.Str outcome);
+        ("queue_depth", Obs.Span.Int (max 0 (Atomic.get t.in_flight)));
+        ("latency_us", Obs.Span.Int latency_us);
+        ("trace_id", Obs.Span.Str trace_id);
+      ]
+
+(* every slow request is counted; 1 in [slow_sample] is written *)
+let slow_log t (req : Protocol.request) ~trace_id ~latency_us =
+  match t.slow_ms with
+  | None -> ()
+  | Some thresh ->
+    if float_of_int latency_us >= thresh *. 1000. then begin
+      let n = Atomic.fetch_and_add t.slow_count 1 in
+      Obs.Metrics.incr m_slow;
+      if n mod t.slow_sample = 0 then
+        Obs.Log.event ~level:Obs.Log.Warn "serve.slow"
+          [
+            ("id", Obs.Span.Str req.Protocol.id);
+            ("tenant", Obs.Span.Str req.Protocol.tenant);
+            ("kind", Obs.Span.Str (Protocol.kind_label req.Protocol.kind));
+            ("scheme", Obs.Span.Str (scheme_of_req req));
+            ("latency_us", Obs.Span.Int latency_us);
+            ("threshold_ms", Obs.Span.Float thresh);
+            ("trace_id", Obs.Span.Str trace_id);
+          ]
+    end
 
 (* Claim an in-flight slot for [name] under the per-tenant quota.
    Returns [false] when the tenant is already at its quota.  Entries are
@@ -323,13 +467,23 @@ let tenant_in_flight t name =
     it must be safe to call from any domain. *)
 let post t (req : Protocol.request) ~respond =
   Obs.Metrics.incr m_requests;
+  (* correlate from the first touch: client-supplied id or a minted one *)
+  let trace_id =
+    match req.Protocol.trace_id with
+    | Some s when s <> "" -> s
+    | _ -> mint_trace_id ()
+  in
   let n = Atomic.fetch_and_add t.in_flight 1 in
+  note_queue_depth t;
   if n >= t.queue_cap then begin
     ignore (Atomic.fetch_and_add t.in_flight (-1));
+    note_queue_depth t;
     Obs.Metrics.incr m_overloaded;
     (* counted, but no latency sample: a refusal is not a served request,
        and a zero would drag p50/p99 down exactly when service degrades *)
     Tenant.note (Tenant.find_or_create req.Protocol.tenant) Tenant.Overloaded;
+    access_log t req ~trace_id ~outcome:"overloaded" ~source:"refused"
+      ~latency_us:0;
     respond
       {
         Protocol.resp_id = req.Protocol.id;
@@ -348,10 +502,13 @@ let post t (req : Protocol.request) ~respond =
        separately so operators can tell noisy-tenant pushback from
        genuine saturation *)
     ignore (Atomic.fetch_and_add t.in_flight (-1));
+    note_queue_depth t;
     Obs.Metrics.incr m_quota_refused;
     Tenant.note
       (Tenant.find_or_create req.Protocol.tenant)
       Tenant.Quota_refused;
+    access_log t req ~trace_id ~outcome:"quota_refused" ~source:"refused"
+      ~latency_us:0;
     respond
       {
         Protocol.resp_id = req.Protocol.id;
@@ -367,17 +524,37 @@ let post t (req : Protocol.request) ~respond =
     `Rejected
   end
   else begin
-    Pool.submit t.pool (fun () ->
+    (* the pool.task span opens on the worker before the body runs, so
+       the trace id rides in as a submit attribute; the body then sets
+       the domain's trace context, and every span below — serve.request,
+       runner.run, runner.simulate — inherits it *)
+    Pool.submit
+      ~attrs:[ ("trace_id", Obs.Span.Str trace_id) ]
+      t.pool
+      (fun () ->
         Fun.protect
           ~finally:(fun () ->
             tenant_release t req.Protocol.tenant;
-            ignore (Atomic.fetch_and_add t.in_flight (-1)))
+            ignore (Atomic.fetch_and_add t.in_flight (-1));
+            note_queue_depth t)
           (fun () ->
+            Obs.Span.with_trace_id trace_id @@ fun () ->
+            Obs.Span.with_span "serve.request"
+              ~attrs:
+                [
+                  ("id", Obs.Span.Str req.Protocol.id);
+                  ("tenant", Obs.Span.Str req.Protocol.tenant);
+                  ("kind", Obs.Span.Str (Protocol.kind_label req.Protocol.kind));
+                ]
+            @@ fun _span ->
             let start = Obs.Clock.now_us () in
             let result =
               try t.handler req
               with e -> Error (Protocol.Internal, Printexc.to_string e)
             in
+            (* always drained, logging or not — a stale note from this
+               request must not leak into the worker's next one *)
+            let noted_source = take_source () in
             let latency_us = Obs.Clock.now_us () - start in
             let tenant = Tenant.find_or_create req.Protocol.tenant in
             (match result with
@@ -385,6 +562,21 @@ let post t (req : Protocol.request) ~respond =
               Tenant.note ~latency_us tenant
                 (if cached then Tenant.Hit else Tenant.Miss)
             | Error _ -> Tenant.note ~latency_us tenant Tenant.Failed);
+            (if !Obs.Log.enabled then
+               let outcome, source =
+                 match result with
+                 | Ok (_, cached) ->
+                   let source =
+                     match noted_source with
+                     | Some s -> s
+                     | None -> if cached then "cached" else "computed"
+                   in
+                   ("ok", source)
+                 | Error (code, _) ->
+                   (Protocol.error_code_label code, "error")
+               in
+               access_log t req ~trace_id ~outcome ~source ~latency_us);
+            slow_log t req ~trace_id ~latency_us;
             respond
               {
                 Protocol.resp_id = req.Protocol.id;

@@ -9,19 +9,19 @@
     and count as misses.  Latencies are recorded only for requests that
     were actually handled (admission refusals carry no latency — a zero
     sample would drag the percentiles down exactly when service is
-    degraded), kept in a bounded ring of the most recent {!lat_window}
-    samples, and summarized as nearest-rank p50/p99 over that window —
-    so a long-running daemon's memory and stats cost stay flat.
+    degraded), into a per-tenant {!Obs.Histogram} — log-bucketed, fixed
+    memory regardless of request volume, and covering the tenant's
+    whole history rather than a sliding ring.  p50/p99 are the
+    histogram's conservative bucket upper bounds, so the exact
+    nearest-rank answer is never more than one bucket width (≤12.5%)
+    below the reported figure.  Each histogram is also registered in
+    the {!Obs.Metrics} registry as [serve.latency_us.<tenant>], so a
+    plain metrics snapshot carries the same summaries.
 
-    All mutation goes through one mutex per tenant plus one for the
-    registry — request volumes are tiny next to simulation work, so
-    contention is irrelevant. *)
+    All mutation of the counters goes through one mutex per tenant plus
+    one for the registry; histogram recording is atomic on its own. *)
 
 module Json = Gpu_util.Json
-
-let lat_window = 4096
-(** Size of the per-tenant latency ring: percentiles describe the most
-    recent [lat_window] handled requests, not all history. *)
 
 type t = {
   name : string;
@@ -34,9 +34,9 @@ type t = {
   mutable quota_refusals : int;
       (** subset of [errors]: refused by this tenant's own in-flight
           quota, disjoint from [overloaded] *)
-  lat_us : int array;  (** ring of [lat_window] entries *)
-  mutable n_lat : int;  (** latencies ever recorded; [min n_lat lat_window]
-                            entries of [lat_us] are live *)
+  lat : Obs.Histogram.t;
+      (** handled-request latencies; shared with the metrics registry
+          entry [serve.latency_us.<name>] *)
 }
 
 type outcome =
@@ -56,8 +56,7 @@ let create name =
     errors = 0;
     overloaded = 0;
     quota_refusals = 0;
-    lat_us = Array.make lat_window 0;
-    n_lat = 0;
+    lat = Obs.Metrics.histogram ("serve.latency_us." ^ name);
   }
 
 let with_lock t f =
@@ -82,11 +81,11 @@ let note ?latency_us t outcome =
     t.quota_refusals <- t.quota_refusals + 1);
   match latency_us with
   | None -> ()
-  | Some us ->
-    t.lat_us.(t.n_lat mod lat_window) <- us;
-    t.n_lat <- t.n_lat + 1
+  | Some us -> Obs.Histogram.record t.lat us
 
-(* nearest-rank percentile over the recorded latencies *)
+(* Nearest-rank percentile over a sorted sample array — the exact
+   reference the histogram's bucket bounds are checked against in the
+   tests; not used on the serve path itself. *)
 let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0
@@ -103,17 +102,18 @@ type snapshot = {
   snap_overloaded : int;
   snap_quota_refusals : int;
   snap_hit_rate : float;  (** hits / (hits + misses) *)
-  snap_p50_us : int;
-  snap_p99_us : int;
+  snap_p50_us : int;  (** bucket upper bound (conservative) *)
+  snap_p99_us : int;  (** bucket upper bound (conservative) *)
+  snap_lat : Obs.Histogram.summary;
+  snap_lat_buckets : (int * int) list;
+      (** sparse (bucket, count) export — lets a client recompute any
+          quantile with exact bucket bounds *)
 }
 
 let snapshot t =
   with_lock t @@ fun () ->
-  (* before the ring wraps, entries [0, n_lat) are live in write order;
-     after, every slot is — order is irrelevant to a percentile *)
-  let sorted = Array.sub t.lat_us 0 (min t.n_lat lat_window) in
-  Array.sort compare sorted;
   let lookups = t.hits + t.misses in
+  let summary = Obs.Histogram.summary t.lat in
   {
     snap_name = t.name;
     snap_requests = t.requests;
@@ -124,8 +124,10 @@ let snapshot t =
     snap_quota_refusals = t.quota_refusals;
     snap_hit_rate =
       (if lookups = 0 then 0. else float_of_int t.hits /. float_of_int lookups);
-    snap_p50_us = percentile sorted 50.;
-    snap_p99_us = percentile sorted 99.;
+    snap_p50_us = summary.Obs.Histogram.s_p50;
+    snap_p99_us = summary.Obs.Histogram.s_p99;
+    snap_lat = summary;
+    snap_lat_buckets = Obs.Histogram.export t.lat;
   }
 
 let snapshot_to_json s =
@@ -146,8 +148,16 @@ let snapshot_to_json s =
       ( "latency_us",
         Json.Obj
           [
+            ("count", Json.Int s.snap_lat.Obs.Histogram.s_count);
             ("p50", Json.Int s.snap_p50_us);
+            ("p90", Json.Int s.snap_lat.Obs.Histogram.s_p90);
             ("p99", Json.Int s.snap_p99_us);
+            ("max", Json.Int s.snap_lat.Obs.Histogram.s_max);
+            ( "buckets",
+              Json.List
+                (List.map
+                   (fun (b, c) -> Json.List [ Json.Int b; Json.Int c ])
+                   s.snap_lat_buckets) );
           ] );
     ]
 
@@ -182,9 +192,13 @@ let all () =
 let all_to_json () =
   Json.List (List.map (fun t -> snapshot_to_json (snapshot t)) (all ()))
 
-(** Drop every tenant — test isolation only. *)
+(** Drop every tenant — test isolation only.  The latency histograms
+    live in the metrics registry (find-or-register by name), so they are
+    cleared here too: a re-created tenant starts from an empty series. *)
 let reset () =
   Mutex.lock registry_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock registry_lock)
-    (fun () -> Hashtbl.reset registry)
+    (fun () ->
+      Hashtbl.iter (fun _ t -> Obs.Histogram.clear t.lat) registry;
+      Hashtbl.reset registry)

@@ -60,9 +60,10 @@ let shutdown t =
    the "pool.task" span (when tracing is on) and the pool.* metrics.
    The caller's exception, if any, is returned untouched so [map] can
    re-raise it exactly as before. *)
-let run_attributed ~task ~worker f x =
+let run_attributed ?(attrs = []) ~task ~worker f x =
   Obs.Span.with_span "pool.task"
-    ~attrs:[ ("task", Obs.Span.Int task); ("worker", Obs.Span.Int worker) ]
+    ~attrs:
+      (("task", Obs.Span.Int task) :: ("worker", Obs.Span.Int worker) :: attrs)
     (fun span ->
       let start = Obs.Clock.now_us () in
       let r =
@@ -86,9 +87,9 @@ let run_attributed ~task ~worker f x =
 (* monotone submission counter: [submit] tasks get distinct span ids *)
 let submitted = Atomic.make 0
 
-let submit t f =
+let submit ?attrs t f =
   let task_id = Atomic.fetch_and_add submitted 1 in
-  let task worker = ignore (run_attributed ~task:task_id ~worker f ()) in
+  let task worker = ignore (run_attributed ?attrs ~task:task_id ~worker f ()) in
   Mutex.lock t.lock;
   if t.stopping then begin
     Mutex.unlock t.lock;

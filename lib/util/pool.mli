@@ -33,13 +33,17 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     [pool.tasks] / [pool.errors] / [pool.busy_us] counters plus the
     [pool.queue_depth.peak] gauge are always maintained. *)
 
-val submit : t -> (unit -> unit) -> unit
+val submit :
+  ?attrs:(string * Obs.Span.attr) list -> t -> (unit -> unit) -> unit
 (** Fire-and-forget: enqueue one task and return immediately.  The task
     runs with the same attribution as {!map} tasks; an exception it
     raises is recorded on the span/metrics and otherwise dropped, so
     tasks that must report failure should carry their own channel (the
-    serve layer writes an error response).  Raises [Invalid_argument]
-    after {!shutdown}. *)
+    serve layer writes an error response).  [attrs] (e.g. a request's
+    [trace_id]) are appended to the ["pool.task"] span's attributes —
+    the span opens on the worker domain before the task body runs, so
+    correlation attributes must ride in rather than be set from inside.
+    Raises [Invalid_argument] after {!shutdown}. *)
 
 val shutdown : t -> unit
 (** Waits for queued work to drain, then joins all workers.  The pool

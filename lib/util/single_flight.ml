@@ -7,6 +7,7 @@ type 'v outcome =
 type 'v entry = {
   e_lock : Mutex.t;
   e_done : Condition.t;
+  e_tag : string;  (** leader-supplied tag (e.g. its trace id) *)
   mutable e_outcome : 'v outcome option;  (** [None] while the leader runs *)
 }
 
@@ -38,7 +39,7 @@ let await e =
   Mutex.unlock e.e_lock;
   outcome
 
-let run t key f =
+let run_tagged t key ~tag f =
   Mutex.lock t.lock;
   match Hashtbl.find_opt t.tbl key with
   | Some e ->
@@ -46,11 +47,16 @@ let run t key f =
        entry reference stays valid after removal from the table. *)
     Mutex.unlock t.lock;
     (match await e with
-    | Value v -> `Joined v
+    | Value v -> `Joined (e.e_tag, v)
     | Raised (exn, bt) -> Printexc.raise_with_backtrace exn bt)
   | None ->
     let e =
-      { e_lock = Mutex.create (); e_done = Condition.create (); e_outcome = None }
+      {
+        e_lock = Mutex.create ();
+        e_done = Condition.create ();
+        e_tag = tag;
+        e_outcome = None;
+      }
     in
     Hashtbl.add t.tbl key e;
     Mutex.unlock t.lock;
@@ -67,3 +73,8 @@ let run t key f =
     (match outcome with
     | Value v -> `Led v
     | Raised (exn, bt) -> Printexc.raise_with_backtrace exn bt)
+
+let run t key f =
+  match run_tagged t key ~tag:"" f with
+  | `Led v -> `Led v
+  | `Joined (_tag, v) -> `Joined v

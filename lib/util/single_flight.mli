@@ -33,6 +33,19 @@ val create : unit -> 'v t
     cases. *)
 val run : 'v t -> string -> (unit -> 'v) -> [ `Led of 'v | `Joined of 'v ]
 
+(** [run_tagged t key ~tag f] is {!run}, except the leader deposits
+    [tag] on the flight and each follower receives the *leader's* tag
+    alongside the value — the leader/joiner linkage used to correlate a
+    coalesced request's trace with the flight that actually computed
+    it.  The leader's own result carries no tag (it already knows
+    its identity). *)
+val run_tagged :
+  'v t ->
+  string ->
+  tag:string ->
+  (unit -> 'v) ->
+  [ `Led of 'v | `Joined of string * 'v ]
+
 (** Number of flights currently in progress (leaders that have not yet
     published).  [0] when the system is quiescent — the no-leak check. *)
 val in_flight : 'v t -> int

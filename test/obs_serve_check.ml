@@ -1,0 +1,43 @@
+(** The [@obs-serve] alias (pulled into [dune runtest]): the telemetry
+    plane's disabled path must be free on the serve loop.
+
+    Runs {!Serve.Bench.obs_overhead} — two interleaved batches of the
+    pipelined serve stage with span tracing and structured logging
+    disabled (an A/A measurement whose delta bounds the disabled-path
+    cost plus noise) against one batch with both enabled — and fails
+    when the A/A batches land more than 5% apart.  Noise-tolerant: a
+    busy CI scheduler can blow one measurement, so the gate re-measures
+    up to 3 times and passes on the first clean attempt. *)
+
+let () =
+  let module B = Experiments.Bench_core in
+  let attempts = 3 in
+  let rec gate attempt =
+    let o = Serve.Bench.obs_overhead () in
+    Printf.printf
+      "obs-serve A/A (attempt %d/%d): disabled %.2f ms (%.1f%% apart), \
+       enabled %.2f ms (+%.1f%%)\n\
+       %!"
+      attempt attempts o.B.disabled_ms o.B.disabled_ab_pct o.B.enabled_ms
+      o.B.enabled_pct;
+    if o.B.disabled_within_5pct then o
+    else if attempt < attempts then gate (attempt + 1)
+    else begin
+      Printf.eprintf
+        "obs-serve: disabled-path A/A overhead above 5%% on every attempt \
+         (last: %.1f%%)\n"
+        o.B.disabled_ab_pct;
+      exit 1
+    end
+  in
+  let o = gate 1 in
+  (* the gate must leave no telemetry armed behind it *)
+  if !Obs.Span.enabled then begin
+    prerr_endline "obs-serve: left span tracing enabled";
+    exit 1
+  end;
+  if !Obs.Log.enabled then begin
+    prerr_endline "obs-serve: left the structured log enabled";
+    exit 1
+  end;
+  Printf.printf "obs-serve: OK (disabled A/A %.1f%% apart)\n" o.B.disabled_ab_pct

@@ -129,6 +129,49 @@ let () =
             check (Printf.sprintf "request %s ok (error: %s)" id msg) false
           | None -> check ("request " ^ id ^ " answered") false)
         [ "sim"; "co"; "an"; "ex"; "st" ];
+      (* the admin client against the live daemon: `catt_d stats --json`
+         must fetch the envelope over the socket and print it whole *)
+      let out_r, out_w = Unix.pipe ~cloexec:false () in
+      let stats_pid =
+        Unix.create_process binary
+          [| binary; "stats"; "--socket"; sock; "--json" |]
+          Unix.stdin out_w Unix.stderr
+      in
+      Unix.close out_w;
+      let out = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read out_r chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes out chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      Unix.close out_r;
+      let _, stats_status = Unix.waitpid [] stats_pid in
+      check "catt_d stats exits 0" (stats_status = Unix.WEXITED 0);
+      (match Json.of_string (String.trim (Buffer.contents out)) with
+      | Error msg -> check (Printf.sprintf "stats --json parses (%s)" msg) false
+      | Ok payload ->
+        check "stats --json parses" true;
+        check "stats envelope is versioned"
+          (Json.member_opt "stats_version" payload = Some (Json.Int 1));
+        let tenants =
+          match Json.member_opt "tenants" payload with
+          | Some (Json.List ts) -> ts
+          | _ -> []
+        in
+        check "stats reports the smoke tenant"
+          (List.exists
+             (fun t -> Json.member_opt "tenant" t = Some (Json.String "smoke"))
+             tenants);
+        (match Json.member_opt "server" payload with
+        | Some srv ->
+          check "server block carries the configured queue cap"
+            (Json.member_opt "queue_cap" srv = Some (Json.Int 8))
+        | None -> check "server block present in live stats" false));
       (* clean shutdown: SIGTERM must drain, join every domain, exit 0 *)
       Unix.kill pid Sys.sigterm;
       let status = ref None in

@@ -202,9 +202,23 @@ let test_metrics_registry () =
     (List.assoc_opt "test.obs.gauge" snap = Some (Metrics.Gauge 1.5));
   check "max_gauge keeps the maximum" true
     (List.assoc_opt "test.obs.peak" snap = Some (Metrics.Gauge 3.));
-  match List.assoc_opt "process.uptime_us" snap with
+  (match List.assoc_opt "process.uptime_us" snap with
   | Some (Metrics.Count us) -> check "uptime positive" true (us > 0)
-  | _ -> Alcotest.fail "snapshot missing process.uptime_us"
+  | _ -> Alcotest.fail "snapshot missing process.uptime_us");
+  (* the two PR-10 value kinds: registered histograms and live gauge
+     callbacks, both sampled at snapshot time *)
+  let h = Metrics.histogram "test.obs.hist" in
+  Obs.Histogram.record h 100;
+  Metrics.gauge_fn "test.obs.live" (fun () -> 7.5);
+  let snap = Metrics.snapshot () in
+  check "gauge_fn sampled at snapshot time" true
+    (List.assoc_opt "test.obs.live" snap = Some (Metrics.Gauge 7.5));
+  (match List.assoc_opt "test.obs.hist" snap with
+  | Some (Metrics.Hist s) ->
+    check "histogram summary in snapshot" true (s.Obs.Histogram.s_count >= 1)
+  | _ -> Alcotest.fail "snapshot missing the registered histogram");
+  check "histogram handle is find-or-register" true
+    (Metrics.histogram "test.obs.hist" == h)
 
 let explain_cfg () = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(32 * 1024) ()
 
@@ -232,6 +246,226 @@ let test_manifest_roundtrip () =
     (* reserialization is byte-stable, so the metric floats survived *)
     check_string "round-trip is lossless" rendered
       (Json.to_string (Experiments.Manifest.to_json m'))
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = Obs.Histogram
+
+let test_histogram_buckets () =
+  List.iter
+    (fun (v, lo, hi) ->
+      let lo', hi' = Histogram.bounds (Histogram.bucket_of v) in
+      check_int (Printf.sprintf "%d lower bound" v) lo lo';
+      check_int (Printf.sprintf "%d upper bound" v) hi hi')
+    [
+      (0, 0, 0);
+      (7, 7, 7);
+      (8, 8, 8);
+      (100, 96, 103);
+      (200, 192, 207);
+      (1_000_000, 983_040, 1_048_575);
+    ];
+  check_int "negative clamps to bucket 0" 0 (Histogram.bucket_of (-5))
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  check_int "empty quantile" 0 (Histogram.quantile h 50.);
+  check "empty bounds" true (Histogram.quantile_bounds h 50. = None);
+  check_int "empty max" 0 (Histogram.max_value h);
+  for _ = 1 to 90 do
+    Histogram.record h 100
+  done;
+  for _ = 1 to 10 do
+    Histogram.record h 1_000_000
+  done;
+  check_int "count" 100 (Histogram.count h);
+  let _, hi100 = Histogram.bounds (Histogram.bucket_of 100) in
+  let _, hi1m = Histogram.bounds (Histogram.bucket_of 1_000_000) in
+  check_int "p50 reports the low mode's bucket" hi100 (Histogram.quantile h 50.);
+  check_int "p90 is still the low mode" hi100 (Histogram.quantile h 90.);
+  check_int "p99 lands in the tail" hi1m (Histogram.quantile h 99.);
+  check_int "max is the tail bucket's bound" hi1m (Histogram.max_value h);
+  let s = Histogram.summary h in
+  check_int "summary count" 100 s.Histogram.s_count;
+  check_int "summary p99" hi1m s.Histogram.s_p99;
+  Histogram.clear h;
+  check_int "cleared" 0 (Histogram.count h)
+
+let hist_of_list vs =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) vs;
+  h
+
+let sample = QCheck.(list (int_bound 2_000_000))
+
+let prop_bucket_contains =
+  QCheck.Test.make ~count:500
+    ~name:"histogram: bucket contains its value, width <= 1/sub"
+    QCheck.(int_bound 2_000_000_000)
+    (fun v ->
+      let lo, hi = Histogram.bounds (Histogram.bucket_of v) in
+      lo <= v && v <= hi && hi - lo <= max 0 (lo / Histogram.sub))
+
+let prop_merge =
+  QCheck.Test.make ~count:200
+    ~name:"histogram: merge is associative, commutative, count-preserving"
+    (QCheck.triple sample sample sample)
+    (fun (a, b, c) ->
+      let ha = hist_of_list a
+      and hb = hist_of_list b
+      and hc = hist_of_list c in
+      let ab = Histogram.merge ha hb in
+      Histogram.export ab = Histogram.export (Histogram.merge hb ha)
+      && Histogram.export (Histogram.merge ab hc)
+         = Histogram.export (Histogram.merge ha (Histogram.merge hb hc))
+      && Histogram.count ab = List.length a + List.length b)
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~count:300
+    ~name:"histogram: quantile bounds contain the exact nearest-rank value"
+    QCheck.(
+      pair (list_of_size Gen.(1 -- 300) (int_bound 5_000_000)) (int_bound 99))
+    (fun (vs, p) ->
+      let p = float_of_int (p + 1) in
+      let h = hist_of_list vs in
+      let sorted = Array.of_list vs in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let rank =
+        max 1 (min n (int_of_float (ceil (p /. 100. *. float_of_int n))))
+      in
+      let exact = sorted.(rank - 1) in
+      match Histogram.quantile_bounds h p with
+      | None -> false
+      | Some (lo, hi) -> lo <= exact && exact <= hi)
+
+let prop_export_json_roundtrip =
+  QCheck.Test.make ~count:200
+    ~name:"histogram: export survives a JSON round-trip into import" sample
+    (fun vs ->
+      let h = hist_of_list vs in
+      let json =
+        Json.List
+          (List.map
+             (fun (b, c) -> Json.List [ Json.Int b; Json.Int c ])
+             (Histogram.export h))
+      in
+      match Json.of_string (Json.to_string json) with
+      | Error _ -> false
+      | Ok j ->
+        let pairs =
+          List.map
+            (fun e ->
+              match Json.to_list e with
+              | [ b; c ] -> (Json.to_int b, Json.to_int c)
+              | _ -> (-1, -1))
+            (Json.to_list j)
+        in
+        Histogram.export (Histogram.import pairs) = Histogram.export h)
+
+(* ------------------------------------------------------------------ *)
+(* Structured log                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_writer () =
+  let was_enabled = !Obs.Log.enabled and was_threshold = !Obs.Log.threshold in
+  Obs.Log.close ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.close ();
+      Obs.Log.enabled := was_enabled;
+      Obs.Log.threshold := was_threshold)
+    (fun () ->
+      check "disabled with no sink" false !Obs.Log.enabled;
+      Obs.Log.event "inert" [ ("k", Span.Int 1) ] (* must be a no-op *);
+      let path = Filename.temp_file "obs-log" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Obs.Log.open_path path;
+          check "open_path enables" true !Obs.Log.enabled;
+          Obs.Log.event "first"
+            [
+              ("i", Span.Int 42);
+              ("f", Span.Float 1.5);
+              ("s", Span.Str "quotes \" and\nnewlines");
+              ("b", Span.Bool true);
+            ];
+          Obs.Log.event ~level:Obs.Log.Debug "below-threshold" [];
+          Obs.Log.event ~level:Obs.Log.Warn "second"
+            [ ("tenant", Span.Str "t") ];
+          Obs.Log.close ();
+          check "close disables" false !Obs.Log.enabled;
+          let lines =
+            List.filter
+              (fun l -> String.trim l <> "")
+              (String.split_on_char '\n'
+                 (In_channel.with_open_bin path In_channel.input_all))
+          in
+          match
+            List.map
+              (fun l ->
+                match Json.of_string l with
+                | Ok j -> j
+                | Error msg ->
+                  Alcotest.failf "log line does not parse: %s (%s)" l msg)
+              lines
+          with
+          | [ a; b ] ->
+            check_string "event name" "first"
+              (Json.to_str (Json.member "event" a));
+            check_string "default level" "info"
+              (Json.to_str (Json.member "level" a));
+            check "ts_us positive" true
+              (Json.to_int (Json.member "ts_us" a) > 0);
+            check_int "int attr" 42 (Json.to_int (Json.member "i" a));
+            check "bool attr" true (Json.to_bool (Json.member "b" a));
+            check_string "string attr escapes round-trip"
+              "quotes \" and\nnewlines"
+              (Json.to_str (Json.member "s" a));
+            check_string "warn level" "warn"
+              (Json.to_str (Json.member "level" b));
+            check_string "second event's attr" "t"
+              (Json.to_str (Json.member "tenant" b))
+          | l ->
+            Alcotest.failf "expected 2 lines (Debug filtered), got %d"
+              (List.length l)))
+
+(* ------------------------------------------------------------------ *)
+(* Trace-id context                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_context () =
+  check "no ambient trace id" true (Span.current_trace_id () = None);
+  let seen =
+    Span.with_trace_id "outer-id" (fun () ->
+        let a = Span.current_trace_id () in
+        let b =
+          Span.with_trace_id "inner-id" (fun () -> Span.current_trace_id ())
+        in
+        (a, b, Span.current_trace_id ()))
+  in
+  check "nested contexts set and restore" true
+    (seen = (Some "outer-id", Some "inner-id", Some "outer-id"));
+  check "restored outside" true (Span.current_trace_id () = None);
+  (try Span.with_trace_id "boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  check "restored after an exception" true (Span.current_trace_id () = None);
+  with_tracing (fun () ->
+      Span.with_trace_id "tid-1" (fun () ->
+          Span.with_span "auto" (fun _ -> ());
+          Span.with_span "explicit"
+            ~attrs:[ ("trace_id", Span.Str "already") ]
+            (fun _ -> ()));
+      let spans = Span.finished () in
+      check "span inherits the ambient trace id" true
+        (List.assoc_opt "trace_id" (Span.attrs (by_name spans "auto"))
+        = Some (Span.Str "tid-1"));
+      check "an explicit trace_id attr wins" true
+        (List.assoc_opt "trace_id" (Span.attrs (by_name spans "explicit"))
+        = Some (Span.Str "already")))
 
 (* ------------------------------------------------------------------ *)
 (* Pool attribution                                                    *)
@@ -455,6 +689,7 @@ let tests =
         tc "attrs and idempotent finish" `Quick test_span_attrs;
         tc "error capture" `Quick test_span_error;
         tc "clock monotone" `Quick test_clock_monotone;
+        tc "trace-id context" `Quick test_trace_context;
       ] );
     ("perfetto", [ tc "export well-formed" `Quick test_perfetto_well_formed ]);
     ( "metrics",
@@ -462,6 +697,16 @@ let tests =
         tc "registry" `Quick test_metrics_registry;
         tc "manifest round-trip" `Quick test_manifest_roundtrip;
       ] );
+    ( "histogram",
+      [
+        tc "fixed bucket boundaries" `Quick test_histogram_buckets;
+        tc "quantiles and summary" `Quick test_histogram_quantiles;
+        QCheck_alcotest.to_alcotest prop_bucket_contains;
+        QCheck_alcotest.to_alcotest prop_merge;
+        QCheck_alcotest.to_alcotest prop_quantile_bounds;
+        QCheck_alcotest.to_alcotest prop_export_json_roundtrip;
+      ] );
+    ("log", [ tc "writer, levels, escaping" `Quick test_log_writer ]);
     ( "pool",
       [
         tc "task attribution" `Quick test_pool_attribution;

@@ -43,7 +43,7 @@ let test_request_roundtrip_all_kinds () =
   List.iter
     (fun scheme ->
       List.iter
-        (fun kind -> roundtrip { Protocol.id = "r1"; tenant = "acme"; kind })
+        (fun kind -> roundtrip { Protocol.id = "r1"; tenant = "acme"; trace_id = None; kind })
         [
           Protocol.Analyze "ATAX";
           Protocol.Explain "MVT";
@@ -86,7 +86,7 @@ let gen_request =
         ]
     in
     map3
-      (fun id tenant kind -> { Protocol.id; tenant; kind })
+      (fun id tenant kind -> { Protocol.id; tenant; trace_id = None; kind })
       gen_name gen_name gen_kind)
 
 let prop_request_roundtrip =
@@ -135,6 +135,7 @@ let test_unknown_fields_tolerated () =
       {
         Protocol.id = "x";
         tenant = "t";
+        trace_id = None;
         kind =
           Protocol.Simulate
             {
@@ -183,7 +184,8 @@ let collector () =
   in
   (respond, all)
 
-let stats_req ?(tenant = "adm") id = { Protocol.id; tenant; kind = Protocol.Stats }
+let stats_req ?(tenant = "adm") id =
+  { Protocol.id; tenant; trace_id = None; kind = Protocol.Stats }
 
 (* the cap fills deterministically because in_flight counts queued +
    running from post time: no worker needs to have started anything for
@@ -330,6 +332,7 @@ let test_simulate_hit_miss_attribution () =
     {
       Protocol.id;
       tenant = "hm";
+      trace_id = None;
       kind =
         Protocol.Simulate
           { Protocol.workload = "ATAX"; scheme = Scheme.Baseline; co_resident = None };
@@ -351,11 +354,18 @@ let test_simulate_hit_miss_attribution () =
   Alcotest.(check int) "one hit (warm, memo)" 1 s.Tenant.snap_hits;
   Alcotest.(check int) "no errors" 0 s.Tenant.snap_errors
 
+(* the bucket of the histogram the reported percentile must fall in,
+   given the exact nearest-rank answer *)
+let bucket_hi v = snd (Obs.Histogram.bounds (Obs.Histogram.bucket_of v))
+let bucket_lo v = fst (Obs.Histogram.bounds (Obs.Histogram.bucket_of v))
+
 (* refusals are counted but must not contribute latency samples: a
    throttled tenant's p50/p99 describe the requests that were served,
-   not zeros for the ones that were not *)
+   not zeros for the ones that were not.  The reported figure is the
+   upper bound of the bucket holding the exact nearest-rank answer. *)
 let test_latency_excludes_refusals () =
   Tenant.reset ();
+  Obs.Metrics.reset ();
   let t = Tenant.find_or_create "lat" in
   Tenant.note t Tenant.Overloaded;
   Tenant.note ~latency_us:100 t Tenant.Miss;
@@ -364,25 +374,45 @@ let test_latency_excludes_refusals () =
   let s = Tenant.snapshot t in
   Alcotest.(check int) "refusals still counted" 2 s.Tenant.snap_overloaded;
   Alcotest.(check int) "requests include refusals" 4 s.Tenant.snap_requests;
-  Alcotest.(check int) "p50 sees handled requests only" 100 s.Tenant.snap_p50_us;
-  Alcotest.(check int) "p99 sees handled requests only" 200 s.Tenant.snap_p99_us
+  Alcotest.(check int)
+    "only handled requests recorded" 2
+    s.Tenant.snap_lat.Obs.Histogram.s_count;
+  (* exact nearest-rank p50 over {100, 200} is 100; p99 is 200.  The
+     histogram reports the containing bucket's upper bound. *)
+  Alcotest.(check int) "p50 = bucket bound of 100" (bucket_hi 100)
+    s.Tenant.snap_p50_us;
+  Alcotest.(check bool) "p50 bucket contains 100" true (bucket_lo 100 <= 100);
+  Alcotest.(check int) "p99 = bucket bound of 200" (bucket_hi 200)
+    s.Tenant.snap_p99_us;
+  Alcotest.(check bool) "p99 bucket contains 200" true (bucket_lo 200 <= 200)
 
-(* the latency store is a fixed ring: a long-running daemon keeps the
-   most recent [lat_window] samples, not the whole history *)
-let test_latency_ring_bounded () =
+(* the latency store is a fixed-size histogram: a long-running daemon's
+   ledger memory is bounded by the bucket count, never by request
+   volume, and the percentiles cover the whole history *)
+let test_latency_histogram_bounded () =
   Tenant.reset ();
+  Obs.Metrics.reset ();
   let t = Tenant.find_or_create "ring" in
-  for _ = 1 to Tenant.lat_window do
+  let n = 4096 in
+  for _ = 1 to n do
     Tenant.note ~latency_us:1_000_000 t Tenant.Miss
   done;
-  for _ = 1 to Tenant.lat_window do
+  for _ = 1 to n do
     Tenant.note ~latency_us:7 t Tenant.Hit
   done;
-  Alcotest.(check int) "store stays bounded" Tenant.lat_window
-    (Array.length t.Tenant.lat_us);
   let s = Tenant.snapshot t in
-  Alcotest.(check int) "p50 covers the window only" 7 s.Tenant.snap_p50_us;
-  Alcotest.(check int) "p99 covers the window only" 7 s.Tenant.snap_p99_us
+  Alcotest.(check int)
+    "every sample counted" (2 * n)
+    s.Tenant.snap_lat.Obs.Histogram.s_count;
+  Alcotest.(check int) "two distinct values, two buckets" 2
+    (List.length s.Tenant.snap_lat_buckets);
+  (* nearest-rank p50 of (4096 x 7, 4096 x 1e6) sorted is 7 *)
+  Alcotest.(check int) "p50 exact (tiny values have exact buckets)" 7
+    s.Tenant.snap_p50_us;
+  Alcotest.(check int) "p99 = bucket bound of 1e6" (bucket_hi 1_000_000)
+    s.Tenant.snap_p99_us;
+  Alcotest.(check bool) "p99 bucket contains 1e6" true
+    (bucket_lo 1_000_000 <= 1_000_000)
 
 (* ------------------------------------------------------------------ *)
 (* Soak: 200 mixed requests, two tenants, jobs 4, cap engaged          *)
@@ -429,6 +459,7 @@ let test_soak_mixed_200 () =
          {
            Protocol.id = string_of_int i;
            tenant = tenant_of i;
+           trace_id = None;
            kind = kind_of i;
          }
          ~respond)
@@ -526,6 +557,7 @@ let test_serve_fd_pipe () =
         {
           Protocol.id = "sim";
           tenant = "pipe";
+          trace_id = None;
           kind =
             Protocol.Simulate
               {
@@ -655,7 +687,7 @@ let test_socket_two_clients () =
       let send fd id =
         let line =
           Protocol.request_to_line
-            { Protocol.id; tenant = "two"; kind = Protocol.Stats }
+            { Protocol.id; tenant = "two"; trace_id = None; kind = Protocol.Stats }
           ^ "\n"
         in
         let b = Bytes.of_string line in
@@ -823,6 +855,7 @@ let test_co_resident_request () =
     {
       Protocol.id = "co";
       tenant = "pair";
+      trace_id = None;
       kind =
         Protocol.Simulate
           {
@@ -964,6 +997,7 @@ let test_coalesced_identical_requests () =
         {
           Protocol.id = Printf.sprintf "r%d" i;
           tenant = Printf.sprintf "flight%d" i;
+          trace_id = None;
           kind =
             Protocol.Simulate
               {
@@ -1125,7 +1159,13 @@ let test_serve_fd_per_connection_drain () =
     ignore (Unix.write fd b 0 (Bytes.length b))
   in
   send a_in_w
-    (line { Protocol.id = "slow"; tenant = "a"; kind = Protocol.Analyze "x" });
+    (line
+       {
+         Protocol.id = "slow";
+         tenant = "a";
+         trace_id = None;
+         kind = Protocol.Analyze "x";
+       });
   (* A's request is provably admitted before B shows up *)
   let rec wait_inflight n =
     if n = 0 then Alcotest.fail "A's request never got admitted"
@@ -1135,7 +1175,13 @@ let test_serve_fd_per_connection_drain () =
   in
   wait_inflight 500;
   send b_in_w
-    (line { Protocol.id = "fast"; tenant = "b"; kind = Protocol.Stats });
+    (line
+       {
+         Protocol.id = "fast";
+         tenant = "b";
+         trace_id = None;
+         kind = Protocol.Stats;
+       });
   Unix.close b_in_w;
   let b_done = Atomic.make false in
   let tb =
@@ -1218,6 +1264,7 @@ let test_serve_socket_reaps_connections () =
             {
               Protocol.id = Printf.sprintf "c%d" i;
               tenant = "reap";
+              trace_id = None;
               kind = Protocol.Stats;
             }
           ^ "\n"
@@ -1265,6 +1312,7 @@ let test_pipelined_burst_single_write () =
              {
                Protocol.id = Printf.sprintf "p%d" i;
                tenant = "burst";
+               trace_id = None;
                kind = Protocol.Stats;
              }
            ^ "\n"))
@@ -1274,7 +1322,12 @@ let test_pipelined_burst_single_write () =
   let payload =
     payload
     ^ Protocol.request_to_line
-        { Protocol.id = "tail"; tenant = "burst"; kind = Protocol.Stats }
+        {
+          Protocol.id = "tail";
+          tenant = "burst";
+          trace_id = None;
+          kind = Protocol.Stats;
+        }
   in
   let b = Bytes.of_string payload in
   let written = Unix.write in_w b 0 (Bytes.length b) in
@@ -1305,6 +1358,275 @@ let test_pipelined_burst_single_write () =
   Alcotest.(check bool) "unterminated tail answered" true
     (List.mem "tail" ids)
 
+(* ------------------------------------------------------------------ *)
+(* Live admin plane: the stats envelope                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_envelope () =
+  Tenant.reset ();
+  Obs.Metrics.reset ();
+  let srv =
+    Server.create ~cfg:small_cfg ~jobs:2 ~queue_cap:5 ~tenant_quota:3 ()
+  in
+  let respond, all = collector () in
+  (* first request seeds the tenant ledger and its latency histogram;
+     the second snapshots with that history visible *)
+  ignore (Server.post srv (stats_req ~tenant:"envel" "warm") ~respond);
+  Server.drain srv;
+  ignore (Server.post srv (stats_req ~tenant:"envel" "snap") ~respond);
+  Server.shutdown srv;
+  let payload =
+    match List.find_opt (fun r -> r.Protocol.resp_id = "snap") (all ()) with
+    | Some { Protocol.result = Ok p; _ } -> p
+    | _ -> Alcotest.fail "stats response missing or failed"
+  in
+  Alcotest.(check int) "stats_version" Server.stats_version
+    (Json.to_int (Json.member "stats_version" payload));
+  let tenants = Json.to_list (Json.member "tenants" payload) in
+  let envel =
+    match
+      List.find_opt
+        (fun t -> Json.to_str (Json.member "tenant" t) = "envel")
+        tenants
+    with
+    | Some t -> t
+    | None -> Alcotest.fail "tenant envel missing from stats"
+  in
+  let lat = Json.member "latency_us" envel in
+  Alcotest.(check bool) "latency histogram counted the warm request" true
+    (Json.to_int (Json.member "count" lat) >= 1);
+  Alcotest.(check bool) "sparse buckets exported" true
+    (match Json.member "buckets" lat with
+    | Json.List (_ :: _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "p99 >= p50" true
+    (Json.to_int (Json.member "p99" lat) >= Json.to_int (Json.member "p50" lat));
+  (* the whole process metrics registry rides in *)
+  let metrics = Json.member "metrics" payload in
+  Alcotest.(check int) "serve.requests counted" 2
+    (Json.to_int (Json.member "serve.requests" metrics));
+  (match Json.member_opt "serve.latency_us.envel" metrics with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "tenant histogram missing from the metrics snapshot");
+  (match Json.member_opt "serve.queue_depth" metrics with
+  | Some (Json.Float _) -> ()
+  | _ -> Alcotest.fail "queue depth gauge missing");
+  (match Json.member_opt "serve.live_connections" metrics with
+  | Some (Json.Float 0.) -> ()
+  | _ -> Alcotest.fail "live connections gauge missing (or nonzero)");
+  (* the live server block: present because a running server answered *)
+  let server = Json.member "server" payload in
+  Alcotest.(check int) "queue_cap" 5
+    (Json.to_int (Json.member "queue_cap" server));
+  Alcotest.(check int) "tenant_quota" 3
+    (Json.to_int (Json.member "tenant_quota" server));
+  Alcotest.(check int) "jobs" 2 (Json.to_int (Json.member "jobs" server));
+  Alcotest.(check int) "queue_depth sees the stats request itself" 1
+    (Json.to_int (Json.member "queue_depth" server));
+  Alcotest.(check int) "no flights in progress" 0
+    (Json.to_int (Json.member "flights_in_progress" server));
+  Alcotest.(check int) "no socket connections" 0
+    (Json.to_int (Json.member "live_connections" server));
+  (* the bare default handler (no live server) omits the server block *)
+  match Server.default_handler small_cfg (stats_req ~tenant:"envel" "bare") with
+  | Ok (p, _) ->
+    Alcotest.(check bool) "no server block without a live server" true
+      (Json.member_opt "server" p = None)
+  | Error _ -> Alcotest.fail "bare default handler failed"
+
+(* ------------------------------------------------------------------ *)
+(* Tracing: request spans over the serve path, Perfetto export         *)
+(* ------------------------------------------------------------------ *)
+
+let with_tracing f =
+  let was = !Obs.Span.enabled in
+  Obs.Span.reset ();
+  Obs.Span.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.enabled := was;
+      Obs.Span.reset ())
+    f
+
+let str_attr (s : Obs.Span.t) key =
+  match List.assoc_opt key (Obs.Span.attrs s) with
+  | Some (Obs.Span.Str v) -> Some v
+  | _ -> None
+
+let spans_named name spans =
+  List.filter (fun (s : Obs.Span.t) -> s.Obs.Span.name = name) spans
+
+(* a pipelined burst of simulate requests, each with a client-supplied
+   trace id, served over serve_fd with tracing on: every layer's span —
+   serve.request, pool.task, runner.run — carries the id, and the whole
+   set exports as one well-formed Perfetto file with per-track monotone
+   timestamps *)
+let test_serve_trace_export () =
+  with_temp_cache "trace" @@ fun () ->
+  Tenant.reset ();
+  Runner.clear_memo ();
+  with_tracing @@ fun () ->
+  let cfg = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(16 * 1024) () in
+  let srv = Server.create ~cfg ~jobs:2 ~queue_cap:16 () in
+  let k = 6 in
+  let payload =
+    String.concat ""
+      (List.init k (fun i ->
+           Protocol.request_to_line
+             {
+               Protocol.id = Printf.sprintf "t%d" i;
+               tenant = "traced";
+               trace_id = Some (Printf.sprintf "cli-%d" i);
+               kind =
+                 Protocol.Simulate
+                   {
+                     Protocol.workload = "ATAX";
+                     scheme = Scheme.Baseline;
+                     co_resident = None;
+                   };
+             }
+           ^ "\n"))
+  in
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  let b = Bytes.of_string payload in
+  ignore (Unix.write in_w b 0 (Bytes.length b));
+  Unix.close in_w;
+  Server.serve_fd srv ~in_fd:in_r ~out_fd:out_w ~stop:(fun () -> false);
+  Server.shutdown srv;
+  Unix.close out_w;
+  let responses = read_lines out_r k in
+  Unix.close out_r;
+  Unix.close in_r;
+  Alcotest.(check int) "every request answered" k (List.length responses);
+  let spans = Obs.Span.finished () in
+  let expected_ids = List.init k (Printf.sprintf "cli-%d") in
+  let reqs = spans_named "serve.request" spans in
+  Alcotest.(check int) "one request span per request" k (List.length reqs);
+  Alcotest.(check (list string))
+    "client trace ids propagate to the request spans" expected_ids
+    (List.sort compare (List.filter_map (fun s -> str_attr s "trace_id") reqs));
+  Alcotest.(check (list string)) "runner spans correlated by trace id"
+    expected_ids
+    (List.sort compare
+       (List.filter_map
+          (fun s -> str_attr s "trace_id")
+          (spans_named "runner.run" spans)));
+  Alcotest.(check bool) "pool tasks carry the trace id" true
+    (List.exists
+       (fun s -> str_attr s "trace_id" <> None)
+       (spans_named "pool.task" spans));
+  (* one cell behind k requests: exactly one simulation (memo/flight) *)
+  Alcotest.(check int) "one simulation span" 1
+    (List.length (spans_named "runner.simulate" spans));
+  let events =
+    Obs.Trace_event.process_name ~pid:1 "catt_d host"
+    :: Obs.Trace_event.of_spans ~pid:1 spans
+  in
+  let rendered = Obs.Trace_event.to_string events in
+  match Json.of_string rendered with
+  | Error msg -> Alcotest.failf "trace JSON does not parse: %s" msg
+  | Ok json ->
+    let evs = Json.to_list (Json.member "traceEvents" json) in
+    Alcotest.(check int) "every span rendered" (List.length events)
+      (List.length evs);
+    let last_ts = Hashtbl.create 8 in
+    let traced = ref 0 in
+    List.iter
+      (fun e ->
+        if Json.to_str (Json.member "ph" e) = "X" then begin
+          let key =
+            ( Json.to_int (Json.member "pid" e),
+              Json.to_int (Json.member "tid" e) )
+          in
+          let ts = Json.to_int (Json.member "ts" e) in
+          (match Hashtbl.find_opt last_ts key with
+          | Some prev ->
+            Alcotest.(check bool) "ts monotone per track" true (prev <= ts)
+          | None -> ());
+          Hashtbl.replace last_ts key ts;
+          match Json.member_opt "args" e with
+          | Some args -> (
+            match Json.member_opt "trace_id" args with
+            | Some (Json.String _) -> incr traced
+            | _ -> ())
+          | None -> ()
+        end)
+      evs;
+    (* at least the request and runner layers stamp every slice *)
+    Alcotest.(check bool) "slices correlated by trace_id args" true
+      (!traced >= 2 * k)
+
+(* K gated identical requests with distinct client trace ids: the flight
+   leader deposits its id on the single-flight entry, so each joiner's
+   runner.run span records [leader_trace_id] — the linkage that lets a
+   trace viewer answer "whose simulation did this request ride?" *)
+let test_coalesced_trace_linkage () =
+  with_temp_cache "lnk" @@ fun () ->
+  Tenant.reset ();
+  Runner.clear_memo ();
+  with_tracing @@ fun () ->
+  let cfg = Gpusim.Config.scaled ~num_sms:2 ~onchip_bytes:(16 * 1024) () in
+  let k = 4 in
+  let inside = Atomic.make 0 in
+  let handler req : Server.outcome =
+    Atomic.incr inside;
+    while Atomic.get inside < k do
+      Unix.sleepf 0.001
+    done;
+    Server.default_handler cfg req
+  in
+  let srv = Server.create ~handler ~cfg ~jobs:k ~queue_cap:k () in
+  let respond, all = collector () in
+  for i = 1 to k do
+    let d =
+      Server.post srv
+        {
+          Protocol.id = Printf.sprintf "l%d" i;
+          tenant = Printf.sprintf "lnk%d" i;
+          trace_id = Some (Printf.sprintf "lnk-%d" i);
+          kind =
+            Protocol.Simulate
+              {
+                Protocol.workload = "ATAX";
+                scheme = Scheme.Baseline;
+                co_resident = None;
+              };
+        }
+        ~respond
+    in
+    Alcotest.(check bool) "admitted" true (d = `Dispatched)
+  done;
+  Server.shutdown srv;
+  Alcotest.(check int) "K responses" k (List.length (all ()));
+  let runs = spans_named "runner.run" (Obs.Span.finished ()) in
+  Alcotest.(check int) "K runner.run spans" k (List.length runs);
+  let joiners, leaders =
+    List.partition
+      (fun s -> List.mem_assoc "leader_trace_id" (Obs.Span.attrs s))
+      runs
+  in
+  Alcotest.(check int) "exactly one flight leader" 1 (List.length leaders);
+  let leader_id =
+    match str_attr (List.hd leaders) "trace_id" with
+    | Some tid -> tid
+    | None -> Alcotest.fail "leader span lost its trace id"
+  in
+  Alcotest.(check int) "K-1 joiners" (k - 1) (List.length joiners);
+  List.iter
+    (fun s ->
+      (match str_attr s "leader_trace_id" with
+      | Some l ->
+        Alcotest.(check string) "joiner linked to the leader's trace" leader_id
+          l
+      | None -> Alcotest.fail "joiner missing leader_trace_id");
+      match str_attr s "trace_id" with
+      | Some own ->
+        Alcotest.(check bool) "joiner keeps its own trace id" true
+          (own <> leader_id)
+      | None -> Alcotest.fail "joiner span lost its trace id")
+    joiners
+
 let tests =
   [
     ( "serve.protocol",
@@ -1333,8 +1655,8 @@ let tests =
           test_simulate_hit_miss_attribution;
         Alcotest.test_case "latency excludes refusals" `Quick
           test_latency_excludes_refusals;
-        Alcotest.test_case "latency ring is bounded" `Quick
-          test_latency_ring_bounded;
+        Alcotest.test_case "latency histogram is bounded" `Quick
+          test_latency_histogram_bounded;
         Alcotest.test_case "200-request mixed soak" `Slow test_soak_mixed_200;
         Alcotest.test_case "json-lines over a pipe" `Quick test_serve_fd_pipe;
         Alcotest.test_case "two socket clients served concurrently" `Quick
@@ -1349,6 +1671,12 @@ let tests =
           test_serve_socket_reaps_connections;
         Alcotest.test_case "pipelined burst in a single write" `Quick
           test_pipelined_burst_single_write;
+        Alcotest.test_case "stats envelope carries the live admin plane"
+          `Quick test_stats_envelope;
+        Alcotest.test_case "request spans export to Perfetto" `Quick
+          test_serve_trace_export;
+        Alcotest.test_case "coalesced requests link joiner to leader traces"
+          `Quick test_coalesced_trace_linkage;
       ] );
     ( "serve.co_resident",
       [
